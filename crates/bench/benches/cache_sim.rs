@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks for the trace-driven cache simulator — the
+//! throughput that bounds how fast the Flex+LRU / Flex+BRRIP baselines run on
+//! the large Table VI datasets.
+
+use cello_mem::cache::{BrripPolicy, CacheConfig, LruPolicy, SetAssocCache};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn config() -> CacheConfig {
+    CacheConfig {
+        capacity_bytes: 1 << 20,
+        line_bytes: 16,
+        associativity: 8,
+    }
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let bytes: u64 = 4 << 20; // 4 MiB scan: 4x capacity
+    let mut g = c.benchmark_group("cache/stream");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("lru scan", |b| {
+        let mut cache = SetAssocCache::<LruPolicy>::new(config());
+        b.iter(|| black_box(cache.stream(0, bytes, false)))
+    });
+    g.bench_function("brrip scan", |b| {
+        let mut cache = SetAssocCache::<BrripPolicy>::new(config());
+        b.iter(|| black_box(cache.stream(0, bytes, false)))
+    });
+    g.finish();
+}
+
+fn bench_mixed(c: &mut Criterion) {
+    c.bench_function("cache/lru mixed rw", |b| {
+        let mut cache = SetAssocCache::<LruPolicy>::new(config());
+        let mut addr: u64 = 0x1234;
+        b.iter(|| {
+            for i in 0..1024u64 {
+                addr = addr.wrapping_mul(2654435761).wrapping_add(i) % (8 << 20);
+                cache.access(addr, i % 4 == 0);
+            }
+            black_box(cache.stats())
+        })
+    });
+}
+
+criterion_group!(benches, bench_stream, bench_mixed);
+criterion_main!(benches);

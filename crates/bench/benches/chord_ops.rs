@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks for CHORD's hot paths: produce (PRELUDE fill +
+//! RIFF replacement), consume (hit/miss split), and the victim search — the
+//! operations that would be cycle-level hardware in CELLO and must stay cheap
+//! in the simulator.
+
+use cello_core::chord::{Chord, ChordConfig, ChordPolicyKind, RiffPriority};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn cfg(capacity: u64) -> ChordConfig {
+    ChordConfig {
+        capacity_words: capacity,
+        word_bytes: 4,
+        policy: ChordPolicyKind::PreludeRiff,
+        max_entries: 64,
+    }
+}
+
+fn bench_produce_consume(c: &mut Criterion) {
+    c.bench_function("chord/produce+consume 32 tensors", |b| {
+        b.iter(|| {
+            let mut chord = Chord::new(cfg(1 << 20));
+            for i in 0..32u32 {
+                let name = format!("T{i}");
+                chord.produce(&name, 60_000, RiffPriority::new(2 + i % 3, 1 + i % 5));
+            }
+            for i in 0..32u32 {
+                let name = format!("T{i}");
+                // Under contention RIFF may have fully evicted a tensor; the
+                // engine then streams it from DRAM (consume_absent).
+                if chord.table().get(&name).is_some() {
+                    black_box(chord.consume(&name, None));
+                } else {
+                    black_box(chord.consume_absent(60_000));
+                }
+            }
+            black_box(chord.stats())
+        })
+    });
+}
+
+fn bench_riff_contention(c: &mut Criterion) {
+    c.bench_function("chord/riff eviction cascade", |b| {
+        b.iter(|| {
+            let mut chord = Chord::new(cfg(100_000));
+            // Fill with weak tensors, then push strong ones through.
+            for i in 0..20u32 {
+                chord.produce(&format!("weak{i}"), 5_000, RiffPriority::new(1, 9));
+            }
+            for i in 0..20u32 {
+                chord.produce(&format!("strong{i}"), 5_000, RiffPriority::new(5, 1));
+            }
+            black_box(chord.used_words())
+        })
+    });
+}
+
+fn bench_prelude_spill(c: &mut Criterion) {
+    c.bench_function("chord/prelude spill oversize tensor", |b| {
+        b.iter(|| {
+            let mut chord = Chord::new(cfg(10_000));
+            let spill = chord.produce("huge", 1_000_000, RiffPriority::new(3, 1));
+            black_box(spill)
+        })
+    });
+}
+
+criterion_group!(benches, bench_produce_consume, bench_riff_contention, bench_prelude_spill);
+criterion_main!(benches);

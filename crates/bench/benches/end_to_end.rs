@@ -1,0 +1,42 @@
+//! Criterion benchmarks for full configuration simulations — one CG workload
+//! through each Table IV pipeline (schedule + backend + engine). These bound
+//! the wall-clock of the figure harnesses.
+
+use cello_core::accel::CelloConfig;
+use cello_sim::baselines::{run_config, ConfigKind};
+use cello_workloads::cg::{build_cg_dag, CgParams};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn dag() -> cello_graph::dag::TensorDag {
+    build_cg_dag(&CgParams {
+        m: 9604,
+        occupancy: 8.9,
+        a_payload_words: 2 * 85_264 + 9605,
+        n: 16,
+        nprime: 16,
+        iterations: 5,
+    })
+}
+
+fn bench_configs(c: &mut Criterion) {
+    let dag = dag();
+    let accel = CelloConfig::paper();
+    let mut g = c.benchmark_group("end_to_end/cg_fv1_5iter");
+    g.sample_size(20);
+    for kind in [ConfigKind::Flexagon, ConfigKind::Flat, ConfigKind::Cello] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
+            b.iter(|| black_box(run_config(&dag, k, &accel, "bench")))
+        });
+    }
+    // Cache baselines simulate per-line: keep the sample small.
+    g.sample_size(10);
+    for kind in [ConfigKind::FlexLru, ConfigKind::FlexBrrip] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
+            b.iter(|| black_box(run_config(&dag, k, &accel, "bench")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_configs);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the numeric tensor kernels on CG-shaped
+//! (skewed) operands: SpMM, skewed GEMM, and the tall contraction — the
+//! exact shapes §III-A argues are memory-bound.
+
+use cello_tensor::dense::DenseMatrix;
+use cello_tensor::gen::laplacian_2d;
+use cello_tensor::kernels::{gemm, gemm_at_b, spmm};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn dense(rows: usize, cols: usize) -> DenseMatrix {
+    let mut m = DenseMatrix::zeros(rows, cols);
+    let mut s = 0x9E3779B97F4A7C15u64;
+    for r in 0..rows {
+        for c in 0..cols {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            m.set(r, c, (s % 1000) as f64 / 1000.0);
+        }
+    }
+    m
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let a = laplacian_2d(128, 128); // 16384 rows, ~5 nnz/row
+    let p = dense(16_384, 16);
+    let macs = (a.nnz() * 16) as u64;
+    let mut g = c.benchmark_group("kernels/spmm");
+    g.throughput(Throughput::Elements(macs));
+    g.bench_function("laplacian 16k x16", |b| b.iter(|| black_box(spmm(&a, &p))));
+    g.finish();
+}
+
+fn bench_skewed_gemm(c: &mut Criterion) {
+    let a = dense(65_536, 16);
+    let b_small = dense(16, 16);
+    let mut g = c.benchmark_group("kernels/skewed_gemm");
+    g.throughput(Throughput::Elements(65_536 * 16 * 16));
+    g.bench_function("65536x16x16", |bch| bch.iter(|| black_box(gemm(&a, &b_small))));
+    g.finish();
+}
+
+fn bench_contraction(c: &mut Criterion) {
+    let p = dense(65_536, 16);
+    let s = dense(65_536, 16);
+    let mut g = c.benchmark_group("kernels/contraction");
+    g.throughput(Throughput::Elements(65_536 * 16 * 16));
+    g.bench_function("PtS 65536", |b| b.iter(|| black_box(gemm_at_b(&p, &s))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_spmm, bench_skewed_gemm, bench_contraction);
+criterion_main!(benches);

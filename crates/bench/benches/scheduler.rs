@@ -1,0 +1,45 @@
+//! Criterion benchmarks for SCORE itself: Algorithm 2 classification and full
+//! schedule construction on unrolled CG DAGs. The paper's tractability claim
+//! (§VI-B) is that SCORE's work is `O(nodes+edges)`-ish — scheduling 10
+//! unrolled iterations must be microseconds-to-milliseconds, not a search.
+
+use cello_core::score::binding::{build_schedule, ScheduleOptions};
+use cello_core::score::classify::classify;
+use cello_workloads::cg::{build_cg_dag, CgParams};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn params(iterations: u32) -> CgParams {
+    CgParams {
+        m: 81_920,
+        occupancy: 4.0,
+        a_payload_words: 2 * 327_680 + 81_921,
+        n: 16,
+        nprime: 16,
+        iterations,
+    }
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("score/classify");
+    for iters in [2u32, 5, 10] {
+        let dag = build_cg_dag(&params(iters));
+        g.bench_with_input(BenchmarkId::from_parameter(iters), &dag, |b, dag| {
+            b.iter(|| black_box(classify(dag)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_build_schedule(c: &mut Criterion) {
+    let mut g = c.benchmark_group("score/build_schedule");
+    for iters in [2u32, 5, 10] {
+        let dag = build_cg_dag(&params(iters));
+        g.bench_with_input(BenchmarkId::from_parameter(iters), &dag, |b, dag| {
+            b.iter(|| black_box(build_schedule(dag, ScheduleOptions::cello())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_classify, bench_build_schedule);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E17 (§V-B ablation): multi-node NoC traffic — the naive "move the big
+//! intermediate between pipeline stages" strategy vs SCORE's scalable
+//! "partition the dominant rank, broadcast Λ / reduce Γ" tiling (Fig 8
+//! bottom), across node counts and CG problem sizes.
+
+use cello_bench::{emit, f3};
+use cello_core::score::multinode::NocModel;
+use cello_workloads::datasets::{cg_datasets, Dataset};
+
+fn main() {
+    let mut rows = Vec::new();
+    for d in cg_datasets() {
+        for n in [1u64, 16] {
+            for nodes in [4u64, 16, 64] {
+                let noc = NocModel::new(nodes);
+                let Dataset { m, .. } = d;
+                let naive = noc.naive_words(m as u64, n);
+                let scalable = noc.scalable_words(n, n);
+                rows.push(vec![
+                    format!("{} N={n}", d.name),
+                    nodes.to_string(),
+                    naive.to_string(),
+                    scalable.to_string(),
+                    f3(noc.advantage(m as u64, n, n)),
+                ]);
+            }
+        }
+    }
+    emit(
+        "ablation_noc",
+        "§V-B ablation: NoC words per pipelined exchange (naive vs scalable)",
+        &["workload", "nodes", "naive words", "scalable words", "advantage ×"],
+        &rows,
+    );
+}

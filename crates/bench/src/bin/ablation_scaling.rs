@@ -1,0 +1,48 @@
+//! §V-B scaling ablation (executable version of Fig 8 bottom): strong
+//! scaling of CG across accelerator nodes under SCORE's scalable placement
+//! (slice the dominant rank, ship only Λ/Γ/Φ) versus the naive placement
+//! (split pipeline stages, ship the M×N intermediate).
+
+use cello_bench::{emit, f3};
+use cello_core::accel::CelloConfig;
+use cello_sim::baselines::ConfigKind;
+use cello_sim::scaling::{run_cg_multinode, ScalingStrategy};
+use cello_workloads::cg::CgParams;
+use cello_workloads::datasets::SHALLOW_WATER1;
+
+fn main() {
+    let prm = CgParams::from_dataset(&SHALLOW_WATER1, 16, 10);
+    let accel = CelloConfig::paper();
+    let single = run_cg_multinode(&prm, &accel, ConfigKind::Cello, 1, ScalingStrategy::Scalable);
+    let mut rows = Vec::new();
+    for nodes in [1u64, 2, 4, 8, 16, 32, 64] {
+        for strategy in [ScalingStrategy::Scalable, ScalingStrategy::Naive] {
+            let r = run_cg_multinode(&prm, &accel, ConfigKind::Cello, nodes, strategy);
+            rows.push(vec![
+                nodes.to_string(),
+                format!("{strategy:?}"),
+                f3(r.seconds * 1e3),
+                f3(r.speedup_over(&single)),
+                r.noc_bytes.to_string(),
+                r.dram_bytes.to_string(),
+            ]);
+        }
+    }
+    emit(
+        "ablation_scaling",
+        "§V-B strong scaling: CELLO on shallow_water1 N=16 (10 iterations)",
+        &[
+            "nodes",
+            "strategy",
+            "time ms",
+            "speedup ×",
+            "NoC bytes",
+            "aggregate DRAM bytes",
+        ],
+        &rows,
+    );
+    println!(
+        "expected: Scalable scales superlinearly while per-node slices exceed CHORD,\n\
+         then near-linearly; Naive saturates on NoC traffic (M·N words/iteration)."
+    );
+}

@@ -1,0 +1,53 @@
+//! Fig 2 (E1): arithmetic intensity of regular vs skewed GEMMs and the
+//! roofline they land on (word = 4 B, BW = 1 TB/s, 16384 MACs @ 1 GHz).
+//!
+//! Paper values: regular 512³ GEMM = 42.66 ops/byte (compute bound); skewed
+//! 524288×16×16 GEMM = 2 ops/byte (memory bound) despite identical MACs.
+
+use cello_bench::{emit, f3};
+use cello_core::accel::CelloConfig;
+use cello_tensor::intensity::ai_best_gemm;
+
+fn main() {
+    let accel = CelloConfig::paper();
+    let roof = accel.roofline();
+    let cases = [
+        ("regular 512x512x512", 512u64, 512u64, 512u64),
+        ("skewed 524288x16x16", 524_288, 16, 16),
+    ];
+    let mut rows = Vec::new();
+    for (name, m, k, n) in cases {
+        let ai = ai_best_gemm(m, k, n, accel.word_bytes);
+        let attainable = roof.attainable(ai.ops_per_byte());
+        rows.push(vec![
+            name.to_string(),
+            ai.macs.to_string(),
+            f3(ai.ops_per_word()),
+            f3(ai.ops_per_byte()),
+            f3(attainable / 1e9),
+            if roof.memory_bound(ai.ops_per_byte()) {
+                "memory-bound".into()
+            } else {
+                "compute-bound".into()
+            },
+        ]);
+    }
+    emit(
+        "fig02_roofline",
+        "Fig 2: arithmetic intensity and roofline (1 TB/s, 16384 MACs @ 1 GHz)",
+        &[
+            "gemm",
+            "MACs",
+            "ops/word",
+            "ops/byte",
+            "attainable GFPMuls/s",
+            "regime",
+        ],
+        &rows,
+    );
+    println!(
+        "ridge point @1TB/s = {} ops/byte; @250GB/s = {} ops/byte (paper: 16.384 / 65.536)",
+        f3(roof.ridge_point()),
+        f3(CelloConfig::paper_250gbs().roofline().ridge_point()),
+    );
+}

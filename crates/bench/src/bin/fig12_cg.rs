@@ -1,0 +1,80 @@
+//! Fig 12 (E9): CG performance (GigaFPMuls/s, higher is better) for the five
+//! main configurations across {fv1, shallow_water1, G2_circuit} × N∈{1,16},
+//! at both Table V bandwidths. The first panel's roofline context (achieved
+//! arithmetic intensity and the roofline bound) is printed alongside.
+
+use cello_bench::{cg_cell, emit, f3, run_grid};
+use cello_core::accel::CelloConfig;
+use cello_sim::baselines::ConfigKind;
+use cello_workloads::datasets::cg_datasets;
+
+fn main() {
+    let configs = ConfigKind::main_set();
+    let iterations = 10; // Table VII
+    let mut cells = Vec::new();
+    for bw in ["1TB/s", "250GB/s"] {
+        let accel = match bw {
+            "1TB/s" => CelloConfig::paper(),
+            _ => CelloConfig::paper_250gbs(),
+        };
+        for d in cg_datasets() {
+            for n in [1u64, 16] {
+                cells.push(cg_cell(&d, n, iterations, accel, &format!(" {bw}")));
+            }
+        }
+    }
+    let reports = run_grid(&cells, &configs);
+
+    let mut rows = Vec::new();
+    for (ci, cell) in cells.iter().enumerate() {
+        let roof = cell.accel.roofline();
+        for (ki, kind) in configs.iter().enumerate() {
+            let r = &reports[ci * configs.len() + ki];
+            let ai = r.achieved_intensity();
+            rows.push(vec![
+                cell.label.clone(),
+                kind.label().to_string(),
+                f3(r.gfpmuls_per_sec()),
+                f3(ai),
+                f3(roof.attainable(ai) / 1e9),
+                f3(r.memory_bound_fraction()),
+            ]);
+        }
+    }
+    emit(
+        "fig12_cg",
+        "Fig 12: CG performance (GigaFPMuls/s, higher is better)",
+        &[
+            "workload",
+            "config",
+            "GFPMuls/s",
+            "achieved ops/B",
+            "roofline bound GFPMuls/s",
+            "mem-bound frac",
+        ],
+        &rows,
+    );
+
+    // CELLO-vs-best-baseline speedups per workload (the Fig 12 takeaway).
+    let mut srows = Vec::new();
+    for (ci, cell) in cells.iter().enumerate() {
+        let slice = &reports[ci * configs.len()..(ci + 1) * configs.len()];
+        let cello = slice.iter().find(|r| r.config == "CELLO").unwrap();
+        let best_base = slice
+            .iter()
+            .filter(|r| r.config != "CELLO")
+            .min_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap())
+            .unwrap();
+        srows.push(vec![
+            cell.label.clone(),
+            best_base.config.clone(),
+            f3(cello.speedup_over(best_base)),
+        ]);
+    }
+    emit(
+        "fig12_speedups",
+        "Fig 12 takeaway: CELLO speedup over the best non-CELLO baseline",
+        &["workload", "best baseline", "CELLO speedup ×"],
+        &srows,
+    );
+}

@@ -1,0 +1,72 @@
+//! Fig 13 (E10): performance on GNN layers (cora, protein) and BiCGStab
+//! (NASA4704, fv1, shallow_water1, N=1). Expected shape: on GNNs
+//! CELLO == FLAT > Flexagon (the intermediate is purely pipelineable); on
+//! BiCGStab CELLO wins like CG (delayed writebacks dominate).
+
+use cello_bench::{emit, f3, run_grid, GridCell};
+use cello_core::accel::CelloConfig;
+use cello_sim::baselines::ConfigKind;
+use cello_workloads::bicgstab::{build_bicgstab_dag, BicgParams};
+use cello_workloads::datasets::{CORA, FV1, NASA4704, PROTEIN, SHALLOW_WATER1};
+use cello_workloads::gcn::{build_gcn_dag, GcnParams};
+
+fn main() {
+    let accel = CelloConfig::paper();
+    let configs = ConfigKind::main_set();
+    let mut cells = Vec::new();
+    for d in [CORA, PROTEIN] {
+        cells.push(GridCell {
+            label: format!("GNN {}", d.name),
+            dag: build_gcn_dag(&GcnParams::from_dataset(&d, 1)),
+            accel,
+        });
+    }
+    for d in [NASA4704, FV1, SHALLOW_WATER1] {
+        cells.push(GridCell {
+            label: format!("BiCGStab {} N=1", d.name),
+            dag: build_bicgstab_dag(&BicgParams::from_dataset(&d, 1, 10)),
+            accel,
+        });
+    }
+    let reports = run_grid(&cells, &configs);
+    let mut rows = Vec::new();
+    for (ci, cell) in cells.iter().enumerate() {
+        for (ki, kind) in configs.iter().enumerate() {
+            let r = &reports[ci * configs.len() + ki];
+            rows.push(vec![
+                cell.label.clone(),
+                kind.label().to_string(),
+                f3(r.gfpmuls_per_sec()),
+                r.dram_bytes.to_string(),
+                f3(r.achieved_intensity()),
+            ]);
+        }
+    }
+    emit(
+        "fig13_gnn_bicgstab",
+        "Fig 13: GNN and BiCGStab performance (GigaFPMuls/s, higher is better)",
+        &["workload", "config", "GFPMuls/s", "DRAM bytes", "achieved ops/B"],
+        &rows,
+    );
+
+    // The qualitative checks the paper calls out.
+    for (ci, cell) in cells.iter().enumerate() {
+        let slice = &reports[ci * configs.len()..(ci + 1) * configs.len()];
+        let get = |name: &str| slice.iter().find(|r| r.config == name).unwrap();
+        if cell.label.starts_with("GNN") {
+            let (flat, cello) = (get("FLAT"), get("CELLO"));
+            println!(
+                "{}: CELLO/FLAT DRAM ratio = {} (paper: equal)",
+                cell.label,
+                f3(cello.dram_bytes as f64 / flat.dram_bytes as f64)
+            );
+        } else {
+            let (flex, cello) = (get("Flexagon"), get("CELLO"));
+            println!(
+                "{}: CELLO speedup over Flexagon = {}x",
+                cell.label,
+                f3(cello.speedup_over(flex))
+            );
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Fig 14 (E11): off-chip energy relative to BestIntra+Exp, geomeaned within
+//! each workload family (lower is better). Paper: CELLO is lowest everywhere,
+//! 64–83% reduction, 4× geomean.
+
+use cello_bench::{cg_cell, emit, f3, run_grid, GridCell};
+use cello_core::accel::CelloConfig;
+use cello_sim::baselines::ConfigKind;
+use cello_sim::report::geomean;
+use cello_workloads::bicgstab::{build_bicgstab_dag, BicgParams};
+use cello_workloads::datasets::{cg_datasets, CORA, FV1, NASA4704, PROTEIN, SHALLOW_WATER1};
+use cello_workloads::gcn::{build_gcn_dag, GcnParams};
+use std::collections::BTreeMap;
+
+fn main() {
+    let accel = CelloConfig::paper();
+    let configs = ConfigKind::main_set();
+
+    // Workload family -> cells.
+    let mut families: Vec<(&str, Vec<GridCell>)> = Vec::new();
+    let mut cg_cells = Vec::new();
+    for d in cg_datasets() {
+        for n in [1u64, 16] {
+            cg_cells.push(cg_cell(&d, n, 10, accel, ""));
+        }
+    }
+    families.push(("CG (PDE solvers)", cg_cells));
+    families.push((
+        "BiCGStab (PDE solvers)",
+        [NASA4704, FV1, SHALLOW_WATER1]
+            .iter()
+            .map(|d| GridCell {
+                label: format!("bicg {}", d.name),
+                dag: build_bicgstab_dag(&BicgParams::from_dataset(d, 1, 10)),
+                accel,
+            })
+            .collect(),
+    ));
+    families.push((
+        "GNN",
+        [CORA, PROTEIN]
+            .iter()
+            .map(|d| GridCell {
+                label: format!("gnn {}", d.name),
+                dag: build_gcn_dag(&GcnParams::from_dataset(d, 1)),
+                accel,
+            })
+            .collect(),
+    ));
+
+    let mut rows = Vec::new();
+    for (family, cells) in &families {
+        let reports = run_grid(cells, &configs);
+        // relative energy per config, geomeaned across the family's cells.
+        let mut rel: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+        for ci in 0..cells.len() {
+            let slice = &reports[ci * configs.len()..(ci + 1) * configs.len()];
+            let base = slice.iter().find(|r| r.config == "Flexagon").unwrap();
+            for r in slice {
+                rel.entry(Box::leak(r.config.clone().into_boxed_str()))
+                    .or_default()
+                    .push(r.relative_energy(base));
+            }
+        }
+        for kind in &configs {
+            let vals = &rel[kind.label()];
+            rows.push(vec![
+                family.to_string(),
+                kind.label().to_string(),
+                f3(geomean(vals)),
+            ]);
+        }
+    }
+    emit(
+        "fig14_energy",
+        "Fig 14: off-chip energy relative to BestIntra+Exp (geomean per family, lower is better)",
+        &["workload family", "config", "relative off-chip energy"],
+        &rows,
+    );
+
+    let cello_rows: Vec<f64> = rows
+        .iter()
+        .filter(|r| r[1] == "CELLO")
+        .map(|r| r[2].parse::<f64>().unwrap())
+        .collect();
+    let g = geomean(&cello_rows);
+    println!(
+        "CELLO geomean relative energy = {} (reduction {}%; paper reports 64–83% per family, ~4x geomean)",
+        f3(g),
+        f3((1.0 - g) * 100.0)
+    );
+}

@@ -1,0 +1,71 @@
+//! Fig 16(a) (E13): ResNet conv3_x residual block — performance and relative
+//! off-chip energy, with the SET baseline added, at 1 TB/s and 250 GB/s
+//! (16-bit words, Table VII). Expected shape: compute-bound at 1 TB/s (most
+//! configs tie on performance); SET == CELLO (delayed hold suffices —
+//! ResNet has no delayed writeback); FLAT worse (cannot fuse the skip).
+
+use cello_bench::{emit, f3, run_grid, GridCell};
+use cello_core::accel::CelloConfig;
+use cello_sim::baselines::ConfigKind;
+use cello_workloads::resnet::{build_resnet_block_dag, ResNetBlockParams};
+
+fn main() {
+    let configs = vec![
+        ConfigKind::Flexagon,
+        ConfigKind::FlexLru,
+        ConfigKind::FlexBrrip,
+        ConfigKind::Flat,
+        ConfigKind::SetLike,
+        ConfigKind::Cello,
+    ];
+    let prm = ResNetBlockParams::conv3x();
+    let cells = vec![
+        GridCell {
+            label: "ResNet conv3_x 1TB/s".into(),
+            dag: build_resnet_block_dag(&prm),
+            accel: CelloConfig::paper().with_word_bytes(2),
+        },
+        GridCell {
+            label: "ResNet conv3_x 250GB/s".into(),
+            dag: build_resnet_block_dag(&prm),
+            accel: CelloConfig::paper_250gbs().with_word_bytes(2),
+        },
+    ];
+    let reports = run_grid(&cells, &configs);
+    let mut rows = Vec::new();
+    for (ci, cell) in cells.iter().enumerate() {
+        let slice = &reports[ci * configs.len()..(ci + 1) * configs.len()];
+        let base = slice.iter().find(|r| r.config == "Flexagon").unwrap().clone();
+        for r in slice {
+            rows.push(vec![
+                cell.label.clone(),
+                r.config.clone(),
+                f3(r.gfpmuls_per_sec()),
+                f3(r.relative_energy(&base)),
+                f3(r.memory_bound_fraction()),
+            ]);
+        }
+    }
+    emit(
+        "fig16a_resnet",
+        "Fig 16(a): ResNet block performance and relative off-chip energy",
+        &[
+            "workload",
+            "config",
+            "GFPMuls/s",
+            "rel. off-chip energy",
+            "mem-bound frac",
+        ],
+        &rows,
+    );
+    // The SET == CELLO observation.
+    for (ci, cell) in cells.iter().enumerate() {
+        let slice = &reports[ci * configs.len()..(ci + 1) * configs.len()];
+        let get = |n: &str| slice.iter().find(|r| r.config == n).unwrap();
+        println!(
+            "{}: SET/CELLO DRAM ratio = {} (paper: SET performs the same as CELLO on ResNet)",
+            cell.label,
+            f3(get("SET").dram_bytes as f64 / get("CELLO").dram_bytes as f64)
+        );
+    }
+}

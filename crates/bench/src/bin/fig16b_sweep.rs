@@ -1,0 +1,49 @@
+//! Fig 16(b) (E14): sensitivity of CELLO to CHORD capacity — SRAM swept over
+//! {1, 4, 16} MB on shallow_water1, N ∈ {1, 16}. Expected shape: for N=16
+//! (5.2 MB tensors) performance grows with capacity; for N=1 (328 KB tensors)
+//! 4 MB is already sufficient and the curve is flat from there.
+
+use cello_bench::{cg_cell, emit, f3, run_grid};
+use cello_core::accel::CelloConfig;
+use cello_sim::baselines::ConfigKind;
+use cello_workloads::datasets::SHALLOW_WATER1;
+
+fn main() {
+    let configs = vec![ConfigKind::Cello];
+    let mut cells = Vec::new();
+    for n in [1u64, 16] {
+        for mb in [1u64, 4, 16] {
+            let accel = CelloConfig::paper().with_sram_bytes(mb << 20);
+            cells.push(cg_cell(&SHALLOW_WATER1, n, 10, accel, &format!(" SRAM={mb}MB")));
+        }
+    }
+    let reports = run_grid(&cells, &configs);
+    let mut rows = Vec::new();
+    for (cell, r) in cells.iter().zip(&reports) {
+        rows.push(vec![
+            cell.label.clone(),
+            f3(r.gfpmuls_per_sec()),
+            r.dram_bytes.to_string(),
+            f3(r.stats.hit_rate()),
+        ]);
+    }
+    emit(
+        "fig16b_sweep",
+        "Fig 16(b): CELLO vs CHORD capacity (shallow_water1, 10 CG iterations)",
+        &["workload", "GFPMuls/s", "DRAM bytes", "CHORD hit rate"],
+        &rows,
+    );
+    // Shape check: N=16 should improve monotonically with capacity.
+    let n16: Vec<f64> = cells
+        .iter()
+        .zip(&reports)
+        .filter(|(c, _)| c.label.contains("N=16"))
+        .map(|(_, r)| r.gfpmuls_per_sec())
+        .collect();
+    println!(
+        "N=16 throughput across 1/4/16 MB: {} -> {} -> {} (paper: increasing)",
+        f3(n16[0]),
+        f3(n16[1]),
+        f3(n16[2])
+    );
+}

@@ -1,0 +1,54 @@
+//! Fig 16(c) (E15): the PRELUDE-only ablation on CG (shallow_water1,
+//! N ∈ {1,16}) against Flexagon, FLAT and CELLO. Expected shape: PRELUDE-only
+//! beats Flexagon/FLAT (writeback support matters more than pipelining on
+//! CG), is close to CELLO at N=1 (tensors fit: replacement policy barely
+//! matters) and falls behind CELLO at N=16 (RIFF's frequency-aware
+//! replacement keeps the hot tensors resident).
+
+use cello_bench::{cg_cell, emit, f3, run_grid};
+use cello_core::accel::CelloConfig;
+use cello_sim::baselines::ConfigKind;
+use cello_workloads::datasets::SHALLOW_WATER1;
+
+fn main() {
+    let configs = vec![
+        ConfigKind::Flexagon,
+        ConfigKind::Flat,
+        ConfigKind::PreludeOnly,
+        ConfigKind::Cello,
+    ];
+    let cells = vec![
+        cg_cell(&SHALLOW_WATER1, 1, 10, CelloConfig::paper(), ""),
+        cg_cell(&SHALLOW_WATER1, 16, 10, CelloConfig::paper(), ""),
+    ];
+    let reports = run_grid(&cells, &configs);
+    let mut rows = Vec::new();
+    for (ci, cell) in cells.iter().enumerate() {
+        for (ki, kind) in configs.iter().enumerate() {
+            let r = &reports[ci * configs.len() + ki];
+            rows.push(vec![
+                cell.label.clone(),
+                kind.label().to_string(),
+                f3(r.gfpmuls_per_sec()),
+                r.dram_bytes.to_string(),
+            ]);
+        }
+    }
+    emit(
+        "fig16c_prelude",
+        "Fig 16(c): PRELUDE-only vs Flexagon/FLAT/CELLO on CG (shallow_water1)",
+        &["workload", "config", "GFPMuls/s", "DRAM bytes"],
+        &rows,
+    );
+    for (ci, cell) in cells.iter().enumerate() {
+        let slice = &reports[ci * configs.len()..(ci + 1) * configs.len()];
+        let get = |n: &str| slice.iter().find(|r| r.config == n).unwrap();
+        let (pre, cello, flex) = (get("PRELUDE-only"), get("CELLO"), get("Flexagon"));
+        println!(
+            "{}: PRELUDE-only speedup over Flexagon {}x; CELLO over PRELUDE-only {}x",
+            cell.label,
+            f3(pre.speedup_over(flex)),
+            f3(cello.speedup_over(pre)),
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! E16: the headline — geomean CELLO speedup and energy efficiency across
+//! every HPC workload of the evaluation (paper: 4× and 4×).
+
+use cello_bench::{cg_cell, emit, f3, run_grid, GridCell};
+use cello_core::accel::CelloConfig;
+use cello_sim::baselines::ConfigKind;
+use cello_sim::report::geomean;
+use cello_workloads::bicgstab::{build_bicgstab_dag, BicgParams};
+use cello_workloads::datasets::{cg_datasets, CORA, FV1, NASA4704, PROTEIN, SHALLOW_WATER1};
+use cello_workloads::gcn::{build_gcn_dag, GcnParams};
+
+fn main() {
+    let accel = CelloConfig::paper();
+    let configs = ConfigKind::main_set();
+    let mut cells: Vec<GridCell> = Vec::new();
+    for d in cg_datasets() {
+        for n in [1u64, 16] {
+            cells.push(cg_cell(&d, n, 10, accel, " CG"));
+        }
+    }
+    for d in [NASA4704, FV1, SHALLOW_WATER1] {
+        cells.push(GridCell {
+            label: format!("{} BiCGStab", d.name),
+            dag: build_bicgstab_dag(&BicgParams::from_dataset(&d, 1, 10)),
+            accel,
+        });
+    }
+    for d in [CORA, PROTEIN] {
+        cells.push(GridCell {
+            label: format!("{} GNN", d.name),
+            dag: build_gcn_dag(&GcnParams::from_dataset(&d, 1)),
+            accel,
+        });
+    }
+
+    let reports = run_grid(&cells, &configs);
+    let mut speedups_vs_flexagon = Vec::new();
+    let mut speedups_vs_best = Vec::new();
+    let mut energy_vs_flexagon = Vec::new();
+    let mut rows = Vec::new();
+    for (ci, cell) in cells.iter().enumerate() {
+        let slice = &reports[ci * configs.len()..(ci + 1) * configs.len()];
+        let cello = slice.iter().find(|r| r.config == "CELLO").unwrap();
+        let flexagon = slice.iter().find(|r| r.config == "Flexagon").unwrap();
+        let best = slice
+            .iter()
+            .filter(|r| r.config != "CELLO")
+            .min_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap())
+            .unwrap();
+        let s_flex = cello.speedup_over(flexagon);
+        let s_best = cello.speedup_over(best);
+        let e_flex = cello.relative_energy(flexagon);
+        speedups_vs_flexagon.push(s_flex);
+        speedups_vs_best.push(s_best);
+        energy_vs_flexagon.push(e_flex);
+        rows.push(vec![
+            cell.label.clone(),
+            f3(s_flex),
+            format!("{} ({})", f3(s_best), best.config),
+            f3(1.0 / e_flex),
+        ]);
+    }
+    emit(
+        "summary",
+        "Headline: CELLO speedup and energy-efficiency per workload",
+        &[
+            "workload",
+            "speedup vs Flexagon ×",
+            "speedup vs best baseline ×",
+            "energy efficiency vs Flexagon ×",
+        ],
+        &rows,
+    );
+    println!(
+        "GEOMEAN: speedup vs Flexagon = {}x | vs best baseline = {}x | energy efficiency = {}x",
+        f3(geomean(&speedups_vs_flexagon)),
+        f3(geomean(&speedups_vs_best)),
+        f3(geomean(
+            &energy_vs_flexagon.iter().map(|e| 1.0 / e).collect::<Vec<_>>()
+        )),
+    );
+    println!("(paper: 4x geomean speedup, 4x energy efficiency across HPC workloads)");
+}

@@ -1,0 +1,36 @@
+//! Table I (E2): HPCG vs HPL on the top supercomputers — the motivation data
+//! showing CG reaches only 1–3% of peak.
+
+use cello_bench::{emit, f3};
+use cello_workloads::hpcg::table1;
+
+fn main() {
+    let rows: Vec<Vec<String>> = table1()
+        .iter()
+        .map(|e| {
+            vec![
+                e.system.to_string(),
+                f3(e.hpl_pflops),
+                e.hpcg_pflops.map(f3).unwrap_or_else(|| "n/a".into()),
+                e.hpcg_pct_of_hpl()
+                    .map(|p| format!("{:.2}%", p))
+                    .unwrap_or_else(|| "n/a".into()),
+                e.hpcg_pct_of_peak
+                    .map(|p| format!("{p}%"))
+                    .unwrap_or_else(|| "n/a".into()),
+            ]
+        })
+        .collect();
+    emit(
+        "tab01_hpcg",
+        "Table I: CG (HPCG) vs LINPACK (HPL) on top supercomputers",
+        &[
+            "system",
+            "HPL PFLOP/s",
+            "HPCG PFLOP/s",
+            "HPCG as % of HPL",
+            "HPCG % of peak",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,76 @@
+//! §VI-B (E8): the buffer-allocation search-space accounting — why explicit
+//! scratchpad allocation for DAG-level reuse is intractable (the paper's
+//! ~10⁸⁰) while op-by-op allocation is ~10¹⁵ and CHORD's policy space is
+//! ~10².
+
+use cello_bench::{emit, f3};
+use cello_core::search_space::{op_by_op_search_space, scratchpad_search_space};
+use cello_workloads::cg::{build_cg_dag, CgParams};
+use cello_workloads::datasets::SHALLOW_WATER1;
+
+fn main() {
+    // 4 MB buffer of 32-bit words; five contending CG tensors (A, P, S, R, X)
+    // at shallow_water1 N=16 sizes; re-allocation per operation over one
+    // 7-operation iteration.
+    let size_words = (4u64 << 20) / 4;
+    let prm = CgParams::from_dataset(&SHALLOW_WATER1, 16, 10);
+    let tensor_words = [
+        prm.a_payload_words,
+        prm.big_words(),
+        prm.big_words(),
+        prm.big_words(),
+        prm.big_words(),
+    ];
+    let dag = build_cg_dag(&prm);
+    let r = scratchpad_search_space(
+        size_words,
+        &tensor_words,
+        7,
+        dag.node_count(),
+        dag.edge_count(),
+    );
+    let rows = vec![
+        vec![
+            "(1) slice allocation C(size+T-1,T-1)".into(),
+            format!("10^{}", f3(r.log10_slice_allocation)),
+        ],
+        vec![
+            "(2) arrangement T! (contiguous)".into(),
+            format!("10^{}", f3(r.log10_arrangement)),
+        ],
+        vec![
+            "(3) slice choice ∏(Ti−Ti_slice) (contiguous)".into(),
+            format!("10^{}", f3(r.log10_slice_choice)),
+        ],
+        vec![
+            "static product (1)·(2)·(3)".into(),
+            format!("10^{}", f3(r.log10_static_total)),
+        ],
+        vec![
+            "(4) time-varying, ^7 steps  [paper: ~10^80]".into(),
+            format!("10^{}", f3(r.log10_time_varying)),
+        ],
+        vec![
+            "op-by-op (7 ops × C(size+2,2))  [paper: 7×10^15]".into(),
+            format!("10^{}", f3(op_by_op_search_space(size_words, 3, 7))),
+        ],
+        vec![
+            format!(
+                "CHORD policy inputs: nodes({}) + edges({})  [paper: ~10^2]",
+                dag.node_count(),
+                dag.edge_count()
+            ),
+            format!(
+                "10^{} ({} points)",
+                f3((r.chord_design_points as f64).log10()),
+                r.chord_design_points
+            ),
+        ],
+    ];
+    emit(
+        "tab_searchspace",
+        "§VI-B: buffer-allocation design-space sizes (log10)",
+        &["cost factor", "choices"],
+        &rows,
+    );
+}

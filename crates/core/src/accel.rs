@@ -1,0 +1,165 @@
+//! Accelerator configuration (paper Table V).
+//!
+//! | parameter | value |
+//! |---|---|
+//! | SRAM size | 4 MB (swept 1–16 MB in §VII-C2) |
+//! | MAC units | 16384 |
+//! | cache line | 16 B |
+//! | associativity | 8-way |
+//! | memory bandwidth | 250 GB/s or 1 TB/s |
+//! | clock | 1 GHz |
+//! | RIFF index table | 64 entries × 512 bits |
+
+use crate::chord::{ChordConfig, ChordPolicyKind};
+use cello_mem::cache::CacheConfig;
+use cello_mem::dram::DramModel;
+use cello_tensor::intensity::Roofline;
+use serde::{Deserialize, Serialize};
+
+/// Full accelerator configuration shared by every Table IV combination.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CelloConfig {
+    /// Number of MAC units (16384).
+    pub pe_count: u64,
+    /// Core clock in Hz (1 GHz).
+    pub freq_hz: f64,
+    /// On-chip SRAM capacity in bytes (4 MB default).
+    pub sram_bytes: u64,
+    /// Word size in bytes (4 for CG/GNN, 2 for ResNet — Table VII).
+    pub word_bytes: u32,
+    /// Off-chip interface.
+    pub dram: DramModel,
+    /// Register-file capacity in words (small-tensor threshold, §V-B).
+    pub rf_capacity_words: u64,
+    /// Pipeline-buffer capacity in words.
+    pub pipeline_buffer_words: u64,
+    /// RIFF-index-table entries.
+    pub riff_entries: usize,
+}
+
+impl CelloConfig {
+    /// The paper's Table V configuration at 1 TB/s, 32-bit words.
+    pub fn paper() -> Self {
+        Self {
+            pe_count: 16_384,
+            freq_hz: 1.0e9,
+            sram_bytes: 4 << 20,
+            word_bytes: 4,
+            dram: DramModel::one_tb_per_sec(),
+            rf_capacity_words: 16_384,
+            pipeline_buffer_words: 65_536,
+            riff_entries: 64,
+        }
+    }
+
+    /// Same with 250 GB/s DRAM.
+    pub fn paper_250gbs() -> Self {
+        Self {
+            dram: DramModel::gb250_per_sec(),
+            ..Self::paper()
+        }
+    }
+
+    /// Variant with a different SRAM size (the §VII-C2 sweep).
+    pub fn with_sram_bytes(mut self, bytes: u64) -> Self {
+        self.sram_bytes = bytes;
+        self
+    }
+
+    /// Variant with a different word size (ResNet uses 2 B).
+    pub fn with_word_bytes(mut self, word_bytes: u32) -> Self {
+        self.word_bytes = word_bytes;
+        self
+    }
+
+    /// SRAM capacity in words.
+    pub fn sram_words(&self) -> u64 {
+        self.sram_bytes / self.word_bytes as u64
+    }
+
+    /// Peak MAC throughput in ops/second.
+    pub fn peak_macs_per_sec(&self) -> f64 {
+        self.pe_count as f64 * self.freq_hz
+    }
+
+    /// The machine's roofline.
+    pub fn roofline(&self) -> Roofline {
+        Roofline {
+            peak_ops_per_sec: self.peak_macs_per_sec(),
+            bytes_per_sec: self.dram.bandwidth_bytes_per_sec,
+        }
+    }
+
+    /// CHORD configured over this SRAM (full PRELUDE+RIFF).
+    pub fn chord_config(&self) -> ChordConfig {
+        ChordConfig {
+            capacity_words: self.sram_words(),
+            word_bytes: self.word_bytes,
+            policy: ChordPolicyKind::PreludeRiff,
+            max_entries: self.riff_entries,
+        }
+    }
+
+    /// PRELUDE-only CHORD (the §VII-C3 ablation).
+    pub fn prelude_only_config(&self) -> ChordConfig {
+        ChordConfig {
+            policy: ChordPolicyKind::PreludeOnly,
+            ..self.chord_config()
+        }
+    }
+
+    /// The Table V cache over the same SRAM.
+    pub fn cache_config(&self) -> CacheConfig {
+        CacheConfig {
+            capacity_bytes: self.sram_bytes,
+            line_bytes: 16,
+            associativity: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_values() {
+        let c = CelloConfig::paper();
+        assert_eq!(c.pe_count, 16_384);
+        assert_eq!(c.sram_bytes, 4 << 20);
+        assert_eq!(c.sram_words(), 1 << 20);
+        assert_eq!(c.peak_macs_per_sec(), 16.384e12);
+        assert_eq!(c.riff_entries, 64);
+    }
+
+    #[test]
+    fn roofline_ridge_matches_section_7c1() {
+        assert!((CelloConfig::paper().roofline().ridge_point() - 16.384).abs() < 1e-9);
+        assert!((CelloConfig::paper_250gbs().roofline().ridge_point() - 65.536).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chord_config_derivation() {
+        let c = CelloConfig::paper().chord_config();
+        assert_eq!(c.capacity_words, 1 << 20);
+        assert_eq!(c.policy, ChordPolicyKind::PreludeRiff);
+        let p = CelloConfig::paper().prelude_only_config();
+        assert_eq!(p.policy, ChordPolicyKind::PreludeOnly);
+    }
+
+    #[test]
+    fn word_size_variants() {
+        let c = CelloConfig::paper().with_word_bytes(2);
+        assert_eq!(c.sram_words(), 2 << 20);
+        let s = CelloConfig::paper().with_sram_bytes(16 << 20);
+        assert_eq!(s.sram_words(), 4 << 20);
+    }
+
+    #[test]
+    fn cache_config_matches_table5() {
+        let cc = CelloConfig::paper().cache_config();
+        assert_eq!(cc.line_bytes, 16);
+        assert_eq!(cc.associativity, 8);
+        assert_eq!(cc.capacity_bytes, 4 << 20);
+    }
+}

@@ -1,0 +1,20 @@
+//! CHORD — Capacity Handling via Operand-level Reuse of Data (§VI).
+//!
+//! CHORD is a *hybrid* buffer: coarse-grained placement information is
+//! **explicit** (SCORE supplies each tensor's address range, reuse frequency
+//! and reuse distance), while cycle-level placement/replacement decisions are
+//! **implicit** (hardware policies). Compared to a cache it holds one metadata
+//! entry per *tensor* instead of per line; compared to a scratchpad it removes
+//! the ~10⁸⁰-choice static allocation problem (§VI-B).
+//!
+//! Module layout:
+//! - [`table`]: the RIFF index table (Fig 10) — per-tensor address ranges,
+//!   queue indices, re-reference history, frequency and distance;
+//! - [`buffer`]: the buffer mechanism itself — the PRELUDE fill/spill path and
+//!   the RIFF tail-replacement path, with full traffic accounting.
+
+pub mod buffer;
+pub mod table;
+
+pub use buffer::{Chord, ChordConfig, ChordPolicyKind, ConsumeResult, TensorAudit};
+pub use table::{RiffIndexTable, RiffPriority, TensorEntry};

@@ -1,0 +1,611 @@
+//! Cluster formation and tensor→buffer binding (§V-B/C, Fig 5 and Fig 8).
+//!
+//! SCORE walks the DAG in topological order and greedily grows *pipeline
+//! clusters* (the space-time boxes of Fig 8): an op joins the current cluster
+//! when every in-cluster producer reaches it through a *realizable* edge
+//! (pipelineable / delayed-hold with compatible loop orders and no swizzle),
+//! or when it shares a parallel-multicast input with an in-cluster op.
+//! Classified-pipelineable edges whose endpoints land in *different* clusters
+//! are **not realized** — their tensors are steered to CHORD exactly like
+//! writeback operands (§V-C: "steers the operands with downstream consumers
+//! requiring writeback to CHORD"). This is how CG's cross-iteration
+//! `X(i)→X(i+1)` edge ends up in CHORD.
+//!
+//! The same builder, parameterized by [`ScheduleOptions`], produces every
+//! baseline of Table IV: the oracle op-by-op schedule (no fusion at all),
+//! FLAT-like pairwise pipelining (only when the intermediate has a *sole*
+//! pipelineable consumer), SET-like (adds delayed-hold and multicast), and
+//! CELLO (everything, plus CHORD steering).
+
+use crate::score::classify::{classify, Classification, Dependency};
+use crate::score::loop_order::{can_pipeline, choose_loop_order, LoopOrder};
+use crate::score::swizzle::{minimize_swizzles, SwizzleReport};
+use crate::score::tiling::rf_fits;
+use cello_graph::dag::{EdgeId, NodeId, TensorDag};
+use cello_graph::node::OpKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How aggressively a scheduler may realize pipelining (Table IV rows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PipelineScope {
+    /// Never pipeline (oracle op-by-op, Flexagon-like).
+    None,
+    /// Pipeline only intermediates whose *single* consumer is pipelineable
+    /// (FLAT-like: "instances with delayed downstream consumers are not
+    /// considered").
+    SoleConsumer,
+    /// Pipeline when every consumer is pipelineable or delayed-hold
+    /// (SET-like: hold slots cover the delayed ones).
+    AllPipelineOrHold,
+    /// Pipeline whatever fits; CHORD covers the rest (CELLO).
+    Any,
+}
+
+/// Scheduler feature switches.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleOptions {
+    /// Pipelining realization scope.
+    pub scope: PipelineScope,
+    /// Serve delayed-hold edges from the pipeline buffer (SET, CELLO).
+    pub enable_hold: bool,
+    /// Fuse parallel-multicast siblings into one cluster (SET, CELLO).
+    pub enable_multicast: bool,
+    /// Steer writeback/sequential operands to CHORD (CELLO only).
+    pub enable_chord: bool,
+    /// Register-file capacity in words (small-tensor threshold).
+    pub rf_capacity_words: u64,
+    /// Pipeline-buffer capacity in words.
+    pub pipeline_buffer_words: u64,
+}
+
+impl ScheduleOptions {
+    /// CELLO: SCORE + CHORD (Table IV last row).
+    pub fn cello() -> Self {
+        Self {
+            scope: PipelineScope::Any,
+            enable_hold: true,
+            enable_multicast: true,
+            enable_chord: true,
+            rf_capacity_words: 16_384,
+            pipeline_buffer_words: 65_536,
+        }
+    }
+
+    /// Oracle op-by-op (Flexagon-like best intra-layer). `rf_capacity_words`
+    /// is 0 because in the op-by-op oracle "all tensor operands begin and end
+    /// in DRAM" (§VII-A1) — the RF only serves reuse *within* one op, which
+    /// the cold-access accounting already assumes.
+    pub fn best_intra() -> Self {
+        Self {
+            scope: PipelineScope::None,
+            enable_hold: false,
+            enable_multicast: false,
+            enable_chord: false,
+            rf_capacity_words: 0,
+            ..Self::cello()
+        }
+    }
+
+    /// FLAT-like adjacent pipelining (oracle op-by-op plus pairwise
+    /// pipelining — operands still begin and end in DRAM).
+    pub fn flat() -> Self {
+        Self {
+            scope: PipelineScope::SoleConsumer,
+            ..Self::best_intra()
+        }
+    }
+
+    /// SET-like pipelining + delayed hold.
+    pub fn set_like() -> Self {
+        Self {
+            scope: PipelineScope::AllPipelineOrHold,
+            enable_hold: true,
+            enable_multicast: true,
+            ..Self::best_intra()
+        }
+    }
+
+    /// PRELUDE-only (§VII-C3): best-intra schedule; the PRELUDE SRAM is
+    /// configured at the simulator level.
+    pub fn prelude_only() -> Self {
+        Self {
+            enable_chord: true, // operands still steered to the (PRELUDE) SRAM
+            ..Self::best_intra()
+        }
+    }
+}
+
+/// Where a tensor lives between producer and consumer(s).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Binding {
+    /// Small tensors streamed from the register file (CG's Greek tensors).
+    RegisterFile,
+    /// All consumers realized in-cluster: lives (transiently) in the pipeline
+    /// buffer, never touches DRAM.
+    Pipeline,
+    /// Steered to CHORD: resident head reused, tail spills (CELLO).
+    Chord,
+    /// Round-trips through DRAM (baselines / terminal outputs).
+    Dram,
+}
+
+/// One pipeline cluster: ops co-resident on the PE array (Fig 8 boxes).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Member ops in topological order.
+    pub ops: Vec<NodeId>,
+    /// Edges realized as on-chip pipelining inside this cluster.
+    pub realized_edges: Vec<EdgeId>,
+}
+
+/// A complete SCORE schedule.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Pipeline clusters in execution order.
+    pub phases: Vec<Phase>,
+    /// Per-edge realization flag (true = served by the pipeline buffer).
+    pub realized: Vec<bool>,
+    /// Tensor name → buffer binding.
+    pub binding: BTreeMap<String, Binding>,
+    /// The Algorithm 2 classification this schedule was derived from.
+    pub classification: Classification,
+    /// Per-node loop orders (dominant rank outermost).
+    pub loop_orders: Vec<LoopOrder>,
+    /// Layout choices minimizing swizzles (Challenge 4, §V-B).
+    pub swizzle: SwizzleReport,
+    /// The options used.
+    pub options: ScheduleOptions,
+}
+
+impl Schedule {
+    /// Phase index of each node.
+    pub fn phase_of(&self) -> Vec<usize> {
+        let n: usize = self.phases.iter().map(|p| p.ops.len()).sum();
+        let mut out = vec![usize::MAX; n];
+        for (pi, p) in self.phases.iter().enumerate() {
+            for &op in &p.ops {
+                out[op.0] = pi;
+            }
+        }
+        out
+    }
+
+    /// Flattened execution order.
+    pub fn order(&self) -> Vec<NodeId> {
+        self.phases.iter().flat_map(|p| p.ops.clone()).collect()
+    }
+
+    /// Binding of a tensor (DRAM if unknown).
+    pub fn binding_of(&self, tensor: &str) -> Binding {
+        self.binding.get(tensor).copied().unwrap_or(Binding::Dram)
+    }
+
+    /// Validates that the phase sequence is a topological order of the DAG
+    /// and that co-phase edges are realized. Used by tests.
+    pub fn validate(&self, dag: &TensorDag) -> Result<(), String> {
+        let phase_of = self.phase_of();
+        if phase_of.contains(&usize::MAX) {
+            return Err("some node was never scheduled".into());
+        }
+        for (eid, edge) in dag.edges() {
+            let (ps, pd) = (phase_of[edge.src], phase_of[edge.dst]);
+            if ps > pd {
+                return Err(format!("edge {eid:?} goes backward across phases"));
+            }
+            if ps == pd && !self.realized[eid.0] {
+                return Err(format!(
+                    "edge {eid:?} co-scheduled in phase {ps} but not realized"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Does the producer's tensor satisfy the scope rule for realization?
+fn scope_allows(dag: &TensorDag, cls: &Classification, src: NodeId, scope: PipelineScope) -> bool {
+    let outs = dag.out_edges(src);
+    match scope {
+        PipelineScope::None => false,
+        PipelineScope::SoleConsumer => {
+            outs.len() == 1 && cls.dep(outs[0]) == Dependency::Pipelineable
+        }
+        PipelineScope::AllPipelineOrHold => outs.iter().all(|&e| {
+            matches!(
+                cls.dep(e),
+                Dependency::Pipelineable | Dependency::DelayedHold
+            )
+        }),
+        PipelineScope::Any => true,
+    }
+}
+
+/// Is edge `e` realizable as in-cluster pipelining under `opts`?
+fn realizable(
+    dag: &TensorDag,
+    cls: &Classification,
+    orders: &[LoopOrder],
+    opts: &ScheduleOptions,
+    e: EdgeId,
+) -> bool {
+    let edge = dag.edge(e);
+    let dep = cls.dep(e);
+    let kind_ok = match dep {
+        Dependency::Pipelineable => true,
+        Dependency::DelayedHold => opts.enable_hold,
+        _ => false,
+    };
+    kind_ok
+        && scope_allows(dag, cls, NodeId(edge.src), opts.scope)
+        && can_pipeline(dag, cls, e, &orders[edge.src], &orders[edge.dst])
+}
+
+/// Do `v` and some member of `cluster` share a parallel-multicast input?
+fn shares_multicast_input(
+    dag: &TensorDag,
+    cls: &Classification,
+    v: NodeId,
+    cluster: &[NodeId],
+) -> bool {
+    for eid in dag.in_edges(v) {
+        let src = NodeId(dag.edge(eid).src);
+        if !cls.is_multicast(src) || cls.transitive[eid.0] {
+            continue;
+        }
+        for sib in dag.out_edges(src) {
+            let sib_edge = dag.edge(sib);
+            if !cls.transitive[sib.0] && cluster.contains(&NodeId(sib_edge.dst)) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Builds a schedule for `dag` under `opts` (see module docs).
+pub fn build_schedule(dag: &TensorDag, opts: ScheduleOptions) -> Schedule {
+    let cls = classify(dag);
+    let orders: Vec<LoopOrder> = dag
+        .topo_order()
+        .into_iter()
+        .map(|n| choose_loop_order(dag, n))
+        .collect();
+
+    let mut phases: Vec<Phase> = Vec::new();
+    let mut realized = vec![false; dag.edge_count()];
+    let mut current = Phase {
+        ops: Vec::new(),
+        realized_edges: Vec::new(),
+    };
+
+    for v in dag.topo_order() {
+        let mut join_edges: Vec<EdgeId> = Vec::new();
+        let mut join = false;
+        if !current.ops.is_empty()
+            && opts.scope != PipelineScope::None
+            && dag.node(v).kind == OpKind::TensorMac
+        {
+            let in_phase: Vec<EdgeId> = dag
+                .in_edges(v)
+                .into_iter()
+                .filter(|&e| current.ops.contains(&NodeId(dag.edge(e).src)))
+                .collect();
+            if !in_phase.is_empty() {
+                if in_phase
+                    .iter()
+                    .all(|&e| realizable(dag, &cls, &orders, &opts, e))
+                {
+                    join = true;
+                    join_edges = in_phase;
+                }
+            } else if opts.enable_multicast && shares_multicast_input(dag, &cls, v, &current.ops) {
+                join = true;
+            }
+        }
+        if join {
+            current.ops.push(v);
+            for e in join_edges {
+                realized[e.0] = true;
+                current.realized_edges.push(e);
+            }
+        } else {
+            if !current.ops.is_empty() {
+                phases.push(std::mem::take(&mut current.ops).into_phase(std::mem::take(
+                    &mut current.realized_edges,
+                )));
+            }
+            current.ops.push(v);
+        }
+    }
+    if !current.ops.is_empty() {
+        phases.push(current.ops.into_phase(current.realized_edges));
+    }
+
+    // Tensor bindings (§V-C "SCORE-CHORD Interface").
+    let mut binding = BTreeMap::new();
+    for (nid, node) in dag.nodes() {
+        let outs = dag.out_edges(nid);
+        let b = if outs.is_empty() {
+            // Terminal results must end in DRAM.
+            Binding::Dram
+        } else if rf_fits(node.output.words, opts.rf_capacity_words) {
+            Binding::RegisterFile
+        } else if outs.iter().all(|&e| realized[e.0]) {
+            Binding::Pipeline
+        } else if opts.enable_chord {
+            Binding::Chord
+        } else {
+            Binding::Dram
+        };
+        binding.insert(node.output.name.clone(), b);
+    }
+    for ext in dag.externals() {
+        let b = if rf_fits(ext.meta.words, opts.rf_capacity_words) {
+            Binding::RegisterFile
+        } else if opts.enable_chord {
+            Binding::Chord
+        } else {
+            Binding::Dram
+        };
+        binding.insert(ext.meta.name.clone(), b);
+    }
+
+    Schedule {
+        phases,
+        realized,
+        binding,
+        classification: cls,
+        loop_orders: orders,
+        swizzle: minimize_swizzles(dag),
+        options: opts,
+    }
+}
+
+trait IntoPhase {
+    fn into_phase(self, realized_edges: Vec<EdgeId>) -> Phase;
+}
+
+impl IntoPhase for Vec<NodeId> {
+    fn into_phase(self, realized_edges: Vec<EdgeId>) -> Phase {
+        Phase {
+            ops: self,
+            realized_edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cello_graph::edge::TensorMeta;
+    use cello_tensor::einsum::EinsumSpec;
+    use cello_tensor::shape::{RankExtent, RankId};
+
+    const M: u64 = 81_920;
+    const N: u64 = 16;
+
+    fn u_spec(big: &str) -> EinsumSpec {
+        EinsumSpec::from_parts(
+            vec![
+                vec![RankId::new(big), RankId::new("j")],
+                vec![RankId::new("j"), RankId::new("n")],
+            ],
+            vec![RankId::new(big), RankId::new("n")],
+            &[
+                RankExtent::dense(big, M),
+                RankExtent::dense("j", N),
+                RankExtent::dense("n", N),
+            ],
+        )
+    }
+
+    fn c_spec() -> EinsumSpec {
+        EinsumSpec::from_parts(
+            vec![
+                vec![RankId::new("k"), RankId::new("p")],
+                vec![RankId::new("k"), RankId::new("n")],
+            ],
+            vec![RankId::new("p"), RankId::new("n")],
+            &[
+                RankExtent::dense("k", M),
+                RankExtent::dense("p", N),
+                RankExtent::dense("n", N),
+            ],
+        )
+    }
+
+    fn small_spec() -> EinsumSpec {
+        EinsumSpec::parse(
+            "pj,jn->pn",
+            &[
+                RankExtent::dense("p", N),
+                RankExtent::dense("j", N),
+                RankExtent::dense("n", N),
+            ],
+        )
+    }
+
+    fn big(name: &str) -> TensorMeta {
+        TensorMeta::dense(name, &["m", "n"], M * N)
+    }
+
+    fn small(name: &str) -> TensorMeta {
+        TensorMeta::dense(name, &["p", "n"], N * N)
+    }
+
+    /// One CG iteration: ops 1, 2a, 2b, 3, 4, 5, 6, 7 with the paper's edges.
+    fn cg_iteration() -> TensorDag {
+        let mut dag = TensorDag::new();
+        let spmm = EinsumSpec::from_parts(
+            vec![
+                vec![RankId::new("m"), RankId::new("k")],
+                vec![RankId::new("k"), RankId::new("n")],
+            ],
+            vec![RankId::new("m"), RankId::new("n")],
+            &[
+                RankExtent::dense("m", M),
+                RankExtent::compressed("k", M, 4),
+                RankExtent::dense("n", N),
+            ],
+        );
+        let n1 = dag.add_op("1:S=A·P", spmm, OpKind::TensorMac, big("S"));
+        let n2a = dag.add_op("2a:Δ=PᵀS", c_spec(), OpKind::TensorMac, small("D"));
+        let n2b = dag.add_op("2b:Λ=Δ⁻¹Γ", small_spec(), OpKind::Inverse, small("L"));
+        let n3 = dag.add_op("3:X+=PΛ", u_spec("m"), OpKind::TensorMac, big("X"));
+        let n4 = dag.add_op("4:R-=SΛ", u_spec("m"), OpKind::TensorMac, big("R"));
+        let n5 = dag.add_op("5:Γ=RᵀR", c_spec(), OpKind::TensorMac, small("G"));
+        let n6 = dag.add_op("6:Φ=Γp⁻¹Γ", small_spec(), OpKind::Inverse, small("F"));
+        let n7 = dag.add_op("7:P=R+PΦ", u_spec("m"), OpKind::TensorMac, big("P"));
+        dag.add_edge(n1, n2a, &["k", "n"]); // e0: S -> 2a
+        dag.add_edge(n2a, n2b, &["p", "j"]); // e1: Δ -> 2b
+        dag.add_edge(n2b, n3, &["j", "n"]); // e2: Λ -> 3
+        dag.add_edge(n2b, n4, &["j", "n"]); // e3: Λ -> 4
+        dag.add_edge(n1, n4, &["m", "j"]); // e4: S -> 4 (transitive)
+        dag.add_edge(n4, n5, &["k", "n"]); // e5: R -> 5
+        dag.add_edge(n5, n6, &["p", "j"]); // e6: Γ -> 6
+        dag.add_edge(n6, n7, &["j", "n"]); // e7: Φ -> 7
+        dag.add_edge(n4, n7, &["m", "j"]); // e8: R -> 7 (transitive)
+        dag.add_external(
+            TensorMeta::sparse("A", &["m", "k"], M * 4 * 2 + M + 1),
+            &[(n1, &["m", "k"])],
+        );
+        dag
+    }
+
+    /// CELLO forms the Fig 8 clusters: [1,2a], [2b], [3,4,5], [6], [7].
+    #[test]
+    fn cello_forms_fig8_clusters() {
+        let dag = cg_iteration();
+        let s = build_schedule(&dag, ScheduleOptions::cello());
+        let clusters: Vec<Vec<usize>> = s
+            .phases
+            .iter()
+            .map(|p| p.ops.iter().map(|n| n.0).collect())
+            .collect();
+        assert_eq!(
+            clusters,
+            vec![vec![0, 1], vec![2], vec![3, 4, 5], vec![6], vec![7]],
+            "clusters {clusters:?}"
+        );
+        s.validate(&dag).unwrap();
+    }
+
+    /// In the CELLO schedule, S and R must be steered to CHORD (delayed
+    /// writeback consumers), Greek tensors to the RF, P (terminal here) to DRAM.
+    #[test]
+    fn cello_bindings_on_cg() {
+        let dag = cg_iteration();
+        let s = build_schedule(&dag, ScheduleOptions::cello());
+        assert_eq!(s.binding_of("S"), Binding::Chord);
+        assert_eq!(s.binding_of("R"), Binding::Chord);
+        assert_eq!(s.binding_of("D"), Binding::RegisterFile);
+        assert_eq!(s.binding_of("L"), Binding::RegisterFile);
+        assert_eq!(s.binding_of("G"), Binding::RegisterFile);
+        assert_eq!(s.binding_of("P"), Binding::Dram); // terminal in this 1-iter DAG
+        assert_eq!(s.binding_of("X"), Binding::Dram); // terminal too
+        assert_eq!(s.binding_of("A"), Binding::Chord); // external, too big for RF
+    }
+
+    /// The realized edges in CELLO's CG schedule are 1→2a and 4→5 (pipelining)
+    /// — the delayed writebacks are NOT realized.
+    #[test]
+    fn cello_realizes_only_pipeline_edges() {
+        let dag = cg_iteration();
+        let s = build_schedule(&dag, ScheduleOptions::cello());
+        let realized: Vec<usize> = (0..dag.edge_count()).filter(|&i| s.realized[i]).collect();
+        assert_eq!(realized, vec![0, 5], "realized {realized:?}");
+    }
+
+    /// Best-intra never fuses: one op per phase.
+    #[test]
+    fn best_intra_is_op_by_op() {
+        let dag = cg_iteration();
+        let s = build_schedule(&dag, ScheduleOptions::best_intra());
+        assert_eq!(s.phases.len(), dag.node_count());
+        assert!(s.realized.iter().all(|&r| !r));
+        s.validate(&dag).unwrap();
+    }
+
+    /// FLAT on CG degenerates to op-by-op: S and R both have delayed
+    /// downstream consumers, so the sole-consumer rule blocks pipelining
+    /// (the paper's observation that SET/FLAT/Flexagon tie on CG).
+    #[test]
+    fn flat_degenerates_on_cg() {
+        let dag = cg_iteration();
+        let s = build_schedule(&dag, ScheduleOptions::flat());
+        assert_eq!(s.phases.len(), dag.node_count());
+        assert_eq!(s.binding_of("S"), Binding::Dram);
+        assert_eq!(s.binding_of("R"), Binding::Dram);
+    }
+
+    /// SET also fails to fuse CG (delayed *writeback*, which holds can't serve).
+    #[test]
+    fn set_like_degenerates_on_cg() {
+        let dag = cg_iteration();
+        let s = build_schedule(&dag, ScheduleOptions::set_like());
+        assert!(s.realized.iter().all(|&r| !r));
+    }
+
+    fn resnet_block() -> TensorDag {
+        let spec = EinsumSpec::parse(
+            "mk,kn->mn",
+            &[
+                RankExtent::dense("m", 784),
+                RankExtent::dense("k", 512),
+                RankExtent::dense("n", 128),
+            ],
+        );
+        let t = |n: &str| TensorMeta::dense(n, &["m", "n"], 784 * 128);
+        let mut dag = TensorDag::new();
+        let inp = dag.add_op("in", spec.clone(), OpKind::TensorMac, t("T0"));
+        let c1 = dag.add_op("c1", spec.clone(), OpKind::TensorMac, t("T1"));
+        let c2 = dag.add_op("c2", spec.clone(), OpKind::TensorMac, t("T2"));
+        let add = dag.add_op("add", spec, OpKind::TensorMac, t("T3"));
+        dag.add_edge(inp, c1, &["m", "k"]);
+        dag.add_edge(c1, c2, &["m", "k"]);
+        dag.add_edge(c2, add, &["m", "k"]);
+        dag.add_edge(inp, add, &["m", "k"]); // skip (delayed hold)
+        dag
+    }
+
+    /// SET and CELLO fuse the whole ResNet block; FLAT cannot (the skip is a
+    /// delayed consumer of T0).
+    #[test]
+    fn resnet_fusion_by_scheduler() {
+        let dag = resnet_block();
+        let cello = build_schedule(&dag, ScheduleOptions::cello());
+        assert_eq!(cello.phases.len(), 1, "{:?}", cello.phases);
+        cello.validate(&dag).unwrap();
+        let set = build_schedule(&dag, ScheduleOptions::set_like());
+        assert_eq!(set.phases.len(), 1);
+        let flat = build_schedule(&dag, ScheduleOptions::flat());
+        // FLAT: in -> c1 blocked (T0 has 2 consumers); c1 -> c2 allowed
+        // (sole pipelineable consumer); c2 -> add blocked? c2's tensor T2 has
+        // sole consumer add: allowed. So clusters: [in], [c1, c2, add]... but
+        // add also consumes T0 from `in`, which is in another phase -> fine,
+        // it reads T0 from DRAM.
+        assert!(flat.phases.len() >= 2);
+        flat.validate(&dag).unwrap();
+    }
+
+    /// The held tensor (T0) binds to Pipeline under CELLO (all consumers
+    /// realized in-cluster).
+    #[test]
+    fn resnet_skip_binds_to_pipeline() {
+        let dag = resnet_block();
+        let s = build_schedule(&dag, ScheduleOptions::cello());
+        assert_eq!(s.binding_of("T0"), Binding::Pipeline);
+        assert_eq!(s.binding_of("T3"), Binding::Dram); // terminal
+    }
+
+    /// Validation catches a broken schedule.
+    #[test]
+    fn validate_rejects_unrealized_cophase_edges() {
+        let dag = resnet_block();
+        let mut s = build_schedule(&dag, ScheduleOptions::cello());
+        // Corrupt: clear realization flags but keep the fused phase.
+        s.realized.iter_mut().for_each(|r| *r = false);
+        assert!(s.validate(&dag).is_err());
+    }
+}

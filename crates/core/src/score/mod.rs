@@ -1,0 +1,22 @@
+//! SCORE — Scheduler for Complex Inter-Operation Reuse (§V).
+//!
+//! SCORE takes the application as a [`cello_graph::TensorDag`] and produces a
+//! [`binding::Schedule`]: which ops run concurrently as pipeline clusters
+//! (Fig 8), which edges are *realized* as on-chip pipelining, and which buffer
+//! each tensor is steered to (register file / pipeline buffer / CHORD / DRAM).
+//!
+//! - [`classify`]: Algorithm 2 — tensor-level dependency taxonomy;
+//! - [`loop_order`]: per-op loop orders and the producer/consumer
+//!   co-dependence conditions for pipelining (§V-B);
+//! - [`tiling`]: tile sizing for the pipeline buffer, RF residency of small
+//!   tensors, occupancy-based sparse tiling;
+//! - [`binding`]: cluster formation and tensor→buffer steering (§V-C);
+//! - [`multinode`]: the scalable multi-node dataflow (§V-B "Scalable
+//!   Dataflow") and its NoC traffic model.
+
+pub mod binding;
+pub mod classify;
+pub mod loop_order;
+pub mod multinode;
+pub mod swizzle;
+pub mod tiling;

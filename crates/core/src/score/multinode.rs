@@ -1,0 +1,114 @@
+//! Scalable multi-node dataflow (§V-B "Scalable Dataflow", Fig 8 bottom).
+//!
+//! With multiple accelerator nodes, SCORE parallelizes the *dominant* rank
+//! across nodes and keeps pipelining within a node, so only the **small**
+//! tensors cross the NoC:
+//!
+//! - naive strategy (Fig 8 top): pipelining split across nodes moves the
+//!   intermediate `R` — `M × N` words — through the NoC;
+//! - scalable strategy (Fig 8 bottom): each node owns a slice of `M`; only
+//!   `Λ` is broadcast and `Γ` partials reduced:
+//!   `N × N' × (Hops_broadcast + Hops_reduce)` words.
+//!
+//! Since `M ≫ N × hops` in CG, the scalable strategy wins by orders of
+//! magnitude; the `ablation_noc` harness regenerates the comparison.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D mesh NoC of `nodes` accelerator nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NocModel {
+    /// Number of nodes (assumed arranged in a near-square mesh).
+    pub nodes: u64,
+}
+
+impl NocModel {
+    /// Creates a NoC model.
+    pub fn new(nodes: u64) -> Self {
+        assert!(nodes >= 1);
+        Self { nodes }
+    }
+
+    /// Mesh side length (⌈√nodes⌉).
+    pub fn mesh_side(&self) -> u64 {
+        (self.nodes as f64).sqrt().ceil() as u64
+    }
+
+    /// Worst-case hop count of a broadcast from a corner (2·(side−1)).
+    pub fn hops_broadcast(&self) -> u64 {
+        2 * (self.mesh_side().saturating_sub(1))
+    }
+
+    /// Hop count of a dimension-ordered reduction (same diameter).
+    pub fn hops_reduce(&self) -> u64 {
+        self.hops_broadcast()
+    }
+
+    /// NoC word-hops of the naive strategy: the big `M×N` intermediate moves
+    /// between pipeline stages placed on different nodes.
+    pub fn naive_words(&self, m: u64, n: u64) -> u64 {
+        m * n
+    }
+
+    /// NoC word-hops of the scalable strategy:
+    /// `SIZE_Λ × HOPS_broadcast + SIZE_Γ × HOPS_reduce` with the small
+    /// tensors sized `N × N'`.
+    pub fn scalable_words(&self, n: u64, nprime: u64) -> u64 {
+        n * nprime * (self.hops_broadcast() + self.hops_reduce())
+    }
+
+    /// The improvement factor of the scalable strategy (∞-safe).
+    pub fn advantage(&self, m: u64, n: u64, nprime: u64) -> f64 {
+        let scalable = self.scalable_words(n, nprime).max(1);
+        self.naive_words(m, n) as f64 / scalable as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_geometry() {
+        assert_eq!(NocModel::new(1).mesh_side(), 1);
+        assert_eq!(NocModel::new(4).mesh_side(), 2);
+        assert_eq!(NocModel::new(16).mesh_side(), 4);
+        assert_eq!(NocModel::new(17).mesh_side(), 5);
+    }
+
+    #[test]
+    fn single_node_has_no_hops() {
+        let noc = NocModel::new(1);
+        assert_eq!(noc.hops_broadcast(), 0);
+        assert_eq!(noc.scalable_words(16, 16), 0);
+    }
+
+    /// The paper's argument: M >> N × hops, so moving Λ/Γ beats moving R.
+    #[test]
+    fn scalable_beats_naive_on_cg_shapes() {
+        let noc = NocModel::new(16);
+        let (m, n, nprime) = (1_000_000u64, 8u64, 8u64);
+        let naive = noc.naive_words(m, n);
+        let scalable = noc.scalable_words(n, nprime);
+        assert!(naive > 1000 * scalable, "naive {naive} vs scalable {scalable}");
+        assert!(noc.advantage(m, n, nprime) > 1000.0);
+    }
+
+    #[test]
+    fn advantage_shrinks_with_mesh_size() {
+        // More nodes -> more hops -> less advantage (still enormous for CG).
+        let a4 = NocModel::new(4).advantage(1_000_000, 8, 8);
+        let a64 = NocModel::new(64).advantage(1_000_000, 8, 8);
+        assert!(a4 > a64);
+        assert!(a64 > 100.0);
+    }
+
+    #[test]
+    fn naive_scales_with_m() {
+        let noc = NocModel::new(4);
+        assert_eq!(noc.naive_words(100, 8), 800);
+        assert_eq!(noc.naive_words(200, 8), 1600);
+        // Scalable is independent of M entirely.
+        assert_eq!(noc.scalable_words(8, 8), noc.scalable_words(8, 8));
+    }
+}

@@ -1,0 +1,88 @@
+//! Graphviz rendering of tensor dependency DAGs.
+//!
+//! Fig 7 of the paper presents Algorithm 2's output as a colored graph
+//! (pipelineable = blue, delayed writeback = brick red, delayed hold = cyan,
+//! parallel multicast = green). The `fig07_classify` harness uses this module
+//! to emit the same artifact; edge colors are supplied by the caller so the
+//! graph crate stays independent of the scheduler.
+
+use crate::dag::{EdgeId, TensorDag};
+use std::fmt::Write as _;
+
+/// Renders the DAG as Graphviz `dot`. `edge_style(e)` returns
+/// `(color, label)` per edge; node labels show name and dominance.
+pub fn to_dot<F>(dag: &TensorDag, mut edge_style: F) -> String
+where
+    F: FnMut(EdgeId) -> (String, String),
+{
+    let mut out = String::new();
+    writeln!(out, "digraph cello {{").unwrap();
+    writeln!(out, "  rankdir=LR;").unwrap();
+    writeln!(out, "  node [shape=circle fontsize=10];").unwrap();
+    for (id, node) in dag.nodes() {
+        writeln!(
+            out,
+            "  n{} [label=\"{}\\n{}\"];",
+            id.0,
+            node.name.replace('"', "'"),
+            node.dominance
+        )
+        .unwrap();
+    }
+    for (id, edge) in dag.edges() {
+        let (color, label) = edge_style(id);
+        writeln!(
+            out,
+            "  n{} -> n{} [color=\"{}\" label=\"{}\" fontsize=9];",
+            edge.src, edge.dst, color, label
+        )
+        .unwrap();
+    }
+    for (i, ext) in dag.externals().iter().enumerate() {
+        writeln!(
+            out,
+            "  x{i} [label=\"{}\" shape=box style=dashed];",
+            ext.meta.name
+        )
+        .unwrap();
+        for (consumer, _) in &ext.consumers {
+            writeln!(out, "  x{i} -> n{consumer} [style=dashed];").unwrap();
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::NodeId;
+    use crate::edge::TensorMeta;
+    use crate::node::OpKind;
+    use cello_tensor::einsum::EinsumSpec;
+    use cello_tensor::shape::RankExtent;
+
+    #[test]
+    fn dot_output_contains_nodes_edges_and_externals() {
+        let spec = EinsumSpec::parse(
+            "mk,kn->mn",
+            &[
+                RankExtent::dense("m", 10),
+                RankExtent::dense("k", 2),
+                RankExtent::dense("n", 2),
+            ],
+        );
+        let mut dag = TensorDag::new();
+        let a = dag.add_op("op0", spec.clone(), OpKind::TensorMac, TensorMeta::dense("T0", &["m", "n"], 20));
+        let b = dag.add_op("op1", spec, OpKind::TensorMac, TensorMeta::dense("T1", &["m", "n"], 20));
+        dag.add_edge(a, b, &["m", "n"]);
+        dag.add_external(TensorMeta::sparse("A", &["m", "k"], 100), &[(NodeId(0), &["m", "k"])]);
+        let dot = to_dot(&dag, |_| ("blue".into(), "pipe".into()));
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("color=\"blue\""));
+        assert!(dot.contains("x0 [label=\"A\""));
+        assert!(dot.contains("x0 -> n0"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # cello-graph — tensor-dependency DAG IR
+//!
+//! Tensor-algebra applications are "chains of Einsums" whose intermediate
+//! tensors form a *tensor dependency graph* (paper §III-A, Fig 1). This crate
+//! is the IR those applications are lowered to and the substrate SCORE's
+//! Algorithm 2 runs on:
+//!
+//! - [`node`]: operation nodes — einsum spec, op kind (`tensor_mac` vs the
+//!   small inverse ops Algorithm 2 forces sequential), node *dominance*
+//!   ('U'/'C'/"bal" in Fig 7);
+//! - [`edge`]: producer→consumer edges carrying the intermediate tensor, with
+//!   the rank names the consumer sees (needed for the "unshared" test);
+//! - [`dag`]: the graph itself — topological order, reachability, **transitive
+//!   edge** detection and **longest paths** (both load-bearing in Algorithm 2);
+//! - [`reuse`]: tensor-level reuse distance and frequency — the coarse-grained
+//!   metadata SCORE hands to CHORD's RIFF policy (Fig 10's `Freq`/`Dist`
+//!   columns);
+//! - [`dot`]: Graphviz rendering used by the Fig 7 harness.
+
+pub mod dag;
+pub mod dot;
+pub mod metrics;
+pub mod edge;
+pub mod node;
+pub mod reuse;
+
+pub use dag::{EdgeId, NodeId, TensorDag};
+pub use metrics::{metrics, DagMetrics};
+pub use edge::{Edge, TensorMeta};
+pub use node::{Dominance, OpKind, OpNode};
+pub use reuse::{ReuseProfile, TensorReuse};

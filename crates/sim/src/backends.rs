@@ -1,0 +1,415 @@
+//! Memory-system backends: where tensor reads/writes actually go.
+//!
+//! The engine issues *operand-granular* requests; each backend realizes them
+//! with its own mechanism and cost:
+//!
+//! - [`ExplicitBackend`]: oracle explicit orchestration (Flexagon-/FLAT-/
+//!   SET-like rows of Table IV). Reads and writes hit DRAM exactly once per
+//!   op unless the tensor is pipeline- or RF-bound by the schedule.
+//! - [`CacheBackend`]: everything streams through a line-granular
+//!   set-associative cache (Flex+LRU / Flex+BRRIP rows); bindings are
+//!   ignored — "without any explicit management".
+//! - [`ChordBackend`]: CELLO's hierarchy — RF for small tensors, pipeline
+//!   buffer for realized edges (never reaches this backend), CHORD for
+//!   writeback/sequential operands, DRAM for terminal results. Also serves
+//!   the PRELUDE-only ablation via [`ChordPolicyKind::PreludeOnly`].
+
+use cello_core::chord::{Chord, ChordConfig, RiffPriority};
+pub use cello_core::chord::ChordPolicyKind;
+use cello_core::score::binding::Binding;
+use cello_mem::cache::{CacheConfig, ReplacementPolicy, SetAssocCache};
+use cello_mem::stats::AccessStats;
+use std::collections::BTreeSet;
+
+use crate::trace::AddressMap;
+
+/// One operand-granular request from the engine.
+#[derive(Clone, Debug)]
+pub struct TensorRequest<'a> {
+    /// Versioned tensor name (`R@3`).
+    pub name: &'a str,
+    /// Footprint in words.
+    pub words: u64,
+    /// SCORE's binding for this tensor.
+    pub binding: Binding,
+    /// True for DAG externals (DRAM-resident inputs).
+    pub external: bool,
+    /// Backend-visible uses remaining *after* this access (RIFF freq).
+    pub freq_after: u32,
+    /// Ops until the next backend-visible use (RIFF dist; `u32::MAX` = none).
+    pub dist_after: u32,
+}
+
+impl TensorRequest<'_> {
+    fn priority(&self) -> RiffPriority {
+        RiffPriority::new(self.freq_after, self.dist_after.min(u32::MAX - 1))
+    }
+}
+
+/// A memory system the engine can drive.
+pub trait MemoryBackend {
+    /// An operation reads `req` (engine already deduped same-phase multicast).
+    fn read(&mut self, req: &TensorRequest);
+    /// An operation writes its output `req`.
+    fn write(&mut self, req: &TensorRequest);
+    /// End of program: flush dirty state.
+    fn finish(&mut self);
+    /// Accumulated counters.
+    fn stats(&self) -> AccessStats;
+    /// Table IV label fragment.
+    fn label(&self) -> String;
+    /// Which Fig 15 structure this backend's on-chip energy is modeled as.
+    fn buffer_kind(&self) -> cello_mem::model::BufferKind;
+    /// Bytes moved per `sram_*_words` unit (16 for line-granular caches,
+    /// `word_bytes` for word-granular structures).
+    fn sram_access_bytes(&self) -> f64;
+}
+
+/// Oracle explicit orchestration: cold DRAM traffic per op, pipeline/RF
+/// bindings honored.
+pub struct ExplicitBackend {
+    word_bytes: u32,
+    stats: AccessStats,
+    rf_loaded: BTreeSet<String>,
+}
+
+impl ExplicitBackend {
+    /// Creates the backend.
+    pub fn new(word_bytes: u32) -> Self {
+        Self {
+            word_bytes,
+            stats: AccessStats::default(),
+            rf_loaded: BTreeSet::new(),
+        }
+    }
+
+    fn bytes(&self, words: u64) -> u64 {
+        words * self.word_bytes as u64
+    }
+}
+
+impl MemoryBackend for ExplicitBackend {
+    fn read(&mut self, req: &TensorRequest) {
+        match req.binding {
+            Binding::RegisterFile => {
+                if req.external && self.rf_loaded.insert(req.name.to_string()) {
+                    self.stats.dram_read_bytes += self.bytes(req.words);
+                }
+            }
+            Binding::Pipeline => {
+                // Realized edges never reach the backend; a Pipeline-bound
+                // read would be an engine bug.
+                unreachable!("pipeline-bound tensor read via backend")
+            }
+            // Explicit baselines have no CHORD: those operands round-trip DRAM.
+            Binding::Chord | Binding::Dram => {
+                self.stats.dram_read_bytes += self.bytes(req.words);
+                self.stats.misses += req.words;
+            }
+        }
+    }
+
+    fn write(&mut self, req: &TensorRequest) {
+        match req.binding {
+            Binding::RegisterFile => {}
+            Binding::Pipeline => {
+                self.stats.sram_write_words += req.words;
+            }
+            Binding::Chord | Binding::Dram => {
+                self.stats.dram_write_bytes += self.bytes(req.words);
+            }
+        }
+    }
+
+    fn finish(&mut self) {}
+
+    fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    fn label(&self) -> String {
+        "Explicit".into()
+    }
+
+    fn buffer_kind(&self) -> cello_mem::model::BufferKind {
+        cello_mem::model::BufferKind::Buffet
+    }
+
+    fn sram_access_bytes(&self) -> f64 {
+        self.word_bytes as f64
+    }
+}
+
+/// Everything-through-a-cache backend (Flex+LRU / Flex+BRRIP).
+pub struct CacheBackend<P: ReplacementPolicy> {
+    cache: SetAssocCache<P>,
+    map: AddressMap,
+    word_bytes: u32,
+}
+
+impl<P: ReplacementPolicy> CacheBackend<P> {
+    /// Creates the backend over a pre-built address map.
+    pub fn new(config: CacheConfig, map: AddressMap, word_bytes: u32) -> Self {
+        Self {
+            cache: SetAssocCache::new(config),
+            map,
+            word_bytes,
+        }
+    }
+}
+
+impl<P: ReplacementPolicy> MemoryBackend for CacheBackend<P> {
+    fn read(&mut self, req: &TensorRequest) {
+        let (start, _) = self.map.range(req.name);
+        self.cache
+            .stream(start, req.words * self.word_bytes as u64, false);
+    }
+
+    fn write(&mut self, req: &TensorRequest) {
+        let (start, _) = self.map.range(req.name);
+        self.cache
+            .stream(start, req.words * self.word_bytes as u64, true);
+    }
+
+    fn finish(&mut self) {
+        self.cache.flush_dirty();
+    }
+
+    fn stats(&self) -> AccessStats {
+        self.cache.stats()
+    }
+
+    fn label(&self) -> String {
+        self.cache.policy_name().to_string()
+    }
+
+    fn buffer_kind(&self) -> cello_mem::model::BufferKind {
+        cello_mem::model::BufferKind::Cache
+    }
+
+    fn sram_access_bytes(&self) -> f64 {
+        self.cache.config().line_bytes as f64
+    }
+}
+
+/// CELLO's hierarchy: CHORD + RF + write-through DRAM for terminals.
+pub struct ChordBackend {
+    chord: Chord,
+    word_bytes: u32,
+    extra: AccessStats,
+    rf_loaded: BTreeSet<String>,
+    fetched: BTreeSet<String>,
+}
+
+impl ChordBackend {
+    /// Creates the backend (use [`ChordPolicyKind::PreludeOnly`] in `cfg` for
+    /// the §VII-C3 ablation).
+    pub fn new(cfg: ChordConfig) -> Self {
+        Self {
+            word_bytes: cfg.word_bytes,
+            chord: Chord::new(cfg),
+            extra: AccessStats::default(),
+            rf_loaded: BTreeSet::new(),
+            fetched: BTreeSet::new(),
+        }
+    }
+
+    /// The CHORD instance (for invariant checks in tests).
+    pub fn chord(&self) -> &Chord {
+        &self.chord
+    }
+
+    fn bytes(&self, words: u64) -> u64 {
+        words * self.word_bytes as u64
+    }
+}
+
+impl MemoryBackend for ChordBackend {
+    fn read(&mut self, req: &TensorRequest) {
+        match req.binding {
+            Binding::RegisterFile => {
+                if req.external && self.rf_loaded.insert(req.name.to_string()) {
+                    self.extra.dram_read_bytes += self.bytes(req.words);
+                }
+            }
+            Binding::Pipeline => unreachable!("pipeline-bound tensor read via backend"),
+            Binding::Dram => {
+                self.extra.dram_read_bytes += self.bytes(req.words);
+            }
+            Binding::Chord => {
+                if req.external && self.fetched.insert(req.name.to_string()) {
+                    // First touch: cold stream from DRAM, caching what fits —
+                    // unless this is the only use, where caching buys nothing.
+                    if req.freq_after > 0 {
+                        self.chord.fetch(req.name, req.words, req.priority());
+                    } else {
+                        self.extra.dram_read_bytes += self.bytes(req.words);
+                    }
+                } else if self.chord.table().get(req.name).is_some() {
+                    let next = (req.freq_after > 0).then(|| req.priority());
+                    self.chord.consume(req.name, next);
+                } else {
+                    // Produced while the table was full, or fetch-bypassed.
+                    self.chord.consume_absent(req.words);
+                }
+            }
+        }
+    }
+
+    fn write(&mut self, req: &TensorRequest) {
+        match req.binding {
+            Binding::RegisterFile => {}
+            Binding::Pipeline => {
+                self.extra.sram_write_words += req.words;
+            }
+            Binding::Dram => {
+                self.extra.dram_write_bytes += self.bytes(req.words);
+            }
+            Binding::Chord => {
+                self.chord.produce(req.name, req.words, req.priority());
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        debug_assert!(self.chord.check_conservation().is_ok());
+    }
+
+    fn stats(&self) -> AccessStats {
+        let mut s = self.chord.stats();
+        s += self.extra;
+        s
+    }
+
+    fn label(&self) -> String {
+        match self.chord.config().policy {
+            ChordPolicyKind::PreludeRiff => "CHORD".into(),
+            ChordPolicyKind::PreludeOnly => "PRELUDE-only".into(),
+        }
+    }
+
+    fn buffer_kind(&self) -> cello_mem::model::BufferKind {
+        cello_mem::model::BufferKind::Chord
+    }
+
+    fn sram_access_bytes(&self) -> f64 {
+        self.word_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cello_mem::cache::LruPolicy;
+
+    fn req(name: &str, words: u64, binding: Binding, external: bool, freq: u32) -> TensorRequest<'_> {
+        TensorRequest {
+            name,
+            words,
+            binding,
+            external,
+            freq_after: freq,
+            dist_after: if freq > 0 { 2 } else { u32::MAX },
+        }
+    }
+
+    #[test]
+    fn explicit_round_trips_dram() {
+        let mut b = ExplicitBackend::new(4);
+        b.write(&req("S", 100, Binding::Dram, false, 1));
+        b.read(&req("S", 100, Binding::Dram, false, 0));
+        assert_eq!(b.stats().dram_write_bytes, 400);
+        assert_eq!(b.stats().dram_read_bytes, 400);
+    }
+
+    #[test]
+    fn explicit_rf_loads_external_once() {
+        let mut b = ExplicitBackend::new(4);
+        b.read(&req("G", 64, Binding::RegisterFile, true, 2));
+        b.read(&req("G", 64, Binding::RegisterFile, true, 1));
+        assert_eq!(b.stats().dram_read_bytes, 256); // one cold load
+    }
+
+    #[test]
+    fn explicit_pipeline_write_is_sram_only() {
+        let mut b = ExplicitBackend::new(4);
+        b.write(&req("Y", 100, Binding::Pipeline, false, 1));
+        assert_eq!(b.stats().dram_bytes(), 0);
+        assert_eq!(b.stats().sram_write_words, 100);
+    }
+
+    #[test]
+    fn chord_backend_reuses_produced_tensor() {
+        let cfg = ChordConfig {
+            capacity_words: 1000,
+            word_bytes: 4,
+            policy: ChordPolicyKind::PreludeRiff,
+            max_entries: 64,
+        };
+        let mut b = ChordBackend::new(cfg);
+        b.write(&req("S", 500, Binding::Chord, false, 2));
+        b.read(&req("S", 500, Binding::Chord, false, 1));
+        b.read(&req("S", 500, Binding::Chord, false, 0));
+        assert_eq!(b.stats().dram_bytes(), 0, "fits fully: zero DRAM traffic");
+        assert_eq!(b.stats().hits, 1000);
+        b.finish();
+    }
+
+    #[test]
+    fn chord_backend_fetch_once_then_hit() {
+        let cfg = ChordConfig {
+            capacity_words: 1000,
+            word_bytes: 4,
+            policy: ChordPolicyKind::PreludeRiff,
+            max_entries: 64,
+        };
+        let mut b = ChordBackend::new(cfg);
+        b.read(&req("A", 800, Binding::Chord, true, 3));
+        assert_eq!(b.stats().dram_read_bytes, 3200); // cold
+        b.read(&req("A", 800, Binding::Chord, true, 2));
+        assert_eq!(b.stats().dram_read_bytes, 3200); // resident
+    }
+
+    #[test]
+    fn chord_backend_single_use_external_bypasses() {
+        let cfg = ChordConfig {
+            capacity_words: 1000,
+            word_bytes: 4,
+            policy: ChordPolicyKind::PreludeRiff,
+            max_entries: 64,
+        };
+        let mut b = ChordBackend::new(cfg);
+        b.read(&req("X", 900, Binding::Chord, true, 0));
+        assert_eq!(b.stats().dram_read_bytes, 3600);
+        assert_eq!(b.chord().used_words(), 0, "single-use data not cached");
+    }
+
+    #[test]
+    fn cache_backend_streams_lines() {
+        let mut map = AddressMap::default();
+        map.insert("T", 4096);
+        let cfg = CacheConfig {
+            capacity_bytes: 8192,
+            line_bytes: 16,
+            associativity: 4,
+        };
+        let mut b = CacheBackend::<LruPolicy>::new(cfg, map, 4);
+        b.read(&req("T", 1024, Binding::Dram, true, 1)); // 4096 B = 256 lines
+        assert_eq!(b.stats().misses, 256);
+        b.read(&req("T", 1024, Binding::Dram, true, 0));
+        assert_eq!(b.stats().hits, 256, "second pass fits");
+        b.finish();
+    }
+
+    #[test]
+    fn labels_and_kinds() {
+        let cfg = ChordConfig {
+            capacity_words: 10,
+            word_bytes: 4,
+            policy: ChordPolicyKind::PreludeOnly,
+            max_entries: 4,
+        };
+        assert_eq!(ChordBackend::new(cfg).label(), "PRELUDE-only");
+        assert_eq!(ExplicitBackend::new(4).label(), "Explicit");
+    }
+}

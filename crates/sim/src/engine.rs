@@ -1,0 +1,317 @@
+//! The phase-walking execution engine.
+//!
+//! Walks a SCORE [`Schedule`] cluster by cluster and issues operand-granular
+//! traffic to a [`MemoryBackend`]:
+//!
+//! - edges *realized* as pipelining never reach the backend (the pipeline
+//!   buffer serves them on-chip);
+//! - a tensor read by several ops of the same cluster is fetched **once**
+//!   (parallel multicast over the NoC);
+//! - every read/write carries the RIFF metadata SCORE derived — uses
+//!   remaining after this phase and distance to the next use — which is how
+//!   the CHORD backend gets its priorities;
+//! - phase time is `max(compute, memory)` cycles: compute = cluster MACs
+//!   over the PE array, memory = phase DRAM bytes over the DRAM bandwidth
+//!   (§VII-A1's "stalls due to memory bandwidth dominate").
+
+use crate::backends::{MemoryBackend, TensorRequest};
+use crate::energy::{offchip_energy_pj, onchip_energy_pj};
+use crate::report::RunReport;
+use cello_core::accel::CelloConfig;
+use cello_core::score::binding::Schedule;
+use cello_graph::dag::{NodeId, TensorDag};
+use cello_mem::model::AreaEnergyModel;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-tensor consumer sites visible to the backend (realized edges removed),
+/// one entry per consuming phase: `(phase index, op position of first use)`.
+type ConsumerSites = BTreeMap<String, Vec<(usize, usize)>>;
+
+fn consumer_sites(dag: &TensorDag, schedule: &Schedule) -> ConsumerSites {
+    let order = schedule.order();
+    let pos: BTreeMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let phase_of = schedule.phase_of();
+    let mut sites: ConsumerSites = BTreeMap::new();
+    let mut push = |name: &str, consumer: NodeId| {
+        let (ph, p) = (phase_of[consumer.0], pos[&consumer]);
+        let list = sites.entry(name.to_string()).or_default();
+        match list.iter_mut().find(|(lph, _)| *lph == ph) {
+            Some((_, first)) => *first = (*first).min(p),
+            None => list.push((ph, p)),
+        }
+    };
+    for (eid, edge) in dag.edges() {
+        if schedule.realized[eid.0] {
+            continue;
+        }
+        let name = &dag.node(NodeId(edge.src)).output.name;
+        push(name, NodeId(edge.dst));
+    }
+    for ext in dag.externals() {
+        for &(consumer, _) in &ext.consumers {
+            push(&ext.meta.name, NodeId(consumer));
+        }
+    }
+    for list in sites.values_mut() {
+        list.sort();
+    }
+    sites
+}
+
+fn future_use(sites: &ConsumerSites, name: &str, phase: usize, op_pos: usize) -> (u32, u32) {
+    let Some(list) = sites.get(name) else {
+        return (0, u32::MAX);
+    };
+    let future: Vec<&(usize, usize)> = list.iter().filter(|(ph, _)| *ph > phase).collect();
+    let freq = future.len() as u32;
+    let dist = future
+        .first()
+        .map(|(_, p)| (*p - op_pos.min(*p)) as u32)
+        .unwrap_or(u32::MAX);
+    (freq, dist)
+}
+
+/// Runs `schedule` for `dag` on `backend` under `accel`, returning the
+/// traffic/time/energy report.
+pub fn run_schedule(
+    dag: &TensorDag,
+    schedule: &Schedule,
+    accel: &CelloConfig,
+    backend: &mut dyn MemoryBackend,
+    config_label: &str,
+    workload: &str,
+) -> RunReport {
+    let order = schedule.order();
+    let pos: BTreeMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let sites = consumer_sites(dag, schedule);
+    // Per-node external inputs.
+    let mut node_exts: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (xi, ext) in dag.externals().iter().enumerate() {
+        for &(consumer, _) in &ext.consumers {
+            node_exts.entry(consumer).or_default().push(xi);
+        }
+    }
+
+    let mut phase_cycles: Vec<(u64, u64)> = Vec::with_capacity(schedule.phases.len());
+    let mut total_cycles: u64 = 0;
+    let mut prev_stats = backend.stats();
+
+    for (pi, phase) in schedule.phases.iter().enumerate() {
+        let mut phase_macs: u64 = 0;
+        let mut read_this_phase: BTreeSet<&str> = BTreeSet::new();
+        for &op in &phase.ops {
+            let node = dag.node(op);
+            phase_macs += node.macs;
+            let op_pos = pos[&op];
+
+            // Producer inputs via unrealized edges.
+            for eid in dag.in_edges(op) {
+                if schedule.realized[eid.0] {
+                    continue;
+                }
+                let producer = dag.node(NodeId(dag.edge(eid).src));
+                let name = producer.output.name.as_str();
+                if !read_this_phase.insert(name) {
+                    continue; // same-phase multicast: one NoC fetch
+                }
+                let (freq, dist) = future_use(&sites, name, pi, op_pos);
+                backend.read(&TensorRequest {
+                    name,
+                    words: producer.output.words,
+                    binding: schedule.binding_of(name),
+                    external: false,
+                    freq_after: freq,
+                    dist_after: dist,
+                });
+            }
+            // External inputs.
+            if let Some(exts) = node_exts.get(&op.0) {
+                for &xi in exts {
+                    let meta = &dag.externals()[xi].meta;
+                    let name = meta.name.as_str();
+                    if !read_this_phase.insert(name) {
+                        continue;
+                    }
+                    let (freq, dist) = future_use(&sites, name, pi, op_pos);
+                    backend.read(&TensorRequest {
+                        name,
+                        words: meta.words,
+                        binding: schedule.binding_of(name),
+                        external: true,
+                        freq_after: freq,
+                        dist_after: dist,
+                    });
+                }
+            }
+            // Output.
+            let out = &node.output;
+            let (freq, dist) = future_use(&sites, &out.name, pi, op_pos);
+            backend.write(&TensorRequest {
+                name: &out.name,
+                words: out.words,
+                binding: schedule.binding_of(&out.name),
+                external: false,
+                freq_after: freq,
+                dist_after: dist,
+            });
+        }
+
+        let now = backend.stats();
+        let phase_dram = now.dram_bytes() - prev_stats.dram_bytes();
+        prev_stats = now;
+        let compute = phase_macs.div_ceil(accel.pe_count.max(1));
+        let mem = accel.dram.transfer_cycles(phase_dram, accel.freq_hz);
+        phase_cycles.push((compute, mem));
+        total_cycles += compute.max(mem);
+    }
+
+    backend.finish();
+    let final_stats = backend.stats();
+    let drain = final_stats.dram_bytes() - prev_stats.dram_bytes();
+    if drain > 0 {
+        let mem = accel.dram.transfer_cycles(drain, accel.freq_hz);
+        phase_cycles.push((0, mem));
+        total_cycles += mem;
+    }
+
+    let macs: u64 = dag.nodes().map(|(_, n)| n.macs).sum();
+    let seconds = total_cycles as f64 / accel.freq_hz;
+    let model = AreaEnergyModel::default();
+    RunReport {
+        config: config_label.to_string(),
+        workload: workload.to_string(),
+        cycles: total_cycles,
+        seconds,
+        macs,
+        dram_bytes: final_stats.dram_bytes(),
+        offchip_energy_pj: offchip_energy_pj(&final_stats, accel.dram.energy_pj_per_byte),
+        onchip_energy_pj: onchip_energy_pj(
+            &final_stats,
+            backend.buffer_kind(),
+            accel.sram_bytes,
+            backend.sram_access_bytes(),
+            &model,
+        ),
+        stats: final_stats,
+        phase_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::ExplicitBackend;
+    use cello_core::score::binding::{build_schedule, ScheduleOptions};
+    use cello_graph::edge::TensorMeta;
+    use cello_graph::node::OpKind;
+    use cello_tensor::einsum::EinsumSpec;
+    use cello_tensor::shape::RankExtent;
+
+    fn chain(n_ops: usize, words: u64) -> TensorDag {
+        let spec = EinsumSpec::parse(
+            "mk,kn->mn",
+            &[
+                RankExtent::dense("m", words / 16),
+                RankExtent::dense("k", 16),
+                RankExtent::dense("n", 16),
+            ],
+        );
+        let mut dag = TensorDag::new();
+        let mut prev = None;
+        for i in 0..n_ops {
+            let id = dag.add_op(
+                format!("op{i}"),
+                spec.clone(),
+                OpKind::TensorMac,
+                TensorMeta::dense(format!("T{i}"), &["m", "n"], words),
+            );
+            if let Some(p) = prev {
+                dag.add_edge(p, id, &["m", "k"]);
+            } else {
+                dag.add_external(TensorMeta::dense("In", &["m", "k"], words), &[(id, &["m", "k"])]);
+            }
+            prev = Some(id);
+        }
+        dag
+    }
+
+    #[test]
+    fn best_intra_traffic_is_cold_per_op() {
+        let dag = chain(3, 1600);
+        let schedule = build_schedule(&dag, ScheduleOptions::best_intra());
+        let mut backend = ExplicitBackend::new(4);
+        let accel = CelloConfig::paper();
+        let r = run_schedule(&dag, &schedule, &accel, &mut backend, "Flexagon", "chain");
+        // op0: read In (1600w) write T0; op1: read T0 write T1; op2: read T1 write T2.
+        // Total = 3 reads + 3 writes of 1600 words × 4 B.
+        assert_eq!(r.dram_bytes, 6 * 1600 * 4);
+        assert_eq!(r.phase_cycles.len(), 3);
+    }
+
+    #[test]
+    fn pipelined_chain_saves_intermediates() {
+        let dag = chain(3, 1600);
+        // CELLO fuses the whole chain: only In is read and T2 written.
+        let schedule = build_schedule(&dag, ScheduleOptions::cello());
+        assert_eq!(schedule.phases.len(), 1, "{:?}", schedule.phases);
+        let mut backend = ExplicitBackend::new(4);
+        let accel = CelloConfig::paper();
+        let r = run_schedule(&dag, &schedule, &accel, &mut backend, "CELLO", "chain");
+        assert_eq!(r.dram_bytes, 2 * 1600 * 4);
+    }
+
+    #[test]
+    fn timing_is_roofline_max() {
+        let dag = chain(2, 1 << 20);
+        let schedule = build_schedule(&dag, ScheduleOptions::best_intra());
+        let mut backend = ExplicitBackend::new(4);
+        let accel = CelloConfig::paper();
+        let r = run_schedule(&dag, &schedule, &accel, &mut backend, "Flexagon", "chain");
+        for &(c, m) in &r.phase_cycles {
+            assert!(r.cycles >= c.max(m));
+        }
+        let expected: u64 = r.phase_cycles.iter().map(|&(c, m)| c.max(m)).sum();
+        assert_eq!(r.cycles, expected);
+    }
+
+    #[test]
+    fn multicast_read_deduped_within_phase() {
+        // Diamond: p multicasts T0 to a and b; both consume it in one phase.
+        let spec = EinsumSpec::parse(
+            "mk,kn->mn",
+            &[
+                RankExtent::dense("m", 1000),
+                RankExtent::dense("k", 8),
+                RankExtent::dense("n", 8),
+            ],
+        );
+        let mut dag = TensorDag::new();
+        let t = |n: &str| TensorMeta::dense(n, &["m", "n"], 8000);
+        let p = dag.add_op("p", spec.clone(), OpKind::TensorMac, t("T0"));
+        let a = dag.add_op("a", spec.clone(), OpKind::TensorMac, t("T1"));
+        let b = dag.add_op("b", spec.clone(), OpKind::TensorMac, t("T2"));
+        dag.add_edge(p, a, &["m", "k"]);
+        dag.add_edge(p, b, &["m", "k"]);
+        dag.add_external(TensorMeta::dense("In", &["m", "k"], 8000), &[(p, &["m", "k"])]);
+        let schedule = build_schedule(&dag, ScheduleOptions::cello());
+        let mut backend = ExplicitBackend::new(4);
+        let accel = CelloConfig::paper();
+        let r = run_schedule(&dag, &schedule, &accel, &mut backend, "CELLO", "diamond");
+        // a and b fuse with p (multicast): T0 pipelined once to both.
+        // Traffic = In read + T1 + T2 writes.
+        assert_eq!(r.dram_bytes, 3 * 8000 * 4, "phases {:?}", schedule.phases);
+    }
+
+    #[test]
+    fn report_totals_consistent() {
+        let dag = chain(4, 4000);
+        let schedule = build_schedule(&dag, ScheduleOptions::best_intra());
+        let mut backend = ExplicitBackend::new(4);
+        let accel = CelloConfig::paper();
+        let r = run_schedule(&dag, &schedule, &accel, &mut backend, "Flexagon", "chain");
+        assert_eq!(r.macs, dag.nodes().map(|(_, n)| n.macs).sum::<u64>());
+        assert!(r.seconds > 0.0);
+        assert!(r.gfpmuls_per_sec() > 0.0);
+        assert!((r.offchip_energy_pj - r.dram_bytes as f64 * 31.2).abs() < 1e-6);
+    }
+}

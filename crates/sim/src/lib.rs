@@ -1,0 +1,33 @@
+//! # cello-sim — accelerator performance/energy engine and Table IV baselines
+//!
+//! The paper evaluates schedule × buffer-hierarchy *combinations* (Table IV)
+//! on a traffic-first model: DRAM bytes determine memory-bound phase time,
+//! MACs determine compute-bound phase time, and a phase takes
+//! `max(compute, memory)` (the paper notes "stalls due to memory bandwidth
+//! dominate the delay", §VII-A1). This crate provides:
+//!
+//! - [`engine`]: walks a [`cello_core::Schedule`] phase by phase, issuing
+//!   tensor-granular reads/writes to a [`backends::MemoryBackend`], deduping
+//!   multicast reads within a phase, skipping realized (pipelined) edges, and
+//!   accumulating per-phase roofline timing;
+//! - [`backends`]: the memory systems — explicit oracle (Flexagon-/FLAT-/
+//!   SET-like), LRU/BRRIP caches (trace-driven, line-granular), and CHORD
+//!   (operand-granular, PRELUDE+RIFF or PRELUDE-only);
+//! - [`trace`]: the address map used by cache backends (versioned tensors
+//!   alias the same physical buffer, as in-place solvers do);
+//! - [`baselines`]: the Table IV configuration registry and Table II
+//!   capability matrix;
+//! - [`energy`]: off-chip + on-chip energy accounting (Fig 14/15);
+//! - [`report`]: run reports, geomeans, TSV emission.
+
+pub mod backends;
+pub mod baselines;
+pub mod energy;
+pub mod engine;
+pub mod report;
+pub mod scaling;
+pub mod trace;
+
+pub use baselines::{run_config, ConfigKind};
+pub use engine::run_schedule;
+pub use report::RunReport;

@@ -1,0 +1,164 @@
+//! Multi-node weak/strong scaling of the CELLO dataflow (§V-B "Scalable
+//! Dataflow", Fig 8 bottom).
+//!
+//! SCORE's multi-node rule: *parallelize the dominant rank across nodes and
+//! keep pipelining within a node*. Each node then owns an `M/nodes` slice of
+//! every skewed tensor and a private CHORD; per CG iteration, only the small
+//! tensors cross the NoC (broadcast `Λ`, reduce `Γ` partials). The naive
+//! alternative splits pipeline *stages* across nodes and ships the full
+//! `M × N` intermediate.
+//!
+//! The model: per-node time comes from simulating the sliced problem on a
+//! single node (each node has its own DRAM channel, so per-node bandwidth is
+//! unchanged); NoC time is `words × word_bytes / noc_bandwidth` per exchange,
+//! serialized with the compute phases (a conservative, contention-free
+//! model).
+
+use crate::baselines::{run_config, ConfigKind};
+use crate::report::RunReport;
+use cello_core::accel::CelloConfig;
+use cello_core::score::multinode::NocModel;
+use cello_workloads::cg::{build_cg_dag, CgParams};
+use serde::{Deserialize, Serialize};
+
+/// Which inter-node placement the run models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingStrategy {
+    /// SCORE's placement: dominant rank sliced, small tensors on the NoC.
+    Scalable,
+    /// Pipeline stages split across nodes: the big intermediate on the NoC.
+    Naive,
+}
+
+/// Result of one multi-node run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScalingReport {
+    /// Node count.
+    pub nodes: u64,
+    /// Strategy used.
+    pub strategy: ScalingStrategy,
+    /// End-to-end seconds (per-node compute/memory + NoC serialization).
+    pub seconds: f64,
+    /// NoC traffic in bytes (sum over all exchanges).
+    pub noc_bytes: u64,
+    /// Aggregate DRAM traffic across nodes.
+    pub dram_bytes: u64,
+    /// The per-node single-node report the time is derived from.
+    pub per_node: RunReport,
+}
+
+impl ScalingReport {
+    /// Strong-scaling speedup relative to a 1-node run.
+    pub fn speedup_over(&self, single: &ScalingReport) -> f64 {
+        single.seconds / self.seconds
+    }
+}
+
+/// NoC link bandwidth (bytes/s) used to serialize inter-node exchanges.
+pub const NOC_BANDWIDTH: f64 = 256.0e9;
+
+/// Runs CG strong scaling: the *same* problem (`prm`) split over `nodes`.
+pub fn run_cg_multinode(
+    prm: &CgParams,
+    accel: &CelloConfig,
+    kind: ConfigKind,
+    nodes: u64,
+    strategy: ScalingStrategy,
+) -> ScalingReport {
+    assert!(nodes >= 1);
+    // Slice the dominant rank; A's rows (and payload) slice along with it.
+    let sliced = CgParams {
+        m: (prm.m / nodes).max(1),
+        a_payload_words: (prm.a_payload_words / nodes).max(1),
+        ..*prm
+    };
+    let dag = build_cg_dag(&sliced);
+    let per_node = run_config(&dag, kind, accel, "multinode-slice");
+
+    let noc = NocModel::new(nodes);
+    let word_bytes = accel.word_bytes as u64;
+    // Exchanges per iteration: the two contraction reductions (Δ, Γ) and the
+    // two small-tensor broadcasts (Λ, Φ) under the scalable strategy; the
+    // naive strategy ships the R intermediate between pipeline stages.
+    let per_iter_words = if nodes == 1 {
+        0 // single node: everything stays on-chip, no NoC at all
+    } else {
+        match strategy {
+            ScalingStrategy::Scalable => 4 * noc.scalable_words(prm.n, prm.nprime),
+            ScalingStrategy::Naive => noc.naive_words(prm.m, prm.n),
+        }
+    };
+    let noc_words = per_iter_words * prm.iterations as u64;
+    let noc_bytes = noc_words * word_bytes;
+    let noc_seconds = noc_bytes as f64 / NOC_BANDWIDTH;
+
+    ScalingReport {
+        nodes,
+        strategy,
+        seconds: per_node.seconds + noc_seconds,
+        noc_bytes,
+        dram_bytes: per_node.dram_bytes * nodes,
+        per_node,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cello_workloads::datasets::SHALLOW_WATER1;
+
+    fn prm() -> CgParams {
+        CgParams::from_dataset(&SHALLOW_WATER1, 16, 4)
+    }
+
+    #[test]
+    fn single_node_has_no_noc_traffic() {
+        let r = run_cg_multinode(
+            &prm(),
+            &CelloConfig::paper(),
+            ConfigKind::Cello,
+            1,
+            ScalingStrategy::Scalable,
+        );
+        assert_eq!(r.noc_bytes, 0);
+    }
+
+    #[test]
+    fn scalable_strategy_scales() {
+        let accel = CelloConfig::paper();
+        let single = run_cg_multinode(&prm(), &accel, ConfigKind::Cello, 1, ScalingStrategy::Scalable);
+        let mut prev_seconds = single.seconds;
+        for nodes in [4u64, 16] {
+            let r = run_cg_multinode(&prm(), &accel, ConfigKind::Cello, nodes, ScalingStrategy::Scalable);
+            assert!(
+                r.seconds < prev_seconds,
+                "{nodes} nodes: {} !< {prev_seconds}",
+                r.seconds
+            );
+            prev_seconds = r.seconds;
+        }
+        let sixteen = run_cg_multinode(&prm(), &accel, ConfigKind::Cello, 16, ScalingStrategy::Scalable);
+        assert!(sixteen.speedup_over(&single) > 4.0, "{}", sixteen.speedup_over(&single));
+    }
+
+    #[test]
+    fn naive_strategy_pays_noc() {
+        let accel = CelloConfig::paper();
+        let nodes = 16;
+        let scalable = run_cg_multinode(&prm(), &accel, ConfigKind::Cello, nodes, ScalingStrategy::Scalable);
+        let naive = run_cg_multinode(&prm(), &accel, ConfigKind::Cello, nodes, ScalingStrategy::Naive);
+        assert!(naive.noc_bytes > 100 * scalable.noc_bytes);
+        assert!(naive.seconds > scalable.seconds);
+    }
+
+    #[test]
+    fn slicing_helps_capacity_bound_workloads() {
+        // At N=16 shallow_water1 exceeds a 4 MB CHORD on one node; slicing M
+        // across nodes shrinks per-node working sets, so aggregate DRAM
+        // traffic *drops* superlinearly until everything fits.
+        let accel = CelloConfig::paper();
+        let single = run_cg_multinode(&prm(), &accel, ConfigKind::Cello, 1, ScalingStrategy::Scalable);
+        let four = run_cg_multinode(&prm(), &accel, ConfigKind::Cello, 4, ScalingStrategy::Scalable);
+        assert!(four.dram_bytes < single.dram_bytes);
+    }
+}

@@ -1,0 +1,189 @@
+//! Dataset registry (paper Table VI) with synthetic generation.
+//!
+//! The paper's datasets come from SuiteSparse (PDE matrices) and OMEGA (GNN
+//! graphs). We register their published statistics and generate synthetic
+//! stand-ins matching `M` and `nnz` (see DESIGN.md §2 — the traffic and
+//! roofline study depends only on shapes/footprints, and our SPD generators
+//! also let the numeric solvers converge).
+
+use cello_tensor::gen::{random_graph_adjacency, random_spd};
+use cello_tensor::sparse::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// What kind of workload a dataset feeds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// PDE-style SPD matrix solved with CG/BiCGStab.
+    Pde,
+    /// Graph adjacency for a GCN layer, with input/output feature widths.
+    Graph {
+        /// Input feature width (`N` in Table VI).
+        features: u64,
+        /// Output feature width (`O`).
+        outputs: u64,
+    },
+}
+
+/// One Table VI dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// SuiteSparse/OMEGA name.
+    pub name: &'static str,
+    /// Row count (`M`; vertices for graphs).
+    pub m: usize,
+    /// Published non-zero count.
+    pub nnz: usize,
+    /// Workload kind.
+    pub kind: DatasetKind,
+    /// Paper context (Table VI "Workload" column).
+    pub workload: &'static str,
+}
+
+impl Dataset {
+    /// Average non-zeros per row.
+    pub fn occupancy(&self) -> f64 {
+        self.nnz as f64 / self.m as f64
+    }
+
+    /// CSR payload in words: values + column indices + row pointers.
+    pub fn csr_payload_words(&self) -> u64 {
+        2 * self.nnz as u64 + self.m as u64 + 1
+    }
+
+    /// Generates the synthetic stand-in matrix (deterministic per dataset).
+    pub fn generate(&self) -> CsrMatrix {
+        let seed = self
+            .name
+            .bytes()
+            .fold(0xCE110u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+        match self.kind {
+            DatasetKind::Pde => random_spd(self.m, self.nnz, seed),
+            DatasetKind::Graph { .. } => random_graph_adjacency(self.m, self.nnz, seed),
+        }
+    }
+}
+
+/// `fv1`: the 2D/3D problem matrix (Table VI row 1).
+pub const FV1: Dataset = Dataset {
+    name: "fv1",
+    m: 9604,
+    nnz: 85_264,
+    kind: DatasetKind::Pde,
+    workload: "2D/3D problem",
+};
+
+/// `shallow_water1`: computational fluid dynamics (Table VI row 2).
+pub const SHALLOW_WATER1: Dataset = Dataset {
+    name: "shallow_water1",
+    m: 81_920,
+    nnz: 327_680,
+    kind: DatasetKind::Pde,
+    workload: "Fluid Dynamics",
+};
+
+/// `G2_circuit`: circuit simulation (Table VI row 3).
+pub const G2_CIRCUIT: Dataset = Dataset {
+    name: "G2_circuit",
+    m: 150_102,
+    nnz: 726_674,
+    kind: DatasetKind::Pde,
+    workload: "Circuit sim",
+};
+
+/// `NASA4704`: the BiCGStab structural matrix (Fig 13).
+pub const NASA4704: Dataset = Dataset {
+    name: "NASA4704",
+    m: 4704,
+    nnz: 104_756,
+    kind: DatasetKind::Pde,
+    workload: "Structural (BiCGStab)",
+};
+
+/// `cora`: citation-graph GCN layer (Table VI row 4).
+pub const CORA: Dataset = Dataset {
+    name: "cora",
+    m: 2708,
+    nnz: 9464,
+    kind: DatasetKind::Graph {
+        features: 1433,
+        outputs: 7,
+    },
+    workload: "GCN Layer",
+};
+
+/// `protein`: protein-graph GCN layer (Table VI row 5).
+pub const PROTEIN: Dataset = Dataset {
+    name: "protein",
+    m: 3786,
+    nnz: 14_456,
+    kind: DatasetKind::Graph {
+        features: 29,
+        outputs: 2,
+    },
+    workload: "GCN Layer",
+};
+
+/// Every Table VI dataset.
+pub fn registry() -> Vec<Dataset> {
+    vec![FV1, SHALLOW_WATER1, G2_CIRCUIT, NASA4704, CORA, PROTEIN]
+}
+
+/// The CG performance datasets (Fig 12).
+pub fn cg_datasets() -> Vec<Dataset> {
+    vec![FV1, SHALLOW_WATER1, G2_CIRCUIT]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table_vi() {
+        let r = registry();
+        assert_eq!(r.len(), 6);
+        assert_eq!(FV1.m, 9604);
+        assert_eq!(FV1.nnz, 85_264);
+        assert_eq!(SHALLOW_WATER1.m, 81_920);
+        assert_eq!(G2_CIRCUIT.nnz, 726_674);
+        assert_eq!(
+            CORA.kind,
+            DatasetKind::Graph {
+                features: 1433,
+                outputs: 7
+            }
+        );
+    }
+
+    #[test]
+    fn occupancy_in_paper_range() {
+        // "occupancy of 1-100 non-zeros per row" (§III-A).
+        for d in registry() {
+            let occ = d.occupancy();
+            assert!((1.0..=100.0).contains(&occ), "{}: {occ}", d.name);
+        }
+    }
+
+    #[test]
+    fn generated_stats_match_registry() {
+        for d in [FV1, PROTEIN] {
+            let a = d.generate();
+            assert_eq!(a.rows(), d.m);
+            let err = (a.nnz() as f64 - d.nnz as f64).abs() / d.nnz as f64;
+            assert!(err < 0.05, "{}: nnz {} vs {}", d.name, a.nnz(), d.nnz);
+            assert!(a.is_symmetric(1e-12), "{} must be symmetric", d.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(FV1.generate(), FV1.generate());
+    }
+
+    #[test]
+    fn payload_includes_metadata() {
+        assert_eq!(
+            FV1.csr_payload_words(),
+            2 * 85_264 + 9604 + 1
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! HPCG survey data (paper Table I).
+//!
+//! The paper motivates CELLO with the HPCG-vs-HPL gap on the top
+//! supercomputers (CG reaches only 1–3% of peak). This is survey data, not an
+//! experiment; we embed it so the `tab01_hpcg` harness can re-emit the table
+//! and tests can verify the derived percentages.
+
+use serde::{Deserialize, Serialize};
+
+/// One Table I row.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HpcgEntry {
+    /// Supercomputer name.
+    pub system: &'static str,
+    /// HPL PFLOP/s.
+    pub hpl_pflops: f64,
+    /// HPCG PFLOP/s (`None` = not reported, e.g. Eagle).
+    pub hpcg_pflops: Option<f64>,
+    /// HPCG as % of peak, as published.
+    pub hpcg_pct_of_peak: Option<f64>,
+}
+
+impl HpcgEntry {
+    /// HPCG as a percentage of HPL (derived).
+    pub fn hpcg_pct_of_hpl(&self) -> Option<f64> {
+        self.hpcg_pflops.map(|h| 100.0 * h / self.hpl_pflops)
+    }
+}
+
+/// Table I (adapted from the HPCG November 2023 list).
+pub fn table1() -> Vec<HpcgEntry> {
+    vec![
+        HpcgEntry {
+            system: "Frontier",
+            hpl_pflops: 1206.0,
+            hpcg_pflops: Some(14.05),
+            hpcg_pct_of_peak: Some(0.8),
+        },
+        HpcgEntry {
+            system: "Aurora",
+            hpl_pflops: 1012.0,
+            hpcg_pflops: Some(5.61),
+            hpcg_pct_of_peak: Some(0.3),
+        },
+        HpcgEntry {
+            system: "Eagle",
+            hpl_pflops: 561.2,
+            hpcg_pflops: None,
+            hpcg_pct_of_peak: None,
+        },
+        HpcgEntry {
+            system: "Fugaku",
+            hpl_pflops: 442.01,
+            hpcg_pflops: Some(16.0),
+            hpcg_pct_of_peak: Some(3.0),
+        },
+        HpcgEntry {
+            system: "Lumi",
+            hpl_pflops: 379.7,
+            hpcg_pflops: Some(4.587),
+            hpcg_pct_of_peak: Some(0.87),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_five_systems() {
+        assert_eq!(table1().len(), 5);
+    }
+
+    #[test]
+    fn derived_percentages_match_paper() {
+        let t = table1();
+        // Frontier: 14.05/1206 = 1.16%.
+        assert!((t[0].hpcg_pct_of_hpl().unwrap() - 1.16).abs() < 0.01);
+        // Aurora: 5.61/1012 = 0.55%.
+        assert!((t[1].hpcg_pct_of_hpl().unwrap() - 0.55).abs() < 0.01);
+        // Fugaku: 16/442.01 = 3.62%.
+        assert!((t[3].hpcg_pct_of_hpl().unwrap() - 3.62).abs() < 0.01);
+        // Lumi: 4.587/379.7 = 1.2%.
+        assert!((t[4].hpcg_pct_of_hpl().unwrap() - 1.21).abs() < 0.02);
+    }
+
+    #[test]
+    fn cg_reaches_only_single_digit_percent_of_peak() {
+        // The motivation: every reported system sits at 1–4% of HPL.
+        for e in table1() {
+            if let Some(pct) = e.hpcg_pct_of_hpl() {
+                assert!(pct < 4.0, "{}: {pct}%", e.system);
+                assert!(pct > 0.3);
+            }
+        }
+    }
+}

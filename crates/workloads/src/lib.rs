@@ -1,0 +1,28 @@
+//! # cello-workloads — the paper's evaluation workloads (§VII, Table VI)
+//!
+//! Each workload exists in two coupled forms:
+//!
+//! 1. a **numeric implementation** over `cello-tensor` kernels (block CG and
+//!    BiCGStab actually solve SPD systems; GCN layers actually propagate
+//!    features), so the reproduction's solvers are testable for convergence,
+//!    not just modeled; and
+//! 2. a **tensor dependency DAG builder** producing the `cello-graph` IR that
+//!    SCORE schedules and the simulator runs — with versioned tensor names
+//!    (`R@3`), per-edge consumer rank lists and exact word footprints,
+//!    unrolled across loop iterations so cross-iteration reuse (CG's `A`,
+//!    `X`, `P`, `R`) is visible to CHORD.
+//!
+//! Modules: [`datasets`] (Table VI registry + synthetic SuiteSparse/OMEGA
+//! stand-ins), [`cg`] (Algorithm 1), [`bicgstab`], [`gcn`], [`resnet`]
+//! (He et al. conv3_x residual block, GEMM-lowered), and [`hpcg`] (Table I).
+
+pub mod bicgstab;
+pub mod cg;
+pub mod datasets;
+pub mod gcn;
+pub mod hpcg;
+pub mod power_iter;
+pub mod resnet;
+
+pub use cg::{build_cg_dag, solve_block_cg, CgParams, CgResult};
+pub use datasets::{Dataset, DatasetKind};

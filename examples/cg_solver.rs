@@ -1,0 +1,71 @@
+//! Numeric block Conjugate Gradient end-to-end: generate an SPD system, solve
+//! it with the real Algorithm 1 kernels, verify the solution, then model the
+//! same computation on the CELLO accelerator.
+//!
+//! ```sh
+//! cargo run --release --example cg_solver
+//! ```
+
+use cello::core::accel::CelloConfig;
+use cello::sim::baselines::{run_config, ConfigKind};
+use cello::tensor::dense::DenseMatrix;
+use cello::tensor::gen::laplacian_2d;
+use cello::tensor::kernels::spmm;
+use cello::workloads::cg::{build_cg_dag, solve_block_cg, CgParams};
+
+fn main() {
+    // A 32x32 2-D Poisson problem (1024 unknowns), 4 right-hand sides.
+    // (Textbook block CG loses search-direction rank as individual columns
+    // converge; production solvers deflate. We stay in the robust envelope.)
+    let (nx, ny, nrhs) = (32usize, 32usize, 4usize);
+    let a = laplacian_2d(nx, ny);
+    println!(
+        "A: {}x{} SPD, nnz = {} (occupancy {:.2}/row)",
+        a.rows(),
+        a.cols(),
+        a.nnz(),
+        a.occupancy()
+    );
+    let mut b = DenseMatrix::zeros(a.rows(), nrhs);
+    for i in 0..a.rows() {
+        for j in 0..nrhs {
+            b.set(i, j, ((i * (j + 3)) % 17) as f64 / 17.0 + 0.05);
+        }
+    }
+
+    let result = solve_block_cg(&a, &b, 500, 1e-12);
+    println!(
+        "block CG: {} iterations, converged = {}",
+        result.iterations_run, result.converged
+    );
+    for (i, r) in result.residual_history.iter().enumerate().take(6) {
+        println!("  iter {:3}: max diag(Γ) = {:.3e}", i + 1, r);
+    }
+    let residual = {
+        let ax = spmm(&a, &result.x);
+        ax.max_abs_diff(&b)
+    };
+    println!("‖A·X − B‖∞ = {residual:.3e}");
+
+    // Model the same solve on the accelerator (shapes + iteration count).
+    let params = CgParams {
+        m: a.rows() as u64,
+        occupancy: a.occupancy(),
+        a_payload_words: a.payload_words(),
+        n: nrhs as u64,
+        nprime: nrhs as u64,
+        iterations: result.iterations_run.min(10),
+    };
+    let dag = build_cg_dag(&params);
+    let accel = CelloConfig::paper();
+    for kind in [ConfigKind::Flexagon, ConfigKind::Flat, ConfigKind::Cello] {
+        let r = run_config(&dag, kind, &accel, "cg_solver");
+        println!(
+            "{:10}: {:8.1} GFPMuls/s, {:7.2} MB DRAM, achieved intensity {:.2} ops/B",
+            kind.label(),
+            r.gfpmuls_per_sec(),
+            r.dram_bytes as f64 / 1e6,
+            r.achieved_intensity()
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: build a Conjugate-Gradient tensor DAG, let SCORE classify and
+//! schedule it, and compare CELLO against the op-by-op oracle.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cello::core::accel::CelloConfig;
+use cello::core::score::binding::{build_schedule, ScheduleOptions};
+use cello::core::score::classify::classify;
+use cello::sim::baselines::{run_config, ConfigKind};
+use cello::workloads::cg::{build_cg_dag, CgParams};
+use cello::workloads::datasets::FV1;
+
+fn main() {
+    // 1. Describe the problem: block CG on the fv1-sized matrix, N = 16
+    //    simultaneous right-hand sides, 5 solver iterations.
+    let params = CgParams::from_dataset(&FV1, 16, 5);
+    let dag = build_cg_dag(&params);
+    println!(
+        "CG DAG: {} ops, {} edges, {} external inputs",
+        dag.node_count(),
+        dag.edge_count(),
+        dag.externals().len()
+    );
+
+    // 2. Algorithm 2: classify every tensor-level dependency.
+    let cls = classify(&dag);
+    let h = cls.histogram();
+    println!(
+        "dependencies: {} sequential, {} pipelineable, {} delayed-hold, {} delayed-writeback",
+        h[0], h[1], h[2], h[3]
+    );
+
+    // 3. SCORE: form pipeline clusters and steer tensors to buffers.
+    let schedule = build_schedule(&dag, ScheduleOptions::cello());
+    schedule.validate(&dag).expect("schedule is a topological order");
+    println!(
+        "SCORE formed {} clusters over {} ops (first iteration: {:?})",
+        schedule.phases.len(),
+        dag.node_count(),
+        schedule.phases[..5]
+            .iter()
+            .map(|p| p.ops.len())
+            .collect::<Vec<_>>()
+    );
+
+    // 4. Simulate on the Table V accelerator: CELLO vs the best intra-op oracle.
+    let accel = CelloConfig::paper();
+    let cello = run_config(&dag, ConfigKind::Cello, &accel, "quickstart");
+    let oracle = run_config(&dag, ConfigKind::Flexagon, &accel, "quickstart");
+    println!(
+        "Flexagon : {:8.1} GFPMuls/s, {:6.1} MB DRAM traffic",
+        oracle.gfpmuls_per_sec(),
+        oracle.dram_bytes as f64 / 1e6
+    );
+    println!(
+        "CELLO    : {:8.1} GFPMuls/s, {:6.1} MB DRAM traffic",
+        cello.gfpmuls_per_sec(),
+        cello.dram_bytes as f64 / 1e6
+    );
+    println!(
+        "speedup  : {:.2}x   energy efficiency: {:.2}x",
+        cello.speedup_over(&oracle),
+        1.0 / cello.relative_energy(&oracle)
+    );
+}

@@ -1,0 +1,103 @@
+//! Property tests on the cache substrate: accounting identities, the LRU
+//! stack property, compulsory-miss lower bounds, and determinism.
+
+use cello::mem::cache::{BrripPolicy, CacheConfig, LruPolicy, SetAssocCache};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn trace_strategy() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    proptest::collection::vec((0u64..65_536, any::<bool>()), 1..800)
+}
+
+fn run_lru(cfg: CacheConfig, trace: &[(u64, bool)]) -> cello::mem::stats::AccessStats {
+    let mut c = SetAssocCache::<LruPolicy>::new(cfg);
+    for &(addr, w) in trace {
+        c.access(addr, w);
+    }
+    c.flush_dirty();
+    c.stats()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// hits + misses == accesses; DRAM reads == misses × line; misses are at
+    /// least the number of distinct lines touched (compulsory bound).
+    #[test]
+    fn accounting_identities(trace in trace_strategy()) {
+        let cfg = CacheConfig { capacity_bytes: 2048, line_bytes: 16, associativity: 4 };
+        let stats = run_lru(cfg, &trace);
+        prop_assert_eq!(stats.hits + stats.misses, trace.len() as u64);
+        prop_assert_eq!(stats.dram_read_bytes, stats.misses * 16);
+        let distinct: HashSet<u64> = trace.iter().map(|&(a, _)| a / 16).collect();
+        prop_assert!(stats.misses >= distinct.len() as u64);
+        // Writebacks can never exceed misses + flushes of distinct lines.
+        prop_assert!(stats.writebacks <= stats.misses + distinct.len() as u64);
+    }
+
+    /// LRU stack property: a larger fully-associative LRU cache never misses
+    /// more on the same trace.
+    #[test]
+    fn lru_inclusion(trace in trace_strategy()) {
+        let mut prev = u64::MAX;
+        for lines in [2usize, 4, 8, 32, 128] {
+            let cfg = CacheConfig {
+                capacity_bytes: (lines * 16) as u64,
+                line_bytes: 16,
+                associativity: lines,
+            };
+            let stats = run_lru(cfg, &trace);
+            prop_assert!(stats.misses <= prev);
+            prev = stats.misses;
+        }
+    }
+
+    /// Both policies are deterministic: identical traces → identical stats.
+    #[test]
+    fn determinism(trace in trace_strategy()) {
+        let cfg = CacheConfig { capacity_bytes: 1024, line_bytes: 16, associativity: 8 };
+        let a = run_lru(cfg, &trace);
+        let b = run_lru(cfg, &trace);
+        prop_assert_eq!(a, b);
+        let run_brrip = |t: &[(u64, bool)]| {
+            let mut c = SetAssocCache::<BrripPolicy>::new(cfg);
+            for &(addr, w) in t {
+                c.access(addr, w);
+            }
+            c.stats()
+        };
+        prop_assert_eq!(run_brrip(&trace), run_brrip(&trace));
+    }
+
+    /// A trace that fits entirely misses exactly once per distinct line.
+    #[test]
+    fn fitting_trace_compulsory_only(
+        lines in proptest::collection::vec(0u64..32, 1..200),
+    ) {
+        let cfg = CacheConfig { capacity_bytes: 1024, line_bytes: 16, associativity: 64 };
+        let trace: Vec<(u64, bool)> = lines.iter().map(|&l| (l * 16, false)).collect();
+        let stats = run_lru(cfg, &trace);
+        let distinct: HashSet<u64> = lines.iter().copied().collect();
+        prop_assert_eq!(stats.misses, distinct.len() as u64);
+    }
+
+    /// Dirty data is written back exactly once: total writebacks equal the
+    /// number of distinct lines ever written.
+    #[test]
+    fn single_writeback_per_dirty_line(
+        writes in proptest::collection::vec(0u64..64, 1..200),
+    ) {
+        let cfg = CacheConfig { capacity_bytes: 256, line_bytes: 16, associativity: 4 };
+        let mut c = SetAssocCache::<LruPolicy>::new(cfg);
+        for &l in &writes {
+            c.access(l * 16, true);
+        }
+        c.flush_dirty();
+        let distinct: HashSet<u64> = writes.iter().copied().collect();
+        // Every write-allocated line is eventually written back ≥ once; lines
+        // re-fetched after eviction and re-dirtied may write back again, so
+        // writebacks ≥ distinct and ≤ misses.
+        prop_assert!(c.stats().writebacks >= distinct.len() as u64);
+        prop_assert!(c.stats().writebacks <= c.stats().misses);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests for CHORD: under arbitrary operation sequences, word
+//! conservation holds, the RIFF table invariants hold, and PRELUDE-only never
+//! writes back (it never evicts).
+
+use cello::core::chord::{Chord, ChordConfig, ChordPolicyKind, RiffPriority};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Produce { words: u64, freq: u32, dist: u32 },
+    Fetch { words: u64, freq: u32, dist: u32 },
+    Consume { target: usize, last: bool },
+    Retire { target: usize },
+    Update { target: usize, freq: u32, dist: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..5_000, 0u32..6, 1u32..12)
+            .prop_map(|(words, freq, dist)| Op::Produce { words, freq, dist }),
+        (1u64..5_000, 0u32..6, 1u32..12)
+            .prop_map(|(words, freq, dist)| Op::Fetch { words, freq, dist }),
+        (0usize..32, any::<bool>()).prop_map(|(target, last)| Op::Consume { target, last }),
+        (0usize..32).prop_map(|target| Op::Retire { target }),
+        (0usize..32, 0u32..6, 1u32..12)
+            .prop_map(|(target, freq, dist)| Op::Update { target, freq, dist }),
+    ]
+}
+
+fn run_ops(policy: ChordPolicyKind, capacity: u64, ops: &[Op]) -> Chord {
+    let mut chord = Chord::new(ChordConfig {
+        capacity_words: capacity,
+        word_bytes: 4,
+        policy,
+        max_entries: 64,
+    });
+    let mut created: Vec<String> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Produce { words, freq, dist } => {
+                let name = format!("P{i}");
+                chord.produce(&name, *words, RiffPriority::new(*freq, *dist));
+                created.push(name);
+            }
+            Op::Fetch { words, freq, dist } => {
+                let name = format!("F{i}");
+                chord.fetch(&name, *words, RiffPriority::new(*freq, *dist));
+                created.push(name);
+            }
+            Op::Consume { target, last } => {
+                if created.is_empty() {
+                    continue;
+                }
+                let name = created[target % created.len()].clone();
+                if chord.table().get(&name).is_some() {
+                    let next = if *last {
+                        None
+                    } else {
+                        Some(RiffPriority::new(1, 3))
+                    };
+                    chord.consume(&name, next);
+                } else {
+                    chord.consume_absent(100);
+                }
+            }
+            Op::Retire { target } => {
+                if created.is_empty() {
+                    continue;
+                }
+                let name = created[target % created.len()].clone();
+                chord.retire(&name);
+            }
+            Op::Update { target, freq, dist } => {
+                if created.is_empty() {
+                    continue;
+                }
+                let name = created[target % created.len()].clone();
+                chord.update_priority(&name, RiffPriority::new(*freq, *dist));
+            }
+        }
+        // Invariants must hold after *every* step, not just at the end.
+        chord.check_conservation().unwrap();
+    }
+    chord
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation + table invariants under arbitrary op sequences (full RIFF).
+    #[test]
+    fn riff_conserves_words(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        capacity in 100u64..20_000,
+    ) {
+        let chord = run_ops(ChordPolicyKind::PreludeRiff, capacity, &ops);
+        prop_assert!(chord.used_words() <= capacity);
+    }
+
+    /// PRELUDE-only never evicts, hence never writes back on admission.
+    #[test]
+    fn prelude_only_never_writes_back_on_admission(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        capacity in 100u64..20_000,
+    ) {
+        let chord = run_ops(ChordPolicyKind::PreludeOnly, capacity, &ops);
+        // All DRAM writes under PRELUDE-only come from produce-time spills,
+        // never from evictions: the eviction counters stay zero.
+        for e in chord.table().entries() {
+            prop_assert_eq!(chord.audit(&e.name).evicted_dirty, 0);
+            prop_assert_eq!(chord.audit(&e.name).evicted_clean, 0);
+        }
+        prop_assert_eq!(chord.stats().writebacks, 0);
+    }
+
+    /// Occupancy never exceeds capacity and the resident prefix never exceeds
+    /// the tensor size, for every entry, at the end of any sequence.
+    #[test]
+    fn residency_bounds(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+        capacity in 50u64..5_000,
+    ) {
+        let chord = run_ops(ChordPolicyKind::PreludeRiff, capacity, &ops);
+        let mut sum = 0;
+        for e in chord.table().entries() {
+            prop_assert!(e.resident_words <= e.total_words);
+            sum += e.resident_words;
+        }
+        prop_assert_eq!(sum, chord.used_words());
+        prop_assert!(chord.table().len() <= 64);
+    }
+
+    /// A produce that fits entirely (no contention) never spills, and a
+    /// subsequent consume hits every word.
+    #[test]
+    fn fitting_produce_never_spills(words in 1u64..1_000) {
+        let mut chord = Chord::new(ChordConfig {
+            capacity_words: 1_000,
+            word_bytes: 4,
+            policy: ChordPolicyKind::PreludeRiff,
+            max_entries: 64,
+        });
+        let spill = chord.produce("T", words, RiffPriority::new(1, 1));
+        prop_assert_eq!(spill, 0);
+        let r = chord.consume("T", None);
+        prop_assert_eq!(r.hit_words, words);
+        prop_assert_eq!(r.miss_words, 0);
+        prop_assert_eq!(chord.stats().dram_bytes(), 0);
+    }
+
+    /// RIFF never evicts a tensor with higher priority than the requester:
+    /// after any sequence, if a weak newcomer spilled, every resident tensor
+    /// outranks it.
+    #[test]
+    fn weak_tensors_cannot_displace_strong(
+        strong_n in 1usize..8,
+        words in 200u64..800,
+    ) {
+        let mut chord = Chord::new(ChordConfig {
+            capacity_words: 1_000,
+            word_bytes: 4,
+            policy: ChordPolicyKind::PreludeRiff,
+            max_entries: 64,
+        });
+        for i in 0..strong_n {
+            chord.produce(&format!("S{i}"), words / strong_n as u64, RiffPriority::new(5, 1));
+        }
+        let before: u64 = chord.table().entries().iter()
+            .filter(|e| e.name.starts_with('S')).map(|e| e.resident_words).sum();
+        chord.produce("weak", 2_000, RiffPriority::new(1, 11));
+        let after: u64 = chord.table().entries().iter()
+            .filter(|e| e.name.starts_with('S')).map(|e| e.resident_words).sum();
+        prop_assert_eq!(before, after, "strong residents must be untouched");
+        chord.check_conservation().unwrap();
+    }
+}

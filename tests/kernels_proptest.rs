@@ -1,0 +1,117 @@
+//! Property tests on the numeric substrate: kernels agree with naive
+//! references on random inputs, and the solvers actually solve.
+
+use cello::tensor::dense::DenseMatrix;
+use cello::tensor::gen::random_spd;
+use cello::tensor::kernels::{gemm, gemm_at_b, gemm_naive, invert_small, spmm};
+use cello::tensor::layout::Layout;
+use cello::tensor::sparse::CooMatrix;
+use cello::workloads::bicgstab::solve_bicgstab;
+use cello::workloads::cg::solve_block_cg;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blocked/parallel GEMM ≡ naive GEMM, in any layout combination.
+    #[test]
+    fn gemm_equals_naive(
+        m in 1usize..12, k in 1usize..12, n in 1usize..12,
+        a_col in any::<bool>(), b_col in any::<bool>(),
+        seed_a in proptest::collection::vec(-2.0f64..2.0, 144),
+        seed_b in proptest::collection::vec(-2.0f64..2.0, 144),
+    ) {
+        let a0 = DenseMatrix::from_rows(m, k, &seed_a[..m * k]);
+        let b0 = DenseMatrix::from_rows(k, n, &seed_b[..k * n]);
+        let a = if a_col { a0.to_layout(Layout::ColMajor) } else { a0 };
+        let b = if b_col { b0.to_layout(Layout::ColMajor) } else { b0 };
+        let fast = gemm(&a, &b);
+        let slow = gemm_naive(&a, &b);
+        prop_assert!(fast.max_abs_diff(&slow) < 1e-10);
+    }
+
+    /// AᵀB contraction ≡ transpose-then-naive.
+    #[test]
+    fn contraction_equals_transpose(
+        k in 1usize..20, p in 1usize..6, n in 1usize..6,
+        data_a in proptest::collection::vec(-2.0f64..2.0, 120),
+        data_b in proptest::collection::vec(-2.0f64..2.0, 120),
+    ) {
+        let a = DenseMatrix::from_rows(k, p, &data_a[..k * p]);
+        let b = DenseMatrix::from_rows(k, n, &data_b[..k * n]);
+        let direct = gemm_at_b(&a, &b);
+        let reference = gemm_naive(&a.transpose(), &b);
+        prop_assert!(direct.max_abs_diff(&reference) < 1e-10);
+    }
+
+    /// SpMM over a random sparse pattern ≡ dense GEMM of its densification.
+    #[test]
+    fn spmm_equals_dense(
+        rows in 1usize..15, cols in 1usize..15, n in 1usize..5,
+        entries in proptest::collection::vec((0usize..15, 0usize..15, -2.0f64..2.0), 0..40),
+        dense_data in proptest::collection::vec(-2.0f64..2.0, 75),
+    ) {
+        let mut coo = CooMatrix::new(rows, cols);
+        for (r, c, v) in entries {
+            coo.push(r % rows, c % cols, v);
+        }
+        let a = coo.to_csr();
+        let p = DenseMatrix::from_rows(cols, n, &dense_data[..cols * n]);
+        let sparse = spmm(&a, &p);
+        let dense = gemm_naive(&a.to_dense(), &p);
+        prop_assert!(sparse.max_abs_diff(&dense) < 1e-10);
+    }
+
+    /// Gauss–Jordan inverse: A · A⁻¹ ≈ I for diagonally dominant A.
+    #[test]
+    fn inverse_round_trip(
+        n in 1usize..8,
+        data in proptest::collection::vec(-1.0f64..1.0, 64),
+    ) {
+        let mut a = DenseMatrix::from_rows(n, n, &data[..n * n]);
+        for i in 0..n {
+            a.set(i, i, a.get(i, i) + n as f64 + 1.0);
+        }
+        let inv = invert_small(&a).expect("diagonally dominant is invertible");
+        let prod = gemm_naive(&a, &inv);
+        prop_assert!(prod.max_abs_diff(&DenseMatrix::identity(n)) < 1e-8);
+    }
+
+    /// Block CG solves random SPD systems: ‖A·X − B‖∞ small after convergence.
+    #[test]
+    fn block_cg_solves_random_spd(
+        m in 20usize..60,
+        nrhs in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let a = random_spd(m, m * 4, seed);
+        let mut b = DenseMatrix::zeros(m, nrhs);
+        for i in 0..m {
+            for j in 0..nrhs {
+                b.set(i, j, (((i * 31 + j * 17 + seed as usize) % 23) as f64 - 11.0) / 11.0);
+            }
+        }
+        let res = solve_block_cg(&a, &b, 300, 1e-22);
+        let ax = spmm(&a, &res.x);
+        // Relative residual: random SPD systems can be ill-conditioned, so
+        // the achievable floor scales with cond(A)·eps.
+        let bnorm = b.frobenius_norm().max(1e-30);
+        let rel = ax.max_abs_diff(&b) / bnorm;
+        prop_assert!(rel < 1e-4, "relative residual {rel}");
+    }
+
+    /// BiCGStab solves the same systems (single RHS).
+    #[test]
+    fn bicgstab_solves_random_spd(m in 20usize..60, seed in 0u64..1_000) {
+        let a = random_spd(m, m * 4, seed);
+        let mut b = DenseMatrix::zeros(m, 1);
+        for i in 0..m {
+            b.set(i, 0, (((i * 13 + seed as usize) % 19) as f64 - 9.0) / 9.0);
+        }
+        let res = solve_bicgstab(&a, &b, 400, 1e-12);
+        let ax = spmm(&a, &res.x);
+        let bnorm = b.frobenius_norm().max(1e-30);
+        let rel = ax.max_abs_diff(&b) / bnorm;
+        prop_assert!(rel < 1e-4, "relative residual {rel}");
+    }
+}
