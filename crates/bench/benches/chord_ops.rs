@@ -64,5 +64,10 @@ fn bench_prelude_spill(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_produce_consume, bench_riff_contention, bench_prelude_spill);
+criterion_group!(
+    benches,
+    bench_produce_consume,
+    bench_riff_contention,
+    bench_prelude_spill
+);
 criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmarks for the DSE engine: candidate assembly + evaluation
+//! throughput, and end-to-end beam tuning on a small CG DAG. These guard the
+//! auto-tuner's hot path — one candidate evaluation is a full (cheap)
+//! schedule build + operand-granular simulation, and a beam run does
+//! hundreds of them.
+
+use cello_core::accel::CelloConfig;
+use cello_search::{Candidate, SpaceConfig, Strategy, Tuner};
+use cello_sim::evaluate::evaluate_schedule;
+use cello_workloads::cg::{build_cg_dag, CgParams};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn small_cg() -> cello_graph::dag::TensorDag {
+    build_cg_dag(&CgParams {
+        m: 20_000,
+        occupancy: 4.0,
+        a_payload_words: 2 * 80_000 + 20_001,
+        n: 16,
+        nprime: 16,
+        iterations: 2,
+    })
+}
+
+fn bench_single_eval(c: &mut Criterion) {
+    let dag = small_cg();
+    let accel = CelloConfig::paper();
+    c.bench_function("dse/build+evaluate one candidate", |b| {
+        b.iter(|| {
+            let schedule = Candidate::paper_heuristic().build(&dag);
+            black_box(evaluate_schedule(&dag, &schedule, &accel))
+        })
+    });
+}
+
+fn bench_beam(c: &mut Criterion) {
+    let dag = small_cg();
+    let accel = CelloConfig::paper();
+    let mut g = c.benchmark_group("dse/tune");
+    g.sample_size(10);
+    g.bench_function("beam4 cg 2-iter (cold cache)", |b| {
+        b.iter(|| {
+            let tuner = Tuner::new(&dag, &accel, SpaceConfig::default());
+            black_box(tuner.tune(Strategy::Beam { width: 4 }))
+        })
+    });
+    g.bench_function("random64 cg 2-iter (cold cache)", |b| {
+        b.iter(|| {
+            let tuner = Tuner::new(&dag, &accel, SpaceConfig::default());
+            black_box(tuner.tune(Strategy::Random {
+                samples: 64,
+                seed: 7,
+            }))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_eval, bench_beam);
+criterion_main!(benches);

@@ -36,7 +36,9 @@ fn bench_skewed_gemm(c: &mut Criterion) {
     let b_small = dense(16, 16);
     let mut g = c.benchmark_group("kernels/skewed_gemm");
     g.throughput(Throughput::Elements(65_536 * 16 * 16));
-    g.bench_function("65536x16x16", |bch| bch.iter(|| black_box(gemm(&a, &b_small))));
+    g.bench_function("65536x16x16", |bch| {
+        bch.iter(|| black_box(gemm(&a, &b_small)))
+    });
     g.finish();
 }
 

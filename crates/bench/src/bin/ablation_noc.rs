@@ -29,7 +29,13 @@ fn main() {
     emit(
         "ablation_noc",
         "§V-B ablation: NoC words per pipelined exchange (naive vs scalable)",
-        &["workload", "nodes", "naive words", "scalable words", "advantage ×"],
+        &[
+            "workload",
+            "nodes",
+            "naive words",
+            "scalable words",
+            "advantage ×",
+        ],
         &rows,
     );
 }

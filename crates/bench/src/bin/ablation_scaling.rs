@@ -13,7 +13,13 @@ use cello_workloads::datasets::SHALLOW_WATER1;
 fn main() {
     let prm = CgParams::from_dataset(&SHALLOW_WATER1, 16, 10);
     let accel = CelloConfig::paper();
-    let single = run_cg_multinode(&prm, &accel, ConfigKind::Cello, 1, ScalingStrategy::Scalable);
+    let single = run_cg_multinode(
+        &prm,
+        &accel,
+        ConfigKind::Cello,
+        1,
+        ScalingStrategy::Scalable,
+    );
     let mut rows = Vec::new();
     for nodes in [1u64, 2, 4, 8, 16, 32, 64] {
         for strategy in [ScalingStrategy::Scalable, ScalingStrategy::Naive] {

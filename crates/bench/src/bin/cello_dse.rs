@@ -1,0 +1,150 @@
+//! `cello_dse` — auto-tune every workload over the SCORE × CHORD space.
+//!
+//! For each paper workload this builds the DAG, derives the co-design search
+//! space (`cello_search::SearchSpace`), runs the beam strategy (width 8) and
+//! the seeded random baseline, and compares the tuned schedule against the
+//! `ScheduleOptions::cello()` paper heuristic scored through the same cheap
+//! evaluator. On the CG DAG it additionally runs exhaustive enumeration to
+//! report how much of the exhaustive-best the beam recovers and at what
+//! fraction of the evaluation count.
+//!
+//! Output: a TSV under `results/dse.tsv` plus the usual stdout table.
+//!
+//! Usage: `cargo run --release --bin cello_dse`
+
+use cello_bench::{emit, f3};
+use cello_core::accel::CelloConfig;
+use cello_graph::dag::TensorDag;
+use cello_search::{SpaceConfig, Strategy, Tuner};
+use cello_workloads::bicgstab::{build_bicgstab_dag, BicgParams};
+use cello_workloads::cg::{build_cg_dag, CgParams};
+use cello_workloads::datasets::{CORA, G2_CIRCUIT, SHALLOW_WATER1};
+use cello_workloads::gcn::{build_gcn_dag, GcnParams};
+use cello_workloads::hpcg::{build_hpcg_dag, HpcgParams};
+use cello_workloads::power_iter::{build_power_iter_dag, PowerIterParams};
+use cello_workloads::resnet::{build_resnet_block_dag, ResNetBlockParams};
+
+struct Workload {
+    name: &'static str,
+    dag: TensorDag,
+    accel: CelloConfig,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "cg/G2_circuit",
+            dag: build_cg_dag(&CgParams::from_dataset(&G2_CIRCUIT, 16, 5)),
+            accel: CelloConfig::paper(),
+        },
+        Workload {
+            name: "cg/shallow_w1",
+            dag: build_cg_dag(&CgParams::from_dataset(&SHALLOW_WATER1, 16, 5)),
+            accel: CelloConfig::paper(),
+        },
+        Workload {
+            name: "bicgstab/G2",
+            dag: build_bicgstab_dag(&BicgParams::from_dataset(&G2_CIRCUIT, 16, 3)),
+            accel: CelloConfig::paper(),
+        },
+        Workload {
+            name: "hpcg/nx48",
+            dag: build_hpcg_dag(&HpcgParams {
+                nx: 48,
+                n: 16,
+                iterations: 4,
+            }),
+            accel: CelloConfig::paper(),
+        },
+        Workload {
+            name: "gcn/cora",
+            dag: build_gcn_dag(&GcnParams::from_dataset(&CORA, 2)),
+            accel: CelloConfig::paper(),
+        },
+        Workload {
+            name: "resnet/conv3x",
+            dag: build_resnet_block_dag(&ResNetBlockParams::conv3x()),
+            accel: CelloConfig::paper().with_word_bytes(2),
+        },
+        Workload {
+            name: "power/G2",
+            dag: build_power_iter_dag(&PowerIterParams::from_dataset(&G2_CIRCUIT, 5)),
+            accel: CelloConfig::paper(),
+        },
+    ]
+}
+
+fn main() {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut wins = 0usize;
+    for w in workloads() {
+        for strategy in [
+            Strategy::Beam { width: 8 },
+            Strategy::Random {
+                samples: 64,
+                seed: 0xCE110,
+            },
+        ] {
+            // Fresh tuner (and memo cache) per strategy so each row's
+            // evals/cache_hits measure that strategy standalone.
+            let tuner = Tuner::new(&w.dag, &w.accel, SpaceConfig::default());
+            let out = tuner.tune(strategy);
+            let improved = out.best_cycles.cost.cycles < out.baseline.cost.cycles
+                || out.best_dram.cost.dram_bytes < out.baseline.cost.dram_bytes;
+            if improved && matches!(strategy, Strategy::Beam { .. }) {
+                wins += 1;
+            }
+            rows.push(vec![
+                w.name.to_string(),
+                out.strategy.clone(),
+                out.baseline.cost.cycles.to_string(),
+                out.best_cycles.cost.cycles.to_string(),
+                f3(out.speedup()),
+                out.baseline.cost.dram_bytes.to_string(),
+                out.best_dram.cost.dram_bytes.to_string(),
+                f3(out.dram_ratio()),
+                out.evaluations.to_string(),
+                out.cache_hits.to_string(),
+                out.pareto.len().to_string(),
+            ]);
+        }
+    }
+    emit(
+        "dse",
+        "cello_dse: tuned vs. paper-heuristic schedules",
+        &[
+            "workload",
+            "strategy",
+            "base_cycles",
+            "tuned_cycles",
+            "speedup",
+            "base_dram_B",
+            "tuned_dram_B",
+            "dram_ratio",
+            "evals",
+            "cache_hits",
+            "pareto",
+        ],
+        &rows,
+    );
+    println!("workloads improved by beam tuning: {wins}");
+
+    // Beam-vs-exhaustive efficiency on the CG DAG (kept to one dataset:
+    // exhaustive on the full default space is thousands of evaluations).
+    let dag = build_cg_dag(&CgParams::from_dataset(&SHALLOW_WATER1, 16, 5));
+    let accel = CelloConfig::paper();
+    let tuner = Tuner::new(&dag, &accel, SpaceConfig::default());
+    let beam = tuner.tune(Strategy::Beam { width: 8 });
+    let fresh = Tuner::new(&dag, &accel, SpaceConfig::default());
+    let exhaustive = fresh.tune(Strategy::Exhaustive);
+    let cycle_ratio =
+        beam.best_cycles.cost.cycles as f64 / exhaustive.best_cycles.cost.cycles.max(1) as f64;
+    let eval_ratio = exhaustive.evaluations as f64 / beam.evaluations.max(1) as f64;
+    println!(
+        "cg beam-vs-exhaustive: cycles ratio {} (<= 1.05 expected), {}x fewer evaluations ({} vs {})",
+        f3(cycle_ratio),
+        f3(eval_ratio),
+        beam.evaluations,
+        exhaustive.evaluations,
+    );
+}

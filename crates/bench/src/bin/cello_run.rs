@@ -106,7 +106,11 @@ fn main() {
     .with_sram_bytes(sram_mb << 20);
 
     let dag: TensorDag = match workload.as_str() {
-        "cg" => build_cg_dag(&CgParams::from_dataset(&find_dataset(&dataset_name), n, iterations)),
+        "cg" => build_cg_dag(&CgParams::from_dataset(
+            &find_dataset(&dataset_name),
+            n,
+            iterations,
+        )),
         "bicgstab" => build_bicgstab_dag(&BicgParams::from_dataset(
             &find_dataset(&dataset_name),
             n,

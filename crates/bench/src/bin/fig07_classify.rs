@@ -35,11 +35,20 @@ fn classify_and_emit(name: &str, title: &str, dag: &TensorDag) {
     emit(
         name,
         title,
-        &["src", "dst", "tensor", "src dom", "transitive", "dependency"],
+        &[
+            "src",
+            "dst",
+            "tensor",
+            "src dom",
+            "transitive",
+            "dependency",
+        ],
         &rows,
     );
     let cls2 = cls.clone();
-    let dot = to_dot(dag, |e| (color(cls2.dep(e)).to_string(), cls2.dep(e).to_string()));
+    let dot = to_dot(dag, |e| {
+        (color(cls2.dep(e)).to_string(), cls2.dep(e).to_string())
+    });
     let path = format!("results/{name}.dot");
     if std::fs::write(&path, dot).is_ok() {
         println!("[saved {path}]");

@@ -13,11 +13,17 @@ fn main() {
     let prm = CgParams::from_dataset(&SHALLOW_WATER1, 16, 2);
     let dag = build_cg_dag(&prm);
     let schedule = build_schedule(&dag, ScheduleOptions::cello());
-    schedule.validate(&dag).expect("CELLO schedule must be valid");
+    schedule
+        .validate(&dag)
+        .expect("CELLO schedule must be valid");
 
     let mut rows = Vec::new();
     for (pi, phase) in schedule.phases.iter().enumerate() {
-        let ops: Vec<String> = phase.ops.iter().map(|&n| dag.node(n).name.clone()).collect();
+        let ops: Vec<String> = phase
+            .ops
+            .iter()
+            .map(|&n| dag.node(n).name.clone())
+            .collect();
         let realized: Vec<String> = phase
             .realized_edges
             .iter()
@@ -26,7 +32,11 @@ fn main() {
                 format!(
                     "{}→{}",
                     dag.node(NodeId(edge.src)).output.name,
-                    dag.node(NodeId(edge.dst)).name.split(':').next().unwrap_or("?")
+                    dag.node(NodeId(edge.dst))
+                        .name
+                        .split(':')
+                        .next()
+                        .unwrap_or("?")
                 )
             })
             .collect();
@@ -76,7 +86,12 @@ fn main() {
     emit(
         "fig08_multinode",
         "Fig 8 (bottom) / §V-B: NoC words per pipelined exchange, naive vs scalable",
-        &["nodes", "naive (move R: M·N)", "scalable (Λ/Γ·hops)", "advantage ×"],
+        &[
+            "nodes",
+            "naive (move R: M·N)",
+            "scalable (Λ/Γ·hops)",
+            "advantage ×",
+        ],
         &nrows,
     );
 }

@@ -45,7 +45,13 @@ fn main() {
     emit(
         "fig13_gnn_bicgstab",
         "Fig 13: GNN and BiCGStab performance (GigaFPMuls/s, higher is better)",
-        &["workload", "config", "GFPMuls/s", "DRAM bytes", "achieved ops/B"],
+        &[
+            "workload",
+            "config",
+            "GFPMuls/s",
+            "DRAM bytes",
+            "achieved ops/B",
+        ],
         &rows,
     );
 

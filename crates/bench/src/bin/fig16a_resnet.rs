@@ -35,7 +35,11 @@ fn main() {
     let mut rows = Vec::new();
     for (ci, cell) in cells.iter().enumerate() {
         let slice = &reports[ci * configs.len()..(ci + 1) * configs.len()];
-        let base = slice.iter().find(|r| r.config == "Flexagon").unwrap().clone();
+        let base = slice
+            .iter()
+            .find(|r| r.config == "Flexagon")
+            .unwrap()
+            .clone();
         for r in slice {
             rows.push(vec![
                 cell.label.clone(),

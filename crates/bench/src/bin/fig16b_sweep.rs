@@ -14,7 +14,13 @@ fn main() {
     for n in [1u64, 16] {
         for mb in [1u64, 4, 16] {
             let accel = CelloConfig::paper().with_sram_bytes(mb << 20);
-            cells.push(cg_cell(&SHALLOW_WATER1, n, 10, accel, &format!(" SRAM={mb}MB")));
+            cells.push(cg_cell(
+                &SHALLOW_WATER1,
+                n,
+                10,
+                accel,
+                &format!(" SRAM={mb}MB"),
+            ));
         }
     }
     let reports = run_grid(&cells, &configs);

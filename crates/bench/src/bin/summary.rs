@@ -76,7 +76,10 @@ fn main() {
         f3(geomean(&speedups_vs_flexagon)),
         f3(geomean(&speedups_vs_best)),
         f3(geomean(
-            &energy_vs_flexagon.iter().map(|e| 1.0 / e).collect::<Vec<_>>()
+            &energy_vs_flexagon
+                .iter()
+                .map(|e| 1.0 / e)
+                .collect::<Vec<_>>()
         )),
     );
     println!("(paper: 4x geomean speedup, 4x energy efficiency across HPC workloads)");

@@ -1,0 +1,204 @@
+//! Vendored stand-in for the `criterion` subset this workspace uses.
+//!
+//! Offline container, no registry access. Implements the API shape the
+//! `crates/bench/benches/*.rs` files call — `Criterion`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`, `Throughput`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros — with a simple timed loop instead of criterion's statistical
+//! machinery: each benchmark warms up once, then reports the mean wall time
+//! over a fixed sample of iterations (plus derived throughput when set).
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity (mirror of `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared throughput for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark identifier (mirror of `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Id from a parameter's display form.
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        Self {
+            name: p.to_string(),
+        }
+    }
+
+    /// Id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, p: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{p}", function.into()),
+        }
+    }
+}
+
+/// Drives one benchmark's timed loop.
+pub struct Bencher {
+    samples: u64,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the aggregate for the caller to report.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.samples;
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.iters == 0 {
+        println!("bench {name:<40} (no iterations)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(", {:.3} GiB/s", n as f64 / per_iter / (1u64 << 30) as f64),
+        Throughput::Elements(n) => format!(", {:.3} Melem/s", n as f64 / per_iter / 1e6),
+    });
+    println!(
+        "bench {name:<40} {:>12.3} µs/iter{}",
+        per_iter * 1e6,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Top-level benchmark driver (mirror of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: Option<u64>,
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: self.sample_size.unwrap_or(10),
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(name, &b, None);
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A benchmark group (mirror of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the group's per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Overrides the iteration count for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = Some(n as u64);
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: String, mut f: F) {
+        let mut b = Bencher {
+            samples: self.sample_size.unwrap_or(10),
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&label, &b, self.throughput);
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let label = format!("{}/{}", self.name, name);
+        self.run(label, f);
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.name);
+        self.run(label, |b| f(b, input));
+    }
+
+    /// Closes the group (formatting no-op).
+    pub fn finish(self) {}
+}
+
+/// Mirror of `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("group");
+        g.throughput(Throughput::Bytes(1024));
+        g.sample_size(3);
+        g.bench_function("in-group", |b| b.iter(|| black_box(2 * 2)));
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &7u64, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn api_surface_smoke() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+}

@@ -1,0 +1,167 @@
+//! Vendored stand-in for the `rand` subset this workspace uses.
+//!
+//! Offline container, no registry access. The dataset generators only need a
+//! seedable uniform generator (`StdRng::seed_from_u64`, `gen_range` over
+//! integer/float ranges, `gen_bool`), so this crate implements exactly that on
+//! SplitMix64. Determinism per seed is guaranteed (the workspace's own
+//! `generators_are_deterministic` test pins it); the exact stream differs from
+//! upstream rand, which no test depends on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be drawn uniformly from a range (mirror of `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value from `self` using `rng`.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Minimal core-RNG trait (`next_u64` is the only primitive).
+pub trait RngCore {
+    /// Next 64 uniformly-distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing convenience trait (mirror of `rand::Rng`).
+pub trait Rng: RngCore + Sized {
+    /// Uniform draw from an integer or float range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+/// Mirror of `rand::SeedableRng` (only the `seed_from_u64` entry point).
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits -> [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform integer in `[0, bound)` via Lemire-style rejection-free scaling
+/// (128-bit multiply keeps bias negligible for the bounds used here).
+fn below<R: RngCore>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi as u64) - (lo as u64) + 1;
+                lo + below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty gen_range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+/// Named RNG implementations.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic seedable generator (SplitMix64 core).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // One warm-up scramble so nearby seeds diverge immediately.
+            let mut state = seed ^ 0xD6E8_FEB8_6659_FD93;
+            let mut rng = StdRng {
+                state: super::splitmix64(&mut state),
+            };
+            rng.next_u64();
+            rng
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(1u32..=5);
+            assert!((1..=5).contains(&y));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads {heads}");
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64)
+            .filter(|_| a.gen_range(0u64..1 << 32) == b.gen_range(0u64..1 << 32))
+            .count();
+        assert!(same < 4);
+    }
+}

@@ -1,0 +1,316 @@
+//! Vendored stand-in for the `rayon` subset this workspace uses.
+//!
+//! The build container has no route to a cargo registry, so this crate
+//! re-implements the handful of rayon entry points the workspace calls —
+//! `par_iter().map().collect()`, `par_chunks_mut().enumerate().for_each()`,
+//! `into_par_iter().step_by().map().collect()` and `current_num_threads()` —
+//! on top of `std::thread::scope`. Parallelism is real (contiguous chunking,
+//! one worker per available core), ordering is preserved, and the API shape
+//! matches rayon closely enough that swapping the real crate back in is a
+//! Cargo.toml-only change.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads the pool-less fallback will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Ordered parallel map over owned items: splits into contiguous chunks, one
+/// scoped thread per chunk, then re-concatenates in order.
+fn parallel_map<I, U, F>(items: Vec<I>, f: &F) -> Vec<U>
+where
+    I: Send,
+    U: Send,
+    F: Fn(I) -> U + Sync,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let mut out = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("rayon-compat worker panicked"));
+        }
+    });
+    out
+}
+
+/// Parallel for-each over owned items (no result collection).
+fn parallel_for_each<I, F>(items: Vec<I>, f: &F)
+where
+    I: Send,
+    F: Fn(I) + Sync,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        items.into_iter().for_each(f);
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    std::thread::scope(|scope| {
+        for c in chunks {
+            scope.spawn(move || c.into_iter().for_each(f));
+        }
+    });
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element (in parallel at collect time).
+    pub fn map<U, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Parallel for-each over `&T`.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        parallel_for_each(self.items.iter().collect(), &|t| f(t));
+    }
+}
+
+/// Mapped borrowing parallel iterator.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Runs the map in parallel and collects in order.
+    pub fn collect<C, U>(self) -> C
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+        C: FromIterator<U>,
+    {
+        parallel_map(self.items.iter().collect::<Vec<&'a T>>(), &|t| (self.f)(t))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Parallel iterator over owned items (ranges, vecs).
+pub struct IntoParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> IntoParIter<I> {
+    /// Keeps every `step`-th element, mirroring `Iterator::step_by`.
+    pub fn step_by(self, step: usize) -> IntoParIter<I> {
+        IntoParIter {
+            items: self.items.into_iter().step_by(step.max(1)).collect(),
+        }
+    }
+
+    /// Maps each element (in parallel at collect time).
+    pub fn map<U, F>(self, f: F) -> IntoParMap<I, F>
+    where
+        U: Send,
+        F: Fn(I) -> U + Sync,
+    {
+        IntoParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Parallel for-each over owned items.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        parallel_for_each(self.items, &f);
+    }
+}
+
+/// Mapped owning parallel iterator.
+pub struct IntoParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send, F> IntoParMap<I, F> {
+    /// Runs the map in parallel and collects in order.
+    pub fn collect<C, U>(self) -> C
+    where
+        U: Send,
+        F: Fn(I) -> U + Sync,
+        C: FromIterator<U>,
+    {
+        parallel_map(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Mirror of rayon's `IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> IntoParIter<usize> {
+        IntoParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+/// Mirror of rayon's `IntoParallelRefIterator` (`par_iter` on slices/vecs).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Sync + 'a;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Chunked mutable parallel iterator (pre-enumerate).
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Parallel for-each over chunks.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        parallel_for_each(self.chunks, &f);
+    }
+}
+
+/// Enumerated chunked mutable parallel iterator.
+pub struct ParChunksMutEnumerate<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Parallel for-each over `(index, chunk)` pairs.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        parallel_for_each(self.chunks.into_iter().enumerate().collect(), &f);
+    }
+}
+
+/// Mirror of rayon's `ParallelSliceMut` (`par_chunks_mut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits into mutable chunks of at most `size` elements.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut {
+            chunks: self.chunks_mut(size.max(1)).collect(),
+        }
+    }
+}
+
+/// The rayon prelude: the traits that put `par_iter` & friends in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn into_par_iter_step_by_matches_sequential() {
+        let par: Vec<usize> = (0..1000)
+            .into_par_iter()
+            .step_by(7)
+            .map(|x| x + 1)
+            .collect();
+        let seq: Vec<usize> = (0..1000).step_by(7).map(|x| x + 1).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_writes_disjoint() {
+        let mut data = vec![0usize; 64];
+        data.par_chunks_mut(8)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.iter_mut().for_each(|c| *c = i));
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i / 8);
+        }
+    }
+
+    #[test]
+    fn current_num_threads_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! Vendored API-compatible stand-in for `serde`.
+//!
+//! The container this workspace builds in has no network route to a cargo
+//! registry, and no code in the repo performs runtime (de)serialization —
+//! the derives are declarations of intent. This crate supplies the names the
+//! source imports (`use serde::{Deserialize, Serialize}` plus the derive
+//! macros) so the workspace compiles offline. Swapping in real serde later
+//! is a one-line Cargo.toml change; no source edits needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (never used as a bound here).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (never used as a bound here).
+pub trait Deserialize<'de> {}

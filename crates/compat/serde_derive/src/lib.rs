@@ -1,0 +1,21 @@
+//! Vendored no-op stand-in for `serde_derive`.
+//!
+//! This workspace builds in an offline container with no access to
+//! crates.io, and nothing in the repo actually serializes at runtime — the
+//! `#[derive(Serialize, Deserialize)]` annotations only document intent and
+//! keep the door open for a real serde swap-in. These derives therefore
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

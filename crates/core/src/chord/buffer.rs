@@ -246,7 +246,9 @@ impl Chord {
             None => {
                 // Fully spilled / never cached: the caller still knows the
                 // footprint, but we don't — callers use `consume_absent`.
-                panic!("consume of unknown tensor {name}; use consume_absent for fully-DRAM tensors")
+                panic!(
+                    "consume of unknown tensor {name}; use consume_absent for fully-DRAM tensors"
+                )
             }
         };
         let miss = total - resident;
@@ -302,11 +304,7 @@ impl Chord {
     pub fn check_conservation(&self) -> Result<(), String> {
         self.table.check_invariants()?;
         for (name, a) in &self.audit {
-            let resident = self
-                .table
-                .get(name)
-                .map(|e| e.resident_words)
-                .unwrap_or(0);
+            let resident = self.table.get(name).map(|e| e.resident_words).unwrap_or(0);
             if a.produced > 0 {
                 let accounted = a.spilled + a.evicted_dirty + a.dropped + resident;
                 if accounted != a.produced {

@@ -46,7 +46,10 @@ impl RiffPriority {
 
     /// A dead tensor: no future uses.
     pub fn dead() -> Self {
-        Self { freq: 0, dist: u32::MAX }
+        Self {
+            freq: 0,
+            dist: u32::MAX,
+        }
     }
 }
 
@@ -286,7 +289,10 @@ impl RiffIndexTable {
         let mut cursor = 0u64;
         for e in &self.entries {
             if e.start_index != cursor {
-                return Err(format!("{}: start_index {} != {}", e.name, e.start_index, cursor));
+                return Err(format!(
+                    "{}: start_index {} != {}",
+                    e.name, e.start_index, cursor
+                ));
             }
             if e.end_index != e.start_index + e.resident_words {
                 return Err(format!("{}: end_index mismatch", e.name));
@@ -297,7 +303,10 @@ impl RiffIndexTable {
             cursor = e.end_index;
         }
         if cursor > self.capacity_words {
-            return Err(format!("occupancy {cursor} > capacity {}", self.capacity_words));
+            return Err(format!(
+                "occupancy {cursor} > capacity {}",
+                self.capacity_words
+            ));
         }
         if self.entries.len() > self.max_entries {
             return Err("table overfull".into());

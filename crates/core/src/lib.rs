@@ -30,5 +30,8 @@ pub mod search_space;
 
 pub use accel::CelloConfig;
 pub use chord::{Chord, ChordConfig, ChordPolicyKind, RiffPriority};
-pub use score::binding::{Binding, Phase, Schedule};
+pub use score::binding::{
+    build_schedule, build_schedule_with, Binding, Phase, Schedule, ScheduleConstraints,
+    ScheduleOptions,
+};
 pub use score::classify::{classify, Classification, Dependency};

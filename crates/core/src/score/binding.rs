@@ -20,11 +20,11 @@
 use crate::score::classify::{classify, Classification, Dependency};
 use crate::score::loop_order::{can_pipeline, choose_loop_order, LoopOrder};
 use crate::score::swizzle::{minimize_swizzles, SwizzleReport};
-use crate::score::tiling::rf_fits;
+use crate::score::tiling::{pipeline_can_stream, rf_fits};
 use cello_graph::dag::{EdgeId, NodeId, TensorDag};
 use cello_graph::node::OpKind;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// How aggressively a scheduler may realize pipelining (Table IV rows).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -239,6 +239,11 @@ fn realizable(
     kind_ok
         && scope_allows(dag, cls, NodeId(edge.src), opts.scope)
         && can_pipeline(dag, cls, e, &orders[edge.src], &orders[edge.dst])
+        && pipeline_can_stream(
+            stream_row_words(dag, NodeId(edge.src), &orders[edge.src]),
+            opts.pipeline_buffer_words,
+            1,
+        )
 }
 
 /// Do `v` and some member of `cluster` share a parallel-multicast input?
@@ -263,13 +268,84 @@ fn shares_multicast_input(
     false
 }
 
+/// Programmatic schedule-construction constraints — the hook the DSE engine
+/// (`cello-search`) uses to explore the §V schedule space instead of being
+/// limited to the preset [`ScheduleOptions`] heuristics.
+///
+/// Every constraint is *advisory toward validity*: the builder applies a
+/// constraint only when the resulting schedule stays valid (per-tensor
+/// binding rules, cluster topology), so any constraint set yields a
+/// schedule that passes [`Schedule::validate`]. Invalid requests are
+/// silently dropped rather than rejected — the search treats them as
+/// no-ops, and the memo cache (keyed by the canonicalized *schedule*)
+/// dedupes the resulting duplicates.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleConstraints {
+    /// Node indices forced to start a new pipeline cluster (a "cluster cut"):
+    /// the builder never joins such a node to the running cluster.
+    pub cut_before: BTreeSet<usize>,
+    /// Tensor name → requested binding. Applied only when valid:
+    /// `RegisterFile` requires the tensor to fit the RF; `Pipeline` requires
+    /// every consumer edge realized; `Chord` requires `enable_chord` and a
+    /// non-terminal tensor (terminal results must drain to DRAM); `Dram` is
+    /// always honored.
+    pub binding_overrides: BTreeMap<String, Binding>,
+    /// Node index → loop order override (ranks outermost-first). The order
+    /// must be a permutation of the node's ranks; others are ignored.
+    pub loop_orders: BTreeMap<usize, LoopOrder>,
+}
+
+impl ScheduleConstraints {
+    /// No constraints: `build_schedule_with` degenerates to `build_schedule`.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when no constraint is set.
+    pub fn is_empty(&self) -> bool {
+        self.cut_before.is_empty()
+            && self.binding_overrides.is_empty()
+            && self.loop_orders.is_empty()
+    }
+}
+
 /// Builds a schedule for `dag` under `opts` (see module docs).
 pub fn build_schedule(dag: &TensorDag, opts: ScheduleOptions) -> Schedule {
+    build_schedule_with(dag, opts, &ScheduleConstraints::none())
+}
+
+/// Is `requested` a valid binding for a tensor with the given properties?
+fn override_valid(
+    requested: Binding,
+    words: u64,
+    terminal: bool,
+    all_realized: bool,
+    opts: &ScheduleOptions,
+) -> bool {
+    match requested {
+        Binding::RegisterFile => rf_fits(words, opts.rf_capacity_words),
+        Binding::Pipeline => !terminal && all_realized,
+        Binding::Chord => opts.enable_chord && !terminal,
+        Binding::Dram => true,
+    }
+}
+
+/// Builds a schedule for `dag` under `opts` and `constraints` (see
+/// [`ScheduleConstraints`]). `build_schedule` is the unconstrained special
+/// case.
+pub fn build_schedule_with(
+    dag: &TensorDag,
+    opts: ScheduleOptions,
+    constraints: &ScheduleConstraints,
+) -> Schedule {
     let cls = classify(dag);
     let orders: Vec<LoopOrder> = dag
         .topo_order()
         .into_iter()
-        .map(|n| choose_loop_order(dag, n))
+        .map(|n| match constraints.loop_orders.get(&n.0) {
+            Some(req) if is_rank_permutation(dag, n, req) => req.clone(),
+            _ => choose_loop_order(dag, n),
+        })
         .collect();
 
     let mut phases: Vec<Phase> = Vec::new();
@@ -278,13 +354,21 @@ pub fn build_schedule(dag: &TensorDag, opts: ScheduleOptions) -> Schedule {
         ops: Vec::new(),
         realized_edges: Vec::new(),
     };
+    // Double-buffered row-tile words the current cluster's realized edges
+    // reserve in the pipeline buffer. A join whose added streams would
+    // overflow `pipeline_buffer_words` is refused — this is what makes the
+    // pipeline-buffer size a real scheduling constraint (and a real DSE
+    // knob) instead of free SRAM.
+    let mut current_demand: u64 = 0;
 
     for v in dag.topo_order() {
         let mut join_edges: Vec<EdgeId> = Vec::new();
         let mut join = false;
+        let mut join_demand: u64 = 0;
         if !current.ops.is_empty()
             && opts.scope != PipelineScope::None
             && dag.node(v).kind == OpKind::TensorMac
+            && !constraints.cut_before.contains(&v.0)
         {
             let in_phase: Vec<EdgeId> = dag
                 .in_edges(v)
@@ -296,8 +380,17 @@ pub fn build_schedule(dag: &TensorDag, opts: ScheduleOptions) -> Schedule {
                     .iter()
                     .all(|&e| realizable(dag, &cls, &orders, &opts, e))
                 {
-                    join = true;
-                    join_edges = in_phase;
+                    join_demand = in_phase
+                        .iter()
+                        .map(|&e| {
+                            let src = NodeId(dag.edge(e).src);
+                            2 * stream_row_words(dag, src, &orders[src.0])
+                        })
+                        .sum();
+                    if current_demand + join_demand <= opts.pipeline_buffer_words {
+                        join = true;
+                        join_edges = in_phase;
+                    }
                 }
             } else if opts.enable_multicast && shares_multicast_input(dag, &cls, v, &current.ops) {
                 join = true;
@@ -305,17 +398,20 @@ pub fn build_schedule(dag: &TensorDag, opts: ScheduleOptions) -> Schedule {
         }
         if join {
             current.ops.push(v);
+            current_demand += join_demand;
             for e in join_edges {
                 realized[e.0] = true;
                 current.realized_edges.push(e);
             }
         } else {
             if !current.ops.is_empty() {
-                phases.push(std::mem::take(&mut current.ops).into_phase(std::mem::take(
-                    &mut current.realized_edges,
-                )));
+                phases.push(
+                    std::mem::take(&mut current.ops)
+                        .into_phase(std::mem::take(&mut current.realized_edges)),
+                );
             }
             current.ops.push(v);
+            current_demand = 0;
         }
     }
     if !current.ops.is_empty() {
@@ -326,27 +422,43 @@ pub fn build_schedule(dag: &TensorDag, opts: ScheduleOptions) -> Schedule {
     let mut binding = BTreeMap::new();
     for (nid, node) in dag.nodes() {
         let outs = dag.out_edges(nid);
-        let b = if outs.is_empty() {
+        let terminal = outs.is_empty();
+        let all_realized = !terminal && outs.iter().all(|&e| realized[e.0]);
+        let default = if terminal {
             // Terminal results must end in DRAM.
             Binding::Dram
         } else if rf_fits(node.output.words, opts.rf_capacity_words) {
             Binding::RegisterFile
-        } else if outs.iter().all(|&e| realized[e.0]) {
+        } else if all_realized {
             Binding::Pipeline
         } else if opts.enable_chord {
             Binding::Chord
         } else {
             Binding::Dram
         };
+        let b = match constraints.binding_overrides.get(&node.output.name) {
+            Some(&req) if override_valid(req, node.output.words, terminal, all_realized, &opts) => {
+                req
+            }
+            _ => default,
+        };
         binding.insert(node.output.name.clone(), b);
     }
     for ext in dag.externals() {
-        let b = if rf_fits(ext.meta.words, opts.rf_capacity_words) {
+        let default = if rf_fits(ext.meta.words, opts.rf_capacity_words) {
             Binding::RegisterFile
         } else if opts.enable_chord {
             Binding::Chord
         } else {
             Binding::Dram
+        };
+        // Externals are DRAM-resident inputs: never terminal (read, not
+        // drained) and never pipeline-bound (no producing op) — the
+        // `all_realized = false` argument makes `override_valid` reject
+        // Pipeline requests.
+        let b = match constraints.binding_overrides.get(&ext.meta.name) {
+            Some(&req) if override_valid(req, ext.meta.words, false, false, &opts) => req,
+            _ => default,
         };
         binding.insert(ext.meta.name.clone(), b);
     }
@@ -360,6 +472,37 @@ pub fn build_schedule(dag: &TensorDag, opts: ScheduleOptions) -> Schedule {
         swizzle: minimize_swizzles(dag),
         options: opts,
     }
+}
+
+/// Words of one outermost-rank "row" of the producer's output — the minimum
+/// unit a pipelined stream must double-buffer per stage (§V-B Tiling).
+fn stream_row_words(dag: &TensorDag, src: NodeId, order: &LoopOrder) -> u64 {
+    let node = dag.node(src);
+    let outer = order.outermost();
+    let extent = node
+        .spec
+        .extents()
+        .iter()
+        .find(|r| r.rank == outer)
+        .map(|r| r.effective)
+        .unwrap_or(1);
+    node.output.words.div_ceil(extent.max(1))
+}
+
+/// Is `req` a permutation of `node`'s ranks? (Any permutation is executable;
+/// the §V-B co-dependence conditions then decide what it can pipeline.)
+fn is_rank_permutation(dag: &TensorDag, node: NodeId, req: &LoopOrder) -> bool {
+    let mut have: Vec<_> = dag
+        .node(node)
+        .spec
+        .extents()
+        .iter()
+        .map(|r| r.rank)
+        .collect();
+    let mut want: Vec<_> = req.order.clone();
+    have.sort();
+    want.sort();
+    have == want
 }
 
 trait IntoPhase {
@@ -607,5 +750,128 @@ mod tests {
         // Corrupt: clear realization flags but keep the fused phase.
         s.realized.iter_mut().for_each(|r| *r = false);
         assert!(s.validate(&dag).is_err());
+    }
+
+    /// Pipeline-buffer capacity bounds fusion: below one double-buffered
+    /// row no edge realizes at all; the full ResNet block (4 realized
+    /// edges x 2 buffers x 128-word rows = 1024 words) only fuses once the
+    /// whole cluster's demand fits.
+    #[test]
+    fn tiny_pipeline_buffer_blocks_fusion() {
+        let dag = resnet_block();
+        // Below one double-buffered 128-word row: op-by-op, nothing streams.
+        let mut opts = ScheduleOptions::cello();
+        opts.pipeline_buffer_words = 255;
+        let s = build_schedule(&dag, opts);
+        assert!(s.realized.iter().all(|&r| !r), "nothing can stream");
+        assert_eq!(s.phases.len(), dag.node_count());
+        s.validate(&dag).unwrap();
+        // One word short of the full cluster demand: partial fusion only.
+        opts.pipeline_buffer_words = 1023;
+        let partial = build_schedule(&dag, opts);
+        assert!(partial.phases.len() > 1, "{:?}", partial.phases);
+        partial.validate(&dag).unwrap();
+        // At exactly the aggregate demand the whole block fuses.
+        opts.pipeline_buffer_words = 1024;
+        let full = build_schedule(&dag, opts);
+        assert_eq!(full.phases.len(), 1, "{:?}", full.phases);
+    }
+
+    /// Empty constraints reproduce the unconstrained schedule exactly.
+    #[test]
+    fn constraints_none_is_identity() {
+        for dag in [cg_iteration(), resnet_block()] {
+            let a = build_schedule(&dag, ScheduleOptions::cello());
+            let b =
+                build_schedule_with(&dag, ScheduleOptions::cello(), &ScheduleConstraints::none());
+            assert_eq!(a.phases, b.phases);
+            assert_eq!(a.realized, b.realized);
+            assert_eq!(a.binding, b.binding);
+        }
+    }
+
+    /// A cluster cut forces a node out of its Fig 8 cluster and the schedule
+    /// stays valid.
+    #[test]
+    fn cut_splits_cluster() {
+        let dag = cg_iteration();
+        // Cut before 2a (node 1): the [1, 2a] cluster splits.
+        let constraints = ScheduleConstraints {
+            cut_before: [1].into_iter().collect(),
+            ..Default::default()
+        };
+        let s = build_schedule_with(&dag, ScheduleOptions::cello(), &constraints);
+        let clusters: Vec<Vec<usize>> = s
+            .phases
+            .iter()
+            .map(|p| p.ops.iter().map(|n| n.0).collect())
+            .collect();
+        assert_eq!(clusters[0], vec![0]);
+        assert_eq!(clusters[1], vec![1]);
+        s.validate(&dag).unwrap();
+    }
+
+    /// Valid binding overrides are honored; invalid ones are dropped.
+    #[test]
+    fn binding_overrides_validated() {
+        let dag = cg_iteration();
+        let constraints = ScheduleConstraints {
+            binding_overrides: [
+                ("S".to_string(), Binding::Dram),         // valid: Chord -> Dram
+                ("X".to_string(), Binding::Chord),        // invalid: terminal
+                ("D".to_string(), Binding::Dram),         // valid: RF -> Dram
+                ("A".to_string(), Binding::Dram),         // valid: external
+                ("R".to_string(), Binding::RegisterFile), // invalid: too big
+            ]
+            .into_iter()
+            .collect(),
+            ..Default::default()
+        };
+        let s = build_schedule_with(&dag, ScheduleOptions::cello(), &constraints);
+        assert_eq!(s.binding_of("S"), Binding::Dram);
+        assert_eq!(s.binding_of("X"), Binding::Dram, "terminal stays DRAM");
+        assert_eq!(s.binding_of("D"), Binding::Dram);
+        assert_eq!(s.binding_of("A"), Binding::Dram);
+        assert_eq!(
+            s.binding_of("R"),
+            Binding::Chord,
+            "oversize RF request dropped"
+        );
+        s.validate(&dag).unwrap();
+    }
+
+    /// A loop-order override that breaks the §V-B co-dependence conditions
+    /// de-realizes the downstream pipelining (the cluster split follows).
+    #[test]
+    fn loop_order_override_blocks_pipelining() {
+        use cello_tensor::shape::RankId;
+        let dag = cg_iteration();
+        // Node 0 (op 1) canonically runs m-outermost (uncontracted), which
+        // enables the 1 -> 2a pipeline. Forcing k outermost (contracted)
+        // violates condition 2, so the [1, 2a] cluster cannot form.
+        let forced = crate::score::loop_order::LoopOrder {
+            order: vec![RankId::new("k"), RankId::new("m"), RankId::new("n")],
+        };
+        let constraints = ScheduleConstraints {
+            loop_orders: [(0usize, forced)].into_iter().collect(),
+            ..Default::default()
+        };
+        let s = build_schedule_with(&dag, ScheduleOptions::cello(), &constraints);
+        assert!(!s.realized[0], "1 -> 2a must not realize under k-outermost");
+        s.validate(&dag).unwrap();
+        // A non-permutation override is ignored.
+        let bogus = ScheduleConstraints {
+            loop_orders: [(
+                0usize,
+                crate::score::loop_order::LoopOrder {
+                    order: vec![RankId::new("z")],
+                },
+            )]
+            .into_iter()
+            .collect(),
+            ..Default::default()
+        };
+        let s2 = build_schedule_with(&dag, ScheduleOptions::cello(), &bogus);
+        assert!(s2.realized[0], "bogus override ignored, pipeline intact");
     }
 }

@@ -268,7 +268,12 @@ mod tests {
     #[test]
     fn contracted_producer_is_sequential() {
         let mut dag = TensorDag::new();
-        let a = dag.add_op("2a", skewed_c(), OpKind::TensorMac, TensorMeta::dense("D", &["p", "n"], N * N));
+        let a = dag.add_op(
+            "2a",
+            skewed_c(),
+            OpKind::TensorMac,
+            TensorMeta::dense("D", &["p", "n"], N * N),
+        );
         let b = dag.add_op("2b", skewed_u("m"), OpKind::TensorMac, meta("T1"));
         dag.add_edge(a, b, &["m", "j"]);
         let cls = classify(&dag);
@@ -283,7 +288,12 @@ mod tests {
             "pn->pn",
             &[RankExtent::dense("p", N), RankExtent::dense("n", N)],
         );
-        let a = dag.add_op("inv", small, OpKind::Inverse, TensorMeta::dense("L", &["p", "n"], N * N));
+        let a = dag.add_op(
+            "inv",
+            small,
+            OpKind::Inverse,
+            TensorMeta::dense("L", &["p", "n"], N * N),
+        );
         let b = dag.add_op("b", skewed_u("m"), OpKind::TensorMac, meta("T1"));
         dag.add_edge(a, b, &["j", "n"]);
         let cls = classify(&dag);
@@ -321,15 +331,28 @@ mod tests {
     fn transitive_edge_behind_contraction_is_writeback() {
         let mut dag = TensorDag::new();
         let n1 = dag.add_op("1", skewed_u("m"), OpKind::TensorMac, meta("S"));
-        let n2 = dag.add_op("2a", skewed_c(), OpKind::TensorMac, TensorMeta::dense("D", &["p", "n"], N * N));
+        let n2 = dag.add_op(
+            "2a",
+            skewed_c(),
+            OpKind::TensorMac,
+            TensorMeta::dense("D", &["p", "n"], N * N),
+        );
         let n4 = dag.add_op("4", skewed_u("m"), OpKind::TensorMac, meta("R"));
         dag.add_edge(n1, n2, &["k", "n"]); // S into the contraction (shared k)
         dag.add_edge(n2, n4, &["j", "n"]); // Δ onward (sequential anyway)
         dag.add_edge(n1, n4, &["m", "j"]); // S delayed: transitive via 2a
         let cls = classify(&dag);
         assert_eq!(cls.deps[0], Dependency::Pipelineable, "S -> 2a pipelines");
-        assert_eq!(cls.deps[1], Dependency::Sequential, "Δ leaves a contraction");
-        assert_eq!(cls.deps[2], Dependency::DelayedWriteback, "S -> 4 writes back");
+        assert_eq!(
+            cls.deps[1],
+            Dependency::Sequential,
+            "Δ leaves a contraction"
+        );
+        assert_eq!(
+            cls.deps[2],
+            Dependency::DelayedWriteback,
+            "S -> 4 writes back"
+        );
     }
 
     /// Rule 4 with an all-pipelineable path: delayed **hold** — the ResNet
@@ -337,10 +360,30 @@ mod tests {
     #[test]
     fn resnet_skip_is_delayed_hold() {
         let mut dag = TensorDag::new();
-        let inp = dag.add_op("conv0", balanced(), OpKind::TensorMac, TensorMeta::dense("T0", &["m", "n"], 784 * 128));
-        let c1 = dag.add_op("conv1", balanced(), OpKind::TensorMac, TensorMeta::dense("T1", &["m", "n"], 784 * 128));
-        let c2 = dag.add_op("conv2", balanced(), OpKind::TensorMac, TensorMeta::dense("T2", &["m", "n"], 784 * 128));
-        let add = dag.add_op("add", balanced(), OpKind::TensorMac, TensorMeta::dense("T3", &["m", "n"], 784 * 128));
+        let inp = dag.add_op(
+            "conv0",
+            balanced(),
+            OpKind::TensorMac,
+            TensorMeta::dense("T0", &["m", "n"], 784 * 128),
+        );
+        let c1 = dag.add_op(
+            "conv1",
+            balanced(),
+            OpKind::TensorMac,
+            TensorMeta::dense("T1", &["m", "n"], 784 * 128),
+        );
+        let c2 = dag.add_op(
+            "conv2",
+            balanced(),
+            OpKind::TensorMac,
+            TensorMeta::dense("T2", &["m", "n"], 784 * 128),
+        );
+        let add = dag.add_op(
+            "add",
+            balanced(),
+            OpKind::TensorMac,
+            TensorMeta::dense("T3", &["m", "n"], 784 * 128),
+        );
         dag.add_edge(inp, c1, &["m", "k"]);
         dag.add_edge(c1, c2, &["m", "k"]);
         dag.add_edge(c2, add, &["m", "k"]);

@@ -201,9 +201,7 @@ mod tests {
             OpKind::TensorMac,
             TensorMeta::dense("D", &["p", "n"], N * N),
         );
-        let e = dag.add_edge_full(
-            Edge::new(p.0, c.0, &["k", "n"]).with_layout(Layout::ColMajor),
-        );
+        let e = dag.add_edge_full(Edge::new(p.0, c.0, &["k", "n"]).with_layout(Layout::ColMajor));
         let cls = classify(&dag);
         let so = choose_loop_order(&dag, p);
         let co = choose_loop_order(&dag, c);

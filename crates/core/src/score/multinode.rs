@@ -90,7 +90,10 @@ mod tests {
         let (m, n, nprime) = (1_000_000u64, 8u64, 8u64);
         let naive = noc.naive_words(m, n);
         let scalable = noc.scalable_words(n, nprime);
-        assert!(naive > 1000 * scalable, "naive {naive} vs scalable {scalable}");
+        assert!(
+            naive > 1000 * scalable,
+            "naive {naive} vs scalable {scalable}"
+        );
         assert!(noc.advantage(m, n, nprime) > 1000.0);
     }
 

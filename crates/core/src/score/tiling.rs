@@ -62,6 +62,18 @@ pub fn rf_fits(words: u64, rf_capacity_words: u64) -> bool {
     words <= rf_capacity_words
 }
 
+/// Whether a pipelined producer→consumer stream is *feasible* in a pipeline
+/// buffer of `pipeline_capacity_words`: each of the `stages` stages must
+/// double-buffer at least one dominant-rank row (`row_words`), i.e.
+/// [`tile_for_pipeline`] must be able to pick `tile_rows >= 1` without
+/// overflowing its per-stage budget. Below this floor the edge cannot be
+/// realized as on-chip pipelining at all — which is what makes the pipeline
+/// buffer size a real knob for the DSE engine rather than free SRAM.
+pub fn pipeline_can_stream(row_words: u64, pipeline_capacity_words: u64, stages: u64) -> bool {
+    assert!(stages > 0);
+    pipeline_capacity_words / (stages * 2) >= row_words.max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +121,16 @@ mod tests {
         // Denser matrix, fewer rows per tile.
         assert!(sparse_tile_rows(50.0, 1000) < sparse_tile_rows(4.0, 1000));
         assert_eq!(sparse_tile_rows(1000.0, 10), 1);
+    }
+
+    #[test]
+    fn pipeline_stream_floor() {
+        // 16-word rows, 2 stages, double-buffered: needs >= 64 words.
+        assert!(pipeline_can_stream(16, 64, 2));
+        assert!(!pipeline_can_stream(16, 63, 2));
+        // The paper's 64K-word buffer streams even 16K-word rows.
+        assert!(pipeline_can_stream(16_384, 65_536, 2));
+        assert!(!pipeline_can_stream(16_385, 65_536, 2));
     }
 
     #[test]

@@ -85,11 +85,7 @@ impl TensorDag {
     }
 
     /// Registers an external DRAM-resident input tensor and its consumers.
-    pub fn add_external(
-        &mut self,
-        meta: TensorMeta,
-        consumers: &[(NodeId, &[&str])],
-    ) {
+    pub fn add_external(&mut self, meta: TensorMeta, consumers: &[(NodeId, &[&str])]) {
         self.externals.push(ExternalInput {
             meta,
             consumers: consumers
@@ -383,7 +379,10 @@ mod tests {
             .edges()
             .map(|(id, _)| dag.edge_is_transitive(id))
             .collect();
-        assert_eq!(trans, vec![false, false, false, true, false, false, false, true]);
+        assert_eq!(
+            trans,
+            vec![false, false, false, true, false, false, false, true]
+        );
         // Interior of 4->7 is {5, 6}.
         assert_eq!(
             dag.longest_path_interior(EdgeId(7)),

@@ -73,10 +73,23 @@ mod tests {
             ],
         );
         let mut dag = TensorDag::new();
-        let a = dag.add_op("op0", spec.clone(), OpKind::TensorMac, TensorMeta::dense("T0", &["m", "n"], 20));
-        let b = dag.add_op("op1", spec, OpKind::TensorMac, TensorMeta::dense("T1", &["m", "n"], 20));
+        let a = dag.add_op(
+            "op0",
+            spec.clone(),
+            OpKind::TensorMac,
+            TensorMeta::dense("T0", &["m", "n"], 20),
+        );
+        let b = dag.add_op(
+            "op1",
+            spec,
+            OpKind::TensorMac,
+            TensorMeta::dense("T1", &["m", "n"], 20),
+        );
         dag.add_edge(a, b, &["m", "n"]);
-        dag.add_external(TensorMeta::sparse("A", &["m", "k"], 100), &[(NodeId(0), &["m", "k"])]);
+        dag.add_external(
+            TensorMeta::sparse("A", &["m", "k"], 100),
+            &[(NodeId(0), &["m", "k"])],
+        );
         let dot = to_dot(&dag, |_| ("blue".into(), "pipe".into()));
         assert!(dot.contains("digraph"));
         assert!(dot.contains("n0 -> n1"));

@@ -19,13 +19,13 @@
 
 pub mod dag;
 pub mod dot;
-pub mod metrics;
 pub mod edge;
+pub mod metrics;
 pub mod node;
 pub mod reuse;
 
 pub use dag::{EdgeId, NodeId, TensorDag};
-pub use metrics::{metrics, DagMetrics};
 pub use edge::{Edge, TensorMeta};
+pub use metrics::{metrics, DagMetrics};
 pub use node::{Dominance, OpKind, OpNode};
 pub use reuse::{ReuseProfile, TensorReuse};

@@ -132,7 +132,10 @@ mod tests {
     #[test]
     fn uncontracted_dominant_node() {
         // CG line 3/4/7 shape: M x J x N with M huge.
-        assert_eq!(dominance_of(&spec(81_920, 16, 16), 4.0), Dominance::Uncontracted);
+        assert_eq!(
+            dominance_of(&spec(81_920, 16, 16), 4.0),
+            Dominance::Uncontracted
+        );
     }
 
     #[test]
@@ -155,9 +158,15 @@ mod tests {
         // ResNet GEMM-lowered convs: every rank ≥ 64 ⇒ "bal" (Fig 7), even
         // conv2 whose contraction K=1152 exceeds M=784.
         assert_eq!(dominance_of(&spec(784, 512, 128), 4.0), Dominance::Balanced);
-        assert_eq!(dominance_of(&spec(784, 1152, 128), 4.0), Dominance::Balanced);
+        assert_eq!(
+            dominance_of(&spec(784, 1152, 128), 4.0),
+            Dominance::Balanced
+        );
         // A rank below the threshold re-enables skew classification.
-        assert_eq!(dominance_of(&spec(784, 1152, 16), 4.0), Dominance::Contracted);
+        assert_eq!(
+            dominance_of(&spec(784, 1152, 16), 4.0),
+            Dominance::Contracted
+        );
     }
 
     #[test]

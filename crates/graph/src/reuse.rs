@@ -104,15 +104,15 @@ impl ReuseProfile {
 
     /// Remaining uses of `name` *after* schedule position `pos` — the dynamic
     /// `freq` RIFF consults as the program advances.
-    pub fn remaining_uses(&self, name: &str, pos: usize, schedule_pos: &BTreeMap<NodeId, usize>) -> u32 {
+    pub fn remaining_uses(
+        &self,
+        name: &str,
+        pos: usize,
+        schedule_pos: &BTreeMap<NodeId, usize>,
+    ) -> u32 {
         self.tensors
             .get(name)
-            .map(|t| {
-                t.consumers
-                    .iter()
-                    .filter(|c| schedule_pos[c] > pos)
-                    .count() as u32
-            })
+            .map(|t| t.consumers.iter().filter(|c| schedule_pos[c] > pos).count() as u32)
             .unwrap_or(0)
     }
 
@@ -202,8 +202,7 @@ mod tests {
         let d = dag();
         let order = d.topo_order();
         let profile = ReuseProfile::compute(&d, &order);
-        let pos: BTreeMap<NodeId, usize> =
-            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: BTreeMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         // After op0 executes (pos 0), T0 still has consumers op1 and op3.
         assert_eq!(profile.remaining_uses("T0", 0, &pos), 2);
         // After op1 (pos 1), only op3 remains.

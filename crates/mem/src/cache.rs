@@ -388,7 +388,12 @@ mod tests {
         c.access(64, false);
         // Next fill in set 0 evicts the dirty line 0.
         let out = c.access(128, false);
-        assert!(matches!(out, AccessOutcome::Miss { dirty_eviction: true }));
+        assert!(matches!(
+            out,
+            AccessOutcome::Miss {
+                dirty_eviction: true
+            }
+        ));
         assert_eq!(c.stats().dram_write_bytes, 16);
     }
 

@@ -101,10 +101,7 @@ impl PipelineBuffer {
     /// Immediate consumer reads the tile; by default the slot is recycled.
     /// With `hold = true` the tile transitions to [`TileState::Held`] instead.
     pub fn consume(&mut self, id: u64, hold: bool) -> Result<(), PipelineError> {
-        let (words, _) = *self
-            .tiles
-            .get(&id)
-            .ok_or(PipelineError::UnknownTile(id))?;
+        let (words, _) = *self.tiles.get(&id).ok_or(PipelineError::UnknownTile(id))?;
         self.stats.sram_read_words += words;
         self.stats.hits += words;
         if hold {

@@ -1,0 +1,100 @@
+//! Thread-safe memoized evaluation cache.
+//!
+//! Keys are **canonicalized schedules** ([`crate::Candidate::schedule_key`]),
+//! so decision combinations that collapse to the same schedule — no-op cuts,
+//! steering requests the builder dropped as invalid, partition changes under
+//! a CHORD-less preset — cost one evaluation total. The cache is shared
+//! across strategies within one [`crate::Tuner`], so a beam run after an
+//! exhaustive run on the same space is nearly free.
+
+use cello_sim::evaluate::CostEstimate;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Memo table plus hit/evaluation counters.
+#[derive(Default)]
+pub struct EvalCache {
+    map: Mutex<HashMap<String, CostEstimate>>,
+    hits: AtomicU64,
+    evaluations: AtomicU64,
+}
+
+impl EvalCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached cost for `key`, counting a hit when present.
+    pub fn lookup(&self, key: &str) -> Option<CostEstimate> {
+        let found = self
+            .map
+            .lock()
+            .expect("eval cache poisoned")
+            .get(key)
+            .copied();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Records a fresh evaluation.
+    pub fn insert(&self, key: String, cost: CostEstimate) {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        self.map
+            .lock()
+            .expect("eval cache poisoned")
+            .insert(key, cost);
+    }
+
+    /// Number of distinct schedules evaluated so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(c: u64) -> CostEstimate {
+        CostEstimate {
+            cycles: c,
+            dram_bytes: 0,
+            energy_pj: 0.0,
+        }
+    }
+
+    #[test]
+    fn lookup_insert_counters() {
+        let cache = EvalCache::new();
+        assert!(cache.lookup("k").is_none());
+        assert_eq!(cache.hits(), 0);
+        cache.insert("k".into(), cost(7));
+        assert_eq!(cache.lookup("k").unwrap().cycles, 7);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.evaluations(), 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = EvalCache::new();
+        std::thread::scope(|s| {
+            for i in 0..8u64 {
+                let cache = &cache;
+                s.spawn(move || cache.insert(format!("k{i}"), cost(i)));
+            }
+        });
+        assert_eq!(cache.evaluations(), 8);
+        for i in 0..8u64 {
+            assert_eq!(cache.lookup(&format!("k{i}")).unwrap().cycles, i);
+        }
+    }
+}

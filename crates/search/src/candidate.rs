@@ -1,0 +1,157 @@
+//! One point of the SCORE × CHORD co-design space.
+
+use cello_core::score::binding::{
+    build_schedule_with, Binding, Schedule, ScheduleConstraints, ScheduleOptions,
+};
+use cello_graph::dag::TensorDag;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A candidate schedule: preset knobs plus programmatic constraints.
+///
+/// Candidates are *specs*, not schedules — [`Candidate::build`] materializes
+/// one through `cello-core`'s constraint-validating builder, so every
+/// candidate yields a schedule that passes `Schedule::validate` (invalid
+/// constraint requests degrade to no-ops and dedupe in the eval cache).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Scheduler feature switches and buffer-partition sizes.
+    pub options: ScheduleOptions,
+    /// Cluster cuts, binding overrides, loop-order overrides.
+    pub constraints: ScheduleConstraints,
+}
+
+impl Candidate {
+    /// The paper's CELLO heuristic (`ScheduleOptions::cello()`, no
+    /// constraints) — the baseline every search run scores first.
+    pub fn paper_heuristic() -> Self {
+        Self {
+            options: ScheduleOptions::cello(),
+            constraints: ScheduleConstraints::none(),
+        }
+    }
+
+    /// Materializes the schedule.
+    pub fn build(&self, dag: &TensorDag) -> Schedule {
+        build_schedule_with(dag, self.options, &self.constraints)
+    }
+
+    /// Canonical key of a **built schedule** — the memo-cache identity.
+    ///
+    /// Two candidates whose decisions collapse to the same schedule (e.g. a
+    /// "cut" before a node that never joined a cluster anyway) share a key
+    /// and are evaluated once. The key covers everything the cheap
+    /// evaluator's result depends on: phase structure, realized edges,
+    /// bindings, and — only when CHORD is in play — the SRAM partition that
+    /// sizes it.
+    pub fn schedule_key(schedule: &Schedule) -> String {
+        let mut key = String::new();
+        for phase in &schedule.phases {
+            for op in &phase.ops {
+                let _ = write!(key, "{}.", op.0);
+            }
+            key.push('|');
+        }
+        key.push(';');
+        for &r in &schedule.realized {
+            key.push(if r { '1' } else { '0' });
+        }
+        key.push(';');
+        for (name, b) in &schedule.binding {
+            let tag = match b {
+                Binding::RegisterFile => 'R',
+                Binding::Pipeline => 'P',
+                Binding::Chord => 'C',
+                Binding::Dram => 'D',
+            };
+            let _ = write!(key, "{name}:{tag},");
+        }
+        key.push(';');
+        if schedule.options.enable_chord {
+            let _ = write!(
+                key,
+                "pb{}rf{}",
+                schedule.options.pipeline_buffer_words, schedule.options.rf_capacity_words
+            );
+        } else {
+            key.push('x');
+        }
+        key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cello_graph::edge::TensorMeta;
+    use cello_graph::node::OpKind;
+    use cello_tensor::einsum::EinsumSpec;
+    use cello_tensor::shape::RankExtent;
+
+    fn toy_chain(n_ops: usize) -> TensorDag {
+        let spec = EinsumSpec::parse(
+            "mk,kn->mn",
+            &[
+                RankExtent::dense("m", 100_000),
+                RankExtent::dense("k", 16),
+                RankExtent::dense("n", 16),
+            ],
+        );
+        let mut dag = TensorDag::new();
+        let mut prev = None;
+        for i in 0..n_ops {
+            let id = dag.add_op(
+                format!("op{i}"),
+                spec.clone(),
+                OpKind::TensorMac,
+                TensorMeta::dense(format!("T{i}"), &["m", "n"], 1_600_000),
+            );
+            if let Some(p) = prev {
+                dag.add_edge(p, id, &["m", "k"]);
+            }
+            prev = Some(id);
+        }
+        dag
+    }
+
+    #[test]
+    fn heuristic_builds_valid_schedule() {
+        let dag = toy_chain(4);
+        let s = Candidate::paper_heuristic().build(&dag);
+        s.validate(&dag).unwrap();
+    }
+
+    #[test]
+    fn key_distinguishes_structure_not_noise() {
+        let dag = toy_chain(3);
+        let a = Candidate::paper_heuristic();
+        // A cut before a node that never joined anything is a no-op...
+        let mut noop = Candidate::paper_heuristic();
+        noop.constraints.cut_before.insert(0); // node 0 starts a cluster anyway
+        assert_eq!(
+            Candidate::schedule_key(&a.build(&dag)),
+            Candidate::schedule_key(&noop.build(&dag)),
+        );
+        // ...while a real cut changes the key.
+        let mut cut = Candidate::paper_heuristic();
+        cut.constraints.cut_before.insert(1);
+        assert_ne!(
+            Candidate::schedule_key(&a.build(&dag)),
+            Candidate::schedule_key(&cut.build(&dag)),
+        );
+    }
+
+    #[test]
+    fn key_ignores_partition_without_chord() {
+        let dag = toy_chain(3);
+        let mut a = Candidate::paper_heuristic();
+        a.options.enable_chord = false;
+        let mut b = a.clone();
+        b.options.pipeline_buffer_words = 1024;
+        // Without CHORD the partition does not affect evaluation: same key.
+        assert_eq!(
+            Candidate::schedule_key(&a.build(&dag)),
+            Candidate::schedule_key(&b.build(&dag)),
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Pareto machinery over the three search objectives.
+
+use crate::candidate::Candidate;
+use cello_sim::evaluate::CostEstimate;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// A scored candidate.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Evaluated {
+    /// The candidate spec.
+    pub candidate: Candidate,
+    /// Canonical key of the schedule it built (memo-cache identity).
+    pub key: String,
+    /// The three objectives.
+    pub cost: CostEstimate,
+}
+
+/// Deterministic total order: cycles, then DRAM bytes, then energy, then the
+/// canonical key as the final tiebreak.
+pub fn rank(a: &Evaluated, b: &Evaluated) -> Ordering {
+    a.cost
+        .cycles
+        .cmp(&b.cost.cycles)
+        .then(a.cost.dram_bytes.cmp(&b.cost.dram_bytes))
+        .then(a.cost.energy_pj.total_cmp(&b.cost.energy_pj))
+        .then(a.key.cmp(&b.key))
+}
+
+/// The non-dominated subset of `evaluated` over (cycles, DRAM bytes,
+/// energy), deduplicated by schedule key and sorted by [`rank`].
+pub fn pareto_front(evaluated: &[Evaluated]) -> Vec<Evaluated> {
+    let mut seen = std::collections::HashSet::new();
+    let mut unique: Vec<&Evaluated> = Vec::new();
+    for e in evaluated {
+        if seen.insert(e.key.as_str()) {
+            unique.push(e);
+        }
+    }
+    let mut front: Vec<Evaluated> = unique
+        .iter()
+        .filter(|e| !unique.iter().any(|o| o.cost.dominates(&e.cost)))
+        .map(|e| (*e).clone())
+        .collect();
+    front.sort_by(rank);
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(key: &str, cycles: u64, dram: u64, energy: f64) -> Evaluated {
+        Evaluated {
+            candidate: Candidate::paper_heuristic(),
+            key: key.into(),
+            cost: CostEstimate {
+                cycles,
+                dram_bytes: dram,
+                energy_pj: energy,
+            },
+        }
+    }
+
+    #[test]
+    fn front_keeps_tradeoffs_drops_dominated() {
+        let all = vec![
+            ev("a", 100, 50, 1.0),
+            ev("b", 90, 60, 1.0),  // trades cycles for bytes with a
+            ev("c", 110, 55, 1.0), // dominated by a
+            ev("d", 90, 60, 2.0),  // dominated by b
+        ];
+        let front = pareto_front(&all);
+        let keys: Vec<&str> = front.iter().map(|e| e.key.as_str()).collect();
+        assert_eq!(keys, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn front_dedupes_by_key() {
+        let all = vec![ev("a", 10, 10, 1.0), ev("a", 10, 10, 1.0)];
+        assert_eq!(pareto_front(&all).len(), 1);
+    }
+
+    #[test]
+    fn rank_is_total_and_deterministic() {
+        let mut v = [
+            ev("b", 10, 10, 1.0),
+            ev("a", 10, 10, 1.0),
+            ev("c", 9, 99, 9.0),
+        ];
+        v.sort_by(rank);
+        let keys: Vec<&str> = v.iter().map(|e| e.key.as_str()).collect();
+        assert_eq!(keys, vec!["c", "a", "b"]);
+    }
+}

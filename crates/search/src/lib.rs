@@ -1,0 +1,69 @@
+//! # cello-search — parallel schedule auto-tuner over the SCORE × CHORD space
+//!
+//! The paper's central claim is that CHORD collapses the *buffer allocation*
+//! search space (from ~10⁸⁰ explicit-scratchpad choices to `O(nodes+edges)`
+//! policy inputs, §VI-B), leaving *schedule* search as the tractable
+//! remaining problem. The seed repo counted that space
+//! (`cello_core::search_space`) but never searched it: every schedule came
+//! from the fixed [`ScheduleOptions`](cello_core::score::binding::ScheduleOptions)
+//! presets. This crate is the missing design-space explorer:
+//!
+//! - [`space`]: derives the candidate dimensions from a
+//!   [`TensorDag`](cello_graph::dag::TensorDag) — scheduler preset (the
+//!   Table IV family), the SRAM split between pipeline buffer / RF / CHORD
+//!   (the tiling knob: `pipeline_can_stream` gates which edges can realize,
+//!   so a lean buffer that feeds CHORD risks blocking fusion on wide-row
+//!   DAGs), cluster cuts, per-tensor buffer
+//!   steering, and loop-order flips on balanced nodes (the only nodes where
+//!   §V-B leaves the order cost-neutral, so the search cannot exploit
+//!   unmodeled intra-op costs);
+//! - [`candidate`]: one point of that space — a `ScheduleOptions` plus a
+//!   [`ScheduleConstraints`](cello_core::score::binding::ScheduleConstraints) —
+//!   buildable into a valid [`Schedule`](cello_core::score::binding::Schedule)
+//!   by construction;
+//! - [`cost`]: the Pareto machinery over
+//!   [`CostEstimate`](cello_sim::evaluate::CostEstimate)
+//!   (cycles, DRAM bytes, energy);
+//! - [`cache`]: a thread-safe memo table keyed by the **canonicalized
+//!   schedule** (not the candidate), so decision combinations that collapse
+//!   to the same schedule are evaluated once;
+//! - [`strategy`]: exhaustive enumeration (small DAGs), beam search with
+//!   configurable width, and a seeded random-sampling baseline;
+//! - [`tuner`]: drives everything — candidates are scored in parallel
+//!   (rayon) through `cello_sim::evaluate`'s cheap traffic+roofline path.
+//!
+//! Every strategy is deterministic: parallel evaluation preserves order,
+//! ranking ties break on the canonical schedule key, and the random strategy
+//! derives from an explicit seed.
+//!
+//! ```
+//! use cello_search::{SpaceConfig, Strategy, Tuner};
+//! use cello_core::accel::CelloConfig;
+//! use cello_workloads::cg::{build_cg_dag, CgParams};
+//!
+//! let dag = build_cg_dag(&CgParams {
+//!     m: 20_000, occupancy: 4.0, a_payload_words: 2 * 80_000 + 20_001,
+//!     n: 16, nprime: 16, iterations: 2,
+//! });
+//! let accel = CelloConfig::paper();
+//! let tuner = Tuner::new(&dag, &accel, SpaceConfig::default());
+//! let outcome = tuner.tune(Strategy::Beam { width: 4 });
+//! // The paper heuristic is always part of the explored space, so the tuned
+//! // schedule can only match or beat it.
+//! assert!(outcome.best_cycles.cost.cycles <= outcome.baseline.cost.cycles);
+//! assert!(!outcome.pareto.is_empty());
+//! ```
+
+pub mod cache;
+pub mod candidate;
+pub mod cost;
+pub mod space;
+pub mod strategy;
+pub mod tuner;
+
+pub use cache::EvalCache;
+pub use candidate::Candidate;
+pub use cost::{pareto_front, Evaluated};
+pub use space::{Choice, Decision, SearchSpace, SpaceConfig};
+pub use strategy::Strategy;
+pub use tuner::{SearchOutcome, Tuner};

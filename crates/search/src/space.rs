@@ -1,0 +1,398 @@
+//! Candidate generation: the decision dimensions of the co-design space.
+//!
+//! A [`SearchSpace`] is an ordered list of [`Decision`]s, each with a small
+//! choice set whose **first entry is always the paper-heuristic default** —
+//! so the all-zeros assignment reproduces `ScheduleOptions::cello()` exactly,
+//! beam search starts from the heuristic, and the tuned result can never be
+//! worse than the baseline. Decisions are derived from the DAG itself:
+//!
+//! 1. **Preset** — the Table IV scheduler family (pipelining scope, hold,
+//!    multicast, CHORD steering);
+//! 2. **SRAM split** — how the on-chip budget divides between the pipeline
+//!    buffer, the register file, and CHORD (which gets the remainder, see
+//!    `cello_sim::evaluate::chord_capacity_words`). The pipeline buffer is
+//!    the tiling knob: `pipeline_can_stream` gates which edges can realize
+//!    at all (a buffer below one double-buffered row per stage blocks
+//!    fusion), so shrinking it to feed CHORD is a modeled trade, not free
+//!    SRAM — and the oversized choice is the safe direction for wide-row
+//!    DAGs;
+//! 3. **Cluster cuts** — one boolean per node that joins a pipeline cluster
+//!    under the fully-fused schedule;
+//! 4. **Steering** — one `{CHORD, DRAM}` choice per large CHORD-bound
+//!    tensor (demoting a low-reuse tensor frees CHORD capacity for hotter
+//!    ones);
+//! 5. **Loop-order flips** — only on *balanced* nodes, where §V-B leaves
+//!    the order cost-neutral intra-op, so flipping trades nothing the cost
+//!    model cannot see (it only disables/enables pipelining realizability).
+
+use crate::candidate::Candidate;
+use cello_core::score::binding::{Binding, PipelineScope};
+use cello_core::score::loop_order::{choose_loop_order, LoopOrder};
+use cello_graph::dag::TensorDag;
+use cello_graph::node::Dominance;
+use serde::{Deserialize, Serialize};
+
+/// One selectable option within a [`Decision`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Choice {
+    /// Scheduler feature preset (Table IV row shape).
+    Preset {
+        /// Pipelining realization scope.
+        scope: PipelineScope,
+        /// Serve delayed-hold edges from the pipeline buffer.
+        enable_hold: bool,
+        /// Fuse parallel-multicast siblings.
+        enable_multicast: bool,
+        /// Steer writeback/sequential operands to CHORD.
+        enable_chord: bool,
+    },
+    /// SRAM partition: pipeline-buffer and RF words (CHORD gets the rest).
+    SramSplit {
+        /// Pipeline-buffer capacity in words.
+        pipeline_words: u64,
+        /// Register-file capacity in words.
+        rf_words: u64,
+    },
+    /// Force (or don't) a cluster cut before `node`.
+    Cut {
+        /// Node index.
+        node: usize,
+        /// Whether the cut is applied.
+        enabled: bool,
+    },
+    /// Steer `tensor` to `binding` (`Chord` = keep the heuristic default).
+    Steer {
+        /// Tensor name.
+        tensor: String,
+        /// Requested binding.
+        binding: Binding,
+    },
+    /// Replace `node`'s loop order (`None` = keep the canonical order).
+    OrderFlip {
+        /// Node index.
+        node: usize,
+        /// The alternative order, if this choice applies one.
+        order: Option<LoopOrder>,
+    },
+}
+
+/// One dimension of the space: a named set of mutually-exclusive choices.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// Human-readable dimension name (shows up in the CLI output).
+    pub name: String,
+    /// The options; index 0 is always the paper-heuristic default.
+    pub choices: Vec<Choice>,
+}
+
+/// Caps and menus bounding the generated space.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpaceConfig {
+    /// Max cluster-cut decisions (largest-cluster joiners first).
+    pub max_cut_points: usize,
+    /// Max per-tensor steering decisions (largest footprints first).
+    pub max_steer_tensors: usize,
+    /// Max balanced-node loop-order decisions.
+    pub max_loop_order_nodes: usize,
+    /// Pipeline-buffer size menu in words (first = paper default).
+    pub pipeline_words_choices: Vec<u64>,
+    /// Register-file size menu in words (first = paper default).
+    pub rf_words_choices: Vec<u64>,
+}
+
+impl Default for SpaceConfig {
+    fn default() -> Self {
+        Self {
+            max_cut_points: 4,
+            max_steer_tensors: 4,
+            max_loop_order_nodes: 2,
+            // Paper defaults first; then a lean split that donates SRAM to
+            // CHORD and a fat pipeline buffer that takes it back.
+            pipeline_words_choices: vec![65_536, 16_384, 262_144],
+            rf_words_choices: vec![16_384, 4_096],
+        }
+    }
+}
+
+/// The derived decision list for one DAG.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Ordered decisions (assignment vectors index into these).
+    pub decisions: Vec<Decision>,
+}
+
+impl SearchSpace {
+    /// Derives the space from a DAG (see module docs for the dimensions).
+    pub fn from_dag(dag: &TensorDag, cfg: &SpaceConfig) -> Self {
+        let mut decisions = Vec::new();
+
+        // 1. Scheduler presets: CELLO first, then the rest of Table IV.
+        decisions.push(Decision {
+            name: "preset".into(),
+            choices: vec![
+                preset(PipelineScope::Any, true, true, true), // CELLO
+                preset(PipelineScope::AllPipelineOrHold, true, true, true),
+                preset(PipelineScope::None, false, false, true), // PRELUDE-ish
+                preset(PipelineScope::Any, true, true, false),
+                preset(PipelineScope::SoleConsumer, false, false, false), // FLAT
+                preset(PipelineScope::None, false, false, false),         // oracle
+            ],
+        });
+
+        // 2. SRAM split menu (paper default first by SpaceConfig contract).
+        let mut splits = Vec::new();
+        for &pw in &cfg.pipeline_words_choices {
+            for &rw in &cfg.rf_words_choices {
+                splits.push(Choice::SramSplit {
+                    pipeline_words: pw,
+                    rf_words: rw,
+                });
+            }
+        }
+        decisions.push(Decision {
+            name: "sram-split".into(),
+            choices: splits,
+        });
+
+        // 3. Cluster cuts: nodes that actually join a cluster under the
+        // fully-fused heuristic, biggest clusters first so the cuts that
+        // matter most fit under the cap.
+        let fused = Candidate::paper_heuristic().build(dag);
+        let mut joiners: Vec<(usize, usize)> = Vec::new(); // (cluster size, node)
+        for phase in &fused.phases {
+            for &op in phase.ops.iter().skip(1) {
+                joiners.push((phase.ops.len(), op.0));
+            }
+        }
+        joiners.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for &(_, node) in joiners.iter().take(cfg.max_cut_points) {
+            decisions.push(Decision {
+                name: format!("cut@{node}"),
+                choices: vec![
+                    Choice::Cut {
+                        node,
+                        enabled: false,
+                    },
+                    Choice::Cut {
+                        node,
+                        enabled: true,
+                    },
+                ],
+            });
+        }
+
+        // 4. Steering: CHORD-bound tensors by descending footprint.
+        let mut chord_tensors: Vec<(u64, String)> = Vec::new();
+        for (_, node) in dag.nodes() {
+            if fused.binding_of(&node.output.name) == Binding::Chord {
+                chord_tensors.push((node.output.words, node.output.name.clone()));
+            }
+        }
+        for ext in dag.externals() {
+            if fused.binding_of(&ext.meta.name) == Binding::Chord {
+                chord_tensors.push((ext.meta.words, ext.meta.name.clone()));
+            }
+        }
+        chord_tensors.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for (_, tensor) in chord_tensors.into_iter().take(cfg.max_steer_tensors) {
+            decisions.push(Decision {
+                name: format!("steer@{tensor}"),
+                choices: vec![
+                    Choice::Steer {
+                        tensor: tensor.clone(),
+                        binding: Binding::Chord,
+                    },
+                    Choice::Steer {
+                        tensor,
+                        binding: Binding::Dram,
+                    },
+                ],
+            });
+        }
+
+        // 5. Loop-order flips on balanced nodes: the alternative is the pure
+        // descending-extent order (no uncontracted-first promotion). Only
+        // nodes where that actually differs get a decision.
+        let mut flips = 0usize;
+        for (nid, node) in dag.nodes() {
+            if flips >= cfg.max_loop_order_nodes {
+                break;
+            }
+            if node.dominance != Dominance::Balanced {
+                continue;
+            }
+            let canonical = choose_loop_order(dag, nid);
+            let mut ranks = node.spec.extents();
+            ranks.sort_by(|a, b| b.effective.cmp(&a.effective).then(a.rank.cmp(&b.rank)));
+            let flat = LoopOrder {
+                order: ranks.into_iter().map(|r| r.rank).collect(),
+            };
+            if flat == canonical {
+                continue;
+            }
+            decisions.push(Decision {
+                name: format!("order@{}", nid.0),
+                choices: vec![
+                    Choice::OrderFlip {
+                        node: nid.0,
+                        order: None,
+                    },
+                    Choice::OrderFlip {
+                        node: nid.0,
+                        order: Some(flat),
+                    },
+                ],
+            });
+            flips += 1;
+        }
+
+        Self { decisions }
+    }
+
+    /// Number of full assignments (what exhaustive search enumerates).
+    pub fn exhaustive_size(&self) -> u64 {
+        self.decisions
+            .iter()
+            .map(|d| d.choices.len() as u64)
+            .product()
+    }
+
+    /// The all-defaults assignment (index 0 everywhere).
+    pub fn default_picks(&self) -> Vec<usize> {
+        vec![0; self.decisions.len()]
+    }
+
+    /// Folds an assignment into a candidate. `picks` may be shorter than the
+    /// decision list — unassigned decisions take their defaults — which is
+    /// what beam search's partial prefixes rely on.
+    pub fn assemble(&self, picks: &[usize]) -> Candidate {
+        let mut c = Candidate::paper_heuristic();
+        for (di, d) in self.decisions.iter().enumerate() {
+            let pick = picks.get(di).copied().unwrap_or(0);
+            match &d.choices[pick] {
+                Choice::Preset {
+                    scope,
+                    enable_hold,
+                    enable_multicast,
+                    enable_chord,
+                } => {
+                    c.options.scope = *scope;
+                    c.options.enable_hold = *enable_hold;
+                    c.options.enable_multicast = *enable_multicast;
+                    c.options.enable_chord = *enable_chord;
+                }
+                Choice::SramSplit {
+                    pipeline_words,
+                    rf_words,
+                } => {
+                    c.options.pipeline_buffer_words = *pipeline_words;
+                    c.options.rf_capacity_words = *rf_words;
+                }
+                Choice::Cut { node, enabled } => {
+                    if *enabled {
+                        c.constraints.cut_before.insert(*node);
+                    }
+                }
+                Choice::Steer { tensor, binding } => {
+                    if *binding != Binding::Chord {
+                        c.constraints
+                            .binding_overrides
+                            .insert(tensor.clone(), *binding);
+                    }
+                }
+                Choice::OrderFlip { node, order } => {
+                    if let Some(order) = order {
+                        c.constraints.loop_orders.insert(*node, order.clone());
+                    }
+                }
+            }
+        }
+        c
+    }
+}
+
+fn preset(
+    scope: PipelineScope,
+    enable_hold: bool,
+    enable_multicast: bool,
+    enable_chord: bool,
+) -> Choice {
+    Choice::Preset {
+        scope,
+        enable_hold,
+        enable_multicast,
+        enable_chord,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cello_workloads::cg::{build_cg_dag, CgParams};
+
+    fn cg(iters: u32) -> TensorDag {
+        build_cg_dag(&CgParams {
+            m: 20_000,
+            occupancy: 4.0,
+            a_payload_words: 2 * 80_000 + 20_001,
+            n: 16,
+            nprime: 16,
+            iterations: iters,
+        })
+    }
+
+    #[test]
+    fn default_assignment_is_paper_heuristic() {
+        let dag = cg(2);
+        let space = SearchSpace::from_dag(&dag, &SpaceConfig::default());
+        let c = space.assemble(&space.default_picks());
+        assert_eq!(c, Candidate::paper_heuristic());
+        // Partial (empty) prefix does the same.
+        assert_eq!(space.assemble(&[]), Candidate::paper_heuristic());
+    }
+
+    #[test]
+    fn cg_space_has_all_dimensions() {
+        let dag = cg(2);
+        let cfg = SpaceConfig::default();
+        let space = SearchSpace::from_dag(&dag, &cfg);
+        let names: Vec<&str> = space.decisions.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names[0], "preset");
+        assert_eq!(names[1], "sram-split");
+        assert_eq!(
+            names.iter().filter(|n| n.starts_with("cut@")).count(),
+            cfg.max_cut_points
+        );
+        assert_eq!(
+            names.iter().filter(|n| n.starts_with("steer@")).count(),
+            cfg.max_steer_tensors
+        );
+        assert!(space.exhaustive_size() >= 6 * 6 * 16 * 16);
+    }
+
+    #[test]
+    fn every_assembled_candidate_builds_valid_schedule() {
+        let dag = cg(1);
+        let space = SearchSpace::from_dag(&dag, &SpaceConfig::default());
+        // Walk a deterministic sample of assignments (stride through the
+        // odometer) and validate each built schedule.
+        let total = space.exhaustive_size();
+        let stride = (total / 50).max(1);
+        let mut idx = 0u64;
+        while idx < total {
+            let mut rem = idx;
+            let picks: Vec<usize> = space
+                .decisions
+                .iter()
+                .map(|d| {
+                    let p = (rem % d.choices.len() as u64) as usize;
+                    rem /= d.choices.len() as u64;
+                    p
+                })
+                .collect();
+            let c = space.assemble(&picks);
+            c.build(&dag).validate(&dag).unwrap();
+            idx += stride;
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Search strategies: exhaustive, beam, and seeded random sampling.
+//!
+//! Strategies only decide **which assignments to score**; scoring itself
+//! (parallel evaluation, memoization, Pareto bookkeeping) lives in
+//! [`crate::Tuner`]. All three are deterministic — beam ties break on the
+//! canonical schedule key, and `Random` draws from an explicit seed through
+//! a SplitMix64 kept local to this crate so results never drift under
+//! dependency swaps.
+
+use serde::{Deserialize, Serialize};
+
+/// How to traverse the space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Enumerate every assignment. Right for small DAG spaces (the
+    /// [`crate::SearchSpace`] caps keep CG-sized spaces in the thousands).
+    Exhaustive,
+    /// Beam search over the decision sequence: expand one decision at a
+    /// time, keep the `width` best partial assignments (unassigned
+    /// decisions evaluate at their paper-heuristic defaults).
+    Beam {
+        /// Beam width (`>= 1`).
+        width: usize,
+    },
+    /// Uniform random sampling of `samples` assignments from `seed` —
+    /// the baseline the smarter strategies must beat.
+    Random {
+        /// Number of assignments drawn.
+        samples: usize,
+        /// RNG seed; same seed + same space ⇒ same candidates.
+        seed: u64,
+    },
+}
+
+impl Strategy {
+    /// Display label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Strategy::Exhaustive => "exhaustive".into(),
+            Strategy::Beam { width } => format!("beam{width}"),
+            Strategy::Random { samples, seed } => format!("random{samples}@{seed}"),
+        }
+    }
+}
+
+/// Deterministic SplitMix64 used by [`Strategy::Random`].
+#[derive(Clone, Debug)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub(crate) fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Strategy::Exhaustive.label(), "exhaustive");
+        assert_eq!(Strategy::Beam { width: 4 }.label(), "beam4");
+        assert_eq!(
+            Strategy::Random {
+                samples: 9,
+                seed: 1
+            }
+            .label(),
+            "random9@1"
+        );
+    }
+
+    #[test]
+    fn splitmix_deterministic_and_in_bounds() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            let (x, y) = (a.below(17), b.below(17));
+            assert_eq!(x, y);
+            assert!(x < 17);
+        }
+    }
+}

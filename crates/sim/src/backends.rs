@@ -14,8 +14,8 @@
 //!   writeback/sequential operands, DRAM for terminal results. Also serves
 //!   the PRELUDE-only ablation via [`ChordPolicyKind::PreludeOnly`].
 
-use cello_core::chord::{Chord, ChordConfig, RiffPriority};
 pub use cello_core::chord::ChordPolicyKind;
+use cello_core::chord::{Chord, ChordConfig, RiffPriority};
 use cello_core::score::binding::Binding;
 use cello_mem::cache::{CacheConfig, ReplacementPolicy, SetAssocCache};
 use cello_mem::stats::AccessStats;
@@ -302,7 +302,13 @@ mod tests {
     use super::*;
     use cello_mem::cache::LruPolicy;
 
-    fn req(name: &str, words: u64, binding: Binding, external: bool, freq: u32) -> TensorRequest<'_> {
+    fn req(
+        name: &str,
+        words: u64,
+        binding: Binding,
+        external: bool,
+        freq: u32,
+    ) -> TensorRequest<'_> {
         TensorRequest {
             name,
             words,

@@ -170,7 +170,14 @@ pub fn run_config(
         ConfigKind::PreludeOnly => Box::new(ChordBackend::new(accel.prelude_only_config())),
         ConfigKind::Cello => Box::new(ChordBackend::new(accel.chord_config())),
     };
-    run_schedule(dag, &schedule, accel, backend.as_mut(), kind.label(), workload)
+    run_schedule(
+        dag,
+        &schedule,
+        accel,
+        backend.as_mut(),
+        kind.label(),
+        workload,
+    )
 }
 
 #[cfg(test)]
@@ -280,7 +287,12 @@ mod tests {
         let lru = run_config(&dag, ConfigKind::FlexLru, &accel, "cg");
         let brrip = run_config(&dag, ConfigKind::FlexBrrip, &accel, "cg");
         let cello = run_config(&dag, ConfigKind::Cello, &accel, "cg");
-        assert!(cello.dram_bytes < lru.dram_bytes, "CELLO {} LRU {}", cello.dram_bytes, lru.dram_bytes);
+        assert!(
+            cello.dram_bytes < lru.dram_bytes,
+            "CELLO {} LRU {}",
+            cello.dram_bytes,
+            lru.dram_bytes
+        );
         assert!(cello.dram_bytes < brrip.dram_bytes);
     }
 

@@ -86,7 +86,13 @@ mod tests {
         let m = AreaEnergyModel::default();
         let s = stats(1000, 1000, 999_999, 0);
         let e = onchip_energy_pj(&s, BufferKind::Buffet, 4 << 20, 4.0, &m);
-        let e_no_tags = onchip_energy_pj(&stats(1000, 1000, 0, 0), BufferKind::Buffet, 4 << 20, 4.0, &m);
+        let e_no_tags = onchip_energy_pj(
+            &stats(1000, 1000, 0, 0),
+            BufferKind::Buffet,
+            4 << 20,
+            4.0,
+            &m,
+        );
         assert_eq!(e, e_no_tags);
     }
 

@@ -228,7 +228,10 @@ mod tests {
             if let Some(p) = prev {
                 dag.add_edge(p, id, &["m", "k"]);
             } else {
-                dag.add_external(TensorMeta::dense("In", &["m", "k"], words), &[(id, &["m", "k"])]);
+                dag.add_external(
+                    TensorMeta::dense("In", &["m", "k"], words),
+                    &[(id, &["m", "k"])],
+                );
             }
             prev = Some(id);
         }
@@ -292,7 +295,10 @@ mod tests {
         let b = dag.add_op("b", spec.clone(), OpKind::TensorMac, t("T2"));
         dag.add_edge(p, a, &["m", "k"]);
         dag.add_edge(p, b, &["m", "k"]);
-        dag.add_external(TensorMeta::dense("In", &["m", "k"], 8000), &[(p, &["m", "k"])]);
+        dag.add_external(
+            TensorMeta::dense("In", &["m", "k"], 8000),
+            &[(p, &["m", "k"])],
+        );
         let schedule = build_schedule(&dag, ScheduleOptions::cello());
         let mut backend = ExplicitBackend::new(4);
         let accel = CelloConfig::paper();

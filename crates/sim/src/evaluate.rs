@@ -1,0 +1,200 @@
+//! Lightweight cost evaluation for design-space exploration.
+//!
+//! The DSE engine (`cello-search`) scores thousands of candidate schedules;
+//! it needs traffic + roofline cycles + energy, not the full [`RunReport`]
+//! with its per-phase breakdown, labels and address-map/trace machinery.
+//! This module provides that path: one operand-granular walk through the
+//! existing engine against the backend the candidate's options imply
+//! (CHORD-backed when `enable_chord`, the explicit oracle otherwise), with
+//! the on-chip SRAM **partitioned by the candidate itself** — CHORD gets
+//! whatever the schedule's pipeline buffer and register file leave behind.
+//! That partition is the buffer half of the paper's co-design space: a
+//! schedule that asks for a smaller pipeline buffer buys CHORD capacity,
+//! and vice versa.
+
+use crate::backends::{ChordBackend, ExplicitBackend, MemoryBackend};
+use crate::engine::run_schedule;
+use crate::report::RunReport;
+use cello_core::accel::CelloConfig;
+use cello_core::chord::{ChordConfig, ChordPolicyKind};
+use cello_core::score::binding::Schedule;
+use cello_graph::dag::TensorDag;
+use serde::{Deserialize, Serialize};
+
+/// The three objectives the search optimizes (Pareto dimensions).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostEstimate {
+    /// Total roofline cycles (`max(compute, memory)` per phase, summed).
+    pub cycles: u64,
+    /// Total DRAM traffic in bytes.
+    pub dram_bytes: u64,
+    /// Off-chip + on-chip energy in picojoules.
+    pub energy_pj: f64,
+}
+
+impl CostEstimate {
+    /// Collapses a full report to the three search objectives.
+    pub fn from_report(r: &RunReport) -> Self {
+        Self {
+            cycles: r.cycles,
+            dram_bytes: r.dram_bytes,
+            energy_pj: r.offchip_energy_pj + r.onchip_energy_pj,
+        }
+    }
+
+    /// Weak Pareto dominance: no worse on every objective, strictly better
+    /// on at least one.
+    pub fn dominates(&self, other: &CostEstimate) -> bool {
+        let no_worse = self.cycles <= other.cycles
+            && self.dram_bytes <= other.dram_bytes
+            && self.energy_pj <= other.energy_pj;
+        let better = self.cycles < other.cycles
+            || self.dram_bytes < other.dram_bytes
+            || self.energy_pj < other.energy_pj;
+        no_worse && better
+    }
+}
+
+/// CHORD capacity left for a schedule that reserves `pipeline_buffer_words`
+/// and `rf_capacity_words` of the accelerator's SRAM (never below one cache
+/// line's worth, so degenerate partitions still simulate).
+pub fn chord_capacity_words(accel: &CelloConfig, schedule: &Schedule) -> u64 {
+    let reserved = schedule.options.pipeline_buffer_words + schedule.options.rf_capacity_words;
+    accel.sram_words().saturating_sub(reserved).max(16)
+}
+
+/// Evaluates one schedule on the cheap path, returning the three objectives.
+///
+/// Backend choice mirrors [`crate::baselines::run_config`]: CHORD (full
+/// PRELUDE+RIFF) when the schedule steers operands to CHORD, the explicit
+/// oracle otherwise — but CHORD is sized by [`chord_capacity_words`] rather
+/// than the whole SRAM, because the candidate's own buffer split is part of
+/// what the search explores.
+pub fn evaluate_schedule(
+    dag: &TensorDag,
+    schedule: &Schedule,
+    accel: &CelloConfig,
+) -> CostEstimate {
+    CostEstimate::from_report(&evaluate_report(dag, schedule, accel))
+}
+
+/// The full report behind [`evaluate_schedule`] (the `cello_dse` CLI uses it
+/// for TSV emission; the search itself only keeps the [`CostEstimate`]).
+pub fn evaluate_report(dag: &TensorDag, schedule: &Schedule, accel: &CelloConfig) -> RunReport {
+    let mut backend: Box<dyn MemoryBackend> = if schedule.options.enable_chord {
+        Box::new(ChordBackend::new(ChordConfig {
+            capacity_words: chord_capacity_words(accel, schedule),
+            word_bytes: accel.word_bytes,
+            policy: ChordPolicyKind::PreludeRiff,
+            max_entries: accel.riff_entries,
+        }))
+    } else {
+        Box::new(ExplicitBackend::new(accel.word_bytes))
+    };
+    run_schedule(dag, schedule, accel, backend.as_mut(), "dse", "dse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cello_core::score::binding::{build_schedule, ScheduleOptions};
+    use cello_graph::edge::TensorMeta;
+    use cello_graph::node::OpKind;
+    use cello_tensor::einsum::EinsumSpec;
+    use cello_tensor::shape::RankExtent;
+
+    fn chain(n_ops: usize, words: u64) -> TensorDag {
+        let spec = EinsumSpec::parse(
+            "mk,kn->mn",
+            &[
+                RankExtent::dense("m", words / 16),
+                RankExtent::dense("k", 16),
+                RankExtent::dense("n", 16),
+            ],
+        );
+        let mut dag = TensorDag::new();
+        let mut prev = None;
+        for i in 0..n_ops {
+            let id = dag.add_op(
+                format!("op{i}"),
+                spec.clone(),
+                OpKind::TensorMac,
+                TensorMeta::dense(format!("T{i}"), &["m", "n"], words),
+            );
+            if let Some(p) = prev {
+                dag.add_edge(p, id, &["m", "k"]);
+            } else {
+                dag.add_external(
+                    TensorMeta::dense("In", &["m", "k"], words),
+                    &[(id, &["m", "k"])],
+                );
+            }
+            prev = Some(id);
+        }
+        dag
+    }
+
+    #[test]
+    fn cost_matches_full_report() {
+        let dag = chain(3, 100_000);
+        let s = build_schedule(&dag, ScheduleOptions::cello());
+        let accel = CelloConfig::paper();
+        let report = evaluate_report(&dag, &s, &accel);
+        let cost = evaluate_schedule(&dag, &s, &accel);
+        assert_eq!(cost.cycles, report.cycles);
+        assert_eq!(cost.dram_bytes, report.dram_bytes);
+        assert!((cost.energy_pj - report.offchip_energy_pj - report.onchip_energy_pj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chord_capacity_respects_partition() {
+        let accel = CelloConfig::paper(); // 1 Mi words of SRAM
+        let dag = chain(2, 1_000);
+        let mut opts = ScheduleOptions::cello();
+        opts.pipeline_buffer_words = 1 << 18;
+        opts.rf_capacity_words = 1 << 14;
+        let s = build_schedule(&dag, opts);
+        assert_eq!(
+            chord_capacity_words(&accel, &s),
+            (1 << 20) - (1 << 18) - (1 << 14)
+        );
+        // Degenerate partitions clamp instead of underflowing.
+        let mut greedy = ScheduleOptions::cello();
+        greedy.pipeline_buffer_words = 2 << 20;
+        let s2 = build_schedule(&dag, greedy);
+        assert_eq!(chord_capacity_words(&accel, &s2), 16);
+    }
+
+    #[test]
+    fn non_chord_schedules_use_explicit_backend() {
+        let dag = chain(3, 50_000);
+        let accel = CelloConfig::paper();
+        let oracle = build_schedule(&dag, ScheduleOptions::best_intra());
+        let cost = evaluate_schedule(&dag, &oracle, &accel);
+        // Oracle cold traffic: 3 reads + 3 writes of 50_000 words x 4 B.
+        assert_eq!(cost.dram_bytes, 6 * 50_000 * 4);
+    }
+
+    #[test]
+    fn dominance_is_strict_and_consistent() {
+        let a = CostEstimate {
+            cycles: 10,
+            dram_bytes: 10,
+            energy_pj: 10.0,
+        };
+        let b = CostEstimate {
+            cycles: 10,
+            dram_bytes: 11,
+            energy_pj: 10.0,
+        };
+        let c = CostEstimate {
+            cycles: 9,
+            dram_bytes: 12,
+            energy_pj: 10.0,
+        };
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&a), "no self-dominance");
+        assert!(!a.dominates(&c) && !c.dominates(&a), "incomparable pair");
+    }
+}

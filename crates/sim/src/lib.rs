@@ -18,16 +18,20 @@
 //! - [`baselines`]: the Table IV configuration registry and Table II
 //!   capability matrix;
 //! - [`energy`]: off-chip + on-chip energy accounting (Fig 14/15);
+//! - [`evaluate`]: the cheap cost path (traffic + roofline cycles + energy,
+//!   no trace) that the `cello-search` DSE engine scores candidates with;
 //! - [`report`]: run reports, geomeans, TSV emission.
 
 pub mod backends;
 pub mod baselines;
 pub mod energy;
 pub mod engine;
+pub mod evaluate;
 pub mod report;
 pub mod scaling;
 pub mod trace;
 
 pub use baselines::{run_config, ConfigKind};
 pub use engine::run_schedule;
+pub use evaluate::{evaluate_schedule, CostEstimate};
 pub use report::RunReport;

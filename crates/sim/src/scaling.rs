@@ -126,10 +126,22 @@ mod tests {
     #[test]
     fn scalable_strategy_scales() {
         let accel = CelloConfig::paper();
-        let single = run_cg_multinode(&prm(), &accel, ConfigKind::Cello, 1, ScalingStrategy::Scalable);
+        let single = run_cg_multinode(
+            &prm(),
+            &accel,
+            ConfigKind::Cello,
+            1,
+            ScalingStrategy::Scalable,
+        );
         let mut prev_seconds = single.seconds;
         for nodes in [4u64, 16] {
-            let r = run_cg_multinode(&prm(), &accel, ConfigKind::Cello, nodes, ScalingStrategy::Scalable);
+            let r = run_cg_multinode(
+                &prm(),
+                &accel,
+                ConfigKind::Cello,
+                nodes,
+                ScalingStrategy::Scalable,
+            );
             assert!(
                 r.seconds < prev_seconds,
                 "{nodes} nodes: {} !< {prev_seconds}",
@@ -137,16 +149,38 @@ mod tests {
             );
             prev_seconds = r.seconds;
         }
-        let sixteen = run_cg_multinode(&prm(), &accel, ConfigKind::Cello, 16, ScalingStrategy::Scalable);
-        assert!(sixteen.speedup_over(&single) > 4.0, "{}", sixteen.speedup_over(&single));
+        let sixteen = run_cg_multinode(
+            &prm(),
+            &accel,
+            ConfigKind::Cello,
+            16,
+            ScalingStrategy::Scalable,
+        );
+        assert!(
+            sixteen.speedup_over(&single) > 4.0,
+            "{}",
+            sixteen.speedup_over(&single)
+        );
     }
 
     #[test]
     fn naive_strategy_pays_noc() {
         let accel = CelloConfig::paper();
         let nodes = 16;
-        let scalable = run_cg_multinode(&prm(), &accel, ConfigKind::Cello, nodes, ScalingStrategy::Scalable);
-        let naive = run_cg_multinode(&prm(), &accel, ConfigKind::Cello, nodes, ScalingStrategy::Naive);
+        let scalable = run_cg_multinode(
+            &prm(),
+            &accel,
+            ConfigKind::Cello,
+            nodes,
+            ScalingStrategy::Scalable,
+        );
+        let naive = run_cg_multinode(
+            &prm(),
+            &accel,
+            ConfigKind::Cello,
+            nodes,
+            ScalingStrategy::Naive,
+        );
         assert!(naive.noc_bytes > 100 * scalable.noc_bytes);
         assert!(naive.seconds > scalable.seconds);
     }
@@ -157,8 +191,20 @@ mod tests {
         // across nodes shrinks per-node working sets, so aggregate DRAM
         // traffic *drops* superlinearly until everything fits.
         let accel = CelloConfig::paper();
-        let single = run_cg_multinode(&prm(), &accel, ConfigKind::Cello, 1, ScalingStrategy::Scalable);
-        let four = run_cg_multinode(&prm(), &accel, ConfigKind::Cello, 4, ScalingStrategy::Scalable);
+        let single = run_cg_multinode(
+            &prm(),
+            &accel,
+            ConfigKind::Cello,
+            1,
+            ScalingStrategy::Scalable,
+        );
+        let four = run_cg_multinode(
+            &prm(),
+            &accel,
+            ConfigKind::Cello,
+            4,
+            ScalingStrategy::Scalable,
+        );
         assert!(four.dram_bytes < single.dram_bytes);
     }
 }

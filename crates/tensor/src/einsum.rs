@@ -61,8 +61,7 @@ impl EinsumSpec {
         output: Vec<RankId>,
         extents: &[RankExtent],
     ) -> Self {
-        let map: BTreeMap<RankId, RankExtent> =
-            extents.iter().map(|e| (e.rank, *e)).collect();
+        let map: BTreeMap<RankId, RankExtent> = extents.iter().map(|e| (e.rank, *e)).collect();
         let spec = Self {
             inputs,
             output,
@@ -172,7 +171,12 @@ impl fmt::Display for EinsumSpec {
             .iter()
             .map(|t| t.iter().map(|r| r.name()).collect::<Vec<_>>().join(""))
             .collect();
-        let out: String = self.output.iter().map(|r| r.name()).collect::<Vec<_>>().join("");
+        let out: String = self
+            .output
+            .iter()
+            .map(|r| r.name())
+            .collect::<Vec<_>>()
+            .join("");
         write!(f, "{}->{}", ins.join(","), out)
     }
 }

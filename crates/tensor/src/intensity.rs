@@ -89,7 +89,11 @@ mod tests {
     #[test]
     fn regular_gemm_intensity_matches_paper() {
         let ai = ai_best_gemm(512, 512, 512, 4);
-        assert!((ai.ops_per_byte() - 42.66).abs() < 0.01, "{}", ai.ops_per_byte());
+        assert!(
+            (ai.ops_per_byte() - 42.66).abs() < 0.01,
+            "{}",
+            ai.ops_per_byte()
+        );
         // ops/word = 512^3 / (3 * 512^2) = 170.67
         assert!((ai.ops_per_word() - 170.666).abs() < 1e-2);
     }
@@ -98,7 +102,11 @@ mod tests {
     #[test]
     fn skewed_gemm_intensity_matches_paper() {
         let ai = ai_best_gemm(524_288, 16, 16, 4);
-        assert!((ai.ops_per_byte() - 2.0).abs() < 0.01, "{}", ai.ops_per_byte());
+        assert!(
+            (ai.ops_per_byte() - 2.0).abs() < 0.01,
+            "{}",
+            ai.ops_per_byte()
+        );
     }
 
     /// Eq 4: the limit N/2 ops/word, and the concrete skewed GEMM approaches it.

@@ -94,7 +94,10 @@ mod tests {
     fn best_layout_minimizes_swizzles() {
         use Layout::*;
         // Two consumers want ColMajor, one wants RowMajor: produce ColMajor.
-        assert_eq!(best_layout(RowMajor, &[ColMajor, ColMajor, RowMajor]), ColMajor);
+        assert_eq!(
+            best_layout(RowMajor, &[ColMajor, ColMajor, RowMajor]),
+            ColMajor
+        );
         // Tie: keep the natural layout.
         assert_eq!(best_layout(RowMajor, &[ColMajor, RowMajor]), RowMajor);
         // No consumers: natural.

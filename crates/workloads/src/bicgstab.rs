@@ -231,9 +231,18 @@ pub fn build_bicgstab_dag(prm: &BicgParams) -> TensorDag {
         TensorMeta::dense("r@0", &["m", "n"], bw),
         &[(f1, &["k", "n"]), (f2, &["m", "j"]), (f5, &["m", "j"])],
     );
-    dag.add_external(TensorMeta::dense("p@0", &["m", "n"], bw), &[(f2, &["m", "j"])]);
-    dag.add_external(TensorMeta::dense("v@0", &["m", "n"], bw), &[(f2, &["m", "j"])]);
-    dag.add_external(TensorMeta::dense("x@0", &["m", "n"], bw), &[(f8, &["m", "n"])]);
+    dag.add_external(
+        TensorMeta::dense("p@0", &["m", "n"], bw),
+        &[(f2, &["m", "j"])],
+    );
+    dag.add_external(
+        TensorMeta::dense("v@0", &["m", "n"], bw),
+        &[(f2, &["m", "j"])],
+    );
+    dag.add_external(
+        TensorMeta::dense("x@0", &["m", "n"], bw),
+        &[(f8, &["m", "n"])],
+    );
     dag
 }
 
@@ -251,7 +260,11 @@ pub struct BicgResult {
 }
 
 fn dot(a: &DenseMatrix, b: &DenseMatrix) -> f64 {
-    a.data().iter().zip(b.data().iter()).map(|(x, y)| x * y).sum()
+    a.data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(x, y)| x * y)
+        .sum()
 }
 
 /// Numeric BiCGStab for `A·x = b` (van der Vorst 1992).
@@ -275,7 +288,7 @@ pub fn solve_bicgstab(a: &CsrMatrix, b: &DenseMatrix, max_iters: u32, tol: f64) 
             break;
         }
         let beta = (rho / rho_prev) * (alpha / omega); // scalar
-        // b2: p = r + β (p − ω v)
+                                                       // b2: p = r + β (p − ω v)
         let mut pmwv = p.clone();
         pmwv.axpy(-omega, &v);
         p = r.clone();
@@ -290,7 +303,11 @@ pub fn solve_bicgstab(a: &CsrMatrix, b: &DenseMatrix, max_iters: u32, tol: f64) 
         s.axpy(-alpha, &v);
         let t = spmm(a, &s); // b6
         let tt = dot(&t, &t); // b7
-        omega = if tt.abs() < 1e-300 { 0.0 } else { dot(&t, &s) / tt };
+        omega = if tt.abs() < 1e-300 {
+            0.0
+        } else {
+            dot(&t, &s) / tt
+        };
         x.axpy(alpha, &p); // b8
         x.axpy(omega, &s);
         r = s; // b9

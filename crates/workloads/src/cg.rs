@@ -305,7 +305,9 @@ pub struct CgResult {
     pub x: DenseMatrix,
     /// Iterations actually run.
     pub iterations_run: u32,
-    /// `max(diag(Γ))` after each iteration (squared column residual norms).
+    /// Worst (max) squared column residual norm among unconverged columns
+    /// after each iteration — `max(diag(Γ))` over the whole block while no
+    /// column has deflated.
     pub residual_history: Vec<f64>,
     /// Whether `diag(Γ) ≤ ε` was reached.
     pub converged: bool,
@@ -326,82 +328,171 @@ pub struct CgResult {
 /// ```
 ///
 /// Block CG can *break down* when the search-direction block loses rank
-/// (columns of `P` become dependent as individual right-hand sides converge).
-/// Like production block solvers, we restart from steepest descent
-/// (`P = R`) on breakdown or stagnation instead of aborting; a bounded
-/// number of restarts keeps termination guaranteed.
+/// (columns of `P` become dependent as individual right-hand sides converge
+/// at different rates, driving `Γ_prev` numerically singular). Like
+/// production block solvers, we handle this by **deflation**: converged
+/// columns leave the active block, and each restart phase solves the
+/// column-normalized correction system `A·Y = R·D⁻¹` so `Δ` and `Γ` stay
+/// well-scaled regardless of per-column residual spread. A phase ends on
+/// per-column convergence, conditioning loss, stagnation, or inversion
+/// failure (rank-deficient blocks additionally drop to one column at a
+/// time); the outer loop then recomputes the true residual and re-deflates.
 pub fn solve_block_cg(a: &CsrMatrix, b: &DenseMatrix, max_iters: u32, eps: f64) -> CgResult {
     assert_eq!(a.rows(), a.cols(), "CG needs a square matrix");
     assert_eq!(a.rows(), b.rows(), "rhs row mismatch");
-    const MAX_RESTARTS: u32 = 8;
-    let mut x = DenseMatrix::zeros(b.rows(), b.cols());
-    let mut r = b.clone(); // R = B − A·0
-    let mut gamma = gemm_at_b(&r, &r); // Γ = RᵀR
-    let mut p = r.clone();
+    // A column is done when its squared residual falls below the caller's
+    // eps — or below a relative guard near machine precision, so stalled
+    // columns deflate instead of poisoning Γ for the others.
+    const REL_FLOOR: f64 = 1e-28;
+    let n = b.cols();
+    let floors: Vec<f64> = (0..n).map(|j| eps.max(col_sq(b, j) * REL_FLOOR)).collect();
+    let mut x = DenseMatrix::zeros(b.rows(), n);
     let mut history = Vec::new();
     let mut converged = false;
-    let mut it = 0;
-    let mut restarts = 0;
-    let mut stagnant = 0u32;
+    let mut it = 0u32;
+    // Block phases share one Krylov space across right-hand sides. When the
+    // residual columns go (near-)collinear, Γ turns numerically singular and
+    // the conjugacy recurrence blows up; a phase that fails to reduce the
+    // residual demotes the solve to per-column scalar phases (the same 7-op
+    // cascade with 1×1 Δ/Γ/Φ), which cannot break down.
+    let mut scalar_mode = false;
+    let mut round = 0usize;
     while it < max_iters {
-        it += 1;
-        let s = spmm(a, &p); // 1
-        let delta = gemm_at_b(&p, &s); // 2a
-        let Some(delta_inv) = invert_small(&delta) else {
-            // Breakdown: dependent search directions.
-            if restarts < MAX_RESTARTS {
-                restarts += 1;
-                p = r.clone();
-                continue;
-            }
-            break;
-        };
-        let lambda = gemm(&delta_inv, &gamma); // 2b
-        x = add(&x, &gemm(&p, &lambda)); // 3
-        r = sub(&r, &gemm(&s, &lambda)); // 4
-        let gamma_prev = gamma.clone();
-        gamma = gemm_at_b(&r, &r); // 5
-        let worst = gamma
-            .diagonal()
-            .into_iter()
-            .fold(0.0f64, |acc, d| acc.max(d));
-        let prev_worst = history.last().copied().unwrap_or(f64::INFINITY);
-        history.push(worst);
-        if worst <= eps {
+        // True residual, recomputed per phase (kills incremental drift).
+        let resid = sub(b, &spmm(a, &x));
+        let all_active: Vec<usize> = (0..n).filter(|&j| col_sq(&resid, j) > floors[j]).collect();
+        if all_active.is_empty() {
             converged = true;
             break;
         }
-        // Stagnation: residual not shrinking at all for several iterations —
-        // conjugacy lost to round-off. (A loose threshold here would restart
-        // on merely *slow* convergence and degrade CG to steepest descent;
-        // only genuine stalls qualify.)
-        if worst >= prev_worst {
-            stagnant += 1;
+        let active: Vec<usize> = if scalar_mode {
+            vec![all_active[round % all_active.len()]]
         } else {
-            stagnant = 0;
-        }
-        if stagnant >= 3 && restarts < MAX_RESTARTS {
-            restarts += 1;
-            stagnant = 0;
-            p = r.clone();
-            continue;
-        }
-        let Some(gamma_prev_inv) = invert_small(&gamma_prev) else {
-            if restarts < MAX_RESTARTS {
-                restarts += 1;
-                p = r.clone();
-                continue;
-            }
-            break;
+            all_active.clone()
         };
-        let phi = gemm(&gamma_prev_inv, &gamma); // 6
-        p = add(&r, &gemm(&p, &phi)); // 7
+        round += 1;
+        // Worst squared residual among unconverged columns *outside* this
+        // phase's block — folded into every history entry so the history
+        // keeps its global "worst unconverged column" meaning even when a
+        // scalar phase works on a single column.
+        let other_worst: f64 = all_active
+            .iter()
+            .filter(|j| !active.contains(j))
+            .map(|&j| col_sq(&resid, j))
+            .fold(0.0f64, f64::max);
+        // Column-normalized correction system A·Y = R_a·D⁻¹.
+        let scales: Vec<f64> = active.iter().map(|&j| col_sq(&resid, j).sqrt()).collect();
+        let start_worst: f64 = scales.iter().map(|s| s * s).fold(0.0f64, f64::max);
+        let mut r = gather_scaled(&resid, &active, &scales);
+        let mut y = DenseMatrix::zeros(b.rows(), active.len());
+        let mut gamma = gemm_at_b(&r, &r); // Γ = RᵀR (≈ I at phase start)
+        let mut p = r.clone();
+        let mut stagnant = 0u32;
+        let mut last_worst = f64::INFINITY;
+        let mut floor_exit = false;
+        while it < max_iters {
+            it += 1;
+            let s = spmm(a, &p); // 1
+            let delta = gemm_at_b(&p, &s); // 2a
+            let Some(delta_inv) = invert_small(&delta) else {
+                // Rank-deficient search block (e.g. duplicate right-hand
+                // sides): demote to one column at a time.
+                scalar_mode = scalar_mode || active.len() > 1;
+                break;
+            };
+            let lambda = gemm(&delta_inv, &gamma); // 2b
+            y = add(&y, &gemm(&p, &lambda)); // 3
+            r = sub(&r, &gemm(&s, &lambda)); // 4
+            let gamma_prev = gamma.clone();
+            gamma = gemm_at_b(&r, &r); // 5
+            let diag = gamma.diagonal();
+            // History records the worst *unscaled* squared residual.
+            let worst = diag
+                .iter()
+                .zip(&scales)
+                .map(|(d, s)| d * s * s)
+                .fold(0.0f64, f64::max);
+            history.push(worst.max(other_worst));
+            let hit_floor = diag
+                .iter()
+                .zip(scales.iter().zip(&active))
+                .any(|(d, (s, &j))| d * s * s <= floors[j]);
+            if hit_floor {
+                last_worst = worst;
+                floor_exit = true;
+                break; // re-deflate in the outer loop
+            }
+            // Stagnation: residual shrinking by less than 0.1% per iteration
+            // for several iterations — conjugacy lost to round-off (healthy
+            // CG at any realistic condition number converges orders of
+            // magnitude faster than this, so only genuine stalls qualify;
+            // a post-breakdown crawl decreases strictly but glacially, which
+            // an exact `worst >= last` test would never catch).
+            if worst > last_worst * 0.999 {
+                stagnant += 1;
+            } else {
+                stagnant = 0;
+            }
+            last_worst = worst;
+            if stagnant >= 3 {
+                break;
+            }
+            let Some(gamma_prev_inv) = invert_small(&gamma_prev) else {
+                scalar_mode = scalar_mode || active.len() > 1;
+                break;
+            };
+            let phi = gemm(&gamma_prev_inv, &gamma); // 6
+            p = add(&r, &gemm(&p, &phi)); // 7
+        }
+        // Fold the correction back: X[:, active] += Y·D.
+        scatter_add_scaled(&mut x, &y, &active, &scales);
+        // A block phase that ended without substantial progress means the
+        // shared Krylov recurrence broke down — demote to scalar phases.
+        // A floor exit is the opposite of breakdown (a column converged and
+        // leaves the block), so it never demotes no matter how little the
+        // slowest column moved.
+        if !scalar_mode && !floor_exit && active.len() > 1 && last_worst > 0.25 * start_worst {
+            scalar_mode = true;
+        }
+    }
+    // Final convergence check when the iteration budget ran out exactly at
+    // a phase boundary.
+    if !converged {
+        let resid = sub(b, &spmm(a, &x));
+        converged = (0..n).all(|j| col_sq(&resid, j) <= floors[j]);
     }
     CgResult {
         x,
         iterations_run: it,
         residual_history: history,
         converged,
+    }
+}
+
+/// Sum of squares of column `j`.
+fn col_sq(m: &DenseMatrix, j: usize) -> f64 {
+    (0..m.rows()).map(|i| m.get(i, j) * m.get(i, j)).sum()
+}
+
+/// Extracts `cols` of `m`, dividing column `k` by `scales[k]`.
+fn gather_scaled(m: &DenseMatrix, cols: &[usize], scales: &[f64]) -> DenseMatrix {
+    let mut out = DenseMatrix::zeros(m.rows(), cols.len());
+    for (k, (&j, &s)) in cols.iter().zip(scales).enumerate() {
+        let inv = 1.0 / s;
+        for i in 0..m.rows() {
+            out.set(i, k, m.get(i, j) * inv);
+        }
+    }
+    out
+}
+
+/// `x[:, cols[k]] += y[:, k] * scales[k]`.
+fn scatter_add_scaled(x: &mut DenseMatrix, y: &DenseMatrix, cols: &[usize], scales: &[f64]) {
+    for (k, (&j, &s)) in cols.iter().zip(scales).enumerate() {
+        for i in 0..x.rows() {
+            let v = x.get(i, j) + y.get(i, k) * s;
+            x.set(i, j, v);
+        }
     }
 }
 

@@ -181,9 +181,6 @@ mod tests {
 
     #[test]
     fn payload_includes_metadata() {
-        assert_eq!(
-            FV1.csr_payload_words(),
-            2 * 85_264 + 9604 + 1
-        );
+        assert_eq!(FV1.csr_payload_words(), 2 * 85_264 + 9604 + 1);
     }
 }

@@ -1,11 +1,52 @@
-//! HPCG survey data (paper Table I).
+//! HPCG survey data (paper Table I) and an HPCG-shaped CG workload.
 //!
 //! The paper motivates CELLO with the HPCG-vs-HPL gap on the top
-//! supercomputers (CG reaches only 1–3% of peak). This is survey data, not an
-//! experiment; we embed it so the `tab01_hpcg` harness can re-emit the table
-//! and tests can verify the derived percentages.
+//! supercomputers (CG reaches only 1–3% of peak). The survey rows are
+//! embedded so the `tab01_hpcg` harness can re-emit the table and tests can
+//! verify the derived percentages. [`build_hpcg_dag`] additionally provides
+//! a schedulable workload: HPCG's core is CG over a 27-point 3-D stencil,
+//! so the DAG is the CG cascade at occupancy 27 — dense enough that the
+//! sparse operand dwarfs the 5-point problems and stresses CHORD capacity
+//! (which is what the `cello_dse` auto-tuner sweeps against).
 
+use crate::cg::{build_cg_dag, CgParams};
+use cello_graph::dag::TensorDag;
 use serde::{Deserialize, Serialize};
+
+/// HPCG problem shape: CG over an `nx³` 27-point stencil.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HpcgParams {
+    /// Grid points per dimension (`m = nx³`).
+    pub nx: u64,
+    /// Simultaneous right-hand sides.
+    pub n: u64,
+    /// CG iterations to unroll.
+    pub iterations: u32,
+}
+
+impl HpcgParams {
+    /// The CG parameters this HPCG shape lowers to.
+    pub fn cg(&self) -> CgParams {
+        let m = self.nx * self.nx * self.nx;
+        let occupancy = 27.0;
+        let nnz = (m as f64 * occupancy).round() as u64;
+        CgParams {
+            m,
+            occupancy,
+            // CSR payload: values + column indices + row pointers.
+            a_payload_words: 2 * nnz + m + 1,
+            n: self.n,
+            nprime: self.n,
+            iterations: self.iterations,
+        }
+    }
+}
+
+/// Builds the HPCG tensor dependency DAG (the unrolled CG cascade over a
+/// 27-point stencil matrix).
+pub fn build_hpcg_dag(prm: &HpcgParams) -> TensorDag {
+    build_cg_dag(&prm.cg())
+}
 
 /// One Table I row.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -94,5 +135,21 @@ mod tests {
                 assert!(pct > 0.3);
             }
         }
+    }
+
+    #[test]
+    fn hpcg_dag_is_cg_shaped_at_occupancy_27() {
+        let prm = HpcgParams {
+            nx: 32,
+            n: 16,
+            iterations: 3,
+        };
+        let cg = prm.cg();
+        assert_eq!(cg.m, 32 * 32 * 32);
+        assert_eq!(cg.occupancy, 27.0);
+        assert_eq!(cg.a_payload_words, 2 * 27 * 32768 + 32768 + 1);
+        let dag = build_hpcg_dag(&prm);
+        assert_eq!(dag.node_count(), 8 * 3, "the 7-op cascade per iteration");
+        assert!(!dag.externals().is_empty());
     }
 }

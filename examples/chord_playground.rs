@@ -41,11 +41,17 @@ fn main() {
     // Fig 9 (left): PRELUDE — tensor P larger than the buffer. The head stays
     // resident, the tail streams to DRAM.
     let spilled = chord.produce("P", 1_400, RiffPriority::new(2, 1));
-    dump(&chord, &format!("PRELUDE: produced P (1400 words), spilled {spilled}"));
+    dump(
+        &chord,
+        &format!("PRELUDE: produced P (1400 words), spilled {spilled}"),
+    );
 
     // Read P back: the resident head hits, the spilled tail misses.
     let r = chord.consume("P", Some(RiffPriority::new(1, 4)));
-    println!("   consume P: {} hit / {} miss words\n", r.hit_words, r.miss_words);
+    println!(
+        "   consume P: {} hit / {} miss words\n",
+        r.hit_words, r.miss_words
+    );
 
     // Fig 9 (right): RIFF — X (reused far in the future) is resident when R
     // (reused sooner and more often) arrives: R evicts X's *tail*.
@@ -58,11 +64,11 @@ fn main() {
     chord.produce("X", 800, RiffPriority::new(1, 7));
     dump(&chord, "X produced (freq 1, dist 7)");
     chord.produce("R", 600, RiffPriority::new(3, 1));
-    dump(&chord, "RIFF: R produced (freq 3, dist 1) — X's tail evicted");
-    println!(
-        "   X audit: {:?}\n",
-        chord.audit("X")
+    dump(
+        &chord,
+        "RIFF: R produced (freq 3, dist 1) — X's tail evicted",
     );
+    println!("   X audit: {:?}\n", chord.audit("X"));
 
     // Fig 11 step 3: after R dies, a re-fetch of a clean tensor reclaims space.
     chord.consume("R", Some(RiffPriority::new(2, 2)));
@@ -72,6 +78,8 @@ fn main() {
     chord.fetch("A", 700, RiffPriority::new(10, 3));
     dump(&chord, "A fetched from DRAM (clean, freq 10)");
 
-    chord.check_conservation().expect("every word accounted exactly once");
+    chord
+        .check_conservation()
+        .expect("every word accounted exactly once");
     println!("\nconservation check passed; stats: {:?}", chord.stats());
 }

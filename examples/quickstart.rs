@@ -34,7 +34,9 @@ fn main() {
 
     // 3. SCORE: form pipeline clusters and steer tensors to buffers.
     let schedule = build_schedule(&dag, ScheduleOptions::cello());
-    schedule.validate(&dag).expect("schedule is a topological order");
+    schedule
+        .validate(&dag)
+        .expect("schedule is a topological order");
     println!(
         "SCORE formed {} clusters over {} ops (first iteration: {:?})",
         schedule.phases.len(),

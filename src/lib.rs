@@ -2,8 +2,8 @@
 //!
 //! Re-exports the whole workspace under one roof so examples, integration
 //! tests and downstream users can `use cello::…` without naming individual
-//! crates. See `README.md` for the architecture overview and `DESIGN.md` for
-//! the per-experiment index.
+//! crates. See `README.md` for the architecture overview (including the
+//! `cello-search` auto-tuner and the `cello_dse` CLI).
 //!
 //! ```
 //! use cello::tensor::ai_best_gemm;
@@ -15,6 +15,7 @@
 pub use cello_core as core;
 pub use cello_graph as graph;
 pub use cello_mem as mem;
+pub use cello_search as search;
 pub use cello_sim as sim;
 pub use cello_tensor as tensor;
 pub use cello_workloads as workloads;

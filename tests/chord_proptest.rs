@@ -16,14 +16,23 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (1u64..5_000, 0u32..6, 1u32..12)
-            .prop_map(|(words, freq, dist)| Op::Produce { words, freq, dist }),
-        (1u64..5_000, 0u32..6, 1u32..12)
-            .prop_map(|(words, freq, dist)| Op::Fetch { words, freq, dist }),
+        (1u64..5_000, 0u32..6, 1u32..12).prop_map(|(words, freq, dist)| Op::Produce {
+            words,
+            freq,
+            dist
+        }),
+        (1u64..5_000, 0u32..6, 1u32..12).prop_map(|(words, freq, dist)| Op::Fetch {
+            words,
+            freq,
+            dist
+        }),
         (0usize..32, any::<bool>()).prop_map(|(target, last)| Op::Consume { target, last }),
         (0usize..32).prop_map(|target| Op::Retire { target }),
-        (0usize..32, 0u32..6, 1u32..12)
-            .prop_map(|(target, freq, dist)| Op::Update { target, freq, dist }),
+        (0usize..32, 0u32..6, 1u32..12).prop_map(|(target, freq, dist)| Op::Update {
+            target,
+            freq,
+            dist
+        }),
     ]
 }
 

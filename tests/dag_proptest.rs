@@ -75,7 +75,11 @@ fn build(flavors: &[u8], raw_edges: &[(usize, usize)]) -> TensorDag {
         dag.add_op(
             format!("op{i}"),
             spec(f),
-            if f % 5 == 4 { OpKind::Inverse } else { OpKind::TensorMac },
+            if f % 5 == 4 {
+                OpKind::Inverse
+            } else {
+                OpKind::TensorMac
+            },
             TensorMeta::dense(format!("T{i}"), &["m", "n"], words),
         );
     }

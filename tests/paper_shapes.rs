@@ -53,7 +53,10 @@ fn cello_dominates_traffic_everywhere() {
                 layers: 1,
             }),
         ),
-        ("resnet", build_resnet_block_dag(&ResNetBlockParams::conv3x())),
+        (
+            "resnet",
+            build_resnet_block_dag(&ResNetBlockParams::conv3x()),
+        ),
     ];
     for (name, dag) in &dags {
         let cello = run_config(dag, ConfigKind::Cello, &accel, name);
@@ -187,7 +190,12 @@ fn prelude_sandwich() {
 fn bandwidth_scaling_sane() {
     let dag = small_cg(16, 3);
     let fast = run_config(&dag, ConfigKind::Flexagon, &CelloConfig::paper(), "cg");
-    let slow = run_config(&dag, ConfigKind::Flexagon, &CelloConfig::paper_250gbs(), "cg");
+    let slow = run_config(
+        &dag,
+        ConfigKind::Flexagon,
+        &CelloConfig::paper_250gbs(),
+        "cg",
+    );
     let ratio = slow.seconds / fast.seconds;
     assert!(
         (1.0..=4.01).contains(&ratio),

@@ -1,0 +1,204 @@
+//! Property tests for the DSE engine (`cello-search`): determinism of the
+//! Pareto front under a fixed seed, and the guarantee that tuning never
+//! loses to the `ScheduleOptions::cello()` paper heuristic on the toy
+//! chain/diamond DAGs.
+
+use cello::core::accel::CelloConfig;
+use cello::core::score::binding::{build_schedule, ScheduleOptions};
+use cello::graph::dag::TensorDag;
+use cello::graph::edge::TensorMeta;
+use cello::graph::node::OpKind;
+use cello::search::{SpaceConfig, Strategy, Tuner};
+use cello::sim::evaluate::evaluate_schedule;
+use cello::tensor::einsum::EinsumSpec;
+use cello::tensor::shape::RankExtent;
+use proptest::prelude::*;
+
+fn spec(m: u64) -> EinsumSpec {
+    EinsumSpec::parse(
+        "mk,kn->mn",
+        &[
+            RankExtent::dense("m", m),
+            RankExtent::dense("k", 16),
+            RankExtent::dense("n", 16),
+        ],
+    )
+}
+
+/// Linear producer→consumer chain of `n_ops` big tensors.
+fn chain(n_ops: usize, m: u64) -> TensorDag {
+    let mut dag = TensorDag::new();
+    let mut prev = None;
+    for i in 0..n_ops {
+        let id = dag.add_op(
+            format!("op{i}"),
+            spec(m),
+            OpKind::TensorMac,
+            TensorMeta::dense(format!("T{i}"), &["m", "n"], m * 16),
+        );
+        if let Some(p) = prev {
+            dag.add_edge(p, id, &["m", "k"]);
+        } else {
+            dag.add_external(
+                TensorMeta::dense("In", &["m", "k"], m * 16),
+                &[(id, &["m", "k"])],
+            );
+        }
+        prev = Some(id);
+    }
+    dag
+}
+
+/// Diamond: one producer multicasting to `fanout` consumers, all joined.
+fn diamond(fanout: usize, m: u64) -> TensorDag {
+    let mut dag = TensorDag::new();
+    let p = dag.add_op(
+        "p",
+        spec(m),
+        OpKind::TensorMac,
+        TensorMeta::dense("T0", &["m", "n"], m * 16),
+    );
+    let mut mids = Vec::new();
+    for i in 0..fanout {
+        let c = dag.add_op(
+            format!("c{i}"),
+            spec(m),
+            OpKind::TensorMac,
+            TensorMeta::dense(format!("M{i}"), &["m", "n"], m * 16),
+        );
+        dag.add_edge(p, c, &["m", "k"]);
+        mids.push(c);
+    }
+    let join = dag.add_op(
+        "join",
+        spec(m),
+        OpKind::TensorMac,
+        TensorMeta::dense("Out", &["m", "n"], m * 16),
+    );
+    for c in mids {
+        dag.add_edge(c, join, &["m", "k"]);
+    }
+    dag.add_external(
+        TensorMeta::dense("In", &["m", "k"], m * 16),
+        &[(p, &["m", "k"])],
+    );
+    dag
+}
+
+fn small_cfg() -> SpaceConfig {
+    SpaceConfig {
+        max_cut_points: 2,
+        max_steer_tensors: 2,
+        max_loop_order_nodes: 1,
+        pipeline_words_choices: vec![65_536, 16_384],
+        rf_words_choices: vec![16_384],
+    }
+}
+
+/// Heuristic cycles through the same evaluator the search uses.
+fn heuristic_cycles(dag: &TensorDag, accel: &CelloConfig) -> u64 {
+    let schedule = build_schedule(dag, ScheduleOptions::cello());
+    evaluate_schedule(dag, &schedule, accel).cycles
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Same seed + same DAG ⇒ bit-identical Pareto front (keys and costs),
+    /// across two completely fresh tuners.
+    #[test]
+    fn random_search_is_deterministic(
+        n_ops in 2usize..6,
+        m in 10_000u64..200_000,
+        seed in 0u64..1_000,
+    ) {
+        let dag = chain(n_ops, m);
+        let accel = CelloConfig::paper();
+        let run = || {
+            let tuner = Tuner::new(&dag, &accel, small_cfg());
+            let out = tuner.tune(Strategy::Random { samples: 24, seed });
+            out.pareto
+                .iter()
+                .map(|e| (e.key.clone(), e.cost.cycles, e.cost.dram_bytes))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Beam search is deterministic too (no seed at all — ties break on the
+    /// canonical schedule key).
+    #[test]
+    fn beam_search_is_deterministic(
+        fanout in 2usize..5,
+        m in 10_000u64..200_000,
+    ) {
+        let dag = diamond(fanout, m);
+        let accel = CelloConfig::paper();
+        let run = || {
+            let tuner = Tuner::new(&dag, &accel, small_cfg());
+            let out = tuner.tune(Strategy::Beam { width: 3 });
+            (
+                out.best_cycles.key.clone(),
+                out.pareto.iter().map(|e| e.key.clone()).collect::<Vec<_>>(),
+                out.evaluations,
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// On chain DAGs the tuned schedule is never worse than the paper
+    /// heuristic on cycles, under every strategy.
+    #[test]
+    fn tuned_never_worse_than_cello_on_chains(
+        n_ops in 2usize..7,
+        m in 10_000u64..500_000,
+        seed in 0u64..100,
+    ) {
+        let dag = chain(n_ops, m);
+        let accel = CelloConfig::paper();
+        let base = heuristic_cycles(&dag, &accel);
+        let tuner = Tuner::new(&dag, &accel, small_cfg());
+        for strategy in [
+            Strategy::Beam { width: 3 },
+            Strategy::Random { samples: 16, seed },
+            Strategy::Exhaustive,
+        ] {
+            let out = tuner.tune(strategy);
+            prop_assert_eq!(out.baseline.cost.cycles, base, "baseline == heuristic");
+            prop_assert!(
+                out.best_cycles.cost.cycles <= base,
+                "{:?}: tuned {} vs heuristic {}",
+                strategy, out.best_cycles.cost.cycles, base
+            );
+        }
+    }
+
+    /// Same guarantee on diamond DAGs.
+    #[test]
+    fn tuned_never_worse_than_cello_on_diamonds(
+        fanout in 2usize..5,
+        m in 10_000u64..500_000,
+        seed in 0u64..100,
+    ) {
+        let dag = diamond(fanout, m);
+        let accel = CelloConfig::paper();
+        let base = heuristic_cycles(&dag, &accel);
+        let tuner = Tuner::new(&dag, &accel, small_cfg());
+        for strategy in [
+            Strategy::Beam { width: 3 },
+            Strategy::Random { samples: 16, seed },
+        ] {
+            let out = tuner.tune(strategy);
+            prop_assert!(
+                out.best_cycles.cost.cycles <= base,
+                "{:?}: tuned {} vs heuristic {}",
+                strategy, out.best_cycles.cost.cycles, base
+            );
+            // And the Pareto front never contains a point dominated by the
+            // baseline (the baseline is in the comparison set).
+            for e in &out.pareto {
+                prop_assert!(!out.baseline.cost.dominates(&e.cost), "{}", e.key);
+            }
+        }
+    }
+}
