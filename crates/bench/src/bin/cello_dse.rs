@@ -8,9 +8,15 @@
 //! report how much of the exhaustive-best the beam recovers and at what
 //! fraction of the evaluation count.
 //!
+//! `--nodes 1,4,16` widens the space with the §V-B multi-node partition
+//! dimension (node count × dominant-rank-slice/stage-split axis) and sweeps
+//! beam search over it on the multi-node workloads (CG, HPCG, GCN),
+//! reporting the best total-traffic (DRAM + NoC hop-bytes) schedule and how
+//! it compares with the best single-node one.
+//!
 //! Output: a TSV under `results/dse.tsv` plus the usual stdout table.
 //!
-//! Usage: `cargo run --release --bin cello_dse`
+//! Usage: `cargo run --release --bin cello_dse [-- --nodes 1,4,16] [--quick]`
 
 use cello_bench::{emit, f3};
 use cello_core::accel::CelloConfig;
@@ -28,24 +34,78 @@ struct Workload {
     name: &'static str,
     dag: TensorDag,
     accel: CelloConfig,
+    /// Part of the `--nodes` multi-node sweep (§V-B workloads).
+    multinode: bool,
 }
 
-fn workloads() -> Vec<Workload> {
-    vec![
-        Workload {
-            name: "cg/G2_circuit",
-            dag: build_cg_dag(&CgParams::from_dataset(&G2_CIRCUIT, 16, 5)),
-            accel: CelloConfig::paper(),
-        },
+struct Args {
+    /// Node counts for the partition dimension (`[1]` = single-node space).
+    nodes: Vec<u64>,
+    /// Small-budget smoke run (CI): CG only, beam width 4, no exhaustive.
+    quick: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        nodes: vec![1],
+        quick: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nodes" => {
+                let list = it.next().unwrap_or_else(|| {
+                    eprintln!("--nodes needs a comma-separated list, e.g. --nodes 1,4,16");
+                    std::process::exit(2);
+                });
+                args.nodes = list
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse::<u64>().unwrap_or_else(|_| {
+                            eprintln!("bad node count {s:?} in --nodes");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                if !args.nodes.contains(&1) {
+                    // The single-node dataflow is always worth comparing.
+                    args.nodes.insert(0, 1);
+                }
+            }
+            "--quick" => args.quick = true,
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; usage: cello_dse [--nodes 1,4,16] [--quick]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn workloads(quick: bool) -> Vec<Workload> {
+    let mut all = vec![Workload {
+        name: "cg/G2_circuit",
+        dag: build_cg_dag(&CgParams::from_dataset(&G2_CIRCUIT, 16, 5)),
+        accel: CelloConfig::paper(),
+        multinode: true,
+    }];
+    if quick {
+        return all;
+    }
+    all.extend([
         Workload {
             name: "cg/shallow_w1",
             dag: build_cg_dag(&CgParams::from_dataset(&SHALLOW_WATER1, 16, 5)),
             accel: CelloConfig::paper(),
+            multinode: true,
         },
         Workload {
             name: "bicgstab/G2",
             dag: build_bicgstab_dag(&BicgParams::from_dataset(&G2_CIRCUIT, 16, 3)),
             accel: CelloConfig::paper(),
+            multinode: false,
         },
         Workload {
             name: "hpcg/nx48",
@@ -55,44 +115,68 @@ fn workloads() -> Vec<Workload> {
                 iterations: 4,
             }),
             accel: CelloConfig::paper(),
+            multinode: true,
         },
         Workload {
             name: "gcn/cora",
             dag: build_gcn_dag(&GcnParams::from_dataset(&CORA, 2)),
             accel: CelloConfig::paper(),
+            multinode: true,
         },
         Workload {
             name: "resnet/conv3x",
             dag: build_resnet_block_dag(&ResNetBlockParams::conv3x()),
             accel: CelloConfig::paper().with_word_bytes(2),
+            multinode: false,
         },
         Workload {
             name: "power/G2",
             dag: build_power_iter_dag(&PowerIterParams::from_dataset(&G2_CIRCUIT, 5)),
             accel: CelloConfig::paper(),
+            multinode: false,
         },
-    ]
+    ]);
+    all
 }
 
 fn main() {
+    let args = parse_args();
+    let multi = args.nodes.iter().any(|&n| n > 1);
+    let beam_width = if args.quick { 4 } else { 8 };
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut wins = 0usize;
-    for w in workloads() {
-        for strategy in [
-            Strategy::Beam { width: 8 },
-            Strategy::Random {
-                samples: 64,
-                seed: 0xCE110,
-            },
-        ] {
+    // The cg/G2 beam outcome over the widened space doubles as the
+    // multi-node side of the sweep comparison below — no need to re-tune.
+    let mut cg_multi: Option<cello_search::SearchOutcome> = None;
+    for w in workloads(args.quick) {
+        let cfg = if multi && w.multinode {
+            SpaceConfig::with_nodes(&args.nodes)
+        } else {
+            SpaceConfig::default()
+        };
+        let strategies: Vec<Strategy> = if args.quick {
+            vec![Strategy::Beam { width: beam_width }]
+        } else {
+            vec![
+                Strategy::Beam { width: beam_width },
+                Strategy::Random {
+                    samples: 64,
+                    seed: 0xCE110,
+                },
+            ]
+        };
+        for strategy in strategies {
             // Fresh tuner (and memo cache) per strategy so each row's
             // evals/cache_hits measure that strategy standalone.
-            let tuner = Tuner::new(&w.dag, &w.accel, SpaceConfig::default());
+            let tuner = Tuner::new(&w.dag, &w.accel, cfg.clone());
             let out = tuner.tune(strategy);
             let improved = out.best_cycles.cost.cycles < out.baseline.cost.cycles
                 || out.best_dram.cost.dram_bytes < out.baseline.cost.dram_bytes;
             if improved && matches!(strategy, Strategy::Beam { .. }) {
                 wins += 1;
+            }
+            if multi && w.name == "cg/G2_circuit" && matches!(strategy, Strategy::Beam { .. }) {
+                cg_multi = Some(out.clone());
             }
             rows.push(vec![
                 w.name.to_string(),
@@ -103,6 +187,8 @@ fn main() {
                 out.baseline.cost.dram_bytes.to_string(),
                 out.best_dram.cost.dram_bytes.to_string(),
                 f3(out.dram_ratio()),
+                out.best_traffic.cost.total_traffic_bytes().to_string(),
+                out.best_traffic.cost.noc_hop_bytes.to_string(),
                 out.evaluations.to_string(),
                 out.cache_hits.to_string(),
                 out.pareto.len().to_string(),
@@ -121,6 +207,8 @@ fn main() {
             "base_dram_B",
             "tuned_dram_B",
             "dram_ratio",
+            "tuned_traffic_B",
+            "tuned_noc_hopB",
             "evals",
             "cache_hits",
             "pareto",
@@ -128,6 +216,42 @@ fn main() {
         &rows,
     );
     println!("workloads improved by beam tuning: {wins}");
+
+    // Multi-node vs single-node total traffic on CG — the §V-B payoff. The
+    // multi-node side is the main loop's widened-space beam outcome; only
+    // the single-node reference needs a fresh tune.
+    if multi {
+        let dag = build_cg_dag(&CgParams::from_dataset(&G2_CIRCUIT, 16, 5));
+        let accel = CelloConfig::paper();
+        let single = Tuner::new(&dag, &accel, SpaceConfig::default())
+            .tune(Strategy::Beam { width: beam_width });
+        let swept = cg_multi.expect("cg/G2_circuit always runs under --nodes");
+        let s = single.best_traffic.cost.total_traffic_bytes();
+        let m = swept.best_traffic.cost.total_traffic_bytes();
+        let partition = swept
+            .best_traffic
+            .candidate
+            .constraints
+            .partition
+            .map(|p| format!("{p:?}"))
+            .unwrap_or_else(|| "single-node".into());
+        println!(
+            "cg multi-node sweep {:?}: best traffic {m} B vs single-node {s} B ({}x, winner {partition})",
+            args.nodes,
+            f3(s as f64 / m.max(1) as f64),
+        );
+        if args.quick {
+            assert!(
+                m <= s,
+                "multi-node space must never lose to single-node (it contains it)"
+            );
+        }
+    }
+
+    if args.quick {
+        println!("quick smoke complete");
+        return;
+    }
 
     // Beam-vs-exhaustive efficiency on the CG DAG (kept to one dataset:
     // exhaustive on the full default space is thousands of evaluations).

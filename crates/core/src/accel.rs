@@ -35,6 +35,8 @@ pub struct CelloConfig {
     pub pipeline_buffer_words: u64,
     /// RIFF-index-table entries.
     pub riff_entries: usize,
+    /// Per-link NoC bandwidth in bytes/s (multi-node runs, §V-B).
+    pub noc_bandwidth_bytes_per_sec: f64,
 }
 
 impl CelloConfig {
@@ -49,6 +51,7 @@ impl CelloConfig {
             rf_capacity_words: 16_384,
             pipeline_buffer_words: 65_536,
             riff_entries: 64,
+            noc_bandwidth_bytes_per_sec: 256.0e9,
         }
     }
 

@@ -35,3 +35,4 @@ pub use score::binding::{
     ScheduleOptions,
 };
 pub use score::classify::{classify, Classification, Dependency};
+pub use score::multinode::{dominant_partition_rank, NocModel, Partition, PartitionAxis};

@@ -19,6 +19,7 @@
 
 use crate::score::classify::{classify, Classification, Dependency};
 use crate::score::loop_order::{can_pipeline, choose_loop_order, LoopOrder};
+use crate::score::multinode::{Partition, PartitionAxis};
 use crate::score::swizzle::{minimize_swizzles, SwizzleReport};
 use crate::score::tiling::{pipeline_can_stream, rf_fits};
 use cello_graph::dag::{EdgeId, NodeId, TensorDag};
@@ -156,6 +157,9 @@ pub struct Schedule {
     pub swizzle: SwizzleReport,
     /// The options used.
     pub options: ScheduleOptions,
+    /// Multi-node partitioning (§V-B scalable dataflow); single-node unless
+    /// the constraints requested (and validity allowed) more.
+    pub partition: Partition,
 }
 
 impl Schedule {
@@ -181,8 +185,11 @@ impl Schedule {
         self.binding.get(tensor).copied().unwrap_or(Binding::Dram)
     }
 
-    /// Validates that the phase sequence is a topological order of the DAG
-    /// and that co-phase edges are realized. Used by tests.
+    /// Validates that the phase sequence is a topological order of the DAG,
+    /// that co-phase edges are realized, and that a rank-partitioned
+    /// schedule only realizes edges whose producer streams the sliced rank
+    /// outermost (the §V-B rule: only dominant-rank parallelization keeps
+    /// pipelining intra-node). Used by tests.
     pub fn validate(&self, dag: &TensorDag) -> Result<(), String> {
         let phase_of = self.phase_of();
         if phase_of.contains(&usize::MAX) {
@@ -197,6 +204,14 @@ impl Schedule {
                 return Err(format!(
                     "edge {eid:?} co-scheduled in phase {ps} but not realized"
                 ));
+            }
+            if let Some(rank) = self.partition.sliced_rank() {
+                if self.realized[eid.0] && self.loop_orders[edge.src].outermost() != rank {
+                    return Err(format!(
+                        "edge {eid:?} realized but its producer does not stream \
+                         the sliced rank {rank:?} outermost (cross-node pipeline)"
+                    ));
+                }
             }
         }
         Ok(())
@@ -221,12 +236,14 @@ fn scope_allows(dag: &TensorDag, cls: &Classification, src: NodeId, scope: Pipel
     }
 }
 
-/// Is edge `e` realizable as in-cluster pipelining under `opts`?
+/// Is edge `e` realizable as in-cluster pipelining under `opts` and
+/// `partition`?
 fn realizable(
     dag: &TensorDag,
     cls: &Classification,
     orders: &[LoopOrder],
     opts: &ScheduleOptions,
+    partition: &Partition,
     e: EdgeId,
 ) -> bool {
     let edge = dag.edge(e);
@@ -236,7 +253,17 @@ fn realizable(
         Dependency::DelayedHold => opts.enable_hold,
         _ => false,
     };
+    // §V-B scalable-dataflow rule: with work sliced along a rank, pipelining
+    // stays intra-node only when the producer streams that rank outermost
+    // (each node then pipelines its own slice). Any other producer order
+    // would put the stream's slices on different nodes, so the edge must
+    // not realize. The `Stage` axis deliberately allows realization — that
+    // IS the naive strategy, and the engine charges its NoC cost.
+    let partition_ok = partition
+        .sliced_rank()
+        .is_none_or(|rank| orders[edge.src].outermost() == rank);
     kind_ok
+        && partition_ok
         && scope_allows(dag, cls, NodeId(edge.src), opts.scope)
         && can_pipeline(dag, cls, e, &orders[edge.src], &orders[edge.dst])
         && pipeline_can_stream(
@@ -293,6 +320,12 @@ pub struct ScheduleConstraints {
     /// Node index → loop order override (ranks outermost-first). The order
     /// must be a permutation of the node's ranks; others are ignored.
     pub loop_orders: BTreeMap<usize, LoopOrder>,
+    /// Requested multi-node partition (`None` = single node). A `Rank` axis
+    /// naming a rank no op iterates degrades to single-node; a valid rank
+    /// axis additionally *constrains realization*: edges whose producer does
+    /// not stream the sliced rank outermost cannot pipeline intra-node, so
+    /// the builder refuses to realize them (the §V-B validity rule).
+    pub partition: Option<Partition>,
 }
 
 impl ScheduleConstraints {
@@ -301,11 +334,45 @@ impl ScheduleConstraints {
         Self::default()
     }
 
+    /// Only a partition request, everything else unconstrained.
+    pub fn partitioned(partition: Partition) -> Self {
+        Self {
+            partition: Some(partition),
+            ..Self::default()
+        }
+    }
+
     /// True when no constraint is set.
     pub fn is_empty(&self) -> bool {
         self.cut_before.is_empty()
             && self.binding_overrides.is_empty()
             && self.loop_orders.is_empty()
+            && self.partition.is_none()
+    }
+}
+
+/// Validates a requested partition against the DAG. Node counts below one
+/// and `Rank` axes naming unknown ranks degrade to the single-node
+/// partition — advisory semantics, like every other constraint.
+fn normalize_partition(dag: &TensorDag, requested: Option<Partition>) -> Partition {
+    let Some(p) = requested else {
+        return Partition::single();
+    };
+    if p.nodes <= 1 {
+        return Partition::single();
+    }
+    match p.axis {
+        PartitionAxis::Rank(rank) => {
+            let known = dag
+                .nodes()
+                .any(|(_, n)| n.spec.extents().iter().any(|e| e.rank == rank));
+            if known {
+                p
+            } else {
+                Partition::single()
+            }
+        }
+        PartitionAxis::Stage => p,
     }
 }
 
@@ -339,6 +406,7 @@ pub fn build_schedule_with(
     constraints: &ScheduleConstraints,
 ) -> Schedule {
     let cls = classify(dag);
+    let partition = normalize_partition(dag, constraints.partition);
     let orders: Vec<LoopOrder> = dag
         .topo_order()
         .into_iter()
@@ -378,7 +446,7 @@ pub fn build_schedule_with(
             if !in_phase.is_empty() {
                 if in_phase
                     .iter()
-                    .all(|&e| realizable(dag, &cls, &orders, &opts, e))
+                    .all(|&e| realizable(dag, &cls, &orders, &opts, &partition, e))
                 {
                     join_demand = in_phase
                         .iter()
@@ -471,6 +539,7 @@ pub fn build_schedule_with(
         loop_orders: orders,
         swizzle: minimize_swizzles(dag),
         options: opts,
+        partition,
     }
 }
 
@@ -838,6 +907,101 @@ mod tests {
             "oversize RF request dropped"
         );
         s.validate(&dag).unwrap();
+    }
+
+    /// A rank partition along the dominant rank keeps the Fig 8 clusters:
+    /// both CG producers (ops 1 and 4) stream m outermost, so realization is
+    /// untouched, and the normalized partition lands in the schedule.
+    #[test]
+    fn rank_partition_on_dominant_rank_keeps_pipelining() {
+        use cello_tensor::shape::RankId;
+        let dag = cg_iteration();
+        let partition = Partition::by_rank(16, RankId::new("m"));
+        let s = build_schedule_with(
+            &dag,
+            ScheduleOptions::cello(),
+            &ScheduleConstraints::partitioned(partition),
+        );
+        assert_eq!(s.partition, partition);
+        let realized: Vec<usize> = (0..dag.edge_count()).filter(|&i| s.realized[i]).collect();
+        assert_eq!(realized, vec![0, 5], "same as the single-node schedule");
+        s.validate(&dag).unwrap();
+    }
+
+    /// Partitioning along a non-dominant rank de-realizes every pipeline
+    /// (producers stream m outermost, not n), splitting the clusters — the
+    /// §V-B "only dominant-rank parallelization keeps pipelining
+    /// intra-node" rule, surfaced as schedule cost instead of a panic.
+    #[test]
+    fn rank_partition_on_minor_rank_blocks_pipelining() {
+        use cello_tensor::shape::RankId;
+        let dag = cg_iteration();
+        let s = build_schedule_with(
+            &dag,
+            ScheduleOptions::cello(),
+            &ScheduleConstraints::partitioned(Partition::by_rank(16, RankId::new("n"))),
+        );
+        assert!(s.realized.iter().all(|&r| !r), "no cross-node pipelines");
+        // Multicast co-scheduling (no streamed edge) may still fuse ops, but
+        // every *streaming* cluster must have split.
+        assert!(s.phases.len() > build_schedule(&dag, ScheduleOptions::cello()).phases.len());
+        s.validate(&dag).unwrap();
+    }
+
+    /// Stage partitioning (the naive strategy) keeps pipelining realized —
+    /// the simulator charges the NoC cost instead.
+    #[test]
+    fn stage_partition_keeps_pipelining() {
+        let dag = cg_iteration();
+        let s = build_schedule_with(
+            &dag,
+            ScheduleOptions::cello(),
+            &ScheduleConstraints::partitioned(Partition::by_stage(16)),
+        );
+        let realized: Vec<usize> = (0..dag.edge_count()).filter(|&i| s.realized[i]).collect();
+        assert_eq!(realized, vec![0, 5]);
+        assert_eq!(s.partition, Partition::by_stage(16));
+        s.validate(&dag).unwrap();
+    }
+
+    /// Invalid partition requests degrade to single-node: unknown ranks and
+    /// degenerate node counts are dropped, not errors.
+    #[test]
+    fn bogus_partitions_degrade_to_single_node() {
+        use cello_tensor::shape::RankId;
+        let dag = cg_iteration();
+        for req in [
+            Partition::by_rank(8, RankId::new("zz")), // unknown rank
+            Partition::by_rank(1, RankId::new("m")),  // 1 node
+            Partition::by_stage(0),                   // 0 nodes
+        ] {
+            let s = build_schedule_with(
+                &dag,
+                ScheduleOptions::cello(),
+                &ScheduleConstraints::partitioned(req),
+            );
+            assert_eq!(s.partition, Partition::single(), "{req:?}");
+        }
+        // And no partition at all is the same thing.
+        let s = build_schedule(&dag, ScheduleOptions::cello());
+        assert_eq!(s.partition, Partition::single());
+    }
+
+    /// `validate` rejects a hand-corrupted schedule that realizes an edge
+    /// whose producer does not stream the sliced rank outermost.
+    #[test]
+    fn validate_rejects_cross_node_pipelines() {
+        use cello_tensor::shape::RankId;
+        let dag = cg_iteration();
+        let mut s = build_schedule_with(
+            &dag,
+            ScheduleOptions::cello(),
+            &ScheduleConstraints::partitioned(Partition::by_rank(4, RankId::new("m"))),
+        );
+        s.validate(&dag).unwrap();
+        // Corrupt: claim slicing along n while producers stream m.
+        s.partition = Partition::by_rank(4, RankId::new("n"));
+        assert!(s.validate(&dag).is_err());
     }
 
     /// A loop-order override that breaks the §V-B co-dependence conditions

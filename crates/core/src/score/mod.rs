@@ -12,7 +12,9 @@
 //!   tensors, occupancy-based sparse tiling;
 //! - [`binding`]: cluster formation and tensor→buffer steering (§V-C);
 //! - [`multinode`]: the scalable multi-node dataflow (§V-B "Scalable
-//!   Dataflow") and its NoC traffic model.
+//!   Dataflow") — the mesh NoC model plus the [`multinode::Partition`]
+//!   schedule decision (node count × rank-slice/stage-split axis) that
+//!   `binding::build_schedule_with` validates and the simulator scores.
 
 pub mod binding;
 pub mod classify;

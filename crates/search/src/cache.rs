@@ -68,6 +68,7 @@ mod tests {
         CostEstimate {
             cycles: c,
             dram_bytes: 0,
+            noc_hop_bytes: 0,
             energy_pj: 0.0,
         }
     }

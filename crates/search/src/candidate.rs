@@ -3,6 +3,7 @@
 use cello_core::score::binding::{
     build_schedule_with, Binding, Schedule, ScheduleConstraints, ScheduleOptions,
 };
+use cello_core::score::multinode::PartitionAxis;
 use cello_graph::dag::TensorDag;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -39,11 +40,12 @@ impl Candidate {
     /// Canonical key of a **built schedule** — the memo-cache identity.
     ///
     /// Two candidates whose decisions collapse to the same schedule (e.g. a
-    /// "cut" before a node that never joined a cluster anyway) share a key
-    /// and are evaluated once. The key covers everything the cheap
-    /// evaluator's result depends on: phase structure, realized edges,
-    /// bindings, and — only when CHORD is in play — the SRAM partition that
-    /// sizes it.
+    /// "cut" before a node that never joined a cluster anyway, or a bogus
+    /// partition the builder degraded to single-node) share a key and are
+    /// evaluated once. The key covers everything the cheap evaluator's
+    /// result depends on: phase structure, realized edges, bindings, the
+    /// normalized multi-node partition, and — only when CHORD is in play —
+    /// the SRAM partition that sizes it.
     pub fn schedule_key(schedule: &Schedule) -> String {
         let mut key = String::new();
         for phase in &schedule.phases {
@@ -75,6 +77,18 @@ impl Candidate {
             );
         } else {
             key.push('x');
+        }
+        key.push(';');
+        if schedule.partition.is_multi() {
+            let _ = write!(key, "n{}", schedule.partition.nodes);
+            match schedule.partition.axis {
+                PartitionAxis::Rank(rank) => {
+                    let _ = write!(key, "r{rank}");
+                }
+                PartitionAxis::Stage => key.push('s'),
+            }
+        } else {
+            key.push('1');
         }
         key
     }
@@ -139,6 +153,31 @@ mod tests {
             Candidate::schedule_key(&a.build(&dag)),
             Candidate::schedule_key(&cut.build(&dag)),
         );
+    }
+
+    /// Multi-node partitions are part of the memo identity: same structure
+    /// on different node counts (or axes) must evaluate separately, while a
+    /// degraded (bogus-rank) partition collapses onto the single-node key.
+    #[test]
+    fn key_covers_multinode_partition() {
+        use cello_core::score::multinode::Partition;
+        use cello_tensor::shape::RankId;
+        let dag = toy_chain(3);
+        let base = Candidate::paper_heuristic();
+        let with = |p: Partition| {
+            let mut c = Candidate::paper_heuristic();
+            c.constraints.partition = Some(p);
+            Candidate::schedule_key(&c.build(&dag))
+        };
+        let k1 = Candidate::schedule_key(&base.build(&dag));
+        let k4r = with(Partition::by_rank(4, RankId::new("m")));
+        let k16r = with(Partition::by_rank(16, RankId::new("m")));
+        let k4s = with(Partition::by_stage(4));
+        assert_ne!(k1, k4r);
+        assert_ne!(k4r, k16r);
+        assert_ne!(k4r, k4s);
+        // An unknown rank degrades to single-node and shares its key.
+        assert_eq!(k1, with(Partition::by_rank(4, RankId::new("zz"))));
     }
 
     #[test]

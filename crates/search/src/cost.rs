@@ -1,4 +1,5 @@
-//! Pareto machinery over the three search objectives.
+//! Pareto machinery over the four search objectives (cycles, DRAM bytes,
+//! NoC hop-bytes, energy).
 
 use crate::candidate::Candidate;
 use cello_sim::evaluate::CostEstimate;
@@ -12,23 +13,24 @@ pub struct Evaluated {
     pub candidate: Candidate,
     /// Canonical key of the schedule it built (memo-cache identity).
     pub key: String,
-    /// The three objectives.
+    /// The four objectives.
     pub cost: CostEstimate,
 }
 
-/// Deterministic total order: cycles, then DRAM bytes, then energy, then the
-/// canonical key as the final tiebreak.
+/// Deterministic total order: cycles, then DRAM bytes, then NoC hop-bytes,
+/// then energy, then the canonical key as the final tiebreak.
 pub fn rank(a: &Evaluated, b: &Evaluated) -> Ordering {
     a.cost
         .cycles
         .cmp(&b.cost.cycles)
         .then(a.cost.dram_bytes.cmp(&b.cost.dram_bytes))
+        .then(a.cost.noc_hop_bytes.cmp(&b.cost.noc_hop_bytes))
         .then(a.cost.energy_pj.total_cmp(&b.cost.energy_pj))
         .then(a.key.cmp(&b.key))
 }
 
-/// The non-dominated subset of `evaluated` over (cycles, DRAM bytes,
-/// energy), deduplicated by schedule key and sorted by [`rank`].
+/// The non-dominated subset of `evaluated` over (cycles, DRAM bytes, NoC
+/// hop-bytes, energy), deduplicated by schedule key and sorted by [`rank`].
 pub fn pareto_front(evaluated: &[Evaluated]) -> Vec<Evaluated> {
     let mut seen = std::collections::HashSet::new();
     let mut unique: Vec<&Evaluated> = Vec::new();
@@ -57,9 +59,21 @@ mod tests {
             cost: CostEstimate {
                 cycles,
                 dram_bytes: dram,
+                noc_hop_bytes: 0,
                 energy_pj: energy,
             },
         }
+    }
+
+    /// A NaN-energy point is dominated by its finite twin and never
+    /// survives into the front (the `dominates` totality regression,
+    /// exercised at the front level).
+    #[test]
+    fn nan_energy_cannot_corrupt_the_front() {
+        let all = vec![ev("good", 10, 10, 1.0), ev("nan", 10, 10, f64::NAN)];
+        let front = pareto_front(&all);
+        let keys: Vec<&str> = front.iter().map(|e| e.key.as_str()).collect();
+        assert_eq!(keys, vec!["good"]);
     }
 
     #[test]

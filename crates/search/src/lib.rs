@@ -14,16 +14,19 @@
 //!   (the tiling knob: `pipeline_can_stream` gates which edges can realize,
 //!   so a lean buffer that feeds CHORD risks blocking fusion on wide-row
 //!   DAGs), cluster cuts, per-tensor buffer
-//!   steering, and loop-order flips on balanced nodes (the only nodes where
+//!   steering, loop-order flips on balanced nodes (the only nodes where
 //!   §V-B leaves the order cost-neutral, so the search cannot exploit
-//!   unmodeled intra-op costs);
+//!   unmodeled intra-op costs), and — when
+//!   [`SpaceConfig::node_choices`](space::SpaceConfig) lists counts above
+//!   one — the §V-B multi-node partition (node count × dominant-rank-slice
+//!   or stage-split axis, scored on NoC hop-bytes and per-node footprints);
 //! - [`candidate`]: one point of that space — a `ScheduleOptions` plus a
 //!   [`ScheduleConstraints`](cello_core::score::binding::ScheduleConstraints) —
 //!   buildable into a valid [`Schedule`](cello_core::score::binding::Schedule)
 //!   by construction;
 //! - [`cost`]: the Pareto machinery over
 //!   [`CostEstimate`](cello_sim::evaluate::CostEstimate)
-//!   (cycles, DRAM bytes, energy);
+//!   (cycles, DRAM bytes, NoC hop-bytes, energy);
 //! - [`cache`]: a thread-safe memo table keyed by the **canonicalized
 //!   schedule** (not the candidate), so decision combinations that collapse
 //!   to the same schedule are evaluated once;

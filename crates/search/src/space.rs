@@ -23,11 +23,18 @@
 //!    ones);
 //! 5. **Loop-order flips** — only on *balanced* nodes, where §V-B leaves
 //!    the order cost-neutral intra-op, so flipping trades nothing the cost
-//!    model cannot see (it only disables/enables pipelining realizability).
+//!    model cannot see (it only disables/enables pipelining realizability);
+//! 6. **Multi-node partition** — node count × dataflow axis (§V-B): slice
+//!    the DAG's dominant rank (pipelining stays intra-node, small tensors
+//!    broadcast/reduce over the NoC) or split pipeline stages across nodes
+//!    (the Fig 8 naive strategy, full intermediates on the NoC). Enabled by
+//!    listing node counts > 1 in [`SpaceConfig::node_choices`]; the
+//!    single-node partition is always choice 0.
 
 use crate::candidate::Candidate;
 use cello_core::score::binding::{Binding, PipelineScope};
 use cello_core::score::loop_order::{choose_loop_order, LoopOrder};
+use cello_core::score::multinode::{dominant_partition_rank, Partition};
 use cello_graph::dag::TensorDag;
 use cello_graph::node::Dominance;
 use serde::{Deserialize, Serialize};
@@ -74,6 +81,12 @@ pub enum Choice {
         /// The alternative order, if this choice applies one.
         order: Option<LoopOrder>,
     },
+    /// Run the schedule over a multi-node mesh (`Partition::single()` = the
+    /// default single-node dataflow).
+    Partition {
+        /// Node count and parallelized axis.
+        partition: Partition,
+    },
 }
 
 /// One dimension of the space: a named set of mutually-exclusive choices.
@@ -98,6 +111,11 @@ pub struct SpaceConfig {
     pub pipeline_words_choices: Vec<u64>,
     /// Register-file size menu in words (first = paper default).
     pub rf_words_choices: Vec<u64>,
+    /// Node-count menu for the multi-node partition dimension. Counts > 1
+    /// each contribute a dominant-rank-sliced and a stage-split choice;
+    /// single-node is always available as the default. `vec![1]` (the
+    /// default) disables the dimension entirely.
+    pub node_choices: Vec<u64>,
 }
 
 impl Default for SpaceConfig {
@@ -110,6 +128,17 @@ impl Default for SpaceConfig {
             // CHORD and a fat pipeline buffer that takes it back.
             pipeline_words_choices: vec![65_536, 16_384, 262_144],
             rf_words_choices: vec![16_384, 4_096],
+            node_choices: vec![1],
+        }
+    }
+}
+
+impl SpaceConfig {
+    /// The default space widened with a multi-node partition dimension.
+    pub fn with_nodes(nodes: &[u64]) -> Self {
+        Self {
+            node_choices: nodes.to_vec(),
+            ..Self::default()
         }
     }
 }
@@ -139,7 +168,33 @@ impl SearchSpace {
             ],
         });
 
-        // 2. SRAM split menu (paper default first by SpaceConfig contract).
+        // 2. Multi-node partition (§V-B): single-node first, then per node
+        // count a dominant-rank slice and a stage split. Skipped entirely
+        // when the config lists no count above 1, so single-node spaces are
+        // unchanged. Placed early so beam search settles the partition
+        // before tuning the knobs that depend on per-node footprints.
+        let mut partitions = vec![Choice::Partition {
+            partition: Partition::single(),
+        }];
+        let sliceable = dominant_partition_rank(dag);
+        for &n in cfg.node_choices.iter().filter(|&&n| n > 1) {
+            if let Some(rank) = sliceable {
+                partitions.push(Choice::Partition {
+                    partition: Partition::by_rank(n, rank),
+                });
+            }
+            partitions.push(Choice::Partition {
+                partition: Partition::by_stage(n),
+            });
+        }
+        if partitions.len() > 1 {
+            decisions.push(Decision {
+                name: "partition".into(),
+                choices: partitions,
+            });
+        }
+
+        // 3. SRAM split menu (paper default first by SpaceConfig contract).
         let mut splits = Vec::new();
         for &pw in &cfg.pipeline_words_choices {
             for &rw in &cfg.rf_words_choices {
@@ -154,7 +209,7 @@ impl SearchSpace {
             choices: splits,
         });
 
-        // 3. Cluster cuts: nodes that actually join a cluster under the
+        // 4. Cluster cuts: nodes that actually join a cluster under the
         // fully-fused heuristic, biggest clusters first so the cuts that
         // matter most fit under the cap.
         let fused = Candidate::paper_heuristic().build(dag);
@@ -181,7 +236,7 @@ impl SearchSpace {
             });
         }
 
-        // 4. Steering: CHORD-bound tensors by descending footprint.
+        // 5. Steering: CHORD-bound tensors by descending footprint.
         let mut chord_tensors: Vec<(u64, String)> = Vec::new();
         for (_, node) in dag.nodes() {
             if fused.binding_of(&node.output.name) == Binding::Chord {
@@ -210,7 +265,7 @@ impl SearchSpace {
             });
         }
 
-        // 5. Loop-order flips on balanced nodes: the alternative is the pure
+        // 6. Loop-order flips on balanced nodes: the alternative is the pure
         // descending-extent order (no uncontracted-first promotion). Only
         // nodes where that actually differs get a decision.
         let mut flips = 0usize;
@@ -250,11 +305,15 @@ impl SearchSpace {
     }
 
     /// Number of full assignments (what exhaustive search enumerates).
+    /// Saturates at `u64::MAX` instead of silently wrapping — the
+    /// multi-node dimension can push combinatorial spaces past 2⁶⁴, and a
+    /// wrapped size would make exhaustive enumeration think it was done
+    /// after a sliver of the space.
     pub fn exhaustive_size(&self) -> u64 {
         self.decisions
             .iter()
             .map(|d| d.choices.len() as u64)
-            .product()
+            .fold(1u64, u64::saturating_mul)
     }
 
     /// The all-defaults assignment (index 0 everywhere).
@@ -298,6 +357,11 @@ impl SearchSpace {
                         c.constraints
                             .binding_overrides
                             .insert(tensor.clone(), *binding);
+                    }
+                }
+                Choice::Partition { partition } => {
+                    if partition.is_multi() {
+                        c.constraints.partition = Some(*partition);
                     }
                 }
                 Choice::OrderFlip { node, order } => {
@@ -368,6 +432,66 @@ mod tests {
             cfg.max_steer_tensors
         );
         assert!(space.exhaustive_size() >= 6 * 6 * 16 * 16);
+    }
+
+    /// Listing node counts adds a partition dimension with single-node as
+    /// the default choice, dominant-rank + stage variants per count, and
+    /// assembled candidates that carry the partition constraint.
+    #[test]
+    fn node_choices_add_partition_dimension() {
+        let dag = cg(2);
+        let cfg = SpaceConfig::with_nodes(&[1, 4, 16]);
+        let space = SearchSpace::from_dag(&dag, &cfg);
+        let pd = space
+            .decisions
+            .iter()
+            .position(|d| d.name == "partition")
+            .expect("partition decision present");
+        let d = &space.decisions[pd];
+        // 1 single-node default + (rank + stage) × {4, 16}.
+        assert_eq!(d.choices.len(), 5);
+        assert_eq!(
+            d.choices[0],
+            Choice::Partition {
+                partition: Partition::single()
+            }
+        );
+        // Default assignment still reproduces the paper heuristic.
+        assert_eq!(
+            space.assemble(&space.default_picks()),
+            Candidate::paper_heuristic()
+        );
+        // A non-default pick lands in the constraints and builds validly.
+        let mut picks = space.default_picks();
+        picks[pd] = 1;
+        let c = space.assemble(&picks);
+        let p = c.constraints.partition.expect("partition constrained");
+        assert!(p.is_multi());
+        c.build(&dag).validate(&dag).unwrap();
+
+        // Default config: no partition dimension at all.
+        let plain = SearchSpace::from_dag(&dag, &SpaceConfig::default());
+        assert!(plain.decisions.iter().all(|d| d.name != "partition"));
+    }
+
+    /// Regression: the enlarged multi-node space must not wrap `u64` —
+    /// `exhaustive_size` saturates instead.
+    #[test]
+    fn exhaustive_size_saturates_instead_of_overflowing() {
+        let huge = Decision {
+            name: "x".into(),
+            choices: vec![
+                Choice::Cut {
+                    node: 0,
+                    enabled: false
+                };
+                1 << 16
+            ],
+        };
+        let space = SearchSpace {
+            decisions: vec![huge; 5], // (2^16)^5 = 2^80 ≫ u64::MAX
+        };
+        assert_eq!(space.exhaustive_size(), u64::MAX);
     }
 
     #[test]

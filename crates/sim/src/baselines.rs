@@ -153,7 +153,26 @@ pub fn run_config(
 ) -> RunReport {
     let schedule = build_schedule(dag, kind.schedule_options());
     debug_assert!(schedule.validate(dag).is_ok());
-    let mut backend: Box<dyn MemoryBackend> = match kind {
+    let mut backend = backend_for(dag, kind, accel);
+    run_schedule(
+        dag,
+        &schedule,
+        accel,
+        backend.as_mut(),
+        kind.label(),
+        workload,
+    )
+}
+
+/// The buffer hierarchy (Table IV column) a configuration runs against.
+/// Exposed so multi-node harnesses (`crate::scaling`) can pair a
+/// partitioned schedule with the same backend `run_config` would pick.
+pub fn backend_for(
+    dag: &TensorDag,
+    kind: ConfigKind,
+    accel: &CelloConfig,
+) -> Box<dyn MemoryBackend> {
+    match kind {
         ConfigKind::Flexagon | ConfigKind::Flat | ConfigKind::SetLike => {
             Box::new(ExplicitBackend::new(accel.word_bytes))
         }
@@ -169,15 +188,7 @@ pub fn run_config(
         )),
         ConfigKind::PreludeOnly => Box::new(ChordBackend::new(accel.prelude_only_config())),
         ConfigKind::Cello => Box::new(ChordBackend::new(accel.chord_config())),
-    };
-    run_schedule(
-        dag,
-        &schedule,
-        accel,
-        backend.as_mut(),
-        kind.label(),
-        workload,
-    )
+    }
 }
 
 #[cfg(test)]

@@ -42,6 +42,18 @@ pub fn offchip_energy_pj(stats: &AccessStats, pj_per_byte: f64) -> f64 {
     stats.dram_bytes() as f64 * pj_per_byte
 }
 
+/// Energy per byte per NoC hop (link traversal + router crossing), pJ.
+/// On-chip-network surveys put a 64-bit flit hop at ~10–30 pJ; 2 pJ/B/hop
+/// sits in that range and keeps NoC energy well below DRAM's 31.2 pJ/B, as
+/// the paper's scalable-dataflow argument requires.
+pub const NOC_PJ_PER_HOP_BYTE: f64 = 2.0;
+
+/// NoC energy in picojoules for `hop_bytes` byte-hops (bytes moved weighted
+/// by the hops each traversed).
+pub fn noc_energy_pj(hop_bytes: u64) -> f64 {
+    hop_bytes as f64 * NOC_PJ_PER_HOP_BYTE
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

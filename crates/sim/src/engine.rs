@@ -12,14 +12,26 @@
 //!   the CHORD backend gets its priorities;
 //! - phase time is `max(compute, memory)` cycles: compute = cluster MACs
 //!   over the PE array, memory = phase DRAM bytes over the DRAM bandwidth
-//!   (§VII-A1's "stalls due to memory bandwidth dominate").
+//!   (§VII-A1's "stalls due to memory bandwidth dominate");
+//! - multi-node schedules (§V-B, [`cello_core::Partition`]) are scored
+//!   through the same walk: rank partitioning slices every tensor carrying
+//!   the partitioned rank to a per-node tile (`words / nodes`), charges
+//!   broadcast hops for replicated-tensor reads and reduce hops for
+//!   contraction partials, and divides cluster compute across nodes; stage
+//!   partitioning keeps full footprints and ships every realized
+//!   (pipelined) intermediate through the NoC — the Fig 8 naive strategy.
+//!   NoC time serializes with each phase (contention-free model), and DRAM
+//!   traffic/energy aggregate across nodes.
 
 use crate::backends::{MemoryBackend, TensorRequest};
-use crate::energy::{offchip_energy_pj, onchip_energy_pj};
+use crate::energy::{noc_energy_pj, offchip_energy_pj, onchip_energy_pj};
 use crate::report::RunReport;
 use cello_core::accel::CelloConfig;
-use cello_core::score::binding::Schedule;
+use cello_core::score::binding::{Binding, Schedule};
+use cello_core::score::multinode::{NocModel, PartitionAxis};
 use cello_graph::dag::{NodeId, TensorDag};
+use cello_graph::edge::TensorMeta;
+use cello_graph::node::Dominance;
 use cello_mem::model::AreaEnergyModel;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -92,16 +104,75 @@ pub fn run_schedule(
         }
     }
 
+    // Multi-node partitioning (§V-B). Under a rank axis every tensor
+    // carrying the sliced rank shrinks to its per-node tile and the backend
+    // sees one node's traffic (aggregated ×nodes at the end); under the
+    // stage axis footprints stay whole and realized edges pay the NoC.
+    //
+    // Like the paper's own Fig 8 accounting, the rank-axis model idealizes
+    // sparse-stencil contractions: an uncontracted-dominant op consuming a
+    // sliced operand along its (compressed) contracted rank — CG's SpMM
+    // reading `P`, GCN's aggregation reading the previous layer — touches
+    // only a neighborhood per row, so its halo exchange is dropped rather
+    // than modeled as a full gather. Dense global contractions (the
+    // contracted-dominant ops) are the ones charged a mesh reduce.
+    let partition = schedule.partition;
+    let nodes = partition.nodes.max(1);
+    let noc = NocModel::new(nodes);
+    let sliced_rank = partition.sliced_rank();
+    let stage_split = partition.is_multi() && matches!(partition.axis, PartitionAxis::Stage);
+    let is_sliced = |meta: &TensorMeta| sliced_rank.is_some_and(|rank| meta.ranks.contains(&rank));
+    let eff_words = |meta: &TensorMeta| {
+        if is_sliced(meta) {
+            meta.words.div_ceil(nodes)
+        } else {
+            meta.words
+        }
+    };
+    // A replicated (unsliced) operand is *broadcast* over the mesh only
+    // when it lives on-chip (RF/pipeline residents — the paper's Λ/Φ
+    // exchanges). DRAM/CHORD-bound replicated operands are instead fetched
+    // by every node through its own DRAM channel, which the ×nodes traffic
+    // aggregation below already charges — broadcasting those too would
+    // double-count the same bytes.
+    let broadcast_read = |meta: &TensorMeta, binding: Binding| {
+        sliced_rank.is_some()
+            && !is_sliced(meta)
+            && matches!(binding, Binding::RegisterFile | Binding::Pipeline)
+    };
+    // Does rank slicing actually divide this op's iteration space? Yes when
+    // the op iterates the sliced rank by name, or when it is a dense global
+    // contraction over the sliced data (contracted-dominant — CG's Δ/Γ
+    // ops, whose huge `k` *is* the sliced dimension under another name).
+    // Anything else (e.g. the tiny Λ/Φ inverses) runs replicated on every
+    // node and gets no compute credit.
+    let op_parallel = |node: &cello_graph::node::OpNode| {
+        sliced_rank.is_some_and(|rank| {
+            node.spec.extents().iter().any(|e| e.rank == rank)
+                || node.dominance == Dominance::Contracted
+        })
+    };
+
     let mut phase_cycles: Vec<(u64, u64)> = Vec::with_capacity(schedule.phases.len());
     let mut total_cycles: u64 = 0;
+    let mut total_noc_hop_words: u64 = 0;
     let mut prev_stats = backend.stats();
 
     for (pi, phase) in schedule.phases.iter().enumerate() {
         let mut phase_macs: u64 = 0;
+        let mut max_op_macs: u64 = 0;
+        let mut phase_noc_words: u64 = 0;
         let mut read_this_phase: BTreeSet<&str> = BTreeSet::new();
         for &op in &phase.ops {
             let node = dag.node(op);
-            phase_macs += node.macs;
+            // Per-node compute share: only ops whose iteration space the
+            // slicing divides get credit; replicated ops keep full MACs.
+            phase_macs += if op_parallel(node) {
+                node.macs.div_ceil(nodes)
+            } else {
+                node.macs
+            };
+            max_op_macs = max_op_macs.max(node.macs);
             let op_pos = pos[&op];
 
             // Producer inputs via unrealized edges.
@@ -114,11 +185,15 @@ pub fn run_schedule(
                 if !read_this_phase.insert(name) {
                     continue; // same-phase multicast: one NoC fetch
                 }
+                let binding = schedule.binding_of(name);
+                if broadcast_read(&producer.output, binding) {
+                    phase_noc_words += producer.output.words * noc.hops_broadcast();
+                }
                 let (freq, dist) = future_use(&sites, name, pi, op_pos);
                 backend.read(&TensorRequest {
                     name,
-                    words: producer.output.words,
-                    binding: schedule.binding_of(name),
+                    words: eff_words(&producer.output),
+                    binding,
                     external: false,
                     freq_after: freq,
                     dist_after: dist,
@@ -132,11 +207,15 @@ pub fn run_schedule(
                     if !read_this_phase.insert(name) {
                         continue;
                     }
+                    let binding = schedule.binding_of(name);
+                    if broadcast_read(meta, binding) {
+                        phase_noc_words += meta.words * noc.hops_broadcast();
+                    }
                     let (freq, dist) = future_use(&sites, name, pi, op_pos);
                     backend.read(&TensorRequest {
                         name,
-                        words: meta.words,
-                        binding: schedule.binding_of(name),
+                        words: eff_words(meta),
+                        binding,
                         external: true,
                         freq_after: freq,
                         dist_after: dist,
@@ -145,24 +224,46 @@ pub fn run_schedule(
             }
             // Output.
             let out = &node.output;
+            if sliced_rank.is_some() && !is_sliced(out) && node.dominance == Dominance::Contracted {
+                // A contraction over the sliced rank leaves per-node
+                // partials: reduce them across the mesh.
+                phase_noc_words += out.words * noc.hops_reduce();
+            }
             let (freq, dist) = future_use(&sites, &out.name, pi, op_pos);
             backend.write(&TensorRequest {
                 name: &out.name,
-                words: out.words,
+                words: eff_words(out),
                 binding: schedule.binding_of(&out.name),
                 external: false,
                 freq_after: freq,
                 dist_after: dist,
             });
         }
+        if stage_split {
+            // Naive strategy: every realized edge streams its whole
+            // intermediate between adjacent stage nodes (1 hop).
+            for &eid in &phase.realized_edges {
+                phase_noc_words += dag.node(NodeId(dag.edge(eid).src)).output.words;
+            }
+        }
 
         let now = backend.stats();
         let phase_dram = now.dram_bytes() - prev_stats.dram_bytes();
         prev_stats = now;
-        let compute = phase_macs.div_ceil(accel.pe_count.max(1));
+        // Rank slicing already folded per-op shares into `phase_macs`.
+        // Stage pipelining is bounded below by the heaviest single stage
+        // (one op never splits across stage nodes) and by the cluster's
+        // total work spread over the nodes actually available.
+        let compute_macs = if stage_split {
+            max_op_macs.max(phase_macs.div_ceil(nodes))
+        } else {
+            phase_macs
+        };
+        let compute = compute_macs.div_ceil(accel.pe_count.max(1));
         let mem = accel.dram.transfer_cycles(phase_dram, accel.freq_hz);
         phase_cycles.push((compute, mem));
-        total_cycles += compute.max(mem);
+        total_noc_hop_words += phase_noc_words;
+        total_cycles += compute.max(mem) + noc_cycles(phase_noc_words, accel);
     }
 
     backend.finish();
@@ -174,6 +275,10 @@ pub fn run_schedule(
         total_cycles += mem;
     }
 
+    // Aggregate per-node traffic across the mesh: rank slicing simulated
+    // one node's share, stage splitting already saw the whole problem.
+    let agg = if sliced_rank.is_some() { nodes } else { 1 };
+    let noc_hop_bytes = total_noc_hop_words * accel.word_bytes as u64;
     let macs: u64 = dag.nodes().map(|(_, n)| n.macs).sum();
     let seconds = total_cycles as f64 / accel.freq_hz;
     let model = AreaEnergyModel::default();
@@ -183,18 +288,32 @@ pub fn run_schedule(
         cycles: total_cycles,
         seconds,
         macs,
-        dram_bytes: final_stats.dram_bytes(),
-        offchip_energy_pj: offchip_energy_pj(&final_stats, accel.dram.energy_pj_per_byte),
+        dram_bytes: final_stats.dram_bytes() * agg,
+        nodes,
+        noc_hop_bytes,
+        offchip_energy_pj: offchip_energy_pj(&final_stats, accel.dram.energy_pj_per_byte)
+            * agg as f64,
         onchip_energy_pj: onchip_energy_pj(
             &final_stats,
             backend.buffer_kind(),
             accel.sram_bytes,
             backend.sram_access_bytes(),
             &model,
-        ),
+        ) * agg as f64,
+        noc_energy_pj: noc_energy_pj(noc_hop_bytes),
         stats: final_stats,
         phase_cycles,
     }
+}
+
+/// Cycles an inter-node exchange of `hop_words` word-hops costs, serialized
+/// against the phase (contention-free link model).
+fn noc_cycles(hop_words: u64, accel: &CelloConfig) -> u64 {
+    if hop_words == 0 {
+        return 0;
+    }
+    let bytes = (hop_words * accel.word_bytes as u64) as f64;
+    (bytes / accel.noc_bandwidth_bytes_per_sec * accel.freq_hz).ceil() as u64
 }
 
 #[cfg(test)]
@@ -306,6 +425,106 @@ mod tests {
         // a and b fuse with p (multicast): T0 pipelined once to both.
         // Traffic = In read + T1 + T2 writes.
         assert_eq!(r.dram_bytes, 3 * 8000 * 4, "phases {:?}", schedule.phases);
+    }
+
+    /// Rank partitioning slices tile footprints: per-node DRAM traffic is
+    /// `1/nodes` of the single-node run on an explicit backend (all tensors
+    /// carry the sliced rank here), and the aggregate matches the
+    /// single-node total exactly.
+    #[test]
+    fn rank_partition_slices_footprints() {
+        use cello_core::score::binding::{build_schedule_with, ScheduleConstraints};
+        use cello_core::score::multinode::Partition;
+        use cello_tensor::shape::RankId;
+        let dag = chain(3, 1600);
+        let accel = CelloConfig::paper();
+        let single = {
+            let s = build_schedule(&dag, ScheduleOptions::best_intra());
+            let mut b = ExplicitBackend::new(4);
+            run_schedule(&dag, &s, &accel, &mut b, "1node", "chain")
+        };
+        let four = {
+            let s = build_schedule_with(
+                &dag,
+                ScheduleOptions::best_intra(),
+                &ScheduleConstraints::partitioned(Partition::by_rank(4, RankId::new("m"))),
+            );
+            let mut b = ExplicitBackend::new(4);
+            run_schedule(&dag, &s, &accel, &mut b, "4node", "chain")
+        };
+        assert_eq!(four.nodes, 4);
+        assert_eq!(four.stats.dram_bytes(), single.dram_bytes / 4);
+        assert_eq!(four.dram_bytes, single.dram_bytes, "aggregate preserved");
+        // Every tensor here carries m, so nothing is broadcast or reduced.
+        assert_eq!(four.noc_hop_bytes, 0);
+        assert!(four.cycles < single.cycles, "sliced roofline is faster");
+    }
+
+    /// Stage partitioning (the naive §V-B strategy) ships every realized
+    /// intermediate through the NoC: hop-bytes equal the pipelined tensors'
+    /// full footprints, and DRAM traffic stays un-sliced.
+    #[test]
+    fn stage_partition_ships_realized_edges() {
+        use cello_core::score::binding::{build_schedule_with, ScheduleConstraints};
+        use cello_core::score::multinode::Partition;
+        let dag = chain(3, 1600);
+        let accel = CelloConfig::paper();
+        let s = build_schedule_with(
+            &dag,
+            ScheduleOptions::cello(),
+            &ScheduleConstraints::partitioned(Partition::by_stage(4)),
+        );
+        assert_eq!(s.phases.len(), 1, "whole chain still fuses");
+        let mut b = ExplicitBackend::new(4);
+        let r = run_schedule(&dag, &s, &accel, &mut b, "naive", "chain");
+        // Two realized edges (T0, T1), each 1600 words × 4 B × 1 hop.
+        assert_eq!(r.noc_hop_bytes, 2 * 1600 * 4);
+        assert_eq!(r.dram_bytes, 2 * 1600 * 4, "In read + T2 write, unsliced");
+        assert!(r.noc_energy_pj > 0.0);
+    }
+
+    /// A DRAM-bound replicated operand is fetched per node (covered by the
+    /// ×nodes aggregation), NOT additionally broadcast — charging both
+    /// would double-count the same bytes. Only on-chip (RF/pipeline)
+    /// residents ride the broadcast mesh.
+    #[test]
+    fn dram_bound_replicated_tensors_are_not_broadcast() {
+        use cello_core::score::binding::{build_schedule_with, ScheduleConstraints};
+        use cello_core::score::multinode::Partition;
+        use cello_tensor::shape::RankId;
+        // One m-dominant op reading a big external declared over (k, n) —
+        // replicated under m-slicing, too big for the RF, DRAM-bound under
+        // the oracle options.
+        let spec = EinsumSpec::parse(
+            "mk,kn->mn",
+            &[
+                RankExtent::dense("m", 100_000),
+                RankExtent::dense("k", 16),
+                RankExtent::dense("n", 16),
+            ],
+        );
+        let mut dag = TensorDag::new();
+        let op = dag.add_op(
+            "u",
+            spec,
+            OpKind::TensorMac,
+            TensorMeta::dense("T", &["m", "n"], 1_600_000),
+        );
+        dag.add_external(
+            TensorMeta::dense("W", &["k", "n"], 200_000),
+            &[(op, &["k", "n"])],
+        );
+        let accel = CelloConfig::paper();
+        let s = build_schedule_with(
+            &dag,
+            ScheduleOptions::best_intra(),
+            &ScheduleConstraints::partitioned(Partition::by_rank(4, RankId::new("m"))),
+        );
+        let mut b = ExplicitBackend::new(4);
+        let r = run_schedule(&dag, &s, &accel, &mut b, "4node", "repl");
+        assert_eq!(r.noc_hop_bytes, 0, "no broadcast for DRAM-bound W");
+        // Per node: full W read + sliced T write; aggregate ×4.
+        assert_eq!(r.dram_bytes, 4 * (200_000 + 1_600_000 / 4) * 4);
     }
 
     #[test]

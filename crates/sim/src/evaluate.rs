@@ -11,6 +11,12 @@
 //! That partition is the buffer half of the paper's co-design space: a
 //! schedule that asks for a smaller pipeline buffer buys CHORD capacity,
 //! and vice versa.
+//!
+//! Multi-node schedules ([`cello_core::Partition`]) evaluate through the
+//! same path: each node carries its own SRAM with the same
+//! pipeline/RF/CHORD split, the engine scores one node's sliced tile
+//! footprints against it, and DRAM totals aggregate across the mesh while
+//! NoC word-hops become a fourth objective.
 
 use crate::backends::{ChordBackend, ExplicitBackend, MemoryBackend};
 use crate::engine::run_schedule;
@@ -21,36 +27,56 @@ use cello_core::score::binding::Schedule;
 use cello_graph::dag::TensorDag;
 use serde::{Deserialize, Serialize};
 
-/// The three objectives the search optimizes (Pareto dimensions).
+/// The four objectives the search optimizes (Pareto dimensions).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CostEstimate {
-    /// Total roofline cycles (`max(compute, memory)` per phase, summed).
+    /// Total roofline cycles (`max(compute, memory)` per phase, summed,
+    /// plus serialized NoC exchanges on multi-node schedules).
     pub cycles: u64,
-    /// Total DRAM traffic in bytes.
+    /// Total DRAM traffic in bytes, aggregated across nodes.
     pub dram_bytes: u64,
-    /// Off-chip + on-chip energy in picojoules.
+    /// NoC traffic in byte-hops (0 on a single node).
+    pub noc_hop_bytes: u64,
+    /// Off-chip + on-chip + NoC energy in picojoules.
     pub energy_pj: f64,
 }
 
 impl CostEstimate {
-    /// Collapses a full report to the three search objectives.
+    /// Collapses a full report to the four search objectives.
     pub fn from_report(r: &RunReport) -> Self {
         Self {
             cycles: r.cycles,
             dram_bytes: r.dram_bytes,
-            energy_pj: r.offchip_energy_pj + r.onchip_energy_pj,
+            noc_hop_bytes: r.noc_hop_bytes,
+            energy_pj: r.offchip_energy_pj + r.onchip_energy_pj + r.noc_energy_pj,
         }
+    }
+
+    /// Total bytes moved between chips: DRAM plus NoC hop-bytes — the §V-B
+    /// scalable-dataflow figure of merit.
+    pub fn total_traffic_bytes(&self) -> u64 {
+        self.dram_bytes.saturating_add(self.noc_hop_bytes)
     }
 
     /// Weak Pareto dominance: no worse on every objective, strictly better
     /// on at least one.
+    ///
+    /// Energy compares through `total_cmp`, which is a total order even for
+    /// NaN/∞ — a NaN energy sorts above every finite value, so a
+    /// NaN-energy candidate can be dominated (and never dominates on
+    /// energy). Under the naive `<=`/`<` comparison a NaN candidate was
+    /// both non-dominated and non-dominating, silently corrupting the
+    /// Pareto front.
     pub fn dominates(&self, other: &CostEstimate) -> bool {
+        let energy = self.energy_pj.total_cmp(&other.energy_pj);
         let no_worse = self.cycles <= other.cycles
             && self.dram_bytes <= other.dram_bytes
-            && self.energy_pj <= other.energy_pj;
+            && self.noc_hop_bytes <= other.noc_hop_bytes
+            && energy != std::cmp::Ordering::Greater;
         let better = self.cycles < other.cycles
             || self.dram_bytes < other.dram_bytes
-            || self.energy_pj < other.energy_pj;
+            || self.noc_hop_bytes < other.noc_hop_bytes
+            || energy == std::cmp::Ordering::Less;
         no_worse && better
     }
 }
@@ -143,7 +169,16 @@ mod tests {
         let cost = evaluate_schedule(&dag, &s, &accel);
         assert_eq!(cost.cycles, report.cycles);
         assert_eq!(cost.dram_bytes, report.dram_bytes);
-        assert!((cost.energy_pj - report.offchip_energy_pj - report.onchip_energy_pj).abs() < 1e-9);
+        assert_eq!(cost.noc_hop_bytes, report.noc_hop_bytes);
+        assert_eq!(cost.noc_hop_bytes, 0, "single node never pays the NoC");
+        assert!(
+            (cost.energy_pj
+                - report.offchip_energy_pj
+                - report.onchip_energy_pj
+                - report.noc_energy_pj)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]
@@ -175,26 +210,50 @@ mod tests {
         assert_eq!(cost.dram_bytes, 6 * 50_000 * 4);
     }
 
+    fn cost(cycles: u64, dram: u64, noc: u64, energy: f64) -> CostEstimate {
+        CostEstimate {
+            cycles,
+            dram_bytes: dram,
+            noc_hop_bytes: noc,
+            energy_pj: energy,
+        }
+    }
+
     #[test]
     fn dominance_is_strict_and_consistent() {
-        let a = CostEstimate {
-            cycles: 10,
-            dram_bytes: 10,
-            energy_pj: 10.0,
-        };
-        let b = CostEstimate {
-            cycles: 10,
-            dram_bytes: 11,
-            energy_pj: 10.0,
-        };
-        let c = CostEstimate {
-            cycles: 9,
-            dram_bytes: 12,
-            energy_pj: 10.0,
-        };
+        let a = cost(10, 10, 0, 10.0);
+        let b = cost(10, 11, 0, 10.0);
+        let c = cost(9, 12, 0, 10.0);
+        let d = cost(10, 10, 5, 10.0);
         assert!(a.dominates(&b));
         assert!(!b.dominates(&a));
         assert!(!a.dominates(&a), "no self-dominance");
         assert!(!a.dominates(&c) && !c.dominates(&a), "incomparable pair");
+        assert!(a.dominates(&d), "NoC hop-bytes is a real objective");
+        assert!(!d.dominates(&a));
+    }
+
+    /// Regression: dominance must stay total under non-finite energy. A
+    /// NaN-energy candidate is strictly worse than an otherwise-equal
+    /// finite one (total_cmp puts NaN above +∞), so it can be pruned from
+    /// the Pareto front instead of sitting there as an incomparable ghost.
+    #[test]
+    fn dominance_is_total_under_nan_energy() {
+        let finite = cost(10, 10, 0, 10.0);
+        let nan = cost(10, 10, 0, f64::NAN);
+        assert!(finite.dominates(&nan), "finite energy beats NaN");
+        assert!(!nan.dominates(&finite));
+        assert!(!nan.dominates(&nan), "no self-dominance even for NaN");
+        // +∞ behaves the same way.
+        let inf = cost(10, 10, 0, f64::INFINITY);
+        assert!(finite.dominates(&inf));
+        assert!(inf.dominates(&nan), "total order: ∞ < NaN under total_cmp");
+    }
+
+    #[test]
+    fn total_traffic_saturates() {
+        let big = cost(1, u64::MAX, u64::MAX, 0.0);
+        assert_eq!(big.total_traffic_bytes(), u64::MAX);
+        assert_eq!(cost(1, 100, 20, 0.0).total_traffic_bytes(), 120);
     }
 }

@@ -9,7 +9,9 @@
 //! - [`engine`]: walks a [`cello_core::Schedule`] phase by phase, issuing
 //!   tensor-granular reads/writes to a [`backends::MemoryBackend`], deduping
 //!   multicast reads within a phase, skipping realized (pipelined) edges, and
-//!   accumulating per-phase roofline timing;
+//!   accumulating per-phase roofline timing; multi-node schedules
+//!   ([`cello_core::Partition`], §V-B) additionally slice per-node tile
+//!   footprints and charge NoC word-hop cycles/energy against the mesh;
 //! - [`backends`]: the memory systems — explicit oracle (Flexagon-/FLAT-/
 //!   SET-like), LRU/BRRIP caches (trace-driven, line-granular), and CHORD
 //!   (operand-granular, PRELUDE+RIFF or PRELUDE-only);
@@ -18,8 +20,11 @@
 //! - [`baselines`]: the Table IV configuration registry and Table II
 //!   capability matrix;
 //! - [`energy`]: off-chip + on-chip energy accounting (Fig 14/15);
-//! - [`evaluate`]: the cheap cost path (traffic + roofline cycles + energy,
-//!   no trace) that the `cello-search` DSE engine scores candidates with;
+//! - [`evaluate`]: the cheap cost path (traffic + roofline cycles + NoC
+//!   hop-bytes + energy, no trace) that the `cello-search` DSE engine
+//!   scores candidates with;
+//! - [`scaling`]: the §V-B strong-scaling harness — naive-vs-scalable as
+//!   two partitioned schedules scored by the same engine;
 //! - [`report`]: run reports, geomeans, TSV emission.
 
 pub mod backends;

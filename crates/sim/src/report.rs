@@ -22,13 +22,23 @@ pub struct RunReport {
     pub seconds: f64,
     /// Total multiply-accumulates.
     pub macs: u64,
-    /// Total DRAM traffic in bytes.
+    /// Total DRAM traffic in bytes, **aggregated across nodes** for
+    /// multi-node runs (per-node traffic is `dram_bytes / nodes` under rank
+    /// partitioning).
     pub dram_bytes: u64,
-    /// Off-chip energy (pJ).
+    /// Accelerator nodes the schedule ran on (1 = single node).
+    pub nodes: u64,
+    /// NoC traffic in byte-hops (bytes moved × hops traversed); 0 on a
+    /// single node.
+    pub noc_hop_bytes: u64,
+    /// Off-chip energy (pJ), aggregated across nodes.
     pub offchip_energy_pj: f64,
-    /// On-chip energy (pJ).
+    /// On-chip energy (pJ), aggregated across nodes.
     pub onchip_energy_pj: f64,
-    /// Raw access counters.
+    /// NoC energy (pJ).
+    pub noc_energy_pj: f64,
+    /// Raw access counters — **per node** for multi-node runs (every node
+    /// executes the same sliced traffic pattern).
     pub stats: AccessStats,
     /// Per-phase (compute_cycles, memory_cycles) pairs for roofline analysis.
     pub phase_cycles: Vec<(u64, u64)>,
@@ -117,8 +127,11 @@ mod tests {
             seconds,
             macs,
             dram_bytes: dram,
+            nodes: 1,
+            noc_hop_bytes: 0,
             offchip_energy_pj: dram as f64 * 31.2,
             onchip_energy_pj: 0.0,
+            noc_energy_pj: 0.0,
             stats: AccessStats::default(),
             phase_cycles: vec![],
         }

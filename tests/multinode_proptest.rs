@@ -1,0 +1,144 @@
+//! Property tests for the §V-B multi-node partition path: the scalable
+//! (dominant-rank-sliced) strategy never moves more NoC traffic than the
+//! naive (stage-split) one on CG shapes, and rank slicing makes per-node
+//! DRAM traffic monotonically non-increasing in the node count.
+//!
+//! Both properties go through the *scheduled* path — `build_schedule_with`
+//! with a `Partition` constraint, scored by `sim::evaluate` — so they pin
+//! the engine's NoC/tiling model, not a standalone formula.
+
+use cello::core::accel::CelloConfig;
+use cello::core::score::binding::{build_schedule_with, ScheduleConstraints, ScheduleOptions};
+use cello::core::score::multinode::{dominant_partition_rank, Partition};
+use cello::graph::dag::TensorDag;
+use cello::sim::evaluate::{evaluate_report, evaluate_schedule};
+use cello::workloads::cg::{build_cg_dag, CgParams};
+use proptest::prelude::*;
+
+fn cg(m: u64, n: u64, iterations: u32) -> TensorDag {
+    build_cg_dag(&CgParams {
+        m,
+        occupancy: 4.0,
+        a_payload_words: 2 * 4 * m + m + 1,
+        n,
+        nprime: n,
+        iterations,
+    })
+}
+
+fn partitioned(
+    dag: &TensorDag,
+    accel: &CelloConfig,
+    partition: Partition,
+) -> cello::sim::RunReport {
+    let schedule = build_schedule_with(
+        dag,
+        ScheduleOptions::cello(),
+        &ScheduleConstraints::partitioned(partition),
+    );
+    schedule.validate(dag).expect("partitioned schedule valid");
+    evaluate_report(dag, &schedule, accel)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Scalable-strategy NoC traffic ≤ naive-strategy NoC traffic for all
+    /// CG shapes (m ≫ n, the regime the paper's §V-B argument covers) and
+    /// node counts: shipping the N×N' Greek tensors with mesh hops never
+    /// costs more than shipping the M×N pipelined intermediates.
+    #[test]
+    fn scalable_noc_never_exceeds_naive(
+        m in 20_000u64..200_000,
+        n_exp in 2u32..6, // n ∈ {4, 8, 16, 32}
+        nodes in 2u64..64,
+    ) {
+        let n = 1u64 << n_exp;
+        let dag = cg(m, n, 2);
+        let accel = CelloConfig::paper();
+        let rank = dominant_partition_rank(&dag).expect("CG slices m");
+        let scalable = partitioned(&dag, &accel, Partition::by_rank(nodes, rank));
+        let naive = partitioned(&dag, &accel, Partition::by_stage(nodes));
+        prop_assert!(naive.noc_hop_bytes > 0, "naive ships the intermediates");
+        prop_assert!(
+            scalable.noc_hop_bytes <= naive.noc_hop_bytes,
+            "scalable {} > naive {} at m={m} n={n} nodes={nodes}",
+            scalable.noc_hop_bytes,
+            naive.noc_hop_bytes
+        );
+    }
+
+    /// Rank slicing shrinks per-node tile footprints, so per-node DRAM
+    /// traffic is monotonically non-increasing in the node count (capacity
+    /// misses can only go down as the working set shrinks).
+    #[test]
+    fn per_node_dram_monotone_in_node_count(
+        m in 20_000u64..120_000,
+        n_exp in 3u32..5, // n ∈ {8, 16}
+    ) {
+        let n = 1u64 << n_exp;
+        let dag = cg(m, n, 2);
+        let accel = CelloConfig::paper();
+        let rank = dominant_partition_rank(&dag).expect("CG slices m");
+        let mut prev = u64::MAX;
+        for nodes in [1u64, 2, 4, 8, 16] {
+            let r = partitioned(&dag, &accel, Partition::by_rank(nodes, rank));
+            let per_node = r.dram_bytes / r.nodes;
+            prop_assert!(
+                per_node <= prev,
+                "per-node DRAM rose from {prev} to {per_node} at {nodes} nodes (m={m} n={n})"
+            );
+            prev = per_node;
+        }
+    }
+
+    /// The Fig 8 orders-of-magnitude claim, through the scheduled path: at
+    /// paper-scale CG shapes the naive strategy moves ≥100× the scalable
+    /// strategy's NoC bytes.
+    #[test]
+    fn naive_pays_orders_of_magnitude_more(
+        m in 80_000u64..200_000,
+        nodes_exp in 1u32..4, // nodes ∈ {4, 16, 64}
+    ) {
+        let nodes = 4u64.pow(nodes_exp);
+        let dag = cg(m, 16, 2);
+        let accel = CelloConfig::paper();
+        let rank = dominant_partition_rank(&dag).expect("CG slices m");
+        let scalable = partitioned(&dag, &accel, Partition::by_rank(nodes, rank));
+        let naive = partitioned(&dag, &accel, Partition::by_stage(nodes));
+        prop_assert!(
+            naive.noc_hop_bytes >= 100 * scalable.noc_hop_bytes.max(1),
+            "naive {} vs scalable {}",
+            naive.noc_hop_bytes,
+            scalable.noc_hop_bytes
+        );
+    }
+}
+
+/// Deterministic end-to-end check of the §V-B acceptance shape: a 4-node
+/// rank-sliced CELLO schedule on a capacity-bound CG moves strictly less
+/// total (DRAM + NoC) traffic than the single-node CELLO schedule.
+#[test]
+fn four_node_slice_beats_single_node_total_traffic() {
+    let dag = cg(81_920, 16, 3);
+    let accel = CelloConfig::paper();
+    let rank = dominant_partition_rank(&dag).expect("CG slices m");
+    let single = {
+        let s = build_schedule_with(&dag, ScheduleOptions::cello(), &ScheduleConstraints::none());
+        evaluate_schedule(&dag, &s, &accel)
+    };
+    let four = {
+        let s = build_schedule_with(
+            &dag,
+            ScheduleOptions::cello(),
+            &ScheduleConstraints::partitioned(Partition::by_rank(4, rank)),
+        );
+        evaluate_schedule(&dag, &s, &accel)
+    };
+    assert!(
+        four.total_traffic_bytes() < single.total_traffic_bytes(),
+        "4-node {} !< 1-node {}",
+        four.total_traffic_bytes(),
+        single.total_traffic_bytes()
+    );
+}

@@ -92,6 +92,7 @@ fn small_cfg() -> SpaceConfig {
         max_loop_order_nodes: 1,
         pipeline_words_choices: vec![65_536, 16_384],
         rf_words_choices: vec![16_384],
+        node_choices: vec![1],
     }
 }
 
