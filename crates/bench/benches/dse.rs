@@ -40,13 +40,13 @@ fn bench_beam(c: &mut Criterion) {
     g.bench_function("beam4 cg 2-iter (cold cache)", |b| {
         b.iter(|| {
             let tuner = Tuner::new(&dag, &accel, SpaceConfig::default());
-            black_box(tuner.tune(Strategy::Beam { width: 4 }))
+            black_box(tuner.tune(&Strategy::Beam { width: 4 }))
         })
     });
     g.bench_function("random64 cg 2-iter (cold cache)", |b| {
         b.iter(|| {
             let tuner = Tuner::new(&dag, &accel, SpaceConfig::default());
-            black_box(tuner.tune(Strategy::Random {
+            black_box(tuner.tune(&Strategy::Random {
                 samples: 64,
                 seed: 7,
             }))

@@ -1,0 +1,155 @@
+//! `bench_check` — the CI perf-regression gate over the bench trajectory.
+//!
+//! Compares the `BENCH_dse.json` a fresh `cello_dse --quick` run just wrote
+//! against the committed `results/bench_baseline.json` and fails (exit 1)
+//! when, for any `(workload, nodes)` record present in both:
+//!
+//! - tuned cycles regressed by more than 10%,
+//! - tuned total traffic (DRAM + NoC hop-bytes) regressed by more than 10%,
+//! - or the surrogate's rank correlation fell below 0.9.
+//!
+//! Improvements and new workloads pass (with a note) — the gate guards
+//! against silent regressions, not against progress. Machine-dependent
+//! fields (`candidates_per_sec`) are reported but never gated.
+//!
+//! To refresh the baseline after an intentional model change:
+//! `cargo run --release --bin cello_dse -- --nodes 4 --quick &&
+//! cp BENCH_dse.json results/bench_baseline.json` (and commit the diff with
+//! the reason).
+//!
+//! Usage: `bench_check [current.json] [baseline.json]` (defaults:
+//! `BENCH_dse.json`, `results/bench_baseline.json`).
+
+use cello_bench::json::Json;
+
+/// Allowed relative regression on cycles and traffic.
+const TOLERANCE: f64 = 0.10;
+/// Floor on the surrogate's rank correlation.
+const MIN_CORRELATION: f64 = 0.9;
+
+struct Record {
+    name: String,
+    nodes: u64,
+    cycles: f64,
+    traffic: f64,
+    correlation: f64,
+    candidates_per_sec: f64,
+}
+
+fn load(path: &str) -> Vec<Record> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_check: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_check: {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    let workloads = doc
+        .get("workloads")
+        .and_then(|w| w.as_array())
+        .unwrap_or_else(|| {
+            eprintln!("bench_check: {path} has no \"workloads\" array");
+            std::process::exit(1);
+        });
+    workloads
+        .iter()
+        .map(|w| {
+            let field = |key: &str| -> f64 {
+                w.get(key).and_then(|v| v.as_f64()).unwrap_or_else(|| {
+                    eprintln!("bench_check: {path}: record missing numeric {key:?}");
+                    std::process::exit(1);
+                })
+            };
+            Record {
+                name: w
+                    .get("name")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("?")
+                    .to_string(),
+                nodes: field("nodes") as u64,
+                cycles: field("tuned_cycles"),
+                traffic: field("tuned_traffic_bytes"),
+                correlation: field("rank_correlation"),
+                candidates_per_sec: field("candidates_per_sec"),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let current_path = args.first().map(String::as_str).unwrap_or("BENCH_dse.json");
+    let baseline_path = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("results/bench_baseline.json");
+    let current = load(current_path);
+    let baseline = load(baseline_path);
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut compared = 0usize;
+    println!("== bench_check: {current_path} vs {baseline_path} ==");
+    for cur in &current {
+        let label = format!("{}@{}n", cur.name, cur.nodes);
+        if cur.correlation < MIN_CORRELATION {
+            failures.push(format!(
+                "{label}: rank correlation {:.3} < {MIN_CORRELATION}",
+                cur.correlation
+            ));
+        }
+        let Some(base) = baseline
+            .iter()
+            .find(|b| b.name == cur.name && b.nodes == cur.nodes)
+        else {
+            println!("  {label}: no baseline (new workload) — skipped");
+            continue;
+        };
+        compared += 1;
+        let cycle_ratio = cur.cycles / base.cycles.max(1.0);
+        let traffic_ratio = cur.traffic / base.traffic.max(1.0);
+        println!(
+            "  {label}: cycles {:.0} ({cycle_ratio:.3}x), traffic {:.0} B ({traffic_ratio:.3}x), corr {:.3}, {:.0} cand/s",
+            cur.cycles, cur.traffic, cur.correlation, cur.candidates_per_sec,
+        );
+        if cycle_ratio > 1.0 + TOLERANCE {
+            failures.push(format!(
+                "{label}: cycles regressed {cycle_ratio:.3}x (> {:.2}x)",
+                1.0 + TOLERANCE
+            ));
+        }
+        if traffic_ratio > 1.0 + TOLERANCE {
+            failures.push(format!(
+                "{label}: traffic regressed {traffic_ratio:.3}x (> {:.2}x)",
+                1.0 + TOLERANCE
+            ));
+        }
+    }
+    // Coverage is part of the contract: a baseline record with no current
+    // counterpart means a workload silently fell out of the trajectory —
+    // exactly the kind of regression this gate exists to catch. Removing a
+    // workload intentionally requires refreshing the baseline.
+    for base in &baseline {
+        if !current
+            .iter()
+            .any(|c| c.name == base.name && c.nodes == base.nodes)
+        {
+            failures.push(format!(
+                "{}@{}n: in baseline but missing from current run",
+                base.name, base.nodes
+            ));
+        }
+    }
+    if compared == 0 {
+        failures.push("no (workload, nodes) records matched the baseline".into());
+    }
+    if failures.is_empty() {
+        println!("bench_check OK: {compared} records within tolerance");
+    } else {
+        eprintln!("bench_check FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

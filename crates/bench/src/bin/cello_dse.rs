@@ -14,14 +14,28 @@
 //! reporting the best total-traffic (DRAM + NoC hop-bytes) schedule and how
 //! it compares with the best single-node one.
 //!
-//! Output: a TSV under `results/dse.tsv` plus the usual stdout table.
+//! `--prefilter` swaps the beam for the two-tier
+//! `Strategy::Prefiltered(0.1, Beam)` over the **widened** space
+//! (`SpaceConfig::widened`: six cut points + per-tensor CHORD priority
+//! biasing): the analytic surrogate ranks the traversal and only the top
+//! tenth reaches `sim::evaluate`.
 //!
-//! Usage: `cargo run --release --bin cello_dse [-- --nodes 1,4,16] [--quick]`
+//! `--quick` is the CI bench-trajectory mode: CG/HPCG/GCN at single-node
+//! and at the `--nodes` mesh, always prefiltered, emitting
+//! `BENCH_dse.json` at the repo root (cycles, DRAM/NoC bytes, energy,
+//! candidates/sec, surrogate rank-correlation) for the `bench_check`
+//! regression gate, plus the usual stdout table.
+//!
+//! Output: a TSV under `results/dse.tsv` plus the stdout tables.
+//!
+//! Usage: `cargo run --release --bin cello_dse [-- --nodes 1,4,16]
+//! [--prefilter] [--quick]`
 
-use cello_bench::{emit, f3};
+use cello_bench::json::Json;
+use cello_bench::{emit, f3, surrogate_rank_correlation};
 use cello_core::accel::CelloConfig;
 use cello_graph::dag::TensorDag;
-use cello_search::{SpaceConfig, Strategy, Tuner};
+use cello_search::{SearchOutcome, SpaceConfig, Strategy, Tuner};
 use cello_workloads::bicgstab::{build_bicgstab_dag, BicgParams};
 use cello_workloads::cg::{build_cg_dag, CgParams};
 use cello_workloads::datasets::{CORA, G2_CIRCUIT, SHALLOW_WATER1};
@@ -29,6 +43,13 @@ use cello_workloads::gcn::{build_gcn_dag, GcnParams};
 use cello_workloads::hpcg::{build_hpcg_dag, HpcgParams};
 use cello_workloads::power_iter::{build_power_iter_dag, PowerIterParams};
 use cello_workloads::resnet::{build_resnet_block_dag, ResNetBlockParams};
+
+/// Prefilter keep fraction used by `--prefilter` and the quick trajectory.
+const KEEP_FRAC: f64 = 0.1;
+/// Seed for the rank-correlation sample (same stream as `Strategy::Random`).
+const CORR_SEED: u64 = 0xCE110;
+/// Candidates in the rank-correlation sample.
+const CORR_SAMPLES: usize = 24;
 
 struct Workload {
     name: &'static str,
@@ -41,14 +62,18 @@ struct Workload {
 struct Args {
     /// Node counts for the partition dimension (`[1]` = single-node space).
     nodes: Vec<u64>,
-    /// Small-budget smoke run (CI): CG only, beam width 4, no exhaustive.
+    /// Small-budget trajectory run (CI): CG/HPCG/GCN, prefiltered beam 4,
+    /// emits `BENCH_dse.json`.
     quick: bool,
+    /// Use the two-tier prefilter over the widened space.
+    prefilter: bool,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         nodes: vec![1],
         quick: false,
+        prefilter: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -73,9 +98,10 @@ fn parse_args() -> Args {
                 }
             }
             "--quick" => args.quick = true,
+            "--prefilter" => args.prefilter = true,
             other => {
                 eprintln!(
-                    "unknown argument {other:?}; usage: cello_dse [--nodes 1,4,16] [--quick]"
+                    "unknown argument {other:?}; usage: cello_dse [--nodes 1,4,16] [--prefilter] [--quick]"
                 );
                 std::process::exit(2);
             }
@@ -84,16 +110,40 @@ fn parse_args() -> Args {
     args
 }
 
-fn workloads(quick: bool) -> Vec<Workload> {
+fn quick_workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "cg/G2_circuit",
+            dag: build_cg_dag(&CgParams::from_dataset(&G2_CIRCUIT, 16, 5)),
+            accel: CelloConfig::paper(),
+            multinode: true,
+        },
+        Workload {
+            name: "hpcg/nx48",
+            dag: build_hpcg_dag(&HpcgParams {
+                nx: 48,
+                n: 16,
+                iterations: 2,
+            }),
+            accel: CelloConfig::paper(),
+            multinode: true,
+        },
+        Workload {
+            name: "gcn/cora",
+            dag: build_gcn_dag(&GcnParams::from_dataset(&CORA, 2)),
+            accel: CelloConfig::paper(),
+            multinode: true,
+        },
+    ]
+}
+
+fn workloads() -> Vec<Workload> {
     let mut all = vec![Workload {
         name: "cg/G2_circuit",
         dag: build_cg_dag(&CgParams::from_dataset(&G2_CIRCUIT, 16, 5)),
         accel: CelloConfig::paper(),
         multinode: true,
     }];
-    if quick {
-        return all;
-    }
     all.extend([
         Workload {
             name: "cg/shallow_w1",
@@ -139,92 +189,241 @@ fn workloads(quick: bool) -> Vec<Workload> {
     all
 }
 
+fn outcome_row(name: &str, out: &SearchOutcome) -> Vec<String> {
+    vec![
+        name.to_string(),
+        out.strategy.clone(),
+        out.baseline.cost.cycles.to_string(),
+        out.best_cycles.cost.cycles.to_string(),
+        f3(out.speedup()),
+        out.baseline.cost.dram_bytes.to_string(),
+        out.best_dram.cost.dram_bytes.to_string(),
+        f3(out.dram_ratio()),
+        out.best_traffic.cost.total_traffic_bytes().to_string(),
+        out.best_traffic.cost.noc_hop_bytes.to_string(),
+        out.evaluations.to_string(),
+        out.surrogate_scored.to_string(),
+        out.cache_hits.to_string(),
+        out.pareto.len().to_string(),
+    ]
+}
+
+const DSE_HEADER: [&str; 14] = [
+    "workload",
+    "strategy",
+    "base_cycles",
+    "tuned_cycles",
+    "speedup",
+    "base_dram_B",
+    "tuned_dram_B",
+    "dram_ratio",
+    "tuned_traffic_B",
+    "tuned_noc_hopB",
+    "evals",
+    "surrogate",
+    "cache_hits",
+    "pareto",
+];
+
+/// The CI bench-trajectory mode: prefiltered tuning of CG/HPCG/GCN at
+/// single-node and at the `--nodes` mesh, `BENCH_dse.json` emission.
+fn run_quick(args: &Args) {
+    let beam = Strategy::Beam { width: 4 };
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut records: Vec<Json> = Vec::new();
+    // Single-node always; the `--nodes` mesh as a second variant only when
+    // it actually widens the menu (plain `--quick` would otherwise tune the
+    // identical [1] space twice and emit duplicate records).
+    let mut variants: Vec<Vec<u64>> = vec![vec![1]];
+    if args.nodes.iter().any(|&n| n > 1) {
+        variants.push(args.nodes.clone());
+    }
+    // Invariant violations are collected, not asserted mid-loop: the
+    // trajectory file must land even on a bad run so CI still uploads an
+    // artifact and `bench_check` can report what went wrong.
+    let mut violations: Vec<String> = Vec::new();
+    for w in quick_workloads() {
+        let mut best_by_variant: Vec<u64> = Vec::new();
+        for node_menu in &variants {
+            let nodes_label = *node_menu.iter().max().unwrap_or(&1);
+            if nodes_label > 1 && !w.multinode {
+                continue;
+            }
+            let cfg = SpaceConfig::widened_with_nodes(node_menu);
+            let started = std::time::Instant::now();
+            let tuner = Tuner::new(&w.dag, &w.accel, cfg.clone());
+            let out = tuner.tune(&Strategy::prefiltered(KEEP_FRAC, beam.clone()));
+            let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+            let corr = surrogate_rank_correlation(&w.dag, &w.accel, &cfg, CORR_SAMPLES, CORR_SEED);
+            let cand_per_sec = out.candidates_seen as f64 / elapsed;
+            best_by_variant.push(out.best_traffic.cost.total_traffic_bytes());
+            let label = format!("{}@{}n", w.name, nodes_label);
+            rows.push(outcome_row(&label, &out));
+            records.push(Json::Obj(vec![
+                ("name".into(), Json::Str(w.name.into())),
+                ("nodes".into(), Json::int(nodes_label)),
+                ("strategy".into(), Json::Str(out.strategy.clone())),
+                ("base_cycles".into(), Json::int(out.baseline.cost.cycles)),
+                (
+                    "tuned_cycles".into(),
+                    Json::int(out.best_cycles.cost.cycles),
+                ),
+                (
+                    "tuned_dram_bytes".into(),
+                    Json::int(out.best_traffic.cost.dram_bytes),
+                ),
+                (
+                    "tuned_noc_hop_bytes".into(),
+                    Json::int(out.best_traffic.cost.noc_hop_bytes),
+                ),
+                (
+                    "tuned_traffic_bytes".into(),
+                    Json::int(out.best_traffic.cost.total_traffic_bytes()),
+                ),
+                (
+                    "tuned_energy_pj".into(),
+                    Json::Num(out.best_cycles.cost.energy_pj),
+                ),
+                ("evaluations".into(), Json::int(out.evaluations)),
+                ("surrogate_scored".into(), Json::int(out.surrogate_scored)),
+                ("candidates_seen".into(), Json::int(out.candidates_seen)),
+                ("candidates_per_sec".into(), Json::Num(cand_per_sec)),
+                ("rank_correlation".into(), Json::Num(corr)),
+            ]));
+            // The analytic tier must carry the load, and its ranking must
+            // stay trustworthy — the same invariants the CI gate re-checks
+            // against the committed baseline.
+            if out.evaluations >= out.surrogate_scored {
+                violations.push(format!(
+                    "{label}: prefilter did not reduce sim evaluations \
+                     ({} exact vs {} surrogate)",
+                    out.evaluations, out.surrogate_scored
+                ));
+            }
+            if corr < 0.9 {
+                violations.push(format!(
+                    "{label}: surrogate rank correlation {corr:.3} below 0.9"
+                ));
+            }
+        }
+        // The widened multi-node space contains every single-node schedule;
+        // prefiltered search must not lose that containment in practice.
+        if best_by_variant.len() == 2 && best_by_variant[1] > best_by_variant[0] {
+            violations.push(format!(
+                "{}: multi-node best traffic {} worse than single-node {}",
+                w.name, best_by_variant[1], best_by_variant[0],
+            ));
+        }
+    }
+    emit(
+        "dse_quick",
+        "cello_dse --quick: two-tier trajectory (CI bench)",
+        &DSE_HEADER,
+        &rows,
+    );
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::int(1)),
+        (
+            "generated_by".into(),
+            Json::Str(format!(
+                "cello_dse --quick --nodes {}",
+                args.nodes
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )),
+        ),
+        ("keep_frac".into(), Json::Num(KEEP_FRAC)),
+        ("workloads".into(), Json::Arr(records)),
+    ]);
+    match std::fs::write("BENCH_dse.json", doc.render()) {
+        Ok(()) => println!("[saved BENCH_dse.json]"),
+        Err(e) => {
+            eprintln!("could not write BENCH_dse.json: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !violations.is_empty() {
+        eprintln!("quick trajectory FAILED (artifact written above):");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("quick trajectory complete");
+}
+
 fn main() {
     let args = parse_args();
+    if args.quick {
+        run_quick(&args);
+        return;
+    }
+
     let multi = args.nodes.iter().any(|&n| n > 1);
-    let beam_width = if args.quick { 4 } else { 8 };
+    let beam_width = 8;
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut wins = 0usize;
-    // The cg/G2 beam outcome over the widened space doubles as the
-    // multi-node side of the sweep comparison below — no need to re-tune.
-    let mut cg_multi: Option<cello_search::SearchOutcome> = None;
-    for w in workloads(args.quick) {
+    // The cg/G2 outcome over the widened space doubles as the multi-node
+    // side of the sweep comparison below — no need to re-tune.
+    let mut cg_multi: Option<SearchOutcome> = None;
+    let space_for = |menu: &[u64]| {
+        if args.prefilter {
+            SpaceConfig::widened_with_nodes(menu)
+        } else {
+            SpaceConfig::with_nodes(menu)
+        }
+    };
+    let primary = if args.prefilter {
+        Strategy::prefiltered(KEEP_FRAC, Strategy::Beam { width: beam_width })
+    } else {
+        Strategy::Beam { width: beam_width }
+    };
+    for w in workloads() {
         let cfg = if multi && w.multinode {
-            SpaceConfig::with_nodes(&args.nodes)
+            space_for(&args.nodes)
         } else {
-            SpaceConfig::default()
+            space_for(&[1])
         };
-        let strategies: Vec<Strategy> = if args.quick {
-            vec![Strategy::Beam { width: beam_width }]
-        } else {
-            vec![
-                Strategy::Beam { width: beam_width },
-                Strategy::Random {
-                    samples: 64,
-                    seed: 0xCE110,
-                },
-            ]
-        };
-        for strategy in strategies {
+        let strategies: Vec<Strategy> = vec![
+            primary.clone(),
+            Strategy::Random {
+                samples: 64,
+                seed: CORR_SEED,
+            },
+        ];
+        for (si, strategy) in strategies.into_iter().enumerate() {
             // Fresh tuner (and memo cache) per strategy so each row's
             // evals/cache_hits measure that strategy standalone.
             let tuner = Tuner::new(&w.dag, &w.accel, cfg.clone());
-            let out = tuner.tune(strategy);
+            let out = tuner.tune(&strategy);
             let improved = out.best_cycles.cost.cycles < out.baseline.cost.cycles
                 || out.best_dram.cost.dram_bytes < out.baseline.cost.dram_bytes;
-            if improved && matches!(strategy, Strategy::Beam { .. }) {
+            if improved && si == 0 {
                 wins += 1;
             }
-            if multi && w.name == "cg/G2_circuit" && matches!(strategy, Strategy::Beam { .. }) {
+            if multi && w.name == "cg/G2_circuit" && si == 0 {
                 cg_multi = Some(out.clone());
             }
-            rows.push(vec![
-                w.name.to_string(),
-                out.strategy.clone(),
-                out.baseline.cost.cycles.to_string(),
-                out.best_cycles.cost.cycles.to_string(),
-                f3(out.speedup()),
-                out.baseline.cost.dram_bytes.to_string(),
-                out.best_dram.cost.dram_bytes.to_string(),
-                f3(out.dram_ratio()),
-                out.best_traffic.cost.total_traffic_bytes().to_string(),
-                out.best_traffic.cost.noc_hop_bytes.to_string(),
-                out.evaluations.to_string(),
-                out.cache_hits.to_string(),
-                out.pareto.len().to_string(),
-            ]);
+            rows.push(outcome_row(w.name, &out));
         }
     }
     emit(
         "dse",
         "cello_dse: tuned vs. paper-heuristic schedules",
-        &[
-            "workload",
-            "strategy",
-            "base_cycles",
-            "tuned_cycles",
-            "speedup",
-            "base_dram_B",
-            "tuned_dram_B",
-            "dram_ratio",
-            "tuned_traffic_B",
-            "tuned_noc_hopB",
-            "evals",
-            "cache_hits",
-            "pareto",
-        ],
+        &DSE_HEADER,
         &rows,
     );
-    println!("workloads improved by beam tuning: {wins}");
+    println!("workloads improved by {} tuning: {wins}", primary.label());
 
     // Multi-node vs single-node total traffic on CG — the §V-B payoff. The
-    // multi-node side is the main loop's widened-space beam outcome; only
-    // the single-node reference needs a fresh tune.
+    // multi-node side is the main loop's widened-space outcome; only the
+    // single-node reference needs a fresh tune.
     if multi {
         let dag = build_cg_dag(&CgParams::from_dataset(&G2_CIRCUIT, 16, 5));
         let accel = CelloConfig::paper();
-        let single = Tuner::new(&dag, &accel, SpaceConfig::default())
-            .tune(Strategy::Beam { width: beam_width });
+        let single = Tuner::new(&dag, &accel, space_for(&[1])).tune(&primary);
         let swept = cg_multi.expect("cg/G2_circuit always runs under --nodes");
         let s = single.best_traffic.cost.total_traffic_bytes();
         let m = swept.best_traffic.cost.total_traffic_bytes();
@@ -240,27 +439,17 @@ fn main() {
             args.nodes,
             f3(s as f64 / m.max(1) as f64),
         );
-        if args.quick {
-            assert!(
-                m <= s,
-                "multi-node space must never lose to single-node (it contains it)"
-            );
-        }
     }
 
-    if args.quick {
-        println!("quick smoke complete");
-        return;
-    }
-
-    // Beam-vs-exhaustive efficiency on the CG DAG (kept to one dataset:
-    // exhaustive on the full default space is thousands of evaluations).
+    // Beam-vs-exhaustive efficiency on the CG DAG (kept to one dataset and
+    // the default-size space: exhaustive on the widened space is exactly
+    // what the prefilter exists to avoid).
     let dag = build_cg_dag(&CgParams::from_dataset(&SHALLOW_WATER1, 16, 5));
     let accel = CelloConfig::paper();
     let tuner = Tuner::new(&dag, &accel, SpaceConfig::default());
-    let beam = tuner.tune(Strategy::Beam { width: 8 });
+    let beam = tuner.tune(&Strategy::Beam { width: 8 });
     let fresh = Tuner::new(&dag, &accel, SpaceConfig::default());
-    let exhaustive = fresh.tune(Strategy::Exhaustive);
+    let exhaustive = fresh.tune(&Strategy::Exhaustive);
     let cycle_ratio =
         beam.best_cycles.cost.cycles as f64 / exhaustive.best_cycles.cost.cycles.max(1) as f64;
     let eval_ratio = exhaustive.evaluations as f64 / beam.evaluations.max(1) as f64;

@@ -1,0 +1,179 @@
+//! `cost_model_fit` — calibrate/validate the tier-1 analytic surrogate
+//! against the exact simulator.
+//!
+//! For CG (two datasets), HPCG, and GCN, across node counts {1, 4, 16},
+//! this samples seeded-random candidates from the **widened** co-design
+//! space (`SpaceConfig::widened_with_nodes`), scores each with both
+//! `cello_search::surrogate_cost` and `cello_sim::evaluate`, and reports:
+//!
+//! - Spearman rank correlation per objective (cycles, DRAM bytes, total
+//!   traffic, energy) — the number that decides whether the prefilter's
+//!   tier-1 ranking can be trusted;
+//! - the median multiplicative error of the traffic estimate (calibration:
+//!   the surrogate aims for rank fidelity, but a drifting scale factor is
+//!   an early warning that the closed-form CHORD split diverged from the
+//!   RIFF machinery);
+//! - the speedup of the surrogate over the simulator on the same batch.
+//!
+//! Output: `results/cost_model_fit.tsv` plus the stdout table. The CI gate
+//! consumes the equivalent correlation from `cello_dse --quick`
+//! (`BENCH_dse.json`); this binary is the wider offline fit.
+//!
+//! Usage: `cargo run --release --bin cost_model_fit [-- --samples 48]`
+
+use cello_bench::{emit, f3};
+use cello_core::accel::CelloConfig;
+use cello_graph::dag::TensorDag;
+use cello_search::{spearman, surrogate_cost, SearchSpace, SpaceConfig};
+use cello_sim::evaluate::{evaluate_schedule, CostEstimate};
+use cello_workloads::cg::{build_cg_dag, CgParams};
+use cello_workloads::datasets::{CORA, G2_CIRCUIT, SHALLOW_WATER1};
+use cello_workloads::gcn::{build_gcn_dag, GcnParams};
+use cello_workloads::hpcg::{build_hpcg_dag, HpcgParams};
+use rayon::prelude::*;
+
+const SEED: u64 = 0xF17;
+
+fn parse_samples() -> usize {
+    let mut samples = 48usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--samples" => {
+                samples = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--samples needs a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; usage: cost_model_fit [--samples 48]");
+                std::process::exit(2);
+            }
+        }
+    }
+    samples.max(4)
+}
+
+/// Seeded-random schedules from the widened space (the `Strategy::Random`
+/// stream via `SearchSpace::sample_assignments`).
+fn sample_costs(
+    dag: &TensorDag,
+    accel: &CelloConfig,
+    cfg: &SpaceConfig,
+    samples: usize,
+) -> (Vec<CostEstimate>, Vec<CostEstimate>, f64, f64) {
+    let space = SearchSpace::from_dag(dag, cfg);
+    let schedules: Vec<_> = space
+        .sample_assignments(samples, SEED)
+        .iter()
+        .map(|picks| space.assemble(picks).build(dag))
+        .collect();
+    let t0 = std::time::Instant::now();
+    let est: Vec<CostEstimate> = schedules
+        .par_iter()
+        .map(|s| surrogate_cost(dag, s, accel))
+        .collect();
+    let t_est = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let sim: Vec<CostEstimate> = schedules
+        .par_iter()
+        .map(|s| evaluate_schedule(dag, s, accel))
+        .collect();
+    let t_sim = t1.elapsed().as_secs_f64();
+    (est, sim, t_est, t_sim)
+}
+
+fn main() {
+    let samples = parse_samples();
+    let accel = CelloConfig::paper();
+    let grids: Vec<(&str, TensorDag)> = vec![
+        (
+            "cg/G2_circuit",
+            build_cg_dag(&CgParams::from_dataset(&G2_CIRCUIT, 16, 5)),
+        ),
+        (
+            "cg/shallow_w1",
+            build_cg_dag(&CgParams::from_dataset(&SHALLOW_WATER1, 16, 5)),
+        ),
+        (
+            "hpcg/nx48",
+            build_hpcg_dag(&HpcgParams {
+                nx: 48,
+                n: 16,
+                iterations: 4,
+            }),
+        ),
+        (
+            "gcn/cora",
+            build_gcn_dag(&GcnParams::from_dataset(&CORA, 2)),
+        ),
+    ];
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut worst_traffic_rho = f64::INFINITY;
+    for (name, dag) in &grids {
+        for nodes in [vec![1u64], vec![1, 4], vec![1, 4, 16]] {
+            let mesh = *nodes.iter().max().unwrap();
+            let cfg = SpaceConfig::widened_with_nodes(&nodes);
+            let (est, sim, t_est, t_sim) = sample_costs(dag, &accel, &cfg, samples);
+            let pull = |f: fn(&CostEstimate) -> u64, v: &[CostEstimate]| -> Vec<u64> {
+                v.iter().map(f).collect()
+            };
+            let rho_cycles = spearman(&pull(|c| c.cycles, &est), &pull(|c| c.cycles, &sim));
+            let rho_dram = spearman(&pull(|c| c.dram_bytes, &est), &pull(|c| c.dram_bytes, &sim));
+            let rho_traffic = spearman(
+                &pull(|c| c.total_traffic_bytes(), &est),
+                &pull(|c| c.total_traffic_bytes(), &sim),
+            );
+            let rho_energy = spearman(
+                &est.iter().map(|c| c.energy_pj as u64).collect::<Vec<_>>(),
+                &sim.iter().map(|c| c.energy_pj as u64).collect::<Vec<_>>(),
+            );
+            // Median multiplicative traffic error (scale calibration).
+            let mut ratios: Vec<f64> = est
+                .iter()
+                .zip(&sim)
+                .map(|(e, s)| {
+                    e.total_traffic_bytes() as f64 / s.total_traffic_bytes().max(1) as f64
+                })
+                .collect();
+            ratios.sort_by(|a, b| a.total_cmp(b));
+            let median_ratio = ratios[ratios.len() / 2];
+            worst_traffic_rho = worst_traffic_rho.min(rho_traffic);
+            rows.push(vec![
+                name.to_string(),
+                mesh.to_string(),
+                samples.to_string(),
+                f3(rho_traffic),
+                f3(rho_cycles),
+                f3(rho_dram),
+                f3(rho_energy),
+                f3(median_ratio),
+                f3(t_sim / t_est.max(1e-12)),
+            ]);
+        }
+    }
+    emit(
+        "cost_model_fit",
+        "cost_model_fit: surrogate vs simulator (Spearman rank correlation)",
+        &[
+            "workload",
+            "mesh",
+            "samples",
+            "rho_traffic",
+            "rho_cycles",
+            "rho_dram",
+            "rho_energy",
+            "med_ratio",
+            "speedup",
+        ],
+        &rows,
+    );
+    println!("worst traffic rank correlation: {}", f3(worst_traffic_rho));
+    // The prefilter contract: below this the two-tier pipeline would prune
+    // schedules the exact tier would have kept.
+    assert!(
+        worst_traffic_rho >= 0.8,
+        "surrogate rank correlation degraded below 0.8"
+    );
+}

@@ -1,0 +1,376 @@
+//! Minimal JSON reader/writer for the bench-trajectory artifacts.
+//!
+//! The workspace's vendored serde stand-in has no serializer, and the bench
+//! trajectory only needs flat records of numbers and strings — so this is a
+//! small, dependency-free JSON value with a recursive-descent parser and a
+//! pretty printer. `BENCH_dse.json` is written with [`Json::render`] and
+//! `bench_check` reads both it and `results/bench_baseline.json` back with
+//! [`Json::parse`]; round-tripping is covered by tests.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`; integers ≤ 2⁵³ round-trip exactly).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Convenience: integer-valued number builder.
+    pub fn int(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline —
+    /// stable formatting so committed baselines diff cleanly.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => {
+                // Integers without a decimal point, floats with full
+                // round-trip precision. JSON has no NaN/±inf literal — a
+                // non-finite value (e.g. a NaN energy estimate) renders as
+                // null rather than corrupting the document.
+                if !n.is_finite() {
+                    out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => render_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    let _ = write!(out, "{pad}  ");
+                    item.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}]");
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    let _ = write!(out, "{pad}  ");
+                    render_string(out, k);
+                    out.push_str(": ");
+                    v.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < members.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}}}");
+            }
+        }
+    }
+
+    /// Parses a JSON document (the subset above; `\uXXXX` escapes are
+    /// accepted for BMP code points).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected {:?} at byte {} (found {:?})",
+            b as char,
+            *pos,
+            bytes.get(*pos).map(|&b| b as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (multi-byte safe).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            other => return Err(format!("expected ',' or ']', found {other:?}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_bench_shape() {
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::int(1)),
+            (
+                "workloads".into(),
+                Json::Arr(vec![Json::Obj(vec![
+                    ("name".into(), Json::Str("cg/G2_circuit".into())),
+                    ("nodes".into(), Json::int(4)),
+                    ("tuned_cycles".into(), Json::int(123_456_789)),
+                    ("rank_correlation".into(), Json::Num(0.9375)),
+                    ("ok".into(), Json::Bool(true)),
+                ])]),
+            ),
+        ]);
+        let text = doc.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        let w = &back.get("workloads").unwrap().as_array().unwrap()[0];
+        assert_eq!(w.get("name").unwrap().as_str(), Some("cg/G2_circuit"));
+        assert_eq!(w.get("tuned_cycles").unwrap().as_f64(), Some(123_456_789.0));
+    }
+
+    #[test]
+    fn parses_hand_written_json() {
+        let back =
+            Json::parse(r#" { "a": [1, -2.5, 3e2], "b": "x\n\"y\"", "c": null, "d": false } "#)
+                .unwrap();
+        assert_eq!(
+            back.get("a").unwrap().as_array().unwrap()[2].as_f64(),
+            Some(300.0)
+        );
+        assert_eq!(back.get("b").unwrap().as_str(), Some("x\n\"y\""));
+        assert_eq!(back.get("c"), Some(&Json::Null));
+        assert_eq!(back.get("d"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["{", "[1,]", "{\"a\" 1}", "tru", "\"unterminated", "1 2"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn integers_render_without_decimal_point() {
+        assert_eq!(Json::int(42).render(), "42\n");
+        assert_eq!(Json::Num(0.5).render(), "0.5\n");
+    }
+
+    /// Non-finite numbers have no JSON literal: they render as null and the
+    /// document stays parseable.
+    #[test]
+    fn non_finite_renders_as_null() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = Json::Obj(vec![("e".into(), Json::Num(bad))]);
+            let text = doc.render();
+            let back = Json::parse(&text).unwrap();
+            assert_eq!(back.get("e"), Some(&Json::Null));
+        }
+    }
+}

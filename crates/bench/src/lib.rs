@@ -12,6 +12,8 @@ use cello_sim::baselines::{run_config, ConfigKind};
 use cello_sim::report::{tsv, write_results, RunReport};
 use rayon::prelude::*;
 
+pub mod json;
+
 /// One cell of a sweep: a labeled workload DAG under a labeled accelerator.
 pub struct GridCell {
     /// Workload label (dataset, N, bandwidth…).
@@ -99,6 +101,39 @@ pub fn yn(b: bool) -> String {
     } else {
         "no".into()
     }
+}
+
+/// Spearman rank correlation between the analytic surrogate and the exact
+/// simulator over `samples` seeded-random candidates of `cfg`'s space on
+/// `dag`, on the total-traffic objective (the §V-B figure of merit). This is
+/// the number the CI gate pins: it answers "can the tier-1 ranking be
+/// trusted to pick sim-evaluation survivors?".
+pub fn surrogate_rank_correlation(
+    dag: &TensorDag,
+    accel: &CelloConfig,
+    cfg: &cello_search::SpaceConfig,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    use cello_search::{spearman, surrogate_cost, SearchSpace};
+    let space = SearchSpace::from_dag(dag, cfg);
+    let schedules: Vec<_> = space
+        .sample_assignments(samples, seed)
+        .iter()
+        .map(|picks| space.assemble(picks).build(dag))
+        .collect();
+    let pairs: Vec<(u64, u64)> = schedules
+        .par_iter()
+        .map(|s| {
+            (
+                surrogate_cost(dag, s, accel).total_traffic_bytes(),
+                cello_sim::evaluate::evaluate_schedule(dag, s, accel).total_traffic_bytes(),
+            )
+        })
+        .collect();
+    let est: Vec<u64> = pairs.iter().map(|&(e, _)| e).collect();
+    let sim: Vec<u64> = pairs.iter().map(|&(_, s)| s).collect();
+    spearman(&est, &sim)
 }
 
 /// The standard CG workload grid used by Fig 12/14/16 harnesses.

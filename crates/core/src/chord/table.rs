@@ -53,6 +53,46 @@ impl RiffPriority {
     }
 }
 
+/// A per-tensor bias on the `(freq, dist)` metadata SCORE hands to RIFF —
+/// the schedule-side half of the SCORE-CHORD interface exposed as a search
+/// decision. The heuristic derives priorities as *facts* from the DAG; a
+/// bias lets the DSE engine overrule them: boosting a tensor makes RIFF
+/// treat it as hotter than its derived reuse pattern says (it evicts others
+/// more readily and resists eviction), demoting does the opposite. Dead
+/// tensors (`freq == 0`) are never biased — resurrecting a tensor nobody
+/// reads again could only waste capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PriorityBias {
+    /// Treat the tensor as reused sooner and more often: `dist` halves,
+    /// `freq` doubles.
+    Boost,
+    /// Treat the tensor as colder: `dist` doubles, `freq` halves (floored at
+    /// one so the tensor is demoted, not declared dead — full DRAM demotion
+    /// is already expressible as a `Binding::Dram` steer).
+    Demote,
+}
+
+impl PriorityBias {
+    /// Applies the bias to a derived `(freq, dist)` pair.
+    pub fn apply(self, priority: RiffPriority) -> RiffPriority {
+        if priority.freq == 0 {
+            return priority; // dead stays dead
+        }
+        match self {
+            PriorityBias::Boost => RiffPriority {
+                freq: priority.freq.saturating_mul(2),
+                dist: (priority.dist / 2).max(1),
+            },
+            PriorityBias::Demote => RiffPriority {
+                freq: (priority.freq / 2).max(1),
+                // Cap below the `dead()` sentinel so a demoted-but-live
+                // tensor still outranks a genuinely dead one.
+                dist: priority.dist.saturating_mul(2).min(u32::MAX - 1),
+            },
+        }
+    }
+}
+
 impl PartialOrd for RiffPriority {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
@@ -345,6 +385,28 @@ mod tests {
         // Dead tensors always lose, whatever their recorded distance.
         assert!(RiffPriority::dead() < x);
         assert!(RiffPriority::dead() < RiffPriority::new(1, u32::MAX - 1));
+    }
+
+    /// Boost strengthens on both axes, demote weakens on both, and neither
+    /// can kill (or resurrect) a tensor.
+    #[test]
+    fn priority_bias_shifts_rank_but_never_kills() {
+        let p = RiffPriority::new(3, 8);
+        let boosted = PriorityBias::Boost.apply(p);
+        let demoted = PriorityBias::Demote.apply(p);
+        assert_eq!(boosted, RiffPriority::new(6, 4));
+        assert_eq!(demoted, RiffPriority::new(1, 16));
+        assert!(boosted > p && p > demoted);
+        // Demote floors freq at 1 and caps dist below the dead sentinel.
+        let weak = PriorityBias::Demote.apply(RiffPriority::new(1, u32::MAX - 1));
+        assert!(weak.freq == 1 && weak > RiffPriority::dead());
+        // Dead tensors pass through untouched.
+        assert_eq!(
+            PriorityBias::Boost.apply(RiffPriority::dead()),
+            RiffPriority::dead()
+        );
+        // Boost keeps dist at least 1 (reuse "now" is not expressible).
+        assert_eq!(PriorityBias::Boost.apply(RiffPriority::new(2, 1)).dist, 1);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod score;
 pub mod search_space;
 
 pub use accel::CelloConfig;
-pub use chord::{Chord, ChordConfig, ChordPolicyKind, RiffPriority};
+pub use chord::{Chord, ChordConfig, ChordPolicyKind, PriorityBias, RiffPriority};
 pub use score::binding::{
     build_schedule, build_schedule_with, Binding, Phase, Schedule, ScheduleConstraints,
     ScheduleOptions,

@@ -17,6 +17,7 @@
 //! pipelineable consumer), SET-like (adds delayed-hold and multicast), and
 //! CELLO (everything, plus CHORD steering).
 
+use crate::chord::PriorityBias;
 use crate::score::classify::{classify, Classification, Dependency};
 use crate::score::loop_order::{can_pipeline, choose_loop_order, LoopOrder};
 use crate::score::multinode::{Partition, PartitionAxis};
@@ -160,6 +161,10 @@ pub struct Schedule {
     /// Multi-node partitioning (§V-B scalable dataflow); single-node unless
     /// the constraints requested (and validity allowed) more.
     pub partition: Partition,
+    /// Per-tensor RIFF `(freq, dist)` priority biases — the searched half of
+    /// the SCORE-CHORD interface. Only CHORD-bound tensors keep an entry
+    /// (bias requests on other bindings are dropped as invalid).
+    pub chord_bias: BTreeMap<String, PriorityBias>,
 }
 
 impl Schedule {
@@ -326,6 +331,11 @@ pub struct ScheduleConstraints {
     /// not stream the sliced rank outermost cannot pipeline intra-node, so
     /// the builder refuses to realize them (the §V-B validity rule).
     pub partition: Option<Partition>,
+    /// Tensor name → RIFF priority bias. Applied only when the schedule
+    /// actually steers the tensor to CHORD (and `enable_chord` is on):
+    /// biasing an RF/pipeline/DRAM-bound tensor would be dead metadata, so
+    /// such requests are dropped like any other invalid constraint.
+    pub chord_priority_bias: BTreeMap<String, PriorityBias>,
 }
 
 impl ScheduleConstraints {
@@ -348,6 +358,7 @@ impl ScheduleConstraints {
             && self.binding_overrides.is_empty()
             && self.loop_orders.is_empty()
             && self.partition.is_none()
+            && self.chord_priority_bias.is_empty()
     }
 }
 
@@ -531,6 +542,17 @@ pub fn build_schedule_with(
         binding.insert(ext.meta.name.clone(), b);
     }
 
+    // CHORD priority biases: honored only for tensors the schedule actually
+    // steers to CHORD — everywhere else the RIFF metadata is never read.
+    let chord_bias: BTreeMap<String, PriorityBias> = constraints
+        .chord_priority_bias
+        .iter()
+        .filter(|(name, _)| {
+            opts.enable_chord && binding.get(name.as_str()) == Some(&Binding::Chord)
+        })
+        .map(|(name, &bias)| (name.clone(), bias))
+        .collect();
+
     Schedule {
         phases,
         realized,
@@ -540,6 +562,7 @@ pub fn build_schedule_with(
         swizzle: minimize_swizzles(dag),
         options: opts,
         partition,
+        chord_bias,
     }
 }
 
@@ -907,6 +930,33 @@ mod tests {
             "oversize RF request dropped"
         );
         s.validate(&dag).unwrap();
+    }
+
+    /// CHORD priority biases survive only on CHORD-bound tensors: requests
+    /// on RF/DRAM-bound tensors are dropped, and a CHORD-less preset drops
+    /// everything.
+    #[test]
+    fn chord_bias_validated_against_bindings() {
+        let dag = cg_iteration();
+        let constraints = ScheduleConstraints {
+            chord_priority_bias: [
+                ("S".to_string(), PriorityBias::Boost), // valid: S is CHORD-bound
+                ("R".to_string(), PriorityBias::Demote), // valid
+                ("D".to_string(), PriorityBias::Boost), // invalid: RF-bound
+                ("X".to_string(), PriorityBias::Boost), // invalid: terminal/DRAM
+            ]
+            .into_iter()
+            .collect(),
+            ..Default::default()
+        };
+        let s = build_schedule_with(&dag, ScheduleOptions::cello(), &constraints);
+        assert_eq!(s.chord_bias.get("S"), Some(&PriorityBias::Boost));
+        assert_eq!(s.chord_bias.get("R"), Some(&PriorityBias::Demote));
+        assert!(!s.chord_bias.contains_key("D"));
+        assert!(!s.chord_bias.contains_key("X"));
+        // No CHORD, no bias.
+        let oracle = build_schedule_with(&dag, ScheduleOptions::best_intra(), &constraints);
+        assert!(oracle.chord_bias.is_empty());
     }
 
     /// A rank partition along the dominant rank keeps the Fig 8 clusters:

@@ -1,4 +1,4 @@
-//! Thread-safe memoized evaluation cache.
+//! Thread-safe memoized evaluation cache, shared across both tiers.
 //!
 //! Keys are **canonicalized schedules** ([`crate::Candidate::schedule_key`]),
 //! so decision combinations that collapse to the same schedule — no-op cuts,
@@ -6,18 +6,28 @@
 //! a CHORD-less preset — cost one evaluation total. The cache is shared
 //! across strategies within one [`crate::Tuner`], so a beam run after an
 //! exhaustive run on the same space is nearly free.
+//!
+//! Two memo tables live side by side under the same keys: the exact
+//! simulator tier (`lookup`/`insert`) and the analytic surrogate tier
+//! (`lookup_surrogate`/`insert_surrogate`). `Strategy::Prefiltered` fills
+//! the surrogate table while traversing and the exact table only for
+//! survivors; a later exact-tier run over the same space then starts from
+//! whatever the prefilter already paid for.
 
 use cello_sim::evaluate::CostEstimate;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// Memo table plus hit/evaluation counters.
+/// Memo tables plus hit/evaluation counters for both tiers.
 #[derive(Default)]
 pub struct EvalCache {
     map: Mutex<HashMap<String, CostEstimate>>,
+    surrogate_map: Mutex<HashMap<String, CostEstimate>>,
     hits: AtomicU64,
     evaluations: AtomicU64,
+    surrogate_hits: AtomicU64,
+    surrogate_evaluations: AtomicU64,
 }
 
 impl EvalCache {
@@ -26,7 +36,7 @@ impl EvalCache {
         Self::default()
     }
 
-    /// Cached cost for `key`, counting a hit when present.
+    /// Cached exact cost for `key`, counting a hit when present.
     pub fn lookup(&self, key: &str) -> Option<CostEstimate> {
         let found = self
             .map
@@ -40,7 +50,7 @@ impl EvalCache {
         found
     }
 
-    /// Records a fresh evaluation.
+    /// Records a fresh exact evaluation.
     pub fn insert(&self, key: String, cost: CostEstimate) {
         self.evaluations.fetch_add(1, Ordering::Relaxed);
         self.map
@@ -49,14 +59,47 @@ impl EvalCache {
             .insert(key, cost);
     }
 
-    /// Number of distinct schedules evaluated so far.
+    /// Cached surrogate score for `key`, counting a surrogate hit.
+    pub fn lookup_surrogate(&self, key: &str) -> Option<CostEstimate> {
+        let found = self
+            .surrogate_map
+            .lock()
+            .expect("surrogate cache poisoned")
+            .get(key)
+            .copied();
+        if found.is_some() {
+            self.surrogate_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Records a fresh surrogate scoring.
+    pub fn insert_surrogate(&self, key: String, cost: CostEstimate) {
+        self.surrogate_evaluations.fetch_add(1, Ordering::Relaxed);
+        self.surrogate_map
+            .lock()
+            .expect("surrogate cache poisoned")
+            .insert(key, cost);
+    }
+
+    /// Number of distinct schedules exactly evaluated so far.
     pub fn evaluations(&self) -> u64 {
         self.evaluations.load(Ordering::Relaxed)
     }
 
-    /// Number of lookups served from the cache.
+    /// Number of lookups served from the exact cache.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct schedules scored by the surrogate so far.
+    pub fn surrogate_evaluations(&self) -> u64 {
+        self.surrogate_evaluations.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups served from the surrogate cache.
+    pub fn surrogate_hits(&self) -> u64 {
+        self.surrogate_hits.load(Ordering::Relaxed)
     }
 }
 
@@ -82,6 +125,20 @@ mod tests {
         assert_eq!(cache.lookup("k").unwrap().cycles, 7);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.evaluations(), 1);
+    }
+
+    /// The two tiers memo independently under the same key space.
+    #[test]
+    fn tiers_do_not_alias() {
+        let cache = EvalCache::new();
+        cache.insert_surrogate("k".into(), cost(3));
+        assert!(cache.lookup("k").is_none(), "surrogate fill is tier-local");
+        cache.insert("k".into(), cost(7));
+        assert_eq!(cache.lookup_surrogate("k").unwrap().cycles, 3);
+        assert_eq!(cache.lookup("k").unwrap().cycles, 7);
+        assert_eq!(cache.evaluations(), 1);
+        assert_eq!(cache.surrogate_evaluations(), 1);
+        assert_eq!(cache.surrogate_hits(), 1);
     }
 
     #[test]

@@ -79,6 +79,17 @@ impl Candidate {
             key.push('x');
         }
         key.push(';');
+        // CHORD priority biases: already validated down to CHORD-bound
+        // tensors by the builder (empty without CHORD), so serializing the
+        // surviving map is exactly the evaluation-relevant subset.
+        for (name, bias) in &schedule.chord_bias {
+            let tag = match bias {
+                cello_core::chord::PriorityBias::Boost => '+',
+                cello_core::chord::PriorityBias::Demote => '-',
+            };
+            let _ = write!(key, "{name}{tag},");
+        }
+        key.push(';');
         if schedule.partition.is_multi() {
             let _ = write!(key, "n{}", schedule.partition.nodes);
             match schedule.partition.axis {
@@ -178,6 +189,34 @@ mod tests {
         assert_ne!(k4r, k4s);
         // An unknown rank degrades to single-node and shares its key.
         assert_eq!(k1, with(Partition::by_rank(4, RankId::new("zz"))));
+    }
+
+    /// Valid CHORD priority biases are part of the memo identity; dropped
+    /// (invalid) ones collapse onto the unbiased key.
+    #[test]
+    fn key_covers_chord_bias() {
+        use cello_core::chord::PriorityBias;
+        let dag = toy_chain(3);
+        // T0/T1 are CHORD-bound intermediates under the cut schedule below.
+        let with_bias = |tensor: &str, bias| {
+            let mut c = Candidate::paper_heuristic();
+            c.constraints.cut_before.insert(1);
+            c.constraints.cut_before.insert(2);
+            c.constraints
+                .chord_priority_bias
+                .insert(tensor.to_string(), bias);
+            Candidate::schedule_key(&c.build(&dag))
+        };
+        let mut base = Candidate::paper_heuristic();
+        base.constraints.cut_before.insert(1);
+        base.constraints.cut_before.insert(2);
+        let k = Candidate::schedule_key(&base.build(&dag));
+        let kb = with_bias("T0", PriorityBias::Boost);
+        let kd = with_bias("T0", PriorityBias::Demote);
+        assert_ne!(k, kb);
+        assert_ne!(kb, kd);
+        // Biasing the terminal (DRAM-bound) tensor is dropped: same key.
+        assert_eq!(k, with_bias("T2", PriorityBias::Boost));
     }
 
     #[test]

@@ -31,9 +31,16 @@
 //!   schedule** (not the candidate), so decision combinations that collapse
 //!   to the same schedule are evaluated once;
 //! - [`strategy`]: exhaustive enumeration (small DAGs), beam search with
-//!   configurable width, and a seeded random-sampling baseline;
+//!   configurable width, a seeded random-sampling baseline, and the
+//!   two-tier [`Strategy::Prefiltered`] wrapper;
+//! - [`surrogate`]: the tier-1 analytic cost model — the same
+//!   [`cello_sim::phases::PhasePlan`] the simulator replays, scored with a
+//!   closed-form CHORD capacity split instead of the stateful RIFF walk
+//!   (orders of magnitude cheaper, validated by rank correlation);
 //! - [`tuner`]: drives everything — candidates are scored in parallel
-//!   (rayon) through `cello_sim::evaluate`'s cheap traffic+roofline path.
+//!   (rayon) through `cello_sim::evaluate`'s cheap traffic+roofline path,
+//!   or analytically prefiltered first under `Strategy::Prefiltered`
+//!   (both tiers memoized in one shared cache).
 //!
 //! Every strategy is deterministic: parallel evaluation preserves order,
 //! ranking ties break on the canonical schedule key, and the random strategy
@@ -50,11 +57,16 @@
 //! });
 //! let accel = CelloConfig::paper();
 //! let tuner = Tuner::new(&dag, &accel, SpaceConfig::default());
-//! let outcome = tuner.tune(Strategy::Beam { width: 4 });
+//! let outcome = tuner.tune(&Strategy::Beam { width: 4 });
 //! // The paper heuristic is always part of the explored space, so the tuned
 //! // schedule can only match or beat it.
 //! assert!(outcome.best_cycles.cost.cycles <= outcome.baseline.cost.cycles);
 //! assert!(!outcome.pareto.is_empty());
+//!
+//! // Two-tier: rank the space analytically, sim-evaluate the top 20%.
+//! let two_tier = tuner.tune(&Strategy::prefiltered(0.2, Strategy::Beam { width: 4 }));
+//! assert!(two_tier.best_cycles.cost.cycles <= two_tier.baseline.cost.cycles);
+//! assert!(two_tier.surrogate_scored > 0);
 //! ```
 
 pub mod cache;
@@ -62,6 +74,7 @@ pub mod candidate;
 pub mod cost;
 pub mod space;
 pub mod strategy;
+pub mod surrogate;
 pub mod tuner;
 
 pub use cache::EvalCache;
@@ -69,4 +82,5 @@ pub use candidate::Candidate;
 pub use cost::{pareto_front, Evaluated};
 pub use space::{Choice, Decision, SearchSpace, SpaceConfig};
 pub use strategy::Strategy;
+pub use surrogate::{spearman, surrogate_cost};
 pub use tuner::{SearchOutcome, Tuner};

@@ -21,10 +21,15 @@
 //! 4. **Steering** — one `{CHORD, DRAM}` choice per large CHORD-bound
 //!    tensor (demoting a low-reuse tensor frees CHORD capacity for hotter
 //!    ones);
-//! 5. **Loop-order flips** — only on *balanced* nodes, where §V-B leaves
+//! 5. **CHORD priority biasing** — per hot CHORD tensor, leave the derived
+//!    RIFF `(freq, dist)` facts alone or boost/demote them
+//!    ([`SpaceConfig::max_chord_bias_tensors`], 0 by default;
+//!    [`SpaceConfig::widened`] turns it on) — the full SCORE-CHORD
+//!    interface as a decision, not just the bindings;
+//! 6. **Loop-order flips** — only on *balanced* nodes, where §V-B leaves
 //!    the order cost-neutral intra-op, so flipping trades nothing the cost
 //!    model cannot see (it only disables/enables pipelining realizability);
-//! 6. **Multi-node partition** — node count × dataflow axis (§V-B): slice
+//! 7. **Multi-node partition** — node count × dataflow axis (§V-B): slice
 //!    the DAG's dominant rank (pipelining stays intra-node, small tensors
 //!    broadcast/reduce over the NoC) or split pipeline stages across nodes
 //!    (the Fig 8 naive strategy, full intermediates on the NoC). Enabled by
@@ -32,6 +37,7 @@
 //!    single-node partition is always choice 0.
 
 use crate::candidate::Candidate;
+use cello_core::chord::PriorityBias;
 use cello_core::score::binding::{Binding, PipelineScope};
 use cello_core::score::loop_order::{choose_loop_order, LoopOrder};
 use cello_core::score::multinode::{dominant_partition_rank, Partition};
@@ -81,6 +87,15 @@ pub enum Choice {
         /// The alternative order, if this choice applies one.
         order: Option<LoopOrder>,
     },
+    /// Bias `tensor`'s RIFF `(freq, dist)` priority (`None` = keep the
+    /// derived facts) — searching the SCORE→CHORD metadata interface
+    /// itself, not just the bindings.
+    ChordBias {
+        /// Tensor name.
+        tensor: String,
+        /// The applied bias, if this choice applies one.
+        bias: Option<PriorityBias>,
+    },
     /// Run the schedule over a multi-node mesh (`Partition::single()` = the
     /// default single-node dataflow).
     Partition {
@@ -116,6 +131,10 @@ pub struct SpaceConfig {
     /// single-node is always available as the default. `vec![1]` (the
     /// default) disables the dimension entirely.
     pub node_choices: Vec<u64>,
+    /// Max per-tensor CHORD `(freq, dist)` priority-bias decisions (largest
+    /// CHORD footprints first; each adds a ×3 neutral/boost/demote
+    /// dimension). 0 — the default — keeps the interface purely derived.
+    pub max_chord_bias_tensors: usize,
 }
 
 impl Default for SpaceConfig {
@@ -129,6 +148,7 @@ impl Default for SpaceConfig {
             pipeline_words_choices: vec![65_536, 16_384, 262_144],
             rf_words_choices: vec![16_384, 4_096],
             node_choices: vec![1],
+            max_chord_bias_tensors: 0,
         }
     }
 }
@@ -139,6 +159,27 @@ impl SpaceConfig {
         Self {
             node_choices: nodes.to_vec(),
             ..Self::default()
+        }
+    }
+
+    /// The exhaustive-scale space the two-tier prefilter unlocks: more
+    /// cluster-cut points and per-tensor CHORD priority biasing on top of
+    /// the default menus. Roughly 36× the default assignment count on CG —
+    /// affordable under `Strategy::Prefiltered`, wasteful to re-simulate
+    /// exhaustively.
+    pub fn widened() -> Self {
+        Self {
+            max_cut_points: 6,
+            max_chord_bias_tensors: 2,
+            ..Self::default()
+        }
+    }
+
+    /// [`Self::widened`] plus the multi-node partition dimension.
+    pub fn widened_with_nodes(nodes: &[u64]) -> Self {
+        Self {
+            node_choices: nodes.to_vec(),
+            ..Self::widened()
         }
     }
 }
@@ -249,7 +290,7 @@ impl SearchSpace {
             }
         }
         chord_tensors.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-        for (_, tensor) in chord_tensors.into_iter().take(cfg.max_steer_tensors) {
+        for (_, tensor) in chord_tensors.iter().take(cfg.max_steer_tensors) {
             decisions.push(Decision {
                 name: format!("steer@{tensor}"),
                 choices: vec![
@@ -258,14 +299,39 @@ impl SearchSpace {
                         binding: Binding::Chord,
                     },
                     Choice::Steer {
-                        tensor,
+                        tensor: tensor.clone(),
                         binding: Binding::Dram,
                     },
                 ],
             });
         }
 
-        // 6. Loop-order flips on balanced nodes: the alternative is the pure
+        // 6. CHORD priority biasing on the hottest CHORD-bound tensors: the
+        // RIFF (freq, dist) metadata stops being a derived fact and becomes
+        // a searched decision (neutral always first). Rides the same
+        // footprint-ordered list as steering — the tensors whose residency
+        // the bias can actually move.
+        for (_, tensor) in chord_tensors.iter().take(cfg.max_chord_bias_tensors) {
+            decisions.push(Decision {
+                name: format!("bias@{tensor}"),
+                choices: vec![
+                    Choice::ChordBias {
+                        tensor: tensor.clone(),
+                        bias: None,
+                    },
+                    Choice::ChordBias {
+                        tensor: tensor.clone(),
+                        bias: Some(PriorityBias::Boost),
+                    },
+                    Choice::ChordBias {
+                        tensor: tensor.clone(),
+                        bias: Some(PriorityBias::Demote),
+                    },
+                ],
+            });
+        }
+
+        // 7. Loop-order flips on balanced nodes: the alternative is the pure
         // descending-extent order (no uncontracted-first promotion). Only
         // nodes where that actually differs get a decision.
         let mut flips = 0usize;
@@ -321,6 +387,22 @@ impl SearchSpace {
         vec![0; self.decisions.len()]
     }
 
+    /// `samples` uniform seeded-random assignments — **the**
+    /// `Strategy::Random` stream (one SplitMix64 draw per decision per
+    /// sample, in order). The rank-correlation harnesses sample through
+    /// this same method so "random candidates" means one thing everywhere.
+    pub fn sample_assignments(&self, samples: usize, seed: u64) -> Vec<Vec<usize>> {
+        let mut rng = crate::strategy::SplitMix64::new(seed);
+        (0..samples)
+            .map(|_| {
+                self.decisions
+                    .iter()
+                    .map(|d| rng.below(d.choices.len() as u64) as usize)
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Folds an assignment into a candidate. `picks` may be shorter than the
     /// decision list — unassigned decisions take their defaults — which is
     /// what beam search's partial prefixes rely on.
@@ -367,6 +449,13 @@ impl SearchSpace {
                 Choice::OrderFlip { node, order } => {
                     if let Some(order) = order {
                         c.constraints.loop_orders.insert(*node, order.clone());
+                    }
+                }
+                Choice::ChordBias { tensor, bias } => {
+                    if let Some(bias) = bias {
+                        c.constraints
+                            .chord_priority_bias
+                            .insert(tensor.clone(), *bias);
                     }
                 }
             }
@@ -472,6 +561,51 @@ mod tests {
         // Default config: no partition dimension at all.
         let plain = SearchSpace::from_dag(&dag, &SpaceConfig::default());
         assert!(plain.decisions.iter().all(|d| d.name != "partition"));
+    }
+
+    /// The widened config adds ×3 bias decisions on the hottest CHORD
+    /// tensors, keeps neutral as choice 0, and assembled bias picks land in
+    /// the constraints.
+    #[test]
+    fn widened_space_adds_chord_bias_dimension() {
+        let dag = cg(2);
+        let cfg = SpaceConfig::widened();
+        let space = SearchSpace::from_dag(&dag, &cfg);
+        let biases: Vec<&Decision> = space
+            .decisions
+            .iter()
+            .filter(|d| d.name.starts_with("bias@"))
+            .collect();
+        assert_eq!(biases.len(), cfg.max_chord_bias_tensors);
+        for d in &biases {
+            assert_eq!(d.choices.len(), 3);
+            assert!(matches!(d.choices[0], Choice::ChordBias { bias: None, .. }));
+        }
+        // Defaults still reproduce the heuristic; a bias pick constrains.
+        assert_eq!(
+            space.assemble(&space.default_picks()),
+            Candidate::paper_heuristic()
+        );
+        let bi = space
+            .decisions
+            .iter()
+            .position(|d| d.name.starts_with("bias@"))
+            .unwrap();
+        let mut picks = space.default_picks();
+        picks[bi] = 1;
+        let c = space.assemble(&picks);
+        assert_eq!(c.constraints.chord_priority_bias.len(), 1);
+        c.build(&dag).validate(&dag).unwrap();
+        // The default config emits no bias dimension at all.
+        let plain = SearchSpace::from_dag(&dag, &SpaceConfig::default());
+        assert!(plain.decisions.iter().all(|d| !d.name.starts_with("bias@")));
+        // Widening multiplies the assignment count as advertised (6 cut
+        // points × 3² biases vs 4 cut points).
+        assert_eq!(
+            space.exhaustive_size(),
+            plain.exhaustive_size() * 4 * 9,
+            "two extra cuts (×4) and two bias tensors (×9)"
+        );
     }
 
     /// Regression: the enlarged multi-node space must not wrap `u64` —

@@ -1,8 +1,9 @@
-//! Search strategies: exhaustive, beam, and seeded random sampling.
+//! Search strategies: exhaustive, beam, seeded random sampling, and the
+//! two-tier analytic prefilter.
 //!
 //! Strategies only decide **which assignments to score**; scoring itself
 //! (parallel evaluation, memoization, Pareto bookkeeping) lives in
-//! [`crate::Tuner`]. All three are deterministic — beam ties break on the
+//! [`crate::Tuner`]. All of them are deterministic — beam ties break on the
 //! canonical schedule key, and `Random` draws from an explicit seed through
 //! a SplitMix64 kept local to this crate so results never drift under
 //! dependency swaps.
@@ -10,7 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 /// How to traverse the space.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Strategy {
     /// Enumerate every assignment. Right for small DAG spaces (the
     /// [`crate::SearchSpace`] caps keep CG-sized spaces in the thousands).
@@ -30,6 +31,21 @@ pub enum Strategy {
         /// RNG seed; same seed + same space ⇒ same candidates.
         seed: u64,
     },
+    /// Two-tier search: run `inner`'s traversal entirely on the analytic
+    /// surrogate ([`crate::surrogate::surrogate_cost`], tier 1), rank every
+    /// distinct schedule it visited, keep the top `keep_frac` fraction, and
+    /// run `cello_sim::evaluate` only on those survivors (tier 2). Both
+    /// tiers share the tuner's memo cache. `keep_frac >= 1.0` keeps the
+    /// whole visited set — no pruning — so the tuner degenerates it to the
+    /// inner strategy exactly.
+    Prefiltered {
+        /// Fraction of surrogate-ranked candidates promoted to exact
+        /// evaluation, clamped to `(0, 1]`; at least one always survives.
+        keep_frac: f64,
+        /// The traversal strategy tier 1 drives (a nested `Prefiltered`
+        /// collapses to its own inner — prefiltering is idempotent).
+        inner: Box<Strategy>,
+    },
 }
 
 impl Strategy {
@@ -39,6 +55,17 @@ impl Strategy {
             Strategy::Exhaustive => "exhaustive".into(),
             Strategy::Beam { width } => format!("beam{width}"),
             Strategy::Random { samples, seed } => format!("random{samples}@{seed}"),
+            Strategy::Prefiltered { keep_frac, inner } => {
+                format!("prefilter{keep_frac}+{}", inner.label())
+            }
+        }
+    }
+
+    /// Convenience constructor for the common two-tier shape.
+    pub fn prefiltered(keep_frac: f64, inner: Strategy) -> Self {
+        Strategy::Prefiltered {
+            keep_frac,
+            inner: Box::new(inner),
         }
     }
 }
@@ -86,6 +113,10 @@ mod tests {
             }
             .label(),
             "random9@1"
+        );
+        assert_eq!(
+            Strategy::prefiltered(0.1, Strategy::Beam { width: 8 }).label(),
+            "prefilter0.1+beam8"
         );
     }
 

@@ -1,10 +1,20 @@
 //! The tuner: parallel scoring, strategy execution, outcome assembly.
+//!
+//! Two evaluation tiers share one memo cache: the exact simulator
+//! (`cello_sim::evaluate`) and the analytic surrogate
+//! ([`crate::surrogate::surrogate_cost`], whose cost stays a bounded scan
+//! no matter how rich the exact tier grows). Direct strategies score
+//! everything exactly;
+//! [`Strategy::Prefiltered`] traverses on the surrogate and promotes only
+//! the top-ranked fraction to the exact tier — the piece that makes
+//! exhaustive-scale spaces ([`SpaceConfig::widened`]) affordable.
 
 use crate::cache::EvalCache;
 use crate::candidate::Candidate;
 use crate::cost::{pareto_front, rank, Evaluated};
 use crate::space::{SearchSpace, SpaceConfig};
-use crate::strategy::{SplitMix64, Strategy};
+use crate::strategy::Strategy;
+use crate::surrogate::surrogate_cost;
 use cello_core::accel::CelloConfig;
 use cello_graph::dag::TensorDag;
 use cello_sim::evaluate::{evaluate_schedule, CostEstimate};
@@ -29,13 +39,16 @@ pub struct SearchOutcome {
     /// The non-dominated frontier over (cycles, DRAM bytes, NoC hop-bytes,
     /// energy).
     pub pareto: Vec<Evaluated>,
-    /// Distinct schedules actually evaluated during this run.
+    /// Distinct schedules exactly evaluated (`cello_sim`) during this run.
     pub evaluations: u64,
-    /// Lookups served by the memo cache during this run.
+    /// Lookups served by the exact memo cache during this run.
     pub cache_hits: u64,
     /// Assignments the strategy proposed (>= evaluations; the difference is
     /// deduplication plus cache reuse).
     pub candidates_seen: u64,
+    /// Distinct schedules scored by the analytic surrogate during this run
+    /// (0 for single-tier strategies).
+    pub surrogate_scored: u64,
 }
 
 impl SearchOutcome {
@@ -81,9 +94,9 @@ impl<'a> Tuner<'a> {
         &self.space
     }
 
-    /// Scores a batch of candidates in parallel, memoized. Results align
-    /// with the input order.
-    fn eval_batch(&self, candidates: Vec<Candidate>) -> Vec<Evaluated> {
+    /// Scores a batch of candidates in parallel through `tier`, memoized in
+    /// that tier's table. Results align with the input order.
+    fn batch_with(&self, candidates: Vec<Candidate>, tier: Tier) -> Vec<Evaluated> {
         // Build every schedule (cheap, parallel) and canonicalize.
         let built: Vec<(Candidate, cello_core::score::binding::Schedule, String)> = candidates
             .into_par_iter()
@@ -103,7 +116,11 @@ impl<'a> Tuner<'a> {
             if resolved.contains_key(key.as_str()) || pending.contains(key.as_str()) {
                 continue;
             }
-            match self.cache.lookup(key) {
+            let cached = match tier {
+                Tier::Exact => self.cache.lookup(key),
+                Tier::Surrogate => self.cache.lookup_surrogate(key),
+            };
+            match cached {
                 Some(cost) => {
                     resolved.insert(key, cost);
                 }
@@ -115,10 +132,16 @@ impl<'a> Tuner<'a> {
         }
         let costs: Vec<CostEstimate> = fresh
             .par_iter()
-            .map(|(_, schedule)| evaluate_schedule(self.dag, schedule, self.accel))
+            .map(|(_, schedule)| match tier {
+                Tier::Exact => evaluate_schedule(self.dag, schedule, self.accel),
+                Tier::Surrogate => surrogate_cost(self.dag, schedule, self.accel),
+            })
             .collect();
         for ((key, _), cost) in fresh.into_iter().zip(costs) {
-            self.cache.insert(key.to_string(), cost);
+            match tier {
+                Tier::Exact => self.cache.insert(key.to_string(), cost),
+                Tier::Surrogate => self.cache.insert_surrogate(key.to_string(), cost),
+            }
             resolved.insert(key, cost);
         }
         built
@@ -131,23 +154,16 @@ impl<'a> Tuner<'a> {
             .collect()
     }
 
-    /// Runs one strategy, returning the outcome. The memo cache persists
-    /// across calls on the same tuner.
-    pub fn tune(&self, strategy: Strategy) -> SearchOutcome {
-        let hits_before = self.cache.hits();
-        let evals_before = self.cache.evaluations();
-        let mut seen: u64 = 0;
-        let mut all: Vec<Evaluated> = Vec::new();
+    /// Exact-tier batch scoring.
+    fn eval_batch(&self, candidates: Vec<Candidate>) -> Vec<Evaluated> {
+        self.batch_with(candidates, Tier::Exact)
+    }
 
-        // Baseline first: the paper heuristic is always part of the run.
-        let baseline = self
-            .eval_batch(vec![self.space.assemble(&self.space.default_picks())])
-            .pop()
-            .expect("baseline evaluates");
-        seen += 1;
-        all.push(baseline.clone());
-
-        match strategy {
+    /// Runs a base strategy's traversal, scoring through `tier` and
+    /// appending everything scored to `all`. `strategy` must not be
+    /// `Prefiltered` (callers flatten it first).
+    fn traverse(&self, strategy: &Strategy, tier: Tier, seen: &mut u64, all: &mut Vec<Evaluated>) {
+        match *strategy {
             Strategy::Exhaustive => {
                 let total = self.space.exhaustive_size();
                 const BATCH: u64 = 1024;
@@ -157,8 +173,8 @@ impl<'a> Tuner<'a> {
                     let batch: Vec<Candidate> = (idx..hi)
                         .map(|i| self.space.assemble(&self.odometer(i)))
                         .collect();
-                    seen += batch.len() as u64;
-                    all.extend(self.eval_batch(batch));
+                    *seen += batch.len() as u64;
+                    all.extend(self.batch_with(batch, tier));
                     idx = hi;
                 }
             }
@@ -176,8 +192,8 @@ impl<'a> Tuner<'a> {
                     }
                     let batch: Vec<Candidate> =
                         pool.iter().map(|p| self.space.assemble(p)).collect();
-                    seen += batch.len() as u64;
-                    let scored = self.eval_batch(batch);
+                    *seen += batch.len() as u64;
+                    let scored = self.batch_with(batch, tier);
                     all.extend(scored.iter().cloned());
                     let mut ranked: Vec<(usize, &Evaluated)> = scored.iter().enumerate().collect();
                     ranked.sort_by(|a, b| rank(a.1, b.1).then(a.0.cmp(&b.0)));
@@ -190,23 +206,128 @@ impl<'a> Tuner<'a> {
                 }
             }
             Strategy::Random { samples, seed } => {
-                let mut rng = SplitMix64::new(seed);
-                let batch: Vec<Candidate> = (0..samples)
-                    .map(|_| {
-                        let picks: Vec<usize> = self
-                            .space
-                            .decisions
-                            .iter()
-                            .map(|d| rng.below(d.choices.len() as u64) as usize)
-                            .collect();
-                        self.space.assemble(&picks)
-                    })
+                let batch: Vec<Candidate> = self
+                    .space
+                    .sample_assignments(samples, seed)
+                    .iter()
+                    .map(|picks| self.space.assemble(picks))
                     .collect();
-                seen += batch.len() as u64;
-                all.extend(self.eval_batch(batch));
+                *seen += batch.len() as u64;
+                all.extend(self.batch_with(batch, tier));
             }
+            Strategy::Prefiltered { .. } => unreachable!("prefilter flattened before traversal"),
+        }
+    }
+
+    /// Runs one strategy, returning the outcome. The memo cache (both
+    /// tiers) persists across calls on the same tuner.
+    pub fn tune(&self, strategy: &Strategy) -> SearchOutcome {
+        if let Strategy::Prefiltered { keep_frac, inner } = strategy {
+            // Nested prefilters collapse: pruning an already-pruned
+            // traversal is the same traversal.
+            let mut base: &Strategy = inner;
+            while let Strategy::Prefiltered { inner, .. } = base {
+                base = inner;
+            }
+            if *keep_frac >= 1.0 {
+                // Keeping everything prunes nothing: the tiers collapse and
+                // the run IS the inner strategy (same best, same Pareto).
+                let mut out = self.tune(base);
+                out.strategy = strategy.label();
+                return out;
+            }
+            return self.tune_prefiltered(*keep_frac, base, &strategy.label());
         }
 
+        let hits_before = self.cache.hits();
+        let evals_before = self.cache.evaluations();
+        let mut seen: u64 = 0;
+        let mut all: Vec<Evaluated> = Vec::new();
+
+        // Baseline first: the paper heuristic is always part of the run.
+        let baseline = self
+            .eval_batch(vec![self.space.assemble(&self.space.default_picks())])
+            .pop()
+            .expect("baseline evaluates");
+        seen += 1;
+        all.push(baseline.clone());
+
+        self.traverse(strategy, Tier::Exact, &mut seen, &mut all);
+
+        self.outcome(
+            strategy.label(),
+            baseline,
+            &all,
+            seen,
+            evals_before,
+            hits_before,
+            0,
+        )
+    }
+
+    /// The two-tier path (see [`Strategy::Prefiltered`]): traverse on the
+    /// surrogate, promote the top `keep_frac` of distinct schedules to the
+    /// exact tier, report over exactly-evaluated candidates only.
+    fn tune_prefiltered(&self, keep_frac: f64, inner: &Strategy, label: &str) -> SearchOutcome {
+        let hits_before = self.cache.hits();
+        let evals_before = self.cache.evaluations();
+        let surr_before = self.cache.surrogate_evaluations();
+        let mut seen: u64 = 0;
+
+        // Tier 1: the inner traversal guided entirely by the surrogate
+        // (its beam ranks partial assignments on analytic scores).
+        let mut scored: Vec<Evaluated> = Vec::new();
+        scored.extend(self.batch_with(
+            vec![self.space.assemble(&self.space.default_picks())],
+            Tier::Surrogate,
+        ));
+        seen += 1;
+        self.traverse(inner, Tier::Surrogate, &mut seen, &mut scored);
+
+        // Rank the distinct visited schedules analytically; keep the top
+        // fraction (at least one).
+        let mut keys = HashSet::new();
+        let mut uniq: Vec<Evaluated> = scored
+            .into_iter()
+            .filter(|e| keys.insert(e.key.clone()))
+            .collect();
+        uniq.sort_by(rank);
+        let keep = ((keep_frac.max(0.0) * uniq.len() as f64).ceil() as usize).clamp(1, uniq.len());
+
+        // Tier 2: exact evaluation of the survivors, plus the baseline
+        // (always part of the comparison set, filtered or not).
+        let baseline = self
+            .eval_batch(vec![self.space.assemble(&self.space.default_picks())])
+            .pop()
+            .expect("baseline evaluates");
+        let survivors: Vec<Candidate> = uniq[..keep].iter().map(|e| e.candidate.clone()).collect();
+        let mut all = vec![baseline.clone()];
+        all.extend(self.eval_batch(survivors));
+
+        let surrogate_scored = self.cache.surrogate_evaluations() - surr_before;
+        self.outcome(
+            label.to_string(),
+            baseline,
+            &all,
+            seen,
+            evals_before,
+            hits_before,
+            surrogate_scored,
+        )
+    }
+
+    /// Assembles the report over an exactly-evaluated comparison set.
+    #[allow(clippy::too_many_arguments)]
+    fn outcome(
+        &self,
+        strategy: String,
+        baseline: Evaluated,
+        all: &[Evaluated],
+        seen: u64,
+        evals_before: u64,
+        hits_before: u64,
+        surrogate_scored: u64,
+    ) -> SearchOutcome {
         let best_cycles = all
             .iter()
             .min_by(|a, b| rank(a, b))
@@ -228,15 +349,16 @@ impl<'a> Tuner<'a> {
             .expect("non-empty")
             .clone();
         SearchOutcome {
-            strategy: strategy.label(),
+            strategy,
             baseline,
             best_cycles,
             best_dram,
             best_traffic,
-            pareto: pareto_front(&all),
+            pareto: pareto_front(all),
             evaluations: self.cache.evaluations() - evals_before,
             cache_hits: self.cache.hits() - hits_before,
             candidates_seen: seen,
+            surrogate_scored,
         }
     }
 
@@ -254,6 +376,15 @@ impl<'a> Tuner<'a> {
             })
             .collect()
     }
+}
+
+/// Which scoring tier a batch goes through.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    /// `cello_sim::evaluate` — exact, expensive.
+    Exact,
+    /// [`crate::surrogate::surrogate_cost`] — analytic, cheap.
+    Surrogate,
 }
 
 #[cfg(test)]
@@ -281,6 +412,7 @@ mod tests {
             pipeline_words_choices: vec![65_536, 16_384],
             rf_words_choices: vec![16_384],
             node_choices: vec![1],
+            max_chord_bias_tensors: 0,
         }
     }
 
@@ -289,10 +421,11 @@ mod tests {
         let dag = cg(2);
         let accel = CelloConfig::paper();
         let tuner = Tuner::new(&dag, &accel, small_cfg());
-        let out = tuner.tune(Strategy::Exhaustive);
+        let out = tuner.tune(&Strategy::Exhaustive);
         assert!(out.best_cycles.cost.cycles <= out.baseline.cost.cycles);
         assert!(out.best_dram.cost.dram_bytes <= out.baseline.cost.dram_bytes);
         assert!(out.evaluations > 0);
+        assert_eq!(out.surrogate_scored, 0, "single-tier run");
         assert!(!out.pareto.is_empty());
         // The frontier never contains a dominated point.
         for a in &out.pareto {
@@ -307,9 +440,9 @@ mod tests {
         let dag = cg(2);
         let accel = CelloConfig::paper();
         let tuner = Tuner::new(&dag, &accel, small_cfg());
-        let exhaustive = tuner.tune(Strategy::Exhaustive);
+        let exhaustive = tuner.tune(&Strategy::Exhaustive);
         let tuner2 = Tuner::new(&dag, &accel, small_cfg());
-        let beam = tuner2.tune(Strategy::Beam { width: 4 });
+        let beam = tuner2.tune(&Strategy::Beam { width: 4 });
         // Beam found a schedule within 5% of exhaustive-best cycles, with
         // far fewer evaluations.
         let ratio = beam.best_cycles.cost.cycles as f64 / exhaustive.best_cycles.cost.cycles as f64;
@@ -321,7 +454,7 @@ mod tests {
     fn tuning_is_deterministic() {
         let dag = cg(1);
         let accel = CelloConfig::paper();
-        let run = |strategy| {
+        let run = |strategy: &Strategy| {
             let tuner = Tuner::new(&dag, &accel, small_cfg());
             let out = tuner.tune(strategy);
             (
@@ -337,8 +470,9 @@ mod tests {
                 samples: 40,
                 seed: 7,
             },
+            Strategy::prefiltered(0.25, Strategy::Beam { width: 3 }),
         ] {
-            assert_eq!(run(strategy), run(strategy), "{:?}", strategy);
+            assert_eq!(run(&strategy), run(&strategy), "{:?}", strategy);
         }
     }
 
@@ -350,7 +484,7 @@ mod tests {
         // comparable (no cross-seed cache interference).
         let explored = |seed: u64| {
             let tuner = Tuner::new(&dag, &accel, small_cfg());
-            let out = tuner.tune(Strategy::Random { samples: 30, seed });
+            let out = tuner.tune(&Strategy::Random { samples: 30, seed });
             let mut keys: Vec<String> = out.pareto.iter().map(|e| e.key.clone()).collect();
             keys.sort();
             (out.evaluations, keys)
@@ -360,6 +494,82 @@ mod tests {
             runs.iter().any(|r| r != &runs[0]),
             "four seeds explored identical schedule sets: {runs:?}"
         );
+    }
+
+    /// The acceptance claim of the two-tier pipeline: on the widened
+    /// (prefilter-scale) CG space, `Prefiltered(0.1, Beam)` lands within 2%
+    /// of the full exact beam's best total traffic while invoking
+    /// `sim::evaluate` on at most 15% as many candidates.
+    #[test]
+    fn prefiltered_beam_matches_full_beam_cheaply_on_widened_cg() {
+        let dag = cg(3);
+        let accel = CelloConfig::paper();
+        let cfg = SpaceConfig::widened_with_nodes(&[1, 4]);
+        let full = Tuner::new(&dag, &accel, cfg.clone()).tune(&Strategy::Beam { width: 8 });
+        let tuner = Tuner::new(&dag, &accel, cfg);
+        let pre = tuner.tune(&Strategy::prefiltered(0.1, Strategy::Beam { width: 8 }));
+        let ratio = pre.best_traffic.cost.total_traffic_bytes() as f64
+            / full.best_traffic.cost.total_traffic_bytes().max(1) as f64;
+        assert!(
+            ratio <= 1.02,
+            "prefiltered traffic {} vs full beam {} ({ratio:.4}x)",
+            pre.best_traffic.cost.total_traffic_bytes(),
+            full.best_traffic.cost.total_traffic_bytes(),
+        );
+        assert!(
+            (pre.evaluations as f64) <= 0.15 * full.evaluations as f64,
+            "prefiltered sim evals {} vs full beam {}",
+            pre.evaluations,
+            full.evaluations,
+        );
+        // The analytic tier did the heavy lifting.
+        assert!(pre.surrogate_scored > pre.evaluations);
+    }
+
+    /// `keep_frac = 1.0` keeps everything — no pruning — so the two-tier
+    /// strategy returns the identical best candidate as its inner strategy.
+    #[test]
+    fn prefilter_keep_all_is_inner_strategy() {
+        let dag = cg(2);
+        let accel = CelloConfig::paper();
+        let inner = Strategy::Beam { width: 4 };
+        let direct = Tuner::new(&dag, &accel, small_cfg()).tune(&inner);
+        let tuner = Tuner::new(&dag, &accel, small_cfg());
+        let pre = tuner.tune(&Strategy::prefiltered(1.0, inner));
+        assert_eq!(pre.best_cycles.key, direct.best_cycles.key);
+        assert_eq!(pre.best_cycles.candidate, direct.best_cycles.candidate);
+        assert_eq!(pre.best_traffic.key, direct.best_traffic.key);
+        assert_eq!(
+            pre.pareto.iter().map(|e| &e.key).collect::<Vec<_>>(),
+            direct.pareto.iter().map(|e| &e.key).collect::<Vec<_>>(),
+        );
+        assert_eq!(pre.strategy, "prefilter1+beam4");
+    }
+
+    /// The memo cache is shared across tiers and runs: an exact run after a
+    /// prefiltered run re-evaluates only what the prefilter skipped, and
+    /// the prefilter's surrogate table is warm for a second prefilter.
+    #[test]
+    fn cache_shared_across_tiers() {
+        let dag = cg(1);
+        let accel = CelloConfig::paper();
+        let tuner = Tuner::new(&dag, &accel, small_cfg());
+        let pre = tuner.tune(&Strategy::prefiltered(0.2, Strategy::Exhaustive));
+        assert!(pre.surrogate_scored > 0);
+        assert!(pre.evaluations < pre.surrogate_scored);
+        // Same tuner, exact exhaustive: survivors already exactly cached.
+        let exact = tuner.tune(&Strategy::Exhaustive);
+        assert!(
+            exact.evaluations < exact.candidates_seen - pre.evaluations,
+            "tier-2 results were reused: {} fresh evals after {} prefiltered",
+            exact.evaluations,
+            pre.evaluations,
+        );
+        // A second prefilter run costs zero new scores in either tier.
+        let again = tuner.tune(&Strategy::prefiltered(0.2, Strategy::Exhaustive));
+        assert_eq!(again.surrogate_scored, 0);
+        assert_eq!(again.evaluations, 0);
+        assert_eq!(again.best_cycles.key, pre.best_cycles.key);
     }
 
     /// The §V-B acceptance claim: opening the multi-node dimension lets beam
@@ -372,12 +582,12 @@ mod tests {
     fn multinode_beam_beats_best_single_node_traffic_on_cg() {
         let dag = cg(3); // live set ≈ 1.6 Mi words/iter vs a 1 Mi-word SRAM
         let accel = CelloConfig::paper();
-        let single = Tuner::new(&dag, &accel, small_cfg()).tune(Strategy::Exhaustive);
+        let single = Tuner::new(&dag, &accel, small_cfg()).tune(&Strategy::Exhaustive);
         let best_single = single.best_traffic.cost.total_traffic_bytes();
 
         let mut cfg = small_cfg();
         cfg.node_choices = vec![1, 4];
-        let multi = Tuner::new(&dag, &accel, cfg).tune(Strategy::Beam { width: 4 });
+        let multi = Tuner::new(&dag, &accel, cfg).tune(&Strategy::Beam { width: 4 });
         let best_multi = multi.best_traffic.cost.total_traffic_bytes();
         assert!(
             best_multi < best_single,
@@ -393,8 +603,8 @@ mod tests {
         let dag = cg(1);
         let accel = CelloConfig::paper();
         let tuner = Tuner::new(&dag, &accel, small_cfg());
-        let first = tuner.tune(Strategy::Exhaustive);
-        let second = tuner.tune(Strategy::Exhaustive);
+        let first = tuner.tune(&Strategy::Exhaustive);
+        let second = tuner.tune(&Strategy::Exhaustive);
         assert!(first.evaluations > 0);
         assert_eq!(second.evaluations, 0, "everything served from cache");
         assert_eq!(first.best_cycles.key, second.best_cycles.key);

@@ -1,15 +1,16 @@
 //! The phase-walking execution engine.
 //!
-//! Walks a SCORE [`Schedule`] cluster by cluster and issues operand-granular
-//! traffic to a [`MemoryBackend`]:
+//! Replays a [`PhasePlan`] (see [`crate::phases`]) cluster by cluster and
+//! issues its operand-granular traffic to a [`MemoryBackend`]:
 //!
 //! - edges *realized* as pipelining never reach the backend (the pipeline
 //!   buffer serves them on-chip);
 //! - a tensor read by several ops of the same cluster is fetched **once**
 //!   (parallel multicast over the NoC);
 //! - every read/write carries the RIFF metadata SCORE derived — uses
-//!   remaining after this phase and distance to the next use — which is how
-//!   the CHORD backend gets its priorities;
+//!   remaining after this phase and distance to the next use, biased by any
+//!   searched [`cello_core::chord::PriorityBias`] — which is how the CHORD
+//!   backend gets its priorities;
 //! - phase time is `max(compute, memory)` cycles: compute = cluster MACs
 //!   over the PE array, memory = phase DRAM bytes over the DRAM bandwidth
 //!   (§VII-A1's "stalls due to memory bandwidth dominate");
@@ -22,66 +23,20 @@
 //!   (pipelined) intermediate through the NoC — the Fig 8 naive strategy.
 //!   NoC time serializes with each phase (contention-free model), and DRAM
 //!   traffic/energy aggregate across nodes.
+//!
+//! All of the slicing/multicast/NoC accounting lives in
+//! [`crate::phases::plan_phases`], shared with the `cello-search` analytic
+//! surrogate, so the exact simulator and the cheap prefilter tier can never
+//! disagree about footprints — only about buffer behavior.
 
 use crate::backends::{MemoryBackend, TensorRequest};
 use crate::energy::{noc_energy_pj, offchip_energy_pj, onchip_energy_pj};
+use crate::phases::{plan_phases, PhasePlan};
 use crate::report::RunReport;
 use cello_core::accel::CelloConfig;
-use cello_core::score::binding::{Binding, Schedule};
-use cello_core::score::multinode::{NocModel, PartitionAxis};
-use cello_graph::dag::{NodeId, TensorDag};
-use cello_graph::edge::TensorMeta;
-use cello_graph::node::Dominance;
+use cello_core::score::binding::Schedule;
+use cello_graph::dag::TensorDag;
 use cello_mem::model::AreaEnergyModel;
-use std::collections::{BTreeMap, BTreeSet};
-
-/// Per-tensor consumer sites visible to the backend (realized edges removed),
-/// one entry per consuming phase: `(phase index, op position of first use)`.
-type ConsumerSites = BTreeMap<String, Vec<(usize, usize)>>;
-
-fn consumer_sites(dag: &TensorDag, schedule: &Schedule) -> ConsumerSites {
-    let order = schedule.order();
-    let pos: BTreeMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
-    let phase_of = schedule.phase_of();
-    let mut sites: ConsumerSites = BTreeMap::new();
-    let mut push = |name: &str, consumer: NodeId| {
-        let (ph, p) = (phase_of[consumer.0], pos[&consumer]);
-        let list = sites.entry(name.to_string()).or_default();
-        match list.iter_mut().find(|(lph, _)| *lph == ph) {
-            Some((_, first)) => *first = (*first).min(p),
-            None => list.push((ph, p)),
-        }
-    };
-    for (eid, edge) in dag.edges() {
-        if schedule.realized[eid.0] {
-            continue;
-        }
-        let name = &dag.node(NodeId(edge.src)).output.name;
-        push(name, NodeId(edge.dst));
-    }
-    for ext in dag.externals() {
-        for &(consumer, _) in &ext.consumers {
-            push(&ext.meta.name, NodeId(consumer));
-        }
-    }
-    for list in sites.values_mut() {
-        list.sort();
-    }
-    sites
-}
-
-fn future_use(sites: &ConsumerSites, name: &str, phase: usize, op_pos: usize) -> (u32, u32) {
-    let Some(list) = sites.get(name) else {
-        return (0, u32::MAX);
-    };
-    let future: Vec<&(usize, usize)> = list.iter().filter(|(ph, _)| *ph > phase).collect();
-    let freq = future.len() as u32;
-    let dist = future
-        .first()
-        .map(|(_, p)| (*p - op_pos.min(*p)) as u32)
-        .unwrap_or(u32::MAX);
-    (freq, dist)
-}
 
 /// Runs `schedule` for `dag` on `backend` under `accel`, returning the
 /// traffic/time/energy report.
@@ -93,177 +48,38 @@ pub fn run_schedule(
     config_label: &str,
     workload: &str,
 ) -> RunReport {
-    let order = schedule.order();
-    let pos: BTreeMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
-    let sites = consumer_sites(dag, schedule);
-    // Per-node external inputs.
-    let mut node_exts: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-    for (xi, ext) in dag.externals().iter().enumerate() {
-        for &(consumer, _) in &ext.consumers {
-            node_exts.entry(consumer).or_default().push(xi);
-        }
-    }
+    let plan: PhasePlan = plan_phases(dag, schedule);
 
-    // Multi-node partitioning (§V-B). Under a rank axis every tensor
-    // carrying the sliced rank shrinks to its per-node tile and the backend
-    // sees one node's traffic (aggregated ×nodes at the end); under the
-    // stage axis footprints stay whole and realized edges pay the NoC.
-    //
-    // Like the paper's own Fig 8 accounting, the rank-axis model idealizes
-    // sparse-stencil contractions: an uncontracted-dominant op consuming a
-    // sliced operand along its (compressed) contracted rank — CG's SpMM
-    // reading `P`, GCN's aggregation reading the previous layer — touches
-    // only a neighborhood per row, so its halo exchange is dropped rather
-    // than modeled as a full gather. Dense global contractions (the
-    // contracted-dominant ops) are the ones charged a mesh reduce.
-    let partition = schedule.partition;
-    let nodes = partition.nodes.max(1);
-    let noc = NocModel::new(nodes);
-    let sliced_rank = partition.sliced_rank();
-    let stage_split = partition.is_multi() && matches!(partition.axis, PartitionAxis::Stage);
-    let is_sliced = |meta: &TensorMeta| sliced_rank.is_some_and(|rank| meta.ranks.contains(&rank));
-    let eff_words = |meta: &TensorMeta| {
-        if is_sliced(meta) {
-            meta.words.div_ceil(nodes)
-        } else {
-            meta.words
-        }
-    };
-    // A replicated (unsliced) operand is *broadcast* over the mesh only
-    // when it lives on-chip (RF/pipeline residents — the paper's Λ/Φ
-    // exchanges). DRAM/CHORD-bound replicated operands are instead fetched
-    // by every node through its own DRAM channel, which the ×nodes traffic
-    // aggregation below already charges — broadcasting those too would
-    // double-count the same bytes.
-    let broadcast_read = |meta: &TensorMeta, binding: Binding| {
-        sliced_rank.is_some()
-            && !is_sliced(meta)
-            && matches!(binding, Binding::RegisterFile | Binding::Pipeline)
-    };
-    // Does rank slicing actually divide this op's iteration space? Yes when
-    // the op iterates the sliced rank by name, or when it is a dense global
-    // contraction over the sliced data (contracted-dominant — CG's Δ/Γ
-    // ops, whose huge `k` *is* the sliced dimension under another name).
-    // Anything else (e.g. the tiny Λ/Φ inverses) runs replicated on every
-    // node and gets no compute credit.
-    let op_parallel = |node: &cello_graph::node::OpNode| {
-        sliced_rank.is_some_and(|rank| {
-            node.spec.extents().iter().any(|e| e.rank == rank)
-                || node.dominance == Dominance::Contracted
-        })
-    };
-
-    let mut phase_cycles: Vec<(u64, u64)> = Vec::with_capacity(schedule.phases.len());
+    let mut phase_cycles: Vec<(u64, u64)> = Vec::with_capacity(plan.phases.len());
     let mut total_cycles: u64 = 0;
     let mut total_noc_hop_words: u64 = 0;
     let mut prev_stats = backend.stats();
 
-    for (pi, phase) in schedule.phases.iter().enumerate() {
-        let mut phase_macs: u64 = 0;
-        let mut max_op_macs: u64 = 0;
-        let mut phase_noc_words: u64 = 0;
-        let mut read_this_phase: BTreeSet<&str> = BTreeSet::new();
-        for &op in &phase.ops {
-            let node = dag.node(op);
-            // Per-node compute share: only ops whose iteration space the
-            // slicing divides get credit; replicated ops keep full MACs.
-            phase_macs += if op_parallel(node) {
-                node.macs.div_ceil(nodes)
-            } else {
-                node.macs
+    for phase in &plan.phases {
+        for access in &phase.accesses {
+            let req = TensorRequest {
+                name: &access.name,
+                words: access.words,
+                binding: access.binding,
+                external: access.external,
+                freq_after: access.freq_after,
+                dist_after: access.dist_after,
             };
-            max_op_macs = max_op_macs.max(node.macs);
-            let op_pos = pos[&op];
-
-            // Producer inputs via unrealized edges.
-            for eid in dag.in_edges(op) {
-                if schedule.realized[eid.0] {
-                    continue;
-                }
-                let producer = dag.node(NodeId(dag.edge(eid).src));
-                let name = producer.output.name.as_str();
-                if !read_this_phase.insert(name) {
-                    continue; // same-phase multicast: one NoC fetch
-                }
-                let binding = schedule.binding_of(name);
-                if broadcast_read(&producer.output, binding) {
-                    phase_noc_words += producer.output.words * noc.hops_broadcast();
-                }
-                let (freq, dist) = future_use(&sites, name, pi, op_pos);
-                backend.read(&TensorRequest {
-                    name,
-                    words: eff_words(&producer.output),
-                    binding,
-                    external: false,
-                    freq_after: freq,
-                    dist_after: dist,
-                });
-            }
-            // External inputs.
-            if let Some(exts) = node_exts.get(&op.0) {
-                for &xi in exts {
-                    let meta = &dag.externals()[xi].meta;
-                    let name = meta.name.as_str();
-                    if !read_this_phase.insert(name) {
-                        continue;
-                    }
-                    let binding = schedule.binding_of(name);
-                    if broadcast_read(meta, binding) {
-                        phase_noc_words += meta.words * noc.hops_broadcast();
-                    }
-                    let (freq, dist) = future_use(&sites, name, pi, op_pos);
-                    backend.read(&TensorRequest {
-                        name,
-                        words: eff_words(meta),
-                        binding,
-                        external: true,
-                        freq_after: freq,
-                        dist_after: dist,
-                    });
-                }
-            }
-            // Output.
-            let out = &node.output;
-            if sliced_rank.is_some() && !is_sliced(out) && node.dominance == Dominance::Contracted {
-                // A contraction over the sliced rank leaves per-node
-                // partials: reduce them across the mesh.
-                phase_noc_words += out.words * noc.hops_reduce();
-            }
-            let (freq, dist) = future_use(&sites, &out.name, pi, op_pos);
-            backend.write(&TensorRequest {
-                name: &out.name,
-                words: eff_words(out),
-                binding: schedule.binding_of(&out.name),
-                external: false,
-                freq_after: freq,
-                dist_after: dist,
-            });
-        }
-        if stage_split {
-            // Naive strategy: every realized edge streams its whole
-            // intermediate between adjacent stage nodes (1 hop).
-            for &eid in &phase.realized_edges {
-                phase_noc_words += dag.node(NodeId(dag.edge(eid).src)).output.words;
+            if access.write {
+                backend.write(&req);
+            } else {
+                backend.read(&req);
             }
         }
 
         let now = backend.stats();
         let phase_dram = now.dram_bytes() - prev_stats.dram_bytes();
         prev_stats = now;
-        // Rank slicing already folded per-op shares into `phase_macs`.
-        // Stage pipelining is bounded below by the heaviest single stage
-        // (one op never splits across stage nodes) and by the cluster's
-        // total work spread over the nodes actually available.
-        let compute_macs = if stage_split {
-            max_op_macs.max(phase_macs.div_ceil(nodes))
-        } else {
-            phase_macs
-        };
-        let compute = compute_macs.div_ceil(accel.pe_count.max(1));
+        let compute = phase.compute_macs.div_ceil(accel.pe_count.max(1));
         let mem = accel.dram.transfer_cycles(phase_dram, accel.freq_hz);
         phase_cycles.push((compute, mem));
-        total_noc_hop_words += phase_noc_words;
-        total_cycles += compute.max(mem) + noc_cycles(phase_noc_words, accel);
+        total_noc_hop_words += phase.noc_hop_words;
+        total_cycles += compute.max(mem) + noc_cycles(phase.noc_hop_words, accel);
     }
 
     backend.finish();
@@ -277,7 +93,8 @@ pub fn run_schedule(
 
     // Aggregate per-node traffic across the mesh: rank slicing simulated
     // one node's share, stage splitting already saw the whole problem.
-    let agg = if sliced_rank.is_some() { nodes } else { 1 };
+    let nodes = plan.nodes;
+    let agg = plan.dram_agg;
     let noc_hop_bytes = total_noc_hop_words * accel.word_bytes as u64;
     let macs: u64 = dag.nodes().map(|(_, n)| n.macs).sum();
     let seconds = total_cycles as f64 / accel.freq_hz;

@@ -6,9 +6,13 @@
 //! `max(compute, memory)` (the paper notes "stalls due to memory bandwidth
 //! dominate the delay", §VII-A1). This crate provides:
 //!
-//! - [`engine`]: walks a [`cello_core::Schedule`] phase by phase, issuing
-//!   tensor-granular reads/writes to a [`backends::MemoryBackend`], deduping
-//!   multicast reads within a phase, skipping realized (pipelined) edges, and
+//! - [`phases`]: the shared phase-walk planner — per-phase operand accesses
+//!   (multicast-deduped, realized edges skipped, sliced footprints, RIFF
+//!   metadata), compute shares and NoC hop-words, consumed by both the
+//!   exact engine and the `cello-search` analytic surrogate so the two
+//!   evaluation tiers cannot drift;
+//! - [`engine`]: replays a [`phases::PhasePlan`] phase by phase, issuing
+//!   tensor-granular reads/writes to a [`backends::MemoryBackend`] and
 //!   accumulating per-phase roofline timing; multi-node schedules
 //!   ([`cello_core::Partition`], §V-B) additionally slice per-node tile
 //!   footprints and charge NoC word-hop cycles/energy against the mesh;
@@ -32,6 +36,7 @@ pub mod baselines;
 pub mod energy;
 pub mod engine;
 pub mod evaluate;
+pub mod phases;
 pub mod report;
 pub mod scaling;
 pub mod trace;

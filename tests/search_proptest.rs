@@ -93,6 +93,7 @@ fn small_cfg() -> SpaceConfig {
         pipeline_words_choices: vec![65_536, 16_384],
         rf_words_choices: vec![16_384],
         node_choices: vec![1],
+        max_chord_bias_tensors: 0,
     }
 }
 
@@ -117,7 +118,7 @@ proptest! {
         let accel = CelloConfig::paper();
         let run = || {
             let tuner = Tuner::new(&dag, &accel, small_cfg());
-            let out = tuner.tune(Strategy::Random { samples: 24, seed });
+            let out = tuner.tune(&Strategy::Random { samples: 24, seed });
             out.pareto
                 .iter()
                 .map(|e| (e.key.clone(), e.cost.cycles, e.cost.dram_bytes))
@@ -137,7 +138,7 @@ proptest! {
         let accel = CelloConfig::paper();
         let run = || {
             let tuner = Tuner::new(&dag, &accel, small_cfg());
-            let out = tuner.tune(Strategy::Beam { width: 3 });
+            let out = tuner.tune(&Strategy::Beam { width: 3 });
             (
                 out.best_cycles.key.clone(),
                 out.pareto.iter().map(|e| e.key.clone()).collect::<Vec<_>>(),
@@ -164,7 +165,7 @@ proptest! {
             Strategy::Random { samples: 16, seed },
             Strategy::Exhaustive,
         ] {
-            let out = tuner.tune(strategy);
+            let out = tuner.tune(&strategy);
             prop_assert_eq!(out.baseline.cost.cycles, base, "baseline == heuristic");
             prop_assert!(
                 out.best_cycles.cost.cycles <= base,
@@ -189,7 +190,7 @@ proptest! {
             Strategy::Beam { width: 3 },
             Strategy::Random { samples: 16, seed },
         ] {
-            let out = tuner.tune(strategy);
+            let out = tuner.tune(&strategy);
             prop_assert!(
                 out.best_cycles.cost.cycles <= base,
                 "{:?}: tuned {} vs heuristic {}",

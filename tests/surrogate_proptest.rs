@@ -1,0 +1,160 @@
+//! Property tests for the two-tier evaluation pipeline: the analytic
+//! surrogate must *rank* like the exact simulator across random CG/HPCG
+//! co-design spaces (that is the entire contract `Strategy::Prefiltered`
+//! rests on), and the prefilter with `keep_frac = 1.0` must degenerate to
+//! its inner strategy exactly.
+
+use cello::core::accel::CelloConfig;
+use cello::graph::dag::TensorDag;
+use cello::search::{spearman, surrogate_cost, SearchSpace, SpaceConfig, Strategy, Tuner};
+use cello::sim::evaluate::evaluate_schedule;
+use cello::workloads::cg::{build_cg_dag, CgParams};
+use cello::workloads::hpcg::{build_hpcg_dag, HpcgParams};
+use proptest::prelude::*;
+
+/// Seeded-random assignments from `space` (the `Strategy::Random` stream
+/// via `SearchSpace::sample_assignments`), deduplicated by canonical
+/// schedule key so ties from colliding assignments don't inflate the
+/// correlation.
+fn sample_pairs(
+    dag: &TensorDag,
+    accel: &CelloConfig,
+    cfg: &SpaceConfig,
+    samples: usize,
+    seed: u64,
+) -> (Vec<u64>, Vec<u64>) {
+    let space = SearchSpace::from_dag(dag, cfg);
+    let mut est = Vec::new();
+    let mut sim = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for picks in space.sample_assignments(samples, seed) {
+        let schedule = space.assemble(&picks).build(dag);
+        if !seen.insert(cello::search::Candidate::schedule_key(&schedule)) {
+            continue;
+        }
+        est.push(surrogate_cost(dag, &schedule, accel).total_traffic_bytes());
+        sim.push(evaluate_schedule(dag, &schedule, accel).total_traffic_bytes());
+    }
+    (est, sim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Across random widened CG spaces (problem size, iteration count, mesh
+    /// size, sample seed all drawn), the surrogate's total-traffic ranking
+    /// agrees with `sim::evaluate` at Spearman >= 0.8.
+    #[test]
+    fn surrogate_ranks_random_cg_spaces(
+        m in 20_000u64..120_000,
+        iterations in 2u32..6,
+        mesh in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let dag = build_cg_dag(&CgParams {
+            m,
+            occupancy: 4.0,
+            a_payload_words: 2 * 4 * m + m + 1,
+            n: 16,
+            nprime: 16,
+            iterations,
+        });
+        let accel = CelloConfig::paper();
+        let nodes: &[u64] = [&[1u64][..], &[1, 4][..], &[1, 4, 16][..]][mesh];
+        let cfg = SpaceConfig::widened_with_nodes(nodes);
+        let (est, sim) = sample_pairs(&dag, &accel, &cfg, 32, seed);
+        prop_assert!(est.len() >= 8, "degenerate sample: {} distinct", est.len());
+        let rho = spearman(&est, &sim);
+        prop_assert!(
+            rho >= 0.8,
+            "CG m={m} iters={iterations} mesh={nodes:?} seed={seed}: rho {rho:.3}"
+        );
+    }
+
+    /// Same contract on random HPCG spaces.
+    #[test]
+    fn surrogate_ranks_random_hpcg_spaces(
+        nx in 24u64..56,
+        iterations in 2u32..5,
+        multi in any::<bool>(),
+        seed in 0u64..1_000,
+    ) {
+        let dag = build_hpcg_dag(&HpcgParams { nx, n: 16, iterations });
+        let accel = CelloConfig::paper();
+        let nodes: &[u64] = if multi { &[1, 4] } else { &[1] };
+        let cfg = SpaceConfig::widened_with_nodes(nodes);
+        let (est, sim) = sample_pairs(&dag, &accel, &cfg, 32, seed);
+        prop_assert!(est.len() >= 8, "degenerate sample: {} distinct", est.len());
+        let rho = spearman(&est, &sim);
+        prop_assert!(
+            rho >= 0.8,
+            "HPCG nx={nx} iters={iterations} nodes={nodes:?} seed={seed}: rho {rho:.3}"
+        );
+    }
+
+    /// `Prefiltered(keep_frac = 1.0, inner)` keeps the whole visited set —
+    /// it must return the identical best candidate (and Pareto front) as
+    /// running the inner strategy directly.
+    #[test]
+    fn prefilter_keep_all_matches_inner(
+        m in 20_000u64..120_000,
+        width in 2usize..5,
+    ) {
+        let dag = build_cg_dag(&CgParams {
+            m,
+            occupancy: 4.0,
+            a_payload_words: 2 * 4 * m + m + 1,
+            n: 16,
+            nprime: 16,
+            iterations: 2,
+        });
+        let accel = CelloConfig::paper();
+        let cfg = SpaceConfig::widened();
+        let inner = Strategy::Beam { width };
+        let direct = Tuner::new(&dag, &accel, cfg.clone()).tune(&inner);
+        let pre = Tuner::new(&dag, &accel, cfg)
+            .tune(&Strategy::prefiltered(1.0, inner));
+        prop_assert_eq!(&pre.best_cycles.key, &direct.best_cycles.key);
+        prop_assert_eq!(&pre.best_cycles.candidate, &direct.best_cycles.candidate);
+        prop_assert_eq!(&pre.best_traffic.key, &direct.best_traffic.key);
+        prop_assert_eq!(
+            pre.pareto.iter().map(|e| e.key.as_str()).collect::<Vec<_>>(),
+            direct.pareto.iter().map(|e| e.key.as_str()).collect::<Vec<_>>()
+        );
+    }
+
+    /// The prefilter honors its budget on every space it meets: sim
+    /// evaluations never exceed the surrogate-ranked keep fraction (plus
+    /// the always-evaluated baseline), and the tuned result still never
+    /// loses to the paper heuristic.
+    #[test]
+    fn prefilter_budget_and_soundness(
+        m in 20_000u64..120_000,
+        keep in 0.05f64..0.5,
+        seed in 0u64..100,
+    ) {
+        let dag = build_cg_dag(&CgParams {
+            m,
+            occupancy: 4.0,
+            a_payload_words: 2 * 4 * m + m + 1,
+            n: 16,
+            nprime: 16,
+            iterations: 2,
+        });
+        let accel = CelloConfig::paper();
+        let tuner = Tuner::new(&dag, &accel, SpaceConfig::widened());
+        let out = tuner.tune(&Strategy::prefiltered(
+            keep,
+            Strategy::Random { samples: 40, seed },
+        ));
+        prop_assert!(out.best_cycles.cost.cycles <= out.baseline.cost.cycles);
+        // Budget: survivors = ceil(keep * distinct surrogate-scored) + the
+        // baseline evaluation.
+        let cap = (keep * out.surrogate_scored as f64).ceil() as u64 + 1;
+        prop_assert!(
+            out.evaluations <= cap,
+            "evals {} > cap {cap} (surrogate_scored {})",
+            out.evaluations, out.surrogate_scored
+        );
+    }
+}
