@@ -54,19 +54,27 @@ fn load(path: &str) -> Vec<Record> {
         });
     workloads
         .iter()
-        .map(|w| {
+        .enumerate()
+        .map(|(i, w)| {
+            // Name the record in every complaint: "cg/G2_circuit@4n"
+            // beats "record 3" when a field is missing or mistyped.
+            let name = w
+                .get("name")
+                .and_then(|v| v.as_str())
+                .unwrap_or("?")
+                .to_string();
+            let who = match w.get("nodes").and_then(|v| v.as_f64()) {
+                Some(n) => format!("{name}@{n}n"),
+                None => format!("{name} (record {i})"),
+            };
             let field = |key: &str| -> f64 {
                 w.get(key).and_then(|v| v.as_f64()).unwrap_or_else(|| {
-                    eprintln!("bench_check: {path}: record missing numeric {key:?}");
+                    eprintln!("bench_check: {path}: {who} missing numeric {key:?}");
                     std::process::exit(1);
                 })
             };
             Record {
-                name: w
-                    .get("name")
-                    .and_then(|v| v.as_str())
-                    .unwrap_or("?")
-                    .to_string(),
+                name,
                 nodes: field("nodes") as u64,
                 cycles: field("tuned_cycles"),
                 traffic: field("tuned_traffic_bytes"),
@@ -75,6 +83,17 @@ fn load(path: &str) -> Vec<Record> {
             }
         })
         .collect()
+}
+
+/// `name@Nn` labels of a record set, sorted — the two sides of the coverage
+/// diff.
+fn record_keys(records: &[Record]) -> Vec<String> {
+    let mut keys: Vec<String> = records
+        .iter()
+        .map(|r| format!("{}@{}n", r.name, r.nodes))
+        .collect();
+    keys.sort();
+    keys
 }
 
 fn main() {
@@ -128,17 +147,25 @@ fn main() {
     // Coverage is part of the contract: a baseline record with no current
     // counterpart means a workload silently fell out of the trajectory —
     // exactly the kind of regression this gate exists to catch. Removing a
-    // workload intentionally requires refreshing the baseline.
-    for base in &baseline {
-        if !current
-            .iter()
-            .any(|c| c.name == base.name && c.nodes == base.nodes)
-        {
-            failures.push(format!(
-                "{}@{}n: in baseline but missing from current run",
-                base.name, base.nodes
-            ));
-        }
+    // workload intentionally requires refreshing the baseline. The failure
+    // is a named-record diff, so the missing workload is identifiable
+    // without opening either JSON file.
+    let missing: Vec<String> = baseline
+        .iter()
+        .filter(|b| {
+            !current
+                .iter()
+                .any(|c| c.name == b.name && c.nodes == b.nodes)
+        })
+        .map(|b| format!("{}@{}n", b.name, b.nodes))
+        .collect();
+    if !missing.is_empty() {
+        failures.push(format!(
+            "baseline records missing from current run: [{}]\n    current has:  [{}]\n    baseline has: [{}]",
+            missing.join(", "),
+            record_keys(&current).join(", "),
+            record_keys(&baseline).join(", "),
+        ));
     }
     if compared == 0 {
         failures.push("no (workload, nodes) records matched the baseline".into());

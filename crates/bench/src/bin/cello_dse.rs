@@ -20,16 +20,22 @@
 //! biasing): the analytic surrogate ranks the traversal and only the top
 //! tenth reaches `sim::evaluate`.
 //!
-//! `--quick` is the CI bench-trajectory mode: CG/HPCG/GCN at single-node
-//! and at the `--nodes` mesh, always prefiltered, emitting
-//! `BENCH_dse.json` at the repo root (cycles, DRAM/NoC bytes, energy,
-//! candidates/sec, surrogate rank-correlation) for the `bench_check`
-//! regression gate, plus the usual stdout table.
+//! `--per-phase-sram` opens the per-phase SRAM repartition dimension
+//! (`SpaceConfig::with_repartition`): fused/solo split profiles override
+//! the single global pipeline/RF/CHORD split phase by phase, with CHORD
+//! resized (and the resize traffic charged) at phase boundaries.
+//!
+//! `--quick` is the CI bench-trajectory mode: CG/HPCG/GCN at single-node,
+//! at the `--nodes` mesh, and over the per-phase-SRAM space (`name+pp`
+//! records), always prefiltered, emitting `BENCH_dse.json` at the repo
+//! root (cycles, DRAM/NoC bytes, energy, candidates/sec, surrogate
+//! rank-correlation) for the `bench_check` regression gate, plus the usual
+//! stdout table.
 //!
 //! Output: a TSV under `results/dse.tsv` plus the stdout tables.
 //!
 //! Usage: `cargo run --release --bin cello_dse [-- --nodes 1,4,16]
-//! [--prefilter] [--quick]`
+//! [--prefilter] [--per-phase-sram] [--quick]`
 
 use cello_bench::json::Json;
 use cello_bench::{emit, f3, surrogate_rank_correlation};
@@ -67,6 +73,8 @@ struct Args {
     quick: bool,
     /// Use the two-tier prefilter over the widened space.
     prefilter: bool,
+    /// Open the per-phase SRAM repartition dimension.
+    per_phase_sram: bool,
 }
 
 fn parse_args() -> Args {
@@ -74,6 +82,7 @@ fn parse_args() -> Args {
         nodes: vec![1],
         quick: false,
         prefilter: false,
+        per_phase_sram: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -99,9 +108,10 @@ fn parse_args() -> Args {
             }
             "--quick" => args.quick = true,
             "--prefilter" => args.prefilter = true,
+            "--per-phase-sram" => args.per_phase_sram = true,
             other => {
                 eprintln!(
-                    "unknown argument {other:?}; usage: cello_dse [--nodes 1,4,16] [--prefilter] [--quick]"
+                    "unknown argument {other:?}; usage: cello_dse [--nodes 1,4,16] [--prefilter] [--per-phase-sram] [--quick]"
                 );
                 std::process::exit(2);
             }
@@ -233,34 +243,63 @@ fn run_quick(args: &Args) {
     let mut records: Vec<Json> = Vec::new();
     // Single-node always; the `--nodes` mesh as a second variant only when
     // it actually widens the menu (plain `--quick` would otherwise tune the
-    // identical [1] space twice and emit duplicate records).
-    let mut variants: Vec<Vec<u64>> = vec![vec![1]];
+    // identical [1] space twice and emit duplicate records); and the
+    // per-phase-SRAM space at a single node as a third (`name+pp` records),
+    // so the perf gate covers the repartition dimension.
+    let mut variants: Vec<(Vec<u64>, bool)> = vec![(vec![1], false)];
     if args.nodes.iter().any(|&n| n > 1) {
-        variants.push(args.nodes.clone());
+        variants.push((args.nodes.clone(), false));
     }
+    variants.push((vec![1], true));
     // Invariant violations are collected, not asserted mid-loop: the
     // trajectory file must land even on a bad run so CI still uploads an
     // artifact and `bench_check` can report what went wrong.
     let mut violations: Vec<String> = Vec::new();
     for w in quick_workloads() {
-        let mut best_by_variant: Vec<u64> = Vec::new();
-        for node_menu in &variants {
+        let mut best_plain_single: Option<u64> = None;
+        let mut best_mesh: Option<u64> = None;
+        for (node_menu, per_phase) in &variants {
             let nodes_label = *node_menu.iter().max().unwrap_or(&1);
             if nodes_label > 1 && !w.multinode {
                 continue;
             }
-            let cfg = SpaceConfig::widened_with_nodes(node_menu);
+            let mut cfg = SpaceConfig::widened_with_nodes(node_menu);
+            if *per_phase {
+                cfg = cfg.with_repartition(w.accel.sram_words());
+            }
+            let record_name = if *per_phase {
+                format!("{}+pp", w.name)
+            } else {
+                w.name.to_string()
+            };
             let started = std::time::Instant::now();
             let tuner = Tuner::new(&w.dag, &w.accel, cfg.clone());
             let out = tuner.tune(&Strategy::prefiltered(KEEP_FRAC, beam.clone()));
             let elapsed = started.elapsed().as_secs_f64().max(1e-9);
             let corr = surrogate_rank_correlation(&w.dag, &w.accel, &cfg, CORR_SAMPLES, CORR_SEED);
             let cand_per_sec = out.candidates_seen as f64 / elapsed;
-            best_by_variant.push(out.best_traffic.cost.total_traffic_bytes());
-            let label = format!("{}@{}n", w.name, nodes_label);
+            let best = out.best_traffic.cost.total_traffic_bytes();
+            match (*per_phase, nodes_label) {
+                (false, 1) => best_plain_single = Some(best),
+                (false, _) => best_mesh = Some(best),
+                // The repartitioned space contains every global-split
+                // schedule; prefiltered beam must not lose that containment
+                // in practice.
+                (true, _) => {
+                    if let Some(plain) = best_plain_single {
+                        if best > plain {
+                            violations.push(format!(
+                                "{record_name}: per-phase best traffic {best} worse than \
+                                 global-split {plain}"
+                            ));
+                        }
+                    }
+                }
+            }
+            let label = format!("{record_name}@{nodes_label}n");
             rows.push(outcome_row(&label, &out));
             records.push(Json::Obj(vec![
-                ("name".into(), Json::Str(w.name.into())),
+                ("name".into(), Json::Str(record_name.clone())),
                 ("nodes".into(), Json::int(nodes_label)),
                 ("strategy".into(), Json::Str(out.strategy.clone())),
                 ("base_cycles".into(), Json::int(out.baseline.cost.cycles)),
@@ -308,11 +347,13 @@ fn run_quick(args: &Args) {
         }
         // The widened multi-node space contains every single-node schedule;
         // prefiltered search must not lose that containment in practice.
-        if best_by_variant.len() == 2 && best_by_variant[1] > best_by_variant[0] {
-            violations.push(format!(
-                "{}: multi-node best traffic {} worse than single-node {}",
-                w.name, best_by_variant[1], best_by_variant[0],
-            ));
+        if let (Some(single), Some(mesh)) = (best_plain_single, best_mesh) {
+            if mesh > single {
+                violations.push(format!(
+                    "{}: multi-node best traffic {mesh} worse than single-node {single}",
+                    w.name,
+                ));
+            }
         }
     }
     emit(
@@ -381,11 +422,14 @@ fn main() {
         Strategy::Beam { width: beam_width }
     };
     for w in workloads() {
-        let cfg = if multi && w.multinode {
+        let mut cfg = if multi && w.multinode {
             space_for(&args.nodes)
         } else {
             space_for(&[1])
         };
+        if args.per_phase_sram {
+            cfg = cfg.with_repartition(w.accel.sram_words());
+        }
         let strategies: Vec<Strategy> = vec![
             primary.clone(),
             Strategy::Random {
@@ -423,7 +467,11 @@ fn main() {
     if multi {
         let dag = build_cg_dag(&CgParams::from_dataset(&G2_CIRCUIT, 16, 5));
         let accel = CelloConfig::paper();
-        let single = Tuner::new(&dag, &accel, space_for(&[1])).tune(&primary);
+        let mut single_cfg = space_for(&[1]);
+        if args.per_phase_sram {
+            single_cfg = single_cfg.with_repartition(accel.sram_words());
+        }
+        let single = Tuner::new(&dag, &accel, single_cfg).tune(&primary);
         let swept = cg_multi.expect("cg/G2_circuit always runs under --nodes");
         let s = single.best_traffic.cost.total_traffic_bytes();
         let m = swept.best_traffic.cost.total_traffic_bytes();

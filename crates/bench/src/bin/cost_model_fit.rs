@@ -3,8 +3,11 @@
 //!
 //! For CG (two datasets), HPCG, and GCN, across node counts {1, 4, 16},
 //! this samples seeded-random candidates from the **widened** co-design
-//! space (`SpaceConfig::widened_with_nodes`), scores each with both
-//! `cello_search::surrogate_cost` and `cello_sim::evaluate`, and reports:
+//! space including the per-phase SRAM-repartition dimension
+//! (`SpaceConfig::widened_with_nodes(..).with_repartition(..)` — the
+//! Spearman ≥ 0.8 gate covers per-phase-split candidates, resize traffic
+//! and all), scores each with both `cello_search::surrogate_cost` and
+//! `cello_sim::evaluate`, and reports:
 //!
 //! - Spearman rank correlation per objective (cycles, DRAM bytes, total
 //!   traffic, energy) — the number that decides whether the prefilter's
@@ -114,7 +117,7 @@ fn main() {
     for (name, dag) in &grids {
         for nodes in [vec![1u64], vec![1, 4], vec![1, 4, 16]] {
             let mesh = *nodes.iter().max().unwrap();
-            let cfg = SpaceConfig::widened_with_nodes(&nodes);
+            let cfg = SpaceConfig::widened_with_nodes(&nodes).with_repartition(accel.sram_words());
             let (est, sim, t_est, t_sim) = sample_costs(dag, &accel, &cfg, samples);
             let pull = |f: fn(&CostEstimate) -> u64, v: &[CostEstimate]| -> Vec<u64> {
                 v.iter().map(f).collect()

@@ -156,6 +156,23 @@ impl Chord {
         words * self.cfg.word_bytes as u64
     }
 
+    /// Evicts `take` words from `victim_name`'s tail and settles the
+    /// accounting — the one place eviction bookkeeping lives (RIFF admit
+    /// and the per-phase resize both route here). Dirty victims have future
+    /// uses (dead tensors are retired eagerly), so their tail must persist
+    /// to DRAM; clean tails evict for free. Returns words actually taken.
+    fn evict_tail(&mut self, victim_name: &str, victim_dirty: bool, take: u64) -> u64 {
+        let taken = self.table.shrink_tail(victim_name, take);
+        if victim_dirty {
+            self.stats.dram_write_bytes += self.bytes(taken);
+            self.stats.writebacks += 1;
+            self.audit_mut(victim_name).evicted_dirty += taken;
+        } else {
+            self.audit_mut(victim_name).evicted_clean += taken;
+        }
+        taken
+    }
+
     /// Shared enqueue path: admit as much of `words` as policy allows for
     /// `name` (already inserted in the table). Returns words admitted.
     fn admit(&mut self, name: &str, words: u64, priority: RiffPriority) -> u64 {
@@ -173,16 +190,7 @@ impl Chord {
                 let victim_name = victim.name.clone();
                 let victim_dirty = victim.dirty;
                 let take = remaining.min(victim.resident_words);
-                let taken = self.table.shrink_tail(&victim_name, take);
-                if victim_dirty {
-                    // Dirty victims have future uses (dead tensors are retired
-                    // eagerly), so their tail must persist to DRAM.
-                    self.stats.dram_write_bytes += self.bytes(taken);
-                    self.stats.writebacks += 1;
-                    self.audit_mut(&victim_name).evicted_dirty += taken;
-                } else {
-                    self.audit_mut(&victim_name).evicted_clean += taken;
-                }
+                let taken = self.evict_tail(&victim_name, victim_dirty, take);
                 self.table.grow(name, taken);
                 admitted += taken;
                 remaining -= taken;
@@ -292,6 +300,28 @@ impl Chord {
     /// schedule advances).
     pub fn update_priority(&mut self, name: &str, priority: RiffPriority) {
         self.table.set_priority(name, priority);
+    }
+
+    /// Resizes the data array (the per-phase SRAM repartition, applied at a
+    /// phase boundary). Growing frees space immediately; shrinking evicts
+    /// lowest-priority tails until the residents fit, and — exactly like a
+    /// RIFF eviction — a dirty tail with future uses persists to DRAM: that
+    /// writeback is the repartition's resize traffic. Resizing to the
+    /// current capacity is a strict no-op (the uniform-split path).
+    pub fn resize(&mut self, capacity_words: u64) {
+        let mut used = self.table.used_words();
+        while used > capacity_words {
+            let victim = self
+                .table
+                .weakest_entry()
+                .expect("used > 0 implies a resident entry");
+            let victim_name = victim.name.clone();
+            let victim_dirty = victim.dirty;
+            let take = (used - capacity_words).min(victim.resident_words);
+            used -= self.evict_tail(&victim_name, victim_dirty, take);
+        }
+        self.table.set_capacity_words(capacity_words);
+        self.cfg.capacity_words = capacity_words;
     }
 
     /// Current occupancy in words.
@@ -510,6 +540,41 @@ mod tests {
         let mut c = chord(100);
         c.produce("S", 10, RiffPriority::new(1, 1));
         c.produce("S", 10, RiffPriority::new(1, 1));
+    }
+
+    /// Shrinking the data array (per-phase repartition) evicts junior tails
+    /// and charges dirty writebacks; growing frees space; same-capacity
+    /// resize is a strict no-op. Conservation holds throughout.
+    #[test]
+    fn resize_evicts_junior_tails_and_charges_writebacks() {
+        let mut c = chord(100);
+        c.produce("S", 60, RiffPriority::new(3, 1)); // senior, dirty
+        c.fetch("A", 40, RiffPriority::new(1, 9)); // junior, clean
+        let before = c.stats();
+        // No-op resize: nothing moves, no traffic.
+        c.resize(100);
+        assert_eq!(c.stats(), before);
+        assert_eq!(c.used_words(), 100);
+        // Shrink to 70: the junior clean A loses 30 words for free.
+        c.resize(70);
+        assert_eq!(c.config().capacity_words, 70);
+        assert_eq!(c.table().get("A").unwrap().resident_words, 10);
+        assert_eq!(c.table().get("S").unwrap().resident_words, 60);
+        assert_eq!(c.stats().dram_write_bytes, before.dram_write_bytes);
+        assert_eq!(c.audit("A").evicted_clean, 30);
+        // Shrink to 40: A fully evicted (entry retired), then S's dirty
+        // tail pays 20 words of writeback — the resize traffic.
+        c.resize(40);
+        assert!(c.table().get("A").is_none());
+        assert_eq!(c.table().get("S").unwrap().resident_words, 40);
+        assert_eq!(c.stats().dram_write_bytes, before.dram_write_bytes + 20 * 4);
+        assert_eq!(c.audit("S").evicted_dirty, 20);
+        c.check_conservation().unwrap();
+        // Grow back: free space reappears, nothing is resurrected.
+        c.resize(100);
+        assert_eq!(c.used_words(), 40);
+        assert_eq!(c.table().free_words(), 60);
+        c.check_conservation().unwrap();
     }
 
     /// Infinite capacity ⇒ zero DRAM traffic for intermediates.

@@ -163,14 +163,31 @@ impl RiffIndexTable {
         self.capacity_words
     }
 
+    /// Repoints the data array at a different capacity (the per-phase SRAM
+    /// repartition). The caller — [`crate::chord::Chord::resize`] — must
+    /// evict down to the new capacity first; this only moves the boundary.
+    pub fn set_capacity_words(&mut self, capacity_words: u64) {
+        self.capacity_words = capacity_words;
+    }
+
     /// Total resident words.
     pub fn used_words(&self) -> u64 {
         self.entries.iter().map(|e| e.resident_words).sum()
     }
 
-    /// Free words.
+    /// Free words (saturating: zero while a shrink is in flight).
     pub fn free_words(&self) -> u64 {
-        self.capacity_words - self.used_words()
+        self.capacity_words.saturating_sub(self.used_words())
+    }
+
+    /// The lowest-priority resident tensor — the unconditional victim a
+    /// capacity shrink evicts from (no requester to compare against, unlike
+    /// [`Self::riff_victim`]). Queue order breaks ties, like `riff_victim`.
+    pub fn weakest_entry(&self) -> Option<&TensorEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.resident_words > 0)
+            .min_by(|a, b| a.priority.cmp(&b.priority))
     }
 
     /// Number of live entries.

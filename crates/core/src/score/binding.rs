@@ -21,6 +21,7 @@ use crate::chord::PriorityBias;
 use crate::score::classify::{classify, Classification, Dependency};
 use crate::score::loop_order::{can_pipeline, choose_loop_order, LoopOrder};
 use crate::score::multinode::{Partition, PartitionAxis};
+use crate::score::repartition::{PhaseRepartition, PhaseSplit};
 use crate::score::swizzle::{minimize_swizzles, SwizzleReport};
 use crate::score::tiling::{pipeline_can_stream, rf_fits};
 use cello_graph::dag::{EdgeId, NodeId, TensorDag};
@@ -165,6 +166,12 @@ pub struct Schedule {
     /// the SCORE-CHORD interface. Only CHORD-bound tensors keep an entry
     /// (bias requests on other bindings are dropped as invalid).
     pub chord_bias: BTreeMap<String, PriorityBias>,
+    /// Resolved per-phase SRAM splits, one per phase (§V/§VI co-design at
+    /// phase granularity). All entries equal the global
+    /// `options.{pipeline_buffer_words, rf_capacity_words}` split unless a
+    /// [`ScheduleConstraints::phase_repartition`] was applied — the uniform
+    /// case is the degenerate global split, bit-exact in both evaluators.
+    pub phase_splits: Vec<PhaseSplit>,
 }
 
 impl Schedule {
@@ -190,6 +197,23 @@ impl Schedule {
         self.binding.get(tensor).copied().unwrap_or(Binding::Dram)
     }
 
+    /// The SRAM split in force during `phase` (the global split for
+    /// out-of-range indices, e.g. the drain pseudo-phase).
+    pub fn phase_split(&self, phase: usize) -> PhaseSplit {
+        self.phase_splits
+            .get(phase)
+            .copied()
+            .unwrap_or_else(|| PhaseSplit::of_options(&self.options))
+    }
+
+    /// True when some phase deviates from the global split — the signal for
+    /// the simulator to resize CHORD at phase boundaries. The uniform
+    /// repartition stays on the global path (bit-exact with no repartition).
+    pub fn repartition_active(&self) -> bool {
+        let global = PhaseSplit::of_options(&self.options);
+        self.phase_splits.iter().any(|s| *s != global)
+    }
+
     /// Validates that the phase sequence is a topological order of the DAG,
     /// that co-phase edges are realized, and that a rank-partitioned
     /// schedule only realizes edges whose producer streams the sliced rank
@@ -199,6 +223,13 @@ impl Schedule {
         let phase_of = self.phase_of();
         if phase_of.contains(&usize::MAX) {
             return Err("some node was never scheduled".into());
+        }
+        if self.phase_splits.len() != self.phases.len() {
+            return Err(format!(
+                "{} phase splits for {} phases",
+                self.phase_splits.len(),
+                self.phases.len()
+            ));
         }
         for (eid, edge) in dag.edges() {
             let (ps, pd) = (phase_of[edge.src], phase_of[edge.dst]);
@@ -242,13 +273,15 @@ fn scope_allows(dag: &TensorDag, cls: &Classification, src: NodeId, scope: Pipel
 }
 
 /// Is edge `e` realizable as in-cluster pipelining under `opts` and
-/// `partition`?
+/// `partition`, with `pipeline_budget` words of streaming buffer available
+/// to the forming cluster (per-phase under a repartition, global otherwise)?
 fn realizable(
     dag: &TensorDag,
     cls: &Classification,
     orders: &[LoopOrder],
     opts: &ScheduleOptions,
     partition: &Partition,
+    pipeline_budget: u64,
     e: EdgeId,
 ) -> bool {
     let edge = dag.edge(e);
@@ -273,7 +306,7 @@ fn realizable(
         && can_pipeline(dag, cls, e, &orders[edge.src], &orders[edge.dst])
         && pipeline_can_stream(
             stream_row_words(dag, NodeId(edge.src), &orders[edge.src]),
-            opts.pipeline_buffer_words,
+            pipeline_budget,
             1,
         )
 }
@@ -336,6 +369,13 @@ pub struct ScheduleConstraints {
     /// biasing an RF/pipeline/DRAM-bound tensor would be dead metadata, so
     /// such requests are dropped like any other invalid constraint.
     pub chord_priority_bias: BTreeMap<String, PriorityBias>,
+    /// Per-phase SRAM split request (`None` = the global split everywhere).
+    /// Splits are validated against the repartition's own declared
+    /// `sram_words` budget: an overcommitted split (`pipeline + rf >
+    /// sram_words` — a typed [`crate::score::repartition::RepartitionError`]
+    /// from the validated constructors) is dropped in favor of the global
+    /// split, like every other invalid constraint.
+    pub phase_repartition: Option<PhaseRepartition>,
 }
 
 impl ScheduleConstraints {
@@ -359,6 +399,7 @@ impl ScheduleConstraints {
             && self.loop_orders.is_empty()
             && self.partition.is_none()
             && self.chord_priority_bias.is_empty()
+            && self.phase_repartition.is_none()
     }
 }
 
@@ -393,15 +434,19 @@ pub fn build_schedule(dag: &TensorDag, opts: ScheduleOptions) -> Schedule {
 }
 
 /// Is `requested` a valid binding for a tensor with the given properties?
+/// `rf_capacity_words` is the tensor's *effective* RF capacity — the
+/// minimum over every phase it is live in under a per-phase repartition
+/// (the global capacity otherwise).
 fn override_valid(
     requested: Binding,
     words: u64,
     terminal: bool,
     all_realized: bool,
+    rf_capacity_words: u64,
     opts: &ScheduleOptions,
 ) -> bool {
     match requested {
-        Binding::RegisterFile => rf_fits(words, opts.rf_capacity_words),
+        Binding::RegisterFile => rf_fits(words, rf_capacity_words),
         Binding::Pipeline => !terminal && all_realized,
         Binding::Chord => opts.enable_chord && !terminal,
         Binding::Dram => true,
@@ -427,6 +472,7 @@ pub fn build_schedule_with(
         })
         .collect();
 
+    let global_split = PhaseSplit::of_options(&opts);
     let mut phases: Vec<Phase> = Vec::new();
     let mut realized = vec![false; dag.edge_count()];
     let mut current = Phase {
@@ -435,9 +481,11 @@ pub fn build_schedule_with(
     };
     // Double-buffered row-tile words the current cluster's realized edges
     // reserve in the pipeline buffer. A join whose added streams would
-    // overflow `pipeline_buffer_words` is refused — this is what makes the
-    // pipeline-buffer size a real scheduling constraint (and a real DSE
-    // knob) instead of free SRAM.
+    // overflow the cluster's pipeline budget is refused — this is what makes
+    // the pipeline-buffer size a real scheduling constraint (and a real DSE
+    // knob) instead of free SRAM. Under a per-phase repartition the budget
+    // is the *forming* phase's (a join is what makes a cluster fused, so
+    // kind profiles answer with their fused split).
     let mut current_demand: u64 = 0;
 
     for v in dag.topo_order() {
@@ -449,6 +497,10 @@ pub fn build_schedule_with(
             && dag.node(v).kind == OpKind::TensorMac
             && !constraints.cut_before.contains(&v.0)
         {
+            let budget = match &constraints.phase_repartition {
+                Some(rep) => rep.join_pipeline_budget(phases.len(), &global_split),
+                None => global_split.pipeline_buffer_words,
+            };
             let in_phase: Vec<EdgeId> = dag
                 .in_edges(v)
                 .into_iter()
@@ -457,7 +509,7 @@ pub fn build_schedule_with(
             if !in_phase.is_empty() {
                 if in_phase
                     .iter()
-                    .all(|&e| realizable(dag, &cls, &orders, &opts, &partition, e))
+                    .all(|&e| realizable(dag, &cls, &orders, &opts, &partition, budget, e))
                 {
                     join_demand = in_phase
                         .iter()
@@ -466,7 +518,7 @@ pub fn build_schedule_with(
                             2 * stream_row_words(dag, src, &orders[src.0])
                         })
                         .sum();
-                    if current_demand + join_demand <= opts.pipeline_buffer_words {
+                    if current_demand + join_demand <= budget {
                         join = true;
                         join_edges = in_phase;
                     }
@@ -497,16 +549,60 @@ pub fn build_schedule_with(
         phases.push(current.ops.into_phase(current.realized_edges));
     }
 
+    // Resolve the per-phase SRAM splits now that the cluster list is final
+    // (fused = multi-op). Without a repartition every phase carries the
+    // global split — the degenerate uniform case.
+    let phase_splits: Vec<PhaseSplit> = phases
+        .iter()
+        .enumerate()
+        .map(|(pi, p)| match &constraints.phase_repartition {
+            Some(rep) => rep.resolve(pi, p.ops.len() > 1, global_split),
+            None => global_split,
+        })
+        .collect();
+    let mut node_phase = vec![0usize; dag.node_count()];
+    for (pi, p) in phases.iter().enumerate() {
+        for &op in &p.ops {
+            node_phase[op.0] = pi;
+        }
+    }
+    // An RF-bound tensor occupies the register file in *every* phase it is
+    // live in — including the phases it merely sits across between producer
+    // and last consumer — so its effective RF capacity is the minimum over
+    // that whole contiguous phase range (global under the uniform split).
+    // Min-ing only the endpoint phases would let a tensor parked in the RF
+    // across an RF-starved intermediate phase overcommit that phase's SRAM
+    // for free (CHORD is simultaneously granted the starved split's
+    // remainder there).
+    let rf_over = |lo: usize, hi: usize| -> u64 {
+        phase_splits[lo..=hi.max(lo)]
+            .iter()
+            .map(|s| s.rf_capacity_words)
+            .min()
+            .unwrap_or(global_split.rf_capacity_words)
+    };
+    let eff_rf_node = |nid: NodeId| -> u64 {
+        let lo = node_phase[nid.0];
+        let hi = dag
+            .out_edges(nid)
+            .iter()
+            .map(|&e| node_phase[dag.edge(e).dst])
+            .max()
+            .unwrap_or(lo);
+        rf_over(lo, hi)
+    };
+
     // Tensor bindings (§V-C "SCORE-CHORD Interface").
     let mut binding = BTreeMap::new();
     for (nid, node) in dag.nodes() {
         let outs = dag.out_edges(nid);
         let terminal = outs.is_empty();
         let all_realized = !terminal && outs.iter().all(|&e| realized[e.0]);
+        let rf_words = eff_rf_node(nid);
         let default = if terminal {
             // Terminal results must end in DRAM.
             Binding::Dram
-        } else if rf_fits(node.output.words, opts.rf_capacity_words) {
+        } else if rf_fits(node.output.words, rf_words) {
             Binding::RegisterFile
         } else if all_realized {
             Binding::Pipeline
@@ -516,7 +612,16 @@ pub fn build_schedule_with(
             Binding::Dram
         };
         let b = match constraints.binding_overrides.get(&node.output.name) {
-            Some(&req) if override_valid(req, node.output.words, terminal, all_realized, &opts) => {
+            Some(&req)
+                if override_valid(
+                    req,
+                    node.output.words,
+                    terminal,
+                    all_realized,
+                    rf_words,
+                    &opts,
+                ) =>
+            {
                 req
             }
             _ => default,
@@ -524,7 +629,15 @@ pub fn build_schedule_with(
         binding.insert(node.output.name.clone(), b);
     }
     for ext in dag.externals() {
-        let default = if rf_fits(ext.meta.words, opts.rf_capacity_words) {
+        // Externals live in the RF from their first to their last consumer.
+        let rf_words = match (
+            ext.consumers.iter().map(|&(c, _)| node_phase[c]).min(),
+            ext.consumers.iter().map(|&(c, _)| node_phase[c]).max(),
+        ) {
+            (Some(lo), Some(hi)) => rf_over(lo, hi),
+            _ => global_split.rf_capacity_words,
+        };
+        let default = if rf_fits(ext.meta.words, rf_words) {
             Binding::RegisterFile
         } else if opts.enable_chord {
             Binding::Chord
@@ -536,7 +649,7 @@ pub fn build_schedule_with(
         // `all_realized = false` argument makes `override_valid` reject
         // Pipeline requests.
         let b = match constraints.binding_overrides.get(&ext.meta.name) {
-            Some(&req) if override_valid(req, ext.meta.words, false, false, &opts) => req,
+            Some(&req) if override_valid(req, ext.meta.words, false, false, rf_words, &opts) => req,
             _ => default,
         };
         binding.insert(ext.meta.name.clone(), b);
@@ -563,6 +676,7 @@ pub fn build_schedule_with(
         options: opts,
         partition,
         chord_bias,
+        phase_splits,
     }
 }
 
@@ -1052,6 +1166,190 @@ mod tests {
         // Corrupt: claim slicing along n while producers stream m.
         s.partition = Partition::by_rank(4, RankId::new("n"));
         assert!(s.validate(&dag).is_err());
+    }
+
+    /// Without a repartition every phase carries the global split, the
+    /// schedule reports no repartition activity, and `phase_split` falls
+    /// back to the global split past the end (the drain pseudo-phase).
+    #[test]
+    fn default_phase_splits_are_global() {
+        let dag = cg_iteration();
+        let s = build_schedule(&dag, ScheduleOptions::cello());
+        assert_eq!(s.phase_splits.len(), s.phases.len());
+        let global = PhaseSplit::of_options(&s.options);
+        assert!(s.phase_splits.iter().all(|sp| *sp == global));
+        assert!(!s.repartition_active());
+        assert_eq!(s.phase_split(s.phases.len() + 5), global);
+        s.validate(&dag).unwrap();
+    }
+
+    /// A uniform repartition (every phase = the global split) builds the
+    /// *identical* schedule: same phases, same bindings, same splits — the
+    /// differential baseline the proptests pin end to end.
+    #[test]
+    fn uniform_repartition_is_identity() {
+        let dag = cg_iteration();
+        let opts = ScheduleOptions::cello();
+        let plain = build_schedule(&dag, opts);
+        let global = PhaseSplit::of_options(&opts);
+        let rep =
+            crate::score::repartition::PhaseRepartition::by_kind(1 << 20, global, global).unwrap();
+        let uniform = build_schedule_with(
+            &dag,
+            opts,
+            &ScheduleConstraints {
+                phase_repartition: Some(rep),
+                ..Default::default()
+            },
+        );
+        assert_eq!(plain.phases, uniform.phases);
+        assert_eq!(plain.realized, uniform.realized);
+        assert_eq!(plain.binding, uniform.binding);
+        assert_eq!(plain.phase_splits, uniform.phase_splits);
+        assert!(!uniform.repartition_active());
+    }
+
+    /// A kind profile lands fused splits on multi-op clusters and solo
+    /// splits on the rest, and a fused split too small to stream blocks
+    /// fusion exactly as a small global buffer would.
+    #[test]
+    fn kind_profile_resolves_by_cluster_size() {
+        use crate::score::repartition::PhaseRepartition;
+        let dag = resnet_block();
+        let fused = PhaseSplit::new(65_536, 16_384);
+        let solo = PhaseSplit::new(1024, 4096);
+        let constraints = ScheduleConstraints {
+            phase_repartition: Some(PhaseRepartition::by_kind(1 << 20, fused, solo).unwrap()),
+            cut_before: [3].into_iter().collect(), // keep `add` solo
+            ..Default::default()
+        };
+        let s = build_schedule_with(&dag, ScheduleOptions::cello(), &constraints);
+        assert!(s.phases.len() >= 2);
+        for (pi, p) in s.phases.iter().enumerate() {
+            let expect = if p.ops.len() > 1 { fused } else { solo };
+            assert_eq!(s.phase_splits[pi], expect, "phase {pi}");
+        }
+        assert!(s.repartition_active());
+        s.validate(&dag).unwrap();
+
+        // A fused split below one double-buffered row blocks fusion: the
+        // repartition is a real schedule decision, not post-hoc bookkeeping.
+        let starved = ScheduleConstraints {
+            phase_repartition: Some(
+                PhaseRepartition::by_kind(1 << 20, PhaseSplit::new(255, 16_384), solo).unwrap(),
+            ),
+            ..Default::default()
+        };
+        let s2 = build_schedule_with(&dag, ScheduleOptions::cello(), &starved);
+        assert!(s2.realized.iter().all(|&r| !r), "nothing can stream");
+        assert_eq!(s2.phases.len(), dag.node_count());
+        s2.validate(&dag).unwrap();
+    }
+
+    /// An overcommitted per-phase split (`pipeline + rf > sram`) hand-built
+    /// through the public fields is dropped by the builder — the global
+    /// split applies — while the validated constructors reject it upfront.
+    #[test]
+    fn overcommitted_phase_split_is_dropped() {
+        use crate::score::repartition::{PhaseRepartition, PhaseSplits};
+        let dag = cg_iteration();
+        let sram = 1u64 << 20;
+        let bad = PhaseSplit::new(sram, sram);
+        assert!(PhaseRepartition::by_index(sram, [(0, bad)].into_iter().collect()).is_err());
+        let rep = PhaseRepartition {
+            sram_words: sram,
+            splits: PhaseSplits::ByIndex([(0usize, bad)].into_iter().collect()),
+        };
+        let s = build_schedule_with(
+            &dag,
+            ScheduleOptions::cello(),
+            &ScheduleConstraints {
+                phase_repartition: Some(rep),
+                ..Default::default()
+            },
+        );
+        let global = PhaseSplit::of_options(&s.options);
+        assert_eq!(s.phase_splits[0], global, "degenerate split dropped");
+        assert!(!s.repartition_active());
+    }
+
+    /// Per-phase RF capacity feeds bindings: a tensor is RF-bound only when
+    /// it fits the RF in *every* phase it is live in (min over producing and
+    /// consuming phases), so shrinking one phase's RF re-steers the Greek
+    /// tensors that cross it.
+    #[test]
+    fn per_phase_rf_rebinds_small_tensors() {
+        use crate::score::repartition::PhaseRepartition;
+        let dag = cg_iteration();
+        let plain = build_schedule(&dag, ScheduleOptions::cello());
+        assert_eq!(plain.binding_of("D"), Binding::RegisterFile);
+        // D (N×N = 256 words) is produced in phase 0 and consumed in phase
+        // 1 (op 2b). Starve phase 1's RF below 256 words: D must leave the
+        // RF even though phase 0 could hold it.
+        let rep = PhaseRepartition::by_index(
+            1 << 20,
+            [(1usize, PhaseSplit::new(65_536, 128))]
+                .into_iter()
+                .collect(),
+        )
+        .unwrap();
+        let s = build_schedule_with(
+            &dag,
+            ScheduleOptions::cello(),
+            &ScheduleConstraints {
+                phase_repartition: Some(rep),
+                ..Default::default()
+            },
+        );
+        assert_ne!(s.binding_of("D"), Binding::RegisterFile);
+        // Tensors that never touch phase 1 keep their RF binding.
+        assert_eq!(s.binding_of("G"), Binding::RegisterFile);
+        s.validate(&dag).unwrap();
+    }
+
+    /// Effective RF capacity is the min over the tensor's whole live range,
+    /// not just its endpoint phases: a tensor parked in the RF *across* an
+    /// RF-starved intermediate phase would silently overcommit that phase's
+    /// SRAM (CHORD already owns the starved split's remainder there).
+    #[test]
+    fn rf_capacity_min_over_live_range() {
+        use crate::score::repartition::PhaseRepartition;
+        let mut dag = TensorDag::new();
+        let a = dag.add_op("a", small_spec(), OpKind::TensorMac, small("s"));
+        let _b = dag.add_op("b", small_spec(), OpKind::TensorMac, big("u"));
+        let c = dag.add_op("c", small_spec(), OpKind::TensorMac, small("w"));
+        dag.add_edge(a, c, &["p", "j"]); // s skips over b's phase
+        let cuts: BTreeSet<usize> = [1, 2].into_iter().collect();
+        let plain = build_schedule_with(
+            &dag,
+            ScheduleOptions::cello(),
+            &ScheduleConstraints {
+                cut_before: cuts.clone(),
+                ..Default::default()
+            },
+        );
+        assert_eq!(plain.phases.len(), 3);
+        assert_eq!(plain.binding_of("s"), Binding::RegisterFile);
+        // Starve only the *intermediate* phase's RF below s's 256 words:
+        // the endpoints alone would still admit s, the live range must not.
+        let rep = PhaseRepartition::by_index(
+            1 << 20,
+            [(1usize, PhaseSplit::new(65_536, 128))]
+                .into_iter()
+                .collect(),
+        )
+        .unwrap();
+        let s = build_schedule_with(
+            &dag,
+            ScheduleOptions::cello(),
+            &ScheduleConstraints {
+                cut_before: cuts,
+                phase_repartition: Some(rep),
+                ..Default::default()
+            },
+        );
+        assert_ne!(s.binding_of("s"), Binding::RegisterFile);
+        s.validate(&dag).unwrap();
     }
 
     /// A loop-order override that breaks the §V-B co-dependence conditions

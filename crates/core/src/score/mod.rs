@@ -14,11 +14,15 @@
 //! - [`multinode`]: the scalable multi-node dataflow (§V-B "Scalable
 //!   Dataflow") — the mesh NoC model plus the [`multinode::Partition`]
 //!   schedule decision (node count × rank-slice/stage-split axis) that
-//!   `binding::build_schedule_with` validates and the simulator scores.
+//!   `binding::build_schedule_with` validates and the simulator scores;
+//! - [`repartition`]: the per-phase SRAM split
+//!   ([`repartition::PhaseRepartition`]) — pipeline-buffer/RF reservations
+//!   as a *per-cluster* decision, with CHORD resized at phase boundaries.
 
 pub mod binding;
 pub mod classify;
 pub mod loop_order;
 pub mod multinode;
+pub mod repartition;
 pub mod swizzle;
 pub mod tiling;

@@ -70,11 +70,35 @@ impl Candidate {
         }
         key.push(';');
         if schedule.options.enable_chord {
-            let _ = write!(
-                key,
-                "pb{}rf{}",
-                schedule.options.pipeline_buffer_words, schedule.options.rf_capacity_words
-            );
+            if schedule.repartition_active() {
+                // Per-phase SRAM repartition: once any phase deviates, the
+                // evaluators derive every capacity from the resolved
+                // `phase_splits` vector and the global split is inert (the
+                // engine resizes away the initial capacity before the first
+                // access) — so the *vector* is the identity. Serializing
+                // global+deviations instead would split candidates that
+                // differ only in the unused global pb/rf choice into
+                // distinct keys and re-run identical sim evaluations.
+                for split in &schedule.phase_splits {
+                    let _ = write!(
+                        key,
+                        "@{}.{}",
+                        split.pipeline_buffer_words, split.rf_capacity_words
+                    );
+                }
+            } else {
+                // Uniform split: the global values are the whole story, and
+                // a uniform repartition shares its key with the plain global
+                // schedule (they evaluate identically by construction — the
+                // differential proptest pins it). Without CHORD the splits
+                // only matter through the phase structure and bindings
+                // already serialized above.
+                let _ = write!(
+                    key,
+                    "pb{}rf{}",
+                    schedule.options.pipeline_buffer_words, schedule.options.rf_capacity_words
+                );
+            }
         } else {
             key.push('x');
         }
@@ -217,6 +241,53 @@ mod tests {
         assert_ne!(kb, kd);
         // Biasing the terminal (DRAM-bound) tensor is dropped: same key.
         assert_eq!(k, with_bias("T2", PriorityBias::Boost));
+    }
+
+    /// Per-phase splits are part of the memo identity exactly when they
+    /// deviate from the global split: a uniform repartition shares the plain
+    /// schedule's key (identical evaluation), distinct profiles get
+    /// distinct keys.
+    #[test]
+    fn key_covers_phase_repartition() {
+        use cello_core::{PhaseRepartition, PhaseSplit};
+        let dag = toy_chain(3);
+        let sram = 1u64 << 20;
+        let with = |fused: PhaseSplit, solo: PhaseSplit| {
+            let mut c = Candidate::paper_heuristic();
+            c.constraints.phase_repartition =
+                Some(PhaseRepartition::by_kind(sram, fused, solo).unwrap());
+            Candidate::schedule_key(&c.build(&dag))
+        };
+        let plain = Candidate::schedule_key(&Candidate::paper_heuristic().build(&dag));
+        let global = PhaseSplit::of_options(&cello_core::ScheduleOptions::cello());
+        assert_eq!(plain, with(global, global), "uniform = global identity");
+        // The fused chain is one multi-op cluster: a solo-only profile is a
+        // no-op (same key), while deviating fused splits each get their own.
+        assert_eq!(plain, with(global, PhaseSplit::new(0, 4096)));
+        let k1 = with(PhaseSplit::new(131_072, 16_384), PhaseSplit::new(0, 4096));
+        let k2 = with(PhaseSplit::new(262_144, 16_384), PhaseSplit::new(0, 4096));
+        assert_ne!(plain, k1);
+        assert_ne!(k1, k2);
+        // With a profile active the global sram-split choice is inert (every
+        // capacity derives from the resolved per-phase vector), so two
+        // candidates differing only in the unused global pb/rf must share a
+        // key — one sim evaluation, not |global menu| duplicates.
+        let with_global = |pb: u64, rf: u64| {
+            let mut c = Candidate::paper_heuristic();
+            c.options.pipeline_buffer_words = pb;
+            c.options.rf_capacity_words = rf;
+            c.constraints.phase_repartition = Some(
+                PhaseRepartition::by_kind(
+                    sram,
+                    PhaseSplit::new(131_072, 16_384),
+                    PhaseSplit::new(0, 4096),
+                )
+                .unwrap(),
+            );
+            Candidate::schedule_key(&c.build(&dag))
+        };
+        assert_eq!(with_global(65_536, 16_384), with_global(16_384, 4_096));
+        assert_eq!(with_global(65_536, 16_384), k1);
     }
 
     #[test]

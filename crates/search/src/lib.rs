@@ -80,7 +80,7 @@ pub mod tuner;
 pub use cache::EvalCache;
 pub use candidate::Candidate;
 pub use cost::{pareto_front, Evaluated};
-pub use space::{Choice, Decision, SearchSpace, SpaceConfig};
+pub use space::{Choice, Decision, RepartitionProfile, SearchSpace, SpaceConfig};
 pub use strategy::Strategy;
 pub use surrogate::{spearman, surrogate_cost};
 pub use tuner::{SearchOutcome, Tuner};

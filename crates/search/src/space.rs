@@ -41,6 +41,7 @@ use cello_core::chord::PriorityBias;
 use cello_core::score::binding::{Binding, PipelineScope};
 use cello_core::score::loop_order::{choose_loop_order, LoopOrder};
 use cello_core::score::multinode::{dominant_partition_rank, Partition};
+use cello_core::score::repartition::{PhaseRepartition, PhaseSplit};
 use cello_graph::dag::TensorDag;
 use cello_graph::node::Dominance;
 use serde::{Deserialize, Serialize};
@@ -102,6 +103,61 @@ pub enum Choice {
         /// Node count and parallelized axis.
         partition: Partition,
     },
+    /// Repartition the SRAM per phase (`None` = the global split everywhere
+    /// — the paper-heuristic default).
+    Repartition {
+        /// The fused/solo profile applied, if any.
+        profile: Option<RepartitionProfile>,
+    },
+}
+
+/// One per-phase SRAM split profile the repartition decision can apply.
+/// Profiles are phase-structure-agnostic (fused vs solo clusters), so one
+/// menu serves every candidate schedule of a space; `sram_words` is the
+/// budget the splits were validated against.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RepartitionProfile {
+    /// SRAM capacity in words the splits respect.
+    pub sram_words: u64,
+    /// Split for fused (multi-op) pipeline clusters.
+    pub fused: PhaseSplit,
+    /// Split for solo clusters.
+    pub solo: PhaseSplit,
+}
+
+impl RepartitionProfile {
+    /// The default profile menu over an SRAM of `sram_words`: fused clusters
+    /// keep a streaming-capable pipeline buffer (the paper split, then a fat
+    /// one for wide-row DAGs), while solo clusters — which never stream a
+    /// realized edge — donate the pipeline buffer and most of the RF to
+    /// CHORD capacity. A *global* split can never express the donation: some
+    /// phase always needs the buffer, so the global menu's floor is pinned
+    /// by the fused clusters.
+    pub fn menu(sram_words: u64) -> Vec<RepartitionProfile> {
+        [
+            (PhaseSplit::new(65_536, 16_384), PhaseSplit::new(0, 4_096)),
+            (PhaseSplit::new(262_144, 16_384), PhaseSplit::new(0, 4_096)),
+            (PhaseSplit::new(16_384, 4_096), PhaseSplit::new(0, 4_096)),
+        ]
+        .into_iter()
+        .filter(|(fused, solo)| fused.fits(sram_words) && solo.fits(sram_words))
+        .map(|(fused, solo)| RepartitionProfile {
+            sram_words,
+            fused,
+            solo,
+        })
+        .collect()
+    }
+
+    /// The validated constraint this profile lowers to, or `None` for a
+    /// profile whose splits overcommit its declared SRAM. [`Self::menu`]
+    /// never produces such profiles, but the config fields are public —
+    /// and like every other invalid constraint in the builder, a degenerate
+    /// hand-built profile is dropped (the candidate keeps its global
+    /// split), not a panic inside the tuner.
+    pub fn to_constraint(&self) -> Option<PhaseRepartition> {
+        PhaseRepartition::by_kind(self.sram_words, self.fused, self.solo).ok()
+    }
 }
 
 /// One dimension of the space: a named set of mutually-exclusive choices.
@@ -135,6 +191,10 @@ pub struct SpaceConfig {
     /// CHORD footprints first; each adds a ×3 neutral/boost/demote
     /// dimension). 0 — the default — keeps the interface purely derived.
     pub max_chord_bias_tensors: usize,
+    /// Per-phase SRAM repartition profiles (fused/solo split pairs). Empty —
+    /// the default — keeps the split a single global decision; a non-empty
+    /// menu adds a repartition dimension with "no repartition" as choice 0.
+    pub repartition_profiles: Vec<RepartitionProfile>,
 }
 
 impl Default for SpaceConfig {
@@ -149,6 +209,7 @@ impl Default for SpaceConfig {
             rf_words_choices: vec![16_384, 4_096],
             node_choices: vec![1],
             max_chord_bias_tensors: 0,
+            repartition_profiles: Vec::new(),
         }
     }
 }
@@ -180,6 +241,15 @@ impl SpaceConfig {
         Self {
             node_choices: nodes.to_vec(),
             ..Self::widened()
+        }
+    }
+
+    /// This space with the per-phase SRAM repartition dimension opened over
+    /// an SRAM of `sram_words` (the default profile menu).
+    pub fn with_repartition(self, sram_words: u64) -> Self {
+        Self {
+            repartition_profiles: RepartitionProfile::menu(sram_words),
+            ..self
         }
     }
 }
@@ -249,6 +319,27 @@ impl SearchSpace {
             name: "sram-split".into(),
             choices: splits,
         });
+
+        // 3b. Per-phase SRAM repartition (the Tailors/SoMa-style
+        // phase-granular buffer decision): no repartition first, then the
+        // configured fused/solo profiles. A profile overrides the global
+        // sram-split dimension phase by phase, so both dimensions coexist —
+        // the global split remains what un-profiled candidates (and the
+        // drain pseudo-phase) use.
+        if !cfg.repartition_profiles.is_empty() {
+            let mut choices = vec![Choice::Repartition { profile: None }];
+            choices.extend(
+                cfg.repartition_profiles
+                    .iter()
+                    .map(|p| Choice::Repartition {
+                        profile: Some(p.clone()),
+                    }),
+            );
+            decisions.push(Decision {
+                name: "repartition".into(),
+                choices,
+            });
+        }
 
         // 4. Cluster cuts: nodes that actually join a cluster under the
         // fully-fused heuristic, biggest clusters first so the cuts that
@@ -458,6 +549,11 @@ impl SearchSpace {
                             .insert(tensor.clone(), *bias);
                     }
                 }
+                Choice::Repartition { profile } => {
+                    if let Some(rep) = profile.as_ref().and_then(|p| p.to_constraint()) {
+                        c.constraints.phase_repartition = Some(rep);
+                    }
+                }
             }
         }
         c
@@ -606,6 +702,86 @@ mod tests {
             plain.exhaustive_size() * 4 * 9,
             "two extra cuts (×4) and two bias tensors (×9)"
         );
+    }
+
+    /// A repartition menu adds its dimension with "no repartition" as the
+    /// default, assembled picks land as validated constraints, and the empty
+    /// menu (the default config) leaves the space untouched.
+    #[test]
+    fn repartition_menu_adds_dimension() {
+        let dag = cg(2);
+        let cfg = SpaceConfig::default().with_repartition(1 << 20);
+        let space = SearchSpace::from_dag(&dag, &cfg);
+        let rd = space
+            .decisions
+            .iter()
+            .position(|d| d.name == "repartition")
+            .expect("repartition decision present");
+        let d = &space.decisions[rd];
+        assert_eq!(d.choices.len(), 1 + cfg.repartition_profiles.len());
+        assert!(matches!(
+            d.choices[0],
+            Choice::Repartition { profile: None }
+        ));
+        // Defaults still reproduce the paper heuristic.
+        assert_eq!(
+            space.assemble(&space.default_picks()),
+            Candidate::paper_heuristic()
+        );
+        // A profile pick constrains and builds a valid, active repartition.
+        let mut picks = space.default_picks();
+        picks[rd] = 1;
+        let c = space.assemble(&picks);
+        let rep = c
+            .constraints
+            .phase_repartition
+            .as_ref()
+            .expect("profile constrained");
+        rep.validate().unwrap();
+        let s = c.build(&dag);
+        s.validate(&dag).unwrap();
+        assert!(s.repartition_active());
+        // The default config has no repartition dimension at all.
+        let plain = SearchSpace::from_dag(&dag, &SpaceConfig::default());
+        assert!(plain.decisions.iter().all(|d| d.name != "repartition"));
+    }
+
+    /// Menu profiles always fit their declared SRAM (oversized entries are
+    /// filtered), and a degenerate hand-built profile is dropped at
+    /// assembly — advisory semantics, never a panic inside the tuner.
+    #[test]
+    fn repartition_menu_respects_sram_budget() {
+        for sram in [1u64 << 20, 1 << 18, 1 << 15] {
+            for p in RepartitionProfile::menu(sram) {
+                assert!(p.fused.fits(sram) && p.solo.fits(sram), "{p:?}");
+                p.to_constraint().expect("menu fits").validate().unwrap();
+            }
+        }
+        // A tiny SRAM filters the fat profiles but keeps the space usable.
+        assert!(RepartitionProfile::menu(1 << 15).len() < RepartitionProfile::menu(1 << 20).len());
+
+        // Hand-built overcommitted profile through the public fields: the
+        // assembled candidate keeps the global split instead of panicking.
+        let dag = cg(1);
+        let cfg = SpaceConfig {
+            repartition_profiles: vec![RepartitionProfile {
+                sram_words: 100,
+                fused: PhaseSplit::new(1000, 0),
+                solo: PhaseSplit::new(0, 0),
+            }],
+            ..SpaceConfig::default()
+        };
+        let space = SearchSpace::from_dag(&dag, &cfg);
+        let rd = space
+            .decisions
+            .iter()
+            .position(|d| d.name == "repartition")
+            .unwrap();
+        let mut picks = space.default_picks();
+        picks[rd] = 1;
+        let c = space.assemble(&picks);
+        assert!(c.constraints.phase_repartition.is_none(), "dropped");
+        assert_eq!(c, Candidate::paper_heuristic());
     }
 
     /// Regression: the enlarged multi-node space must not wrap `u64` —

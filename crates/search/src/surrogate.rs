@@ -15,6 +15,13 @@
 //!   Belady-like split ordered by the same RIFF `(freq, dist)` priority the
 //!   hardware uses (ties break toward the earlier-admitted tensor, as
 //!   `riff_victim`'s strict inequality does);
+//! - grants are settled **eagerly**: whenever a new grant (or a per-phase
+//!   capacity shrink) over-subscribes the buffer, strictly-junior residency
+//!   is revoked immediately in the backend's victim order and dirty
+//!   revocations are charged as writebacks right there — so evictions land
+//!   in the phase, and on the victim, the RIFF machinery would pick
+//!   (lazily settled grants misattributed whole-capacity-sized charges in
+//!   the near-full-capacity regimes per-phase repartition unlocks);
 //! - everything else (RF cold loads, DRAM round-trips, pipeline residency,
 //!   dirty-eviction writebacks, table-slot exhaustion) mirrors the backend
 //!   rules arithmetically.
@@ -38,7 +45,7 @@ use cello_graph::dag::TensorDag;
 use cello_mem::model::BufferKind;
 use cello_mem::stats::AccessStats;
 use cello_sim::energy::{noc_energy_pj, offchip_energy_pj, onchip_energy_pj};
-use cello_sim::evaluate::{chord_capacity_words, CostEstimate};
+use cello_sim::evaluate::{chord_capacity_words, phase_chord_capacity_words, CostEstimate};
 use cello_sim::phases::plan_phases;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -54,17 +61,55 @@ struct LiveTensor {
     granted: u64,
 }
 
+/// Evicts granted residency weakest-first until the live set fits `cap`,
+/// charging evicted *dirty* grants as writeback traffic — the engine's
+/// admit/resize eviction order (ascending priority, earliest admission on
+/// ties) applied eagerly at the moment a grant or a capacity change
+/// over-subscribes the buffer, so evictions land in the phase (and on the
+/// victim) the RIFF machinery would pick. Fully-evicted tensors leave the
+/// live set, freeing their table slot.
+fn shrink_to(
+    live: &mut BTreeMap<&str, LiveTensor>,
+    cap: u64,
+    word_bytes: u64,
+    phase_dram_bytes: &mut u64,
+) {
+    let mut resident: u64 = live.values().map(|t| t.granted).sum();
+    while resident > cap {
+        let (&victim, _) = live
+            .iter()
+            .filter(|(_, t)| t.granted > 0)
+            .min_by(|a, b| a.1.priority.cmp(&b.1.priority).then(a.1.seq.cmp(&b.1.seq)))
+            .expect("resident > 0 implies a granted tensor");
+        let t = live.get_mut(victim).expect("victim is live");
+        let take = (resident - cap).min(t.granted);
+        t.granted -= take;
+        if t.dirty {
+            *phase_dram_bytes += take * word_bytes;
+        }
+        resident -= take;
+        if t.granted == 0 {
+            live.remove(victim);
+        }
+    }
+}
+
 /// Analytically scores `schedule` on `dag` under `accel` (see module docs).
 /// Same objective units as [`cello_sim::evaluate::evaluate_schedule`].
 pub fn surrogate_cost(dag: &TensorDag, schedule: &Schedule, accel: &CelloConfig) -> CostEstimate {
     let plan = plan_phases(dag, schedule);
     let word_bytes = accel.word_bytes as u64;
     let chord_on = schedule.options.enable_chord;
-    let chord_cap = if chord_on {
+    // CHORD capacity during the current phase. Under a per-phase SRAM
+    // repartition it is re-derived from each phase's split (the same value
+    // the engine resizes to); the uniform split keeps it constant, so the
+    // global path is untouched bit for bit.
+    let mut chord_cap = if chord_on {
         chord_capacity_words(accel, schedule)
     } else {
         0
     };
+    let repartition = chord_on && schedule.repartition_active();
 
     // Keys borrow tensor names straight out of the plan — no per-access
     // string allocation on the scoring pass.
@@ -73,12 +118,13 @@ pub fn surrogate_cost(dag: &TensorDag, schedule: &Schedule, accel: &CelloConfig)
     let mut rf_loaded: BTreeSet<&str> = BTreeSet::new();
     let mut chord_seen: BTreeSet<&str> = BTreeSet::new();
 
-    // Resident share of `words` at `priority` against the current live set:
-    // capacity left after every strictly-senior tensor keeps its **granted**
-    // residency (not its full footprint — a senior bigger than the buffer
-    // only ever held a head prefix, and counting its whole size would starve
-    // everything below it).
+    // Resident share of `words` at `priority` against the current live set
+    // and phase capacity `cap`: capacity left after every strictly-senior
+    // tensor keeps its **granted** residency (not its full footprint — a
+    // senior bigger than the buffer only ever held a head prefix, and
+    // counting its whole size would starve everything below it).
     let share = |live: &BTreeMap<&str, LiveTensor>,
+                 cap: u64,
                  words: u64,
                  priority: RiffPriority,
                  my_seq: u64|
@@ -89,7 +135,7 @@ pub fn surrogate_cost(dag: &TensorDag, schedule: &Schedule, accel: &CelloConfig)
             .filter(|t| t.priority > priority || (t.priority == priority && t.seq < my_seq))
             .map(|t| t.granted)
             .sum();
-        words.min(chord_cap.saturating_sub(senior))
+        words.min(cap.saturating_sub(senior))
     };
 
     let mut dram_bytes: u64 = 0;
@@ -100,6 +146,17 @@ pub fn surrogate_cost(dag: &TensorDag, schedule: &Schedule, accel: &CelloConfig)
 
     for phase in &plan.phases {
         let mut phase_dram_bytes: u64 = 0;
+        if repartition {
+            // Phase boundary: mirror the engine's CHORD resize. A shrink
+            // revokes granted residency junior-first, and revoked *dirty*
+            // grants persist to DRAM as the resize traffic, charged to the
+            // entering phase.
+            let new_cap = phase_chord_capacity_words(accel, &phase.split);
+            if new_cap < chord_cap {
+                shrink_to(&mut live, new_cap, word_bytes, &mut phase_dram_bytes);
+            }
+            chord_cap = new_cap;
+        }
         for a in &phase.accesses {
             let priority = RiffPriority::new(a.freq_after, a.dist_after.min(u32::MAX - 1));
             // CHORD bindings degrade to DRAM round-trips under a CHORD-less
@@ -136,7 +193,7 @@ pub fn surrogate_cost(dag: &TensorDag, schedule: &Schedule, accel: &CelloConfig)
                     let slot_free = live.len() < accel.riff_entries;
                     let granted = if slot_free {
                         seq += 1;
-                        share(&live, a.words, priority, seq)
+                        share(&live, chord_cap, a.words, priority, seq)
                     } else {
                         0
                     };
@@ -152,6 +209,9 @@ pub fn surrogate_cost(dag: &TensorDag, schedule: &Schedule, accel: &CelloConfig)
                                 granted,
                             },
                         );
+                        // The grant comes out of strictly-junior residency:
+                        // evict it now, like the backend's RIFF admit does.
+                        shrink_to(&mut live, chord_cap, word_bytes, &mut phase_dram_bytes);
                     }
                 }
                 (Binding::Chord, false) => {
@@ -162,7 +222,7 @@ pub fn surrogate_cost(dag: &TensorDag, schedule: &Schedule, accel: &CelloConfig)
                         phase_dram_bytes += a.words * word_bytes;
                         if a.freq_after > 0 && live.len() < accel.riff_entries {
                             seq += 1;
-                            let granted = share(&live, a.words, priority, seq);
+                            let granted = share(&live, chord_cap, a.words, priority, seq);
                             sram_write_words += granted;
                             live.insert(
                                 a.name.as_str(),
@@ -173,6 +233,7 @@ pub fn surrogate_cost(dag: &TensorDag, schedule: &Schedule, accel: &CelloConfig)
                                     granted,
                                 },
                             );
+                            shrink_to(&mut live, chord_cap, word_bytes, &mut phase_dram_bytes);
                         }
                     } else if let Some(t) = live.get(a.name.as_str()) {
                         // Resident head hits; the tail streams from DRAM.
@@ -181,7 +242,8 @@ pub fn surrogate_cost(dag: &TensorDag, schedule: &Schedule, accel: &CelloConfig)
                         // without a fresh fetch, so the share is capped by
                         // what the last access still held.
                         let (t_seq, t_dirty, prev_granted) = (t.seq, t.dirty, t.granted);
-                        let resident = share(&live, a.words, priority, t_seq).min(prev_granted);
+                        let resident =
+                            share(&live, chord_cap, a.words, priority, t_seq).min(prev_granted);
                         let miss = a.words - resident;
                         sram_read_words += resident;
                         phase_dram_bytes += miss * word_bytes;
@@ -208,12 +270,7 @@ pub fn surrogate_cost(dag: &TensorDag, schedule: &Schedule, accel: &CelloConfig)
         }
         let compute = phase.compute_macs.div_ceil(accel.pe_count.max(1));
         let mem = accel.dram.transfer_cycles(phase_dram_bytes, accel.freq_hz);
-        let noc_bytes = phase.noc_hop_words * word_bytes;
-        let noc = if noc_bytes == 0 {
-            0
-        } else {
-            (noc_bytes as f64 / accel.noc_bandwidth_bytes_per_sec * accel.freq_hz).ceil() as u64
-        };
+        let noc = cello_sim::engine::noc_cycles(phase.noc_hop_words, accel);
         total_cycles += compute.max(mem) + noc;
         dram_bytes += phase_dram_bytes;
     }

@@ -52,6 +52,12 @@ pub trait MemoryBackend {
     fn read(&mut self, req: &TensorRequest);
     /// An operation writes its output `req`.
     fn write(&mut self, req: &TensorRequest);
+    /// A phase boundary under a per-phase SRAM repartition: the upcoming
+    /// phase grants CHORD `chord_capacity_words` of the data array. Backends
+    /// without a resizable structure ignore it; the engine only calls this
+    /// when the schedule actually repartitions (the uniform/global split
+    /// never reaches here, keeping the single-split path bit-identical).
+    fn phase_boundary(&mut self, _chord_capacity_words: u64) {}
     /// End of program: flush dirty state.
     fn finish(&mut self);
     /// Accumulated counters.
@@ -225,6 +231,13 @@ impl ChordBackend {
 }
 
 impl MemoryBackend for ChordBackend {
+    fn phase_boundary(&mut self, chord_capacity_words: u64) {
+        // Per-phase repartition: resize the data array, evicting junior
+        // tails when it shrinks (dirty tails persist to DRAM — the resize
+        // traffic the engine charges to the entering phase).
+        self.chord.resize(chord_capacity_words);
+    }
+
     fn read(&mut self, req: &TensorRequest) {
         match req.binding {
             Binding::RegisterFile => {

@@ -51,11 +51,24 @@ pub fn run_schedule(
     let plan: PhasePlan = plan_phases(dag, schedule);
 
     let mut phase_cycles: Vec<(u64, u64)> = Vec::with_capacity(plan.phases.len());
+    let mut phase_dram_bytes: Vec<u64> = Vec::with_capacity(plan.phases.len() + 1);
     let mut total_cycles: u64 = 0;
     let mut total_noc_hop_words: u64 = 0;
     let mut prev_stats = backend.stats();
+    // Per-phase SRAM repartition (§V/§VI at phase granularity): re-derive
+    // CHORD's capacity per phase and resize at the boundary — dirty tails a
+    // shrink evicts become DRAM writebacks charged to the entering phase.
+    // Uniform/global splits never take this path, so every single-split
+    // schedule replays bit-identically to the pre-repartition engine.
+    let repartition = schedule.repartition_active();
 
     for phase in &plan.phases {
+        if repartition {
+            backend.phase_boundary(crate::evaluate::phase_chord_capacity_words(
+                accel,
+                &phase.split,
+            ));
+        }
         for access in &phase.accesses {
             let req = TensorRequest {
                 name: &access.name,
@@ -78,6 +91,7 @@ pub fn run_schedule(
         let compute = phase.compute_macs.div_ceil(accel.pe_count.max(1));
         let mem = accel.dram.transfer_cycles(phase_dram, accel.freq_hz);
         phase_cycles.push((compute, mem));
+        phase_dram_bytes.push(phase_dram);
         total_noc_hop_words += phase.noc_hop_words;
         total_cycles += compute.max(mem) + noc_cycles(phase.noc_hop_words, accel);
     }
@@ -88,6 +102,7 @@ pub fn run_schedule(
     if drain > 0 {
         let mem = accel.dram.transfer_cycles(drain, accel.freq_hz);
         phase_cycles.push((0, mem));
+        phase_dram_bytes.push(drain);
         total_cycles += mem;
     }
 
@@ -120,12 +135,15 @@ pub fn run_schedule(
         noc_energy_pj: noc_energy_pj(noc_hop_bytes),
         stats: final_stats,
         phase_cycles,
+        phase_dram_bytes,
     }
 }
 
 /// Cycles an inter-node exchange of `hop_words` word-hops costs, serialized
-/// against the phase (contention-free link model).
-fn noc_cycles(hop_words: u64, accel: &CelloConfig) -> u64 {
+/// against the phase (contention-free link model). Public because the
+/// `cello-search` surrogate charges NoC time through this same formula —
+/// one conversion, so the two evaluation tiers cannot drift on it.
+pub fn noc_cycles(hop_words: u64, accel: &CelloConfig) -> u64 {
     if hop_words == 0 {
         return 0;
     }
@@ -342,6 +360,105 @@ mod tests {
         assert_eq!(r.noc_hop_bytes, 0, "no broadcast for DRAM-bound W");
         // Per node: full W read + sliced T write; aggregate ×4.
         assert_eq!(r.dram_bytes, 4 * (200_000 + 1_600_000 / 4) * 4);
+    }
+
+    /// A uniform per-phase repartition (every phase = the global split)
+    /// replays bit-identically to the plain schedule through the CHORD
+    /// backend — the engine-side differential baseline.
+    #[test]
+    fn uniform_repartition_is_bit_exact() {
+        use cello_core::score::binding::{build_schedule_with, ScheduleConstraints};
+        use cello_core::score::repartition::{PhaseRepartition, PhaseSplit};
+        use cello_core::ChordConfig;
+        let dag = chain(3, 200_000);
+        let accel = CelloConfig::paper();
+        let cuts = ScheduleConstraints {
+            cut_before: [1, 2].into_iter().collect(),
+            ..Default::default()
+        };
+        let plain = build_schedule_with(&dag, ScheduleOptions::cello(), &cuts);
+        let global = PhaseSplit::of_options(&plain.options);
+        let uniform_s = build_schedule_with(
+            &dag,
+            ScheduleOptions::cello(),
+            &ScheduleConstraints {
+                phase_repartition: Some(
+                    PhaseRepartition::by_kind(accel.sram_words(), global, global).unwrap(),
+                ),
+                ..cuts
+            },
+        );
+        let run = |s: &cello_core::score::binding::Schedule| {
+            let mut b = crate::backends::ChordBackend::new(ChordConfig {
+                capacity_words: crate::evaluate::chord_capacity_words(&accel, s),
+                word_bytes: accel.word_bytes,
+                policy: cello_core::ChordPolicyKind::PreludeRiff,
+                max_entries: accel.riff_entries,
+            });
+            run_schedule(&dag, s, &accel, &mut b, "c", "chain")
+        };
+        let (a, b) = (run(&plain), run(&uniform_s));
+        assert_eq!(a.dram_bytes, b.dram_bytes);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    /// Shrinking one phase's CHORD capacity below a live dirty resident
+    /// charges the resize eviction as DRAM writeback traffic — repartition
+    /// is not free SRAM shuffling.
+    #[test]
+    fn phase_capacity_shrink_charges_resize_traffic() {
+        use cello_core::score::binding::{build_schedule_with, ScheduleConstraints};
+        use cello_core::score::repartition::{PhaseRepartition, PhaseSplit};
+        use cello_core::ChordConfig;
+        let dag = chain(3, 200_000);
+        let accel = CelloConfig::paper();
+        let cuts = ScheduleConstraints {
+            cut_before: [1, 2].into_iter().collect(),
+            ..Default::default()
+        };
+        let baseline_s = build_schedule_with(&dag, ScheduleOptions::cello(), &cuts);
+        // Phase 1 reserves all but 100_000 words: T0 (200_000 dirty words,
+        // resident from phase 0, still consumed in phase 1) loses half its
+        // residency at the boundary.
+        let rep = PhaseRepartition::by_index(
+            accel.sram_words(),
+            [(1usize, PhaseSplit::new(accel.sram_words() - 100_000, 0))]
+                .into_iter()
+                .collect(),
+        )
+        .unwrap();
+        let shrunk_s = build_schedule_with(
+            &dag,
+            ScheduleOptions::cello(),
+            &ScheduleConstraints {
+                phase_repartition: Some(rep),
+                ..cuts
+            },
+        );
+        assert!(shrunk_s.repartition_active());
+        let run = |s: &cello_core::score::binding::Schedule| {
+            let mut b = crate::backends::ChordBackend::new(ChordConfig {
+                capacity_words: crate::evaluate::chord_capacity_words(&accel, s),
+                word_bytes: accel.word_bytes,
+                policy: cello_core::ChordPolicyKind::PreludeRiff,
+                max_entries: accel.riff_entries,
+            });
+            run_schedule(&dag, s, &accel, &mut b, "c", "chain")
+        };
+        let (base, shrunk) = (run(&baseline_s), run(&shrunk_s));
+        assert!(
+            shrunk.stats.writebacks > base.stats.writebacks,
+            "resize evictions recorded as writebacks"
+        );
+        // The evicted dirty tail pays a writeback now and a re-read miss at
+        // its phase-1 consume: strictly more DRAM than the uniform split.
+        assert!(
+            shrunk.dram_bytes > base.dram_bytes,
+            "{} !> {}",
+            shrunk.dram_bytes,
+            base.dram_bytes
+        );
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //! whatever the schedule's pipeline buffer and register file leave behind.
 //! That partition is the buffer half of the paper's co-design space: a
 //! schedule that asks for a smaller pipeline buffer buys CHORD capacity,
-//! and vice versa.
+//! and vice versa. Under a per-phase repartition
+//! ([`cello_core::PhaseRepartition`]) the split is re-derived per pipeline
+//! cluster and CHORD is resized at phase boundaries — the uniform split is
+//! the degenerate global case, bit-exact with the single-split path.
 //!
 //! Multi-node schedules ([`cello_core::Partition`]) evaluate through the
 //! same path: each node carries its own SRAM with the same
@@ -83,10 +86,28 @@ impl CostEstimate {
 
 /// CHORD capacity left for a schedule that reserves `pipeline_buffer_words`
 /// and `rf_capacity_words` of the accelerator's SRAM (never below one cache
-/// line's worth, so degenerate partitions still simulate).
+/// line's worth, so degenerate partitions still simulate). The global split
+/// is just the uniform case of [`phase_chord_capacity_words`] — one formula,
+/// not two.
 pub fn chord_capacity_words(accel: &CelloConfig, schedule: &Schedule) -> u64 {
-    let reserved = schedule.options.pipeline_buffer_words + schedule.options.rf_capacity_words;
-    accel.sram_words().saturating_sub(reserved).max(16)
+    phase_chord_capacity_words(
+        accel,
+        &cello_core::PhaseSplit::of_options(&schedule.options),
+    )
+}
+
+/// CHORD capacity during one phase of a repartitioned schedule: the SRAM
+/// minus that phase's own pipeline/RF reservation (same one-cache-line
+/// floor). Equals [`chord_capacity_words`] for every phase of a uniform
+/// split — the global path is the degenerate case.
+pub fn phase_chord_capacity_words(
+    accel: &CelloConfig,
+    split: &cello_core::score::repartition::PhaseSplit,
+) -> u64 {
+    accel
+        .sram_words()
+        .saturating_sub(split.reserved_words())
+        .max(16)
 }
 
 /// Evaluates one schedule on the cheap path, returning the three objectives.

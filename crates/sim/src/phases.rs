@@ -15,6 +15,7 @@
 
 use cello_core::score::binding::{Binding, Schedule};
 use cello_core::score::multinode::{NocModel, PartitionAxis};
+use cello_core::score::repartition::PhaseSplit;
 use cello_graph::dag::{NodeId, TensorDag};
 use cello_graph::edge::TensorMeta;
 use cello_graph::node::Dominance;
@@ -52,6 +53,11 @@ pub struct PlannedPhase {
     /// NoC word-hops this phase (broadcast/reduce smalls under rank
     /// slicing, full realized intermediates under stage splits).
     pub noc_hop_words: u64,
+    /// The SRAM split in force during this phase (the schedule's resolved
+    /// per-phase repartition; equals the global split without one). Both
+    /// tiers derive the phase's CHORD capacity from this one value, so they
+    /// cannot disagree about it.
+    pub split: PhaseSplit,
 }
 
 /// The full plan for one schedule.
@@ -225,7 +231,10 @@ pub fn plan_phases(dag: &TensorDag, schedule: &Schedule) -> PhasePlan {
     // per-phase set allocation.
     let mut read_stamp = vec![0usize; metas.len()];
     for (pi, phase) in schedule.phases.iter().enumerate() {
-        let mut planned = PlannedPhase::default();
+        let mut planned = PlannedPhase {
+            split: schedule.phase_split(pi),
+            ..PlannedPhase::default()
+        };
         let mut phase_macs: u64 = 0;
         let mut max_op_macs: u64 = 0;
         for &op in &phase.ops {

@@ -42,6 +42,11 @@ pub struct RunReport {
     pub stats: AccessStats,
     /// Per-phase (compute_cycles, memory_cycles) pairs for roofline analysis.
     pub phase_cycles: Vec<(u64, u64)>,
+    /// Per-phase DRAM bytes (per node, un-aggregated — the raw deltas the
+    /// memory cycles above derive from). One entry per phase plus a final
+    /// drain entry when the backend flushed residual state; the repartition
+    /// property tests use this to pin per-phase monotonicity.
+    pub phase_dram_bytes: Vec<u64>,
 }
 
 impl RunReport {
@@ -134,6 +139,7 @@ mod tests {
             noc_energy_pj: 0.0,
             stats: AccessStats::default(),
             phase_cycles: vec![],
+            phase_dram_bytes: vec![],
         }
     }
 

@@ -94,6 +94,7 @@ fn small_cfg() -> SpaceConfig {
         rf_words_choices: vec![16_384],
         node_choices: vec![1],
         max_chord_bias_tensors: 0,
+        repartition_profiles: Vec::new(),
     }
 }
 

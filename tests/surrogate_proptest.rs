@@ -71,6 +71,40 @@ proptest! {
         );
     }
 
+    /// The per-phase dimension keeps the contract: widened spaces with the
+    /// SRAM-repartition profile menu (per-phase CHORD capacities, resize
+    /// traffic and all) still rank at Spearman >= 0.8 on random CG/HPCG
+    /// problems.
+    #[test]
+    fn surrogate_ranks_repartitioned_spaces(
+        m in 20_000u64..120_000,
+        iterations in 2u32..5,
+        hpcg in any::<bool>(),
+        seed in 0u64..1_000,
+    ) {
+        let accel = CelloConfig::paper();
+        let dag = if hpcg {
+            build_hpcg_dag(&HpcgParams { nx: 24 + (m % 24), n: 16, iterations })
+        } else {
+            build_cg_dag(&CgParams {
+                m,
+                occupancy: 4.0,
+                a_payload_words: 2 * 4 * m + m + 1,
+                n: 16,
+                nprime: 16,
+                iterations,
+            })
+        };
+        let cfg = SpaceConfig::widened().with_repartition(accel.sram_words());
+        let (est, sim) = sample_pairs(&dag, &accel, &cfg, 32, seed);
+        prop_assert!(est.len() >= 8, "degenerate sample: {} distinct", est.len());
+        let rho = spearman(&est, &sim);
+        prop_assert!(
+            rho >= 0.8,
+            "repartitioned space m={m} hpcg={hpcg} seed={seed}: rho {rho:.3}"
+        );
+    }
+
     /// Same contract on random HPCG spaces.
     #[test]
     fn surrogate_ranks_random_hpcg_spaces(
