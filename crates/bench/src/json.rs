@@ -249,11 +249,18 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += 1;
             }
             Some(_) => {
-                // Copy one UTF-8 scalar (multi-byte safe).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().unwrap();
-                out.push(c);
-                *pos += c.len_utf8();
+                // Copy the contiguous run up to the next quote or escape as
+                // one validated chunk. (Validating the whole remaining
+                // buffer per character made parsing quadratic — a 10 KB
+                // document cost milliseconds, which the serve hit path
+                // noticed.) Multi-byte UTF-8 sequences contain no `"`/`\`
+                // bytes, so the bytewise scan cannot split a scalar.
+                let start = *pos;
+                while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                let chunk = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+                out.push_str(chunk);
             }
         }
     }

@@ -10,12 +10,122 @@
 //! Cargo.toml-only change.
 
 use std::num::NonZeroUsize;
+use std::sync::{mpsc, Arc, Mutex};
 
 /// Number of worker threads the pool-less fallback will use.
 pub fn current_num_threads() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] — mirrors rayon's
+/// `ThreadPoolBuildError`. The stand-in pool cannot actually fail to build,
+/// but keeping the `Result` shape means swapping the real crate back in is
+/// still a Cargo.toml-only change.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Mirror of rayon's `ThreadPoolBuilder` (the subset `cello-serve` uses:
+/// `num_threads` + `build`).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder (defaults to one worker per available core).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (0 = one per available core, like rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+                        guard.recv()
+                    };
+                    match job {
+                        // A panicking job must not take the worker down with
+                        // it: a long-running service owns this pool, and one
+                        // bad request killing a worker would slowly drain the
+                        // pool. Mirrors rayon, which catches unwinds at the
+                        // job boundary.
+                        Ok(job) => {
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        }
+                        Err(_) => return, // pool dropped: all senders gone
+                    }
+                })
+            })
+            .collect();
+        Ok(ThreadPool {
+            tx: Some(tx),
+            workers,
+        })
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed set of worker threads consuming [`ThreadPool::spawn`]ed jobs from
+/// a shared queue — the stand-in for rayon's `ThreadPool` as a long-running
+/// service's connection pool. Dropping the pool closes the queue and joins
+/// the workers (outstanding jobs finish first).
+pub struct ThreadPool {
+    tx: Option<mpsc::Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Number of worker threads.
+    pub fn current_num_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues a job for the next free worker (rayon's fire-and-forget
+    /// `spawn`).
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        if let Some(tx) = &self.tx {
+            // Send can only fail after the pool was dropped, which `&self`
+            // rules out; ignore the impossible error rather than unwrap.
+            let _ = tx.send(Box::new(job));
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.tx.take(); // close the queue so workers see Err and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
 }
 
 /// Ordered parallel map over owned items: splits into contiguous chunks, one
@@ -312,5 +422,48 @@ mod tests {
     #[test]
     fn current_num_threads_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_pool_runs_all_jobs_and_joins_on_drop() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let done = Arc::clone(&done);
+            pool.spawn(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // joins workers; queued jobs finish first
+        assert_eq!(done.load(Ordering::SeqCst), 64);
+    }
+
+    /// A panicking job neither kills its worker nor poisons the queue.
+    #[test]
+    fn thread_pool_survives_panicking_jobs() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let done = Arc::new(AtomicUsize::new(0));
+        for i in 0..16 {
+            let done = Arc::clone(&done);
+            pool.spawn(move || {
+                if i % 2 == 0 {
+                    panic!("job {i} goes down");
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 8);
     }
 }

@@ -111,6 +111,28 @@ impl CelloConfig {
         }
     }
 
+    /// Canonical one-line serialization of every field that can change an
+    /// evaluation result — one ingredient of the workload fingerprint
+    /// (`cello_search::fingerprint`). Stable across runs and processes:
+    /// fields are listed in declaration order with explicit names, floats
+    /// print with full round-trip precision, and nothing derived (rooflines,
+    /// CHORD configs) is included — only the inputs they derive from.
+    pub fn canonical_text(&self) -> String {
+        format!(
+            "accel{{pe={} freq={:?} sram={} word={} dram_bw={:?} dram_pj={:?} rf={} pb={} riff={} noc_bw={:?}}}",
+            self.pe_count,
+            self.freq_hz,
+            self.sram_bytes,
+            self.word_bytes,
+            self.dram.bandwidth_bytes_per_sec,
+            self.dram.energy_pj_per_byte,
+            self.rf_capacity_words,
+            self.pipeline_buffer_words,
+            self.riff_entries,
+            self.noc_bandwidth_bytes_per_sec,
+        )
+    }
+
     /// The Table V cache over the same SRAM.
     pub fn cache_config(&self) -> CacheConfig {
         CacheConfig {
@@ -133,6 +155,30 @@ mod tests {
         assert_eq!(c.sram_words(), 1 << 20);
         assert_eq!(c.peak_macs_per_sec(), 16.384e12);
         assert_eq!(c.riff_entries, 64);
+    }
+
+    /// The canonical text distinguishes every evaluation-relevant field and
+    /// is bit-stable for equal configs (the fingerprint contract).
+    #[test]
+    fn canonical_text_distinguishes_configs() {
+        let base = CelloConfig::paper();
+        assert_eq!(base.canonical_text(), CelloConfig::paper().canonical_text());
+        let variants = [
+            base.with_sram_bytes(8 << 20),
+            base.with_word_bytes(2),
+            CelloConfig::paper_250gbs(),
+            CelloConfig {
+                rf_capacity_words: base.rf_capacity_words + 1,
+                ..base
+            },
+            CelloConfig {
+                noc_bandwidth_bytes_per_sec: 1.0e9,
+                ..base
+            },
+        ];
+        for v in &variants {
+            assert_ne!(base.canonical_text(), v.canonical_text(), "{v:?}");
+        }
     }
 
     #[test]

@@ -17,7 +17,19 @@
 use cello_sim::evaluate::CostEstimate;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a memo table, recovering from poisoning instead of panicking.
+///
+/// The cache is shared across worker threads of a long-running service
+/// (`cello-serve`): if one request's evaluation panics while holding the
+/// lock, `.expect("poisoned")` here would turn every *subsequent* request
+/// into a panic too — one bad request killing the daemon. The map's
+/// invariant is a plain key→value table (no multi-step updates), so the
+/// state under a poisoned lock is still consistent and safe to keep using.
+fn lock_table<T>(table: &Mutex<T>) -> MutexGuard<'_, T> {
+    table.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Memo tables plus hit/evaluation counters for both tiers.
 #[derive(Default)]
@@ -38,12 +50,7 @@ impl EvalCache {
 
     /// Cached exact cost for `key`, counting a hit when present.
     pub fn lookup(&self, key: &str) -> Option<CostEstimate> {
-        let found = self
-            .map
-            .lock()
-            .expect("eval cache poisoned")
-            .get(key)
-            .copied();
+        let found = lock_table(&self.map).get(key).copied();
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -53,20 +60,12 @@ impl EvalCache {
     /// Records a fresh exact evaluation.
     pub fn insert(&self, key: String, cost: CostEstimate) {
         self.evaluations.fetch_add(1, Ordering::Relaxed);
-        self.map
-            .lock()
-            .expect("eval cache poisoned")
-            .insert(key, cost);
+        lock_table(&self.map).insert(key, cost);
     }
 
     /// Cached surrogate score for `key`, counting a surrogate hit.
     pub fn lookup_surrogate(&self, key: &str) -> Option<CostEstimate> {
-        let found = self
-            .surrogate_map
-            .lock()
-            .expect("surrogate cache poisoned")
-            .get(key)
-            .copied();
+        let found = lock_table(&self.surrogate_map).get(key).copied();
         if found.is_some() {
             self.surrogate_hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -76,10 +75,7 @@ impl EvalCache {
     /// Records a fresh surrogate scoring.
     pub fn insert_surrogate(&self, key: String, cost: CostEstimate) {
         self.surrogate_evaluations.fetch_add(1, Ordering::Relaxed);
-        self.surrogate_map
-            .lock()
-            .expect("surrogate cache poisoned")
-            .insert(key, cost);
+        lock_table(&self.surrogate_map).insert(key, cost);
     }
 
     /// Number of distinct schedules exactly evaluated so far.
@@ -139,6 +135,25 @@ mod tests {
         assert_eq!(cache.evaluations(), 1);
         assert_eq!(cache.surrogate_evaluations(), 1);
         assert_eq!(cache.surrogate_hits(), 1);
+    }
+
+    /// A thread that panics while holding the lock must not take the cache
+    /// down with it: later lookups and inserts keep working (the
+    /// daemon-survives-one-bad-request guarantee).
+    #[test]
+    fn survives_lock_poisoning() {
+        let cache = EvalCache::new();
+        cache.insert("keep".into(), cost(1));
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = lock_table(&cache.map);
+                panic!("poison the lock on purpose");
+            })
+            .join()
+        });
+        assert_eq!(cache.lookup("keep").unwrap().cycles, 1);
+        cache.insert("after".into(), cost(2));
+        assert_eq!(cache.lookup("after").unwrap().cycles, 2);
     }
 
     #[test]

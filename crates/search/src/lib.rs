@@ -72,6 +72,7 @@
 pub mod cache;
 pub mod candidate;
 pub mod cost;
+pub mod fingerprint;
 pub mod space;
 pub mod strategy;
 pub mod surrogate;
@@ -80,6 +81,7 @@ pub mod tuner;
 pub use cache::EvalCache;
 pub use candidate::Candidate;
 pub use cost::{pareto_front, Evaluated};
+pub use fingerprint::{fingerprint, Fingerprint};
 pub use space::{Choice, Decision, RepartitionProfile, SearchSpace, SpaceConfig};
 pub use strategy::Strategy;
 pub use surrogate::{spearman, surrogate_cost};

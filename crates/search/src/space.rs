@@ -494,6 +494,71 @@ impl SearchSpace {
             .collect()
     }
 
+    /// Inverse of [`Self::assemble`] *across spaces*: the assignment of
+    /// **this** space that best reproduces `candidate`, which may have been
+    /// assembled by a different space (other node menus, other SRAM splits,
+    /// another DAG-derived decision list). Decisions with no matching choice
+    /// fall back to their paper-heuristic default, and candidate settings
+    /// this space cannot express are dropped — projection is total, never an
+    /// error. This is what lets `cello-serve` warm-start a search from a
+    /// near-miss cache record: the cached Pareto candidates project into the
+    /// new request's space as beam seeds.
+    pub fn project(&self, candidate: &Candidate) -> Vec<usize> {
+        let c = candidate;
+        self.decisions
+            .iter()
+            .map(|d| {
+                d.choices
+                    .iter()
+                    .position(|choice| match choice {
+                        Choice::Preset {
+                            scope,
+                            enable_hold,
+                            enable_multicast,
+                            enable_chord,
+                        } => {
+                            c.options.scope == *scope
+                                && c.options.enable_hold == *enable_hold
+                                && c.options.enable_multicast == *enable_multicast
+                                && c.options.enable_chord == *enable_chord
+                        }
+                        Choice::SramSplit {
+                            pipeline_words,
+                            rf_words,
+                        } => {
+                            c.options.pipeline_buffer_words == *pipeline_words
+                                && c.options.rf_capacity_words == *rf_words
+                        }
+                        Choice::Cut { node, enabled } => {
+                            c.constraints.cut_before.contains(node) == *enabled
+                        }
+                        Choice::Steer { tensor, binding } => {
+                            c.constraints
+                                .binding_overrides
+                                .get(tensor)
+                                .copied()
+                                .unwrap_or(Binding::Chord)
+                                == *binding
+                        }
+                        Choice::OrderFlip { node, order } => {
+                            c.constraints.loop_orders.get(node) == order.as_ref()
+                        }
+                        Choice::ChordBias { tensor, bias } => {
+                            c.constraints.chord_priority_bias.get(tensor).copied() == *bias
+                        }
+                        Choice::Partition { partition } => {
+                            c.constraints.partition.unwrap_or_else(Partition::single) == *partition
+                        }
+                        Choice::Repartition { profile } => {
+                            profile.as_ref().and_then(|p| p.to_constraint())
+                                == c.constraints.phase_repartition
+                        }
+                    })
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
     /// Folds an assignment into a candidate. `picks` may be shorter than the
     /// decision list — unassigned decisions take their defaults — which is
     /// what beam search's partial prefixes rely on.
@@ -782,6 +847,46 @@ mod tests {
         let c = space.assemble(&picks);
         assert!(c.constraints.phase_repartition.is_none(), "dropped");
         assert_eq!(c, Candidate::paper_heuristic());
+    }
+
+    /// `project` inverts `assemble` within one space, and across spaces it
+    /// keeps what the target space can express while defaulting the rest.
+    #[test]
+    fn project_inverts_assemble_and_degrades_across_spaces() {
+        let dag = cg(2);
+        let cfg = SpaceConfig::widened_with_nodes(&[1, 4]).with_repartition(1 << 20);
+        let space = SearchSpace::from_dag(&dag, &cfg);
+        // Within one space: every sampled assignment round-trips exactly
+        // (assemble is injective up to constraint no-ops, and none of the
+        // sampled dimensions here collapse).
+        for picks in space.sample_assignments(16, 11) {
+            let c = space.assemble(&picks);
+            assert_eq!(space.assemble(&space.project(&c)), c);
+        }
+        // Across spaces: a multi-node candidate projected into a single-node
+        // space keeps the shared decisions (preset, sram split, cuts) and
+        // defaults the partition it cannot express.
+        let small = SearchSpace::from_dag(&dag, &SpaceConfig::default());
+        let mut picks = space.default_picks();
+        let pd = space
+            .decisions
+            .iter()
+            .position(|d| d.name == "partition")
+            .unwrap();
+        let sd = space
+            .decisions
+            .iter()
+            .position(|d| d.name == "sram-split")
+            .unwrap();
+        picks[pd] = 1; // 4-node rank slice
+        picks[sd] = 1; // non-default split
+        let c = space.assemble(&picks);
+        let projected = small.assemble(&small.project(&c));
+        assert!(projected.constraints.partition.is_none(), "inexpressible");
+        assert_eq!(
+            projected.options.pipeline_buffer_words, c.options.pipeline_buffer_words,
+            "shared decisions survive"
+        );
     }
 
     /// Regression: the enlarged multi-node space must not wrap `u64` —

@@ -68,6 +68,46 @@ impl Strategy {
             inner: Box::new(inner),
         }
     }
+
+    /// Parses a [`Self::label`]-shaped string back into a strategy —
+    /// `"exhaustive"`, `"beam8"`, `"random64@7"`,
+    /// `"prefilter0.1+beam8"` — the wire format `cello-serve` requests
+    /// carry. Returns `None` on anything else (a typed protocol error at the
+    /// daemon, never a panic). Parsed parameters are validity-clamped the
+    /// same way the tuner clamps them (width ≥ 1, `keep_frac ∈ (0, 1]`).
+    pub fn parse(label: &str) -> Option<Strategy> {
+        let label = label.trim();
+        if label == "exhaustive" {
+            return Some(Strategy::Exhaustive);
+        }
+        if let Some(rest) = label.strip_prefix("beam") {
+            let width: usize = rest.parse().ok()?;
+            return Some(Strategy::Beam {
+                width: width.max(1),
+            });
+        }
+        if let Some(rest) = label.strip_prefix("random") {
+            let (samples, seed) = rest.split_once('@')?;
+            return Some(Strategy::Random {
+                samples: samples.parse().ok()?,
+                seed: seed.parse().ok()?,
+            });
+        }
+        if let Some(rest) = label.strip_prefix("prefilter") {
+            let (frac, inner) = rest.split_once('+')?;
+            let keep_frac: f64 = frac.parse().ok()?;
+            if !(keep_frac > 0.0 && keep_frac <= 1.0) {
+                return None;
+            }
+            // One level of nesting only, matching the tuner's flattening of
+            // nested prefilters (prefiltering is idempotent).
+            if inner.starts_with("prefilter") {
+                return None;
+            }
+            return Some(Strategy::prefiltered(keep_frac, Strategy::parse(inner)?));
+        }
+        None
+    }
 }
 
 /// Deterministic SplitMix64 used by [`Strategy::Random`].
@@ -118,6 +158,42 @@ mod tests {
             Strategy::prefiltered(0.1, Strategy::Beam { width: 8 }).label(),
             "prefilter0.1+beam8"
         );
+    }
+
+    /// `parse` inverts `label` on every strategy shape the wire carries, and
+    /// rejects garbage with `None` instead of panicking.
+    #[test]
+    fn parse_inverts_label() {
+        for s in [
+            Strategy::Exhaustive,
+            Strategy::Beam { width: 8 },
+            Strategy::Random {
+                samples: 64,
+                seed: 7,
+            },
+            Strategy::prefiltered(0.1, Strategy::Beam { width: 8 }),
+            Strategy::prefiltered(0.25, Strategy::Exhaustive),
+        ] {
+            assert_eq!(Strategy::parse(&s.label()), Some(s.clone()), "{s:?}");
+        }
+        for bad in [
+            "",
+            "beam",
+            "beam-1",
+            "beamx",
+            "random64",
+            "random@7",
+            "prefilter+beam4",
+            "prefilter0+beam4",
+            "prefilter1.5+beam4",
+            "prefilter0.1+prefilter0.1+beam4",
+            "annealed",
+            "beam4 extra",
+        ] {
+            assert_eq!(Strategy::parse(bad), None, "{bad:?} should not parse");
+        }
+        // Clamps mirror the tuner's.
+        assert_eq!(Strategy::parse("beam0"), Some(Strategy::Beam { width: 1 }));
     }
 
     #[test]

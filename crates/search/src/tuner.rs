@@ -161,8 +161,20 @@ impl<'a> Tuner<'a> {
 
     /// Runs a base strategy's traversal, scoring through `tier` and
     /// appending everything scored to `all`. `strategy` must not be
-    /// `Prefiltered` (callers flatten it first).
-    fn traverse(&self, strategy: &Strategy, tier: Tier, seen: &mut u64, all: &mut Vec<Evaluated>) {
+    /// `Prefiltered` (callers flatten it first). `seeds` are full
+    /// assignments (see [`SearchSpace::project`]) that guide beam search:
+    /// their prefixes always compete in (and survive into) the beam, so a
+    /// narrow warm-started beam still walks the cached winners' paths.
+    /// Exhaustive and random traversals ignore seeds — the caller evaluates
+    /// the full seed assignments up front instead.
+    fn traverse(
+        &self,
+        strategy: &Strategy,
+        tier: Tier,
+        seeds: &[Vec<usize>],
+        seen: &mut u64,
+        all: &mut Vec<Evaluated>,
+    ) {
         match *strategy {
             Strategy::Exhaustive => {
                 let total = self.space.exhaustive_size();
@@ -190,6 +202,15 @@ impl<'a> Tuner<'a> {
                             pool.push(picks);
                         }
                     }
+                    // Seed prefixes enter the pool even when no surviving
+                    // beam prefix leads to them.
+                    for s in seeds {
+                        if let Some(prefix) = s.get(..=di).map(<[usize]>::to_vec) {
+                            if !pool.contains(&prefix) {
+                                pool.push(prefix);
+                            }
+                        }
+                    }
                     let batch: Vec<Candidate> =
                         pool.iter().map(|p| self.space.assemble(p)).collect();
                     *seen += batch.len() as u64;
@@ -202,6 +223,18 @@ impl<'a> Tuner<'a> {
                         .take(width)
                         .map(|(i, _)| pool[i].clone())
                         .collect();
+                    // Seed prefixes survive every level regardless of local
+                    // rank: a seed that looks mediocre half-assigned can
+                    // still be the best full schedule (its strength may live
+                    // in a later decision), and dropping it would forfeit
+                    // the whole point of warm-starting.
+                    for s in seeds {
+                        if let Some(prefix) = s.get(..=di).map(<[usize]>::to_vec) {
+                            if !beam.contains(&prefix) {
+                                beam.push(prefix);
+                            }
+                        }
+                    }
                     debug_assert!(!beam.is_empty(), "beam emptied at decision {di}");
                 }
             }
@@ -222,6 +255,21 @@ impl<'a> Tuner<'a> {
     /// Runs one strategy, returning the outcome. The memo cache (both
     /// tiers) persists across calls on the same tuner.
     pub fn tune(&self, strategy: &Strategy) -> SearchOutcome {
+        self.tune_seeded(strategy, &[])
+    }
+
+    /// [`Self::tune`] warm-started from `seeds` — candidates recovered from
+    /// a cached Pareto front of a *near-miss* workload (same DAG, different
+    /// SRAM split / node menu), projected into this space with
+    /// [`SearchSpace::project`]. Every full seed assignment is exactly
+    /// evaluated (so the outcome can never be worse than the best cached
+    /// schedule re-scored under the new configuration), and beam traversals
+    /// additionally keep the seeds' prefixes alive at every level. The
+    /// payoff is budgetary: a *narrow* warm beam plus seeds reaches what a
+    /// wide cold beam finds, at a fraction of the sim evaluations —
+    /// `cello-serve` pairs seeds with `width / 4`.
+    pub fn tune_seeded(&self, strategy: &Strategy, seeds: &[Candidate]) -> SearchOutcome {
+        let seed_picks: Vec<Vec<usize>> = seeds.iter().map(|c| self.space.project(c)).collect();
         if let Strategy::Prefiltered { keep_frac, inner } = strategy {
             // Nested prefilters collapse: pruning an already-pruned
             // traversal is the same traversal.
@@ -232,11 +280,11 @@ impl<'a> Tuner<'a> {
             if *keep_frac >= 1.0 {
                 // Keeping everything prunes nothing: the tiers collapse and
                 // the run IS the inner strategy (same best, same Pareto).
-                let mut out = self.tune(base);
+                let mut out = self.tune_seeded(base, seeds);
                 out.strategy = strategy.label();
                 return out;
             }
-            return self.tune_prefiltered(*keep_frac, base, &strategy.label());
+            return self.tune_prefiltered(*keep_frac, base, &strategy.label(), &seed_picks);
         }
 
         let hits_before = self.cache.hits();
@@ -252,7 +300,16 @@ impl<'a> Tuner<'a> {
         seen += 1;
         all.push(baseline.clone());
 
-        self.traverse(strategy, Tier::Exact, &mut seen, &mut all);
+        // Full seed assignments next: the cached winners re-scored under
+        // this space's configuration, in the comparison set no matter what
+        // the traversal below keeps.
+        if !seed_picks.is_empty() {
+            let batch: Vec<Candidate> = seed_picks.iter().map(|p| self.space.assemble(p)).collect();
+            seen += batch.len() as u64;
+            all.extend(self.eval_batch(batch));
+        }
+
+        self.traverse(strategy, Tier::Exact, &seed_picks, &mut seen, &mut all);
 
         self.outcome(
             strategy.label(),
@@ -267,8 +324,15 @@ impl<'a> Tuner<'a> {
 
     /// The two-tier path (see [`Strategy::Prefiltered`]): traverse on the
     /// surrogate, promote the top `keep_frac` of distinct schedules to the
-    /// exact tier, report over exactly-evaluated candidates only.
-    fn tune_prefiltered(&self, keep_frac: f64, inner: &Strategy, label: &str) -> SearchOutcome {
+    /// exact tier, report over exactly-evaluated candidates only. Seeds ride
+    /// the surrogate traversal as beam guidance *and* are always promoted.
+    fn tune_prefiltered(
+        &self,
+        keep_frac: f64,
+        inner: &Strategy,
+        label: &str,
+        seed_picks: &[Vec<usize>],
+    ) -> SearchOutcome {
         let hits_before = self.cache.hits();
         let evals_before = self.cache.evaluations();
         let surr_before = self.cache.surrogate_evaluations();
@@ -282,7 +346,7 @@ impl<'a> Tuner<'a> {
             Tier::Surrogate,
         ));
         seen += 1;
-        self.traverse(inner, Tier::Surrogate, &mut seen, &mut scored);
+        self.traverse(inner, Tier::Surrogate, seed_picks, &mut seen, &mut scored);
 
         // Rank the distinct visited schedules analytically; keep the top
         // fraction (at least one).
@@ -295,12 +359,15 @@ impl<'a> Tuner<'a> {
         let keep = ((keep_frac.max(0.0) * uniq.len() as f64).ceil() as usize).clamp(1, uniq.len());
 
         // Tier 2: exact evaluation of the survivors, plus the baseline
-        // (always part of the comparison set, filtered or not).
+        // (always part of the comparison set, filtered or not) and the full
+        // seed assignments (cached winners never lost to surrogate ranking).
         let baseline = self
             .eval_batch(vec![self.space.assemble(&self.space.default_picks())])
             .pop()
             .expect("baseline evaluates");
-        let survivors: Vec<Candidate> = uniq[..keep].iter().map(|e| e.candidate.clone()).collect();
+        let mut survivors: Vec<Candidate> =
+            uniq[..keep].iter().map(|e| e.candidate.clone()).collect();
+        survivors.extend(seed_picks.iter().map(|p| self.space.assemble(p)));
         let mut all = vec![baseline.clone()];
         all.extend(self.eval_batch(survivors));
 
@@ -597,6 +664,50 @@ mod tests {
         let winner = &multi.best_traffic.candidate;
         let partition = winner.constraints.partition.expect("winner is partitioned");
         assert!(partition.nodes >= 4, "{partition:?}");
+    }
+
+    /// The warm-start acceptance claim (the `cello-serve` near-miss path):
+    /// seeding a *narrow* beam with the Pareto front cached from a run at a
+    /// different SRAM size reaches the cold wide beam's best total traffic
+    /// with strictly fewer sim evaluations.
+    #[test]
+    fn warm_started_narrow_beam_matches_cold_wide_beam_cheaply() {
+        let dag = cg(3);
+        let cfg = SpaceConfig::with_nodes(&[1, 4]);
+        // The cached run: paper accel (4 MB SRAM), wide beam.
+        let accel4 = CelloConfig::paper();
+        let cached = Tuner::new(&dag, &accel4, cfg.clone()).tune(&Strategy::Beam { width: 8 });
+        let seeds: Vec<Candidate> = cached.pareto.iter().map(|e| e.candidate.clone()).collect();
+        // The near-miss request: same DAG, same space, 8 MB SRAM.
+        let accel8 = CelloConfig::paper().with_sram_bytes(8 << 20);
+        let cold = Tuner::new(&dag, &accel8, cfg.clone()).tune(&Strategy::Beam { width: 8 });
+        let warm = Tuner::new(&dag, &accel8, cfg).tune_seeded(&Strategy::Beam { width: 2 }, &seeds);
+        assert!(
+            warm.best_traffic.cost.total_traffic_bytes()
+                <= cold.best_traffic.cost.total_traffic_bytes(),
+            "warm {} B !<= cold {} B",
+            warm.best_traffic.cost.total_traffic_bytes(),
+            cold.best_traffic.cost.total_traffic_bytes(),
+        );
+        assert!(
+            warm.evaluations < cold.evaluations,
+            "warm start must save sim evaluations ({} vs {})",
+            warm.evaluations,
+            cold.evaluations,
+        );
+    }
+
+    /// Seeding with nothing is exactly `tune` (same bests, same eval count),
+    /// and seeds never make an outcome worse than the best seed re-scored.
+    #[test]
+    fn empty_seeds_are_identity() {
+        let dag = cg(2);
+        let accel = CelloConfig::paper();
+        let a = Tuner::new(&dag, &accel, small_cfg()).tune(&Strategy::Beam { width: 3 });
+        let b =
+            Tuner::new(&dag, &accel, small_cfg()).tune_seeded(&Strategy::Beam { width: 3 }, &[]);
+        assert_eq!(a.best_cycles.key, b.best_cycles.key);
+        assert_eq!(a.evaluations, b.evaluations);
     }
 
     #[test]

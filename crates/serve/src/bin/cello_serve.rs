@@ -1,0 +1,91 @@
+//! `cello_serve` — the schedule-compilation daemon.
+//!
+//! Listens on `--addr` for newline-delimited JSON compile requests (see
+//! `cello_serve::protocol`), compiles through `cello-search` with in-flight
+//! coalescing, and persists every outcome in the fingerprint-keyed cache
+//! under `--cache-dir` (collision-checked; safe to keep across restarts —
+//! a warm boot serves hits straight from disk).
+//!
+//! Usage: `cargo run --release --bin cello_serve --
+//!   [--addr 127.0.0.1:7070] [--cache-dir serve-cache] [--workers N]`
+//!
+//! Stop it with a `{"op": "shutdown"}` frame (`cello_client --shutdown`).
+
+use cello_serve::{serve, Service};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+struct Args {
+    addr: String,
+    cache_dir: std::path::PathBuf,
+    workers: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7070".into(),
+        cache_dir: "serve-cache".into(),
+        workers: rayon::current_num_threads().min(8),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--cache-dir" => args.cache_dir = value("--cache-dir").into(),
+            "--workers" => {
+                args.workers = value("--workers").parse().unwrap_or_else(|_| {
+                    eprintln!("--workers needs a positive integer");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; usage: cello_serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let service = match Service::open(&args.cache_dir) {
+        Ok(service) => Arc::new(service),
+        Err(e) => {
+            eprintln!("cello_serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    let listener = match TcpListener::bind(&args.addr) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("cello_serve: cannot bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    let local = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| args.addr.clone());
+    println!(
+        "cello_serve listening on {local} ({} workers, cache {:?} with {} records)",
+        args.workers,
+        args.cache_dir,
+        service.store_len(),
+    );
+    match serve(listener, service, args.workers) {
+        Ok(connections) => println!("cello_serve: shutdown after {connections} connections"),
+        Err(e) => {
+            eprintln!("cello_serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! In-flight request coalescing: concurrent identical requests share one
+//! compilation.
+//!
+//! The persistent store only helps *after* a compilation lands; without
+//! coalescing, eight clients asking for the same cold workload at once
+//! would run eight identical multi-second tuner runs. [`Coalescer::run`]
+//! keys in-flight work by workload fingerprint: the first caller computes,
+//! every concurrent caller with the same key blocks on a condvar and shares
+//! the leader's result (tagged so the service can report `coalesced`
+//! instead of `miss`).
+//!
+//! If the leader's compute panics, its drop guard completes the slot empty
+//! and unblocks the followers, who then compute for themselves — a bad
+//! request degrades to un-coalesced work, never to followers blocked
+//! forever or a poisoned map.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// One in-flight computation: `Some(value)` once the leader finished,
+/// completed-but-empty if it panicked.
+struct Slot<T> {
+    state: Mutex<SlotState<T>>,
+    ready: Condvar,
+}
+
+struct SlotState<T> {
+    done: bool,
+    value: Option<T>,
+}
+
+/// The in-flight table (see module docs).
+pub struct Coalescer<T> {
+    inflight: Mutex<HashMap<String, Arc<Slot<T>>>>,
+}
+
+impl<T: Clone> Default for Coalescer<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Completes the slot on drop (normally or during an unwind) and retires it
+/// from the in-flight table.
+struct LeaderGuard<'a, T: Clone> {
+    coalescer: &'a Coalescer<T>,
+    key: &'a str,
+    slot: &'a Arc<Slot<T>>,
+    value: Option<T>,
+}
+
+impl<T: Clone> Drop for LeaderGuard<'_, T> {
+    fn drop(&mut self) {
+        {
+            let mut state = self
+                .slot
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            state.done = true;
+            state.value = self.value.take();
+        }
+        self.slot.ready.notify_all();
+        let mut inflight = self
+            .coalescer
+            .inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        // Remove only OUR slot: after a panicking leader's notify, a woken
+        // follower can retire the dead slot and install a fresh one it now
+        // leads before this drop reaches the table — removing
+        // unconditionally would delete the successor's live slot and turn
+        // every later identical request into a redundant compile.
+        if let Some(current) = inflight.get(self.key) {
+            if Arc::ptr_eq(current, self.slot) {
+                inflight.remove(self.key);
+            }
+        }
+    }
+}
+
+impl<T: Clone> Coalescer<T> {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Runs `compute` under `key`, or waits for the identical in-flight run.
+    /// Returns the value plus `true` when it was shared from another
+    /// caller's computation (the follower case).
+    pub fn run(&self, key: &str, compute: impl FnOnce() -> T) -> (T, bool) {
+        let mut compute = Some(compute);
+        loop {
+            let slot = {
+                let mut inflight = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+                match inflight.get(key) {
+                    Some(slot) => Arc::clone(slot), // follower: wait below
+                    None => {
+                        let slot = Arc::new(Slot {
+                            state: Mutex::new(SlotState {
+                                done: false,
+                                value: None,
+                            }),
+                            ready: Condvar::new(),
+                        });
+                        inflight.insert(key.to_string(), Arc::clone(&slot));
+                        drop(inflight); // compute outside the table lock
+                        let mut guard = LeaderGuard {
+                            coalescer: self,
+                            key,
+                            slot: &slot,
+                            value: None,
+                        };
+                        guard.value = Some((compute.take().expect("leader runs once"))());
+                        let value = guard.value.clone().expect("just set");
+                        drop(guard); // completes slot, wakes followers
+                        return (value, false);
+                    }
+                }
+            };
+            let mut state = slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+            while !state.done {
+                state = slot
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            if let Some(value) = state.value.clone() {
+                return (value, true);
+            }
+            // The leader panicked (its guard completed the slot empty). Retire
+            // the dead slot if it is still in the table — the leader's own
+            // removal may not have run yet, and retrying against a completed
+            // slot would spin — then loop: this caller (or another follower)
+            // becomes the new leader.
+            drop(state);
+            let mut inflight = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(current) = inflight.get(key) {
+                if Arc::ptr_eq(current, &slot) {
+                    inflight.remove(key);
+                }
+            }
+        }
+    }
+
+    /// Number of in-flight keys (for stats).
+    pub fn in_flight(&self) -> usize {
+        self.inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    /// The coalescing acceptance shape: k identical concurrent requests
+    /// trigger exactly one computation; distinct keys stay independent.
+    #[test]
+    fn identical_concurrent_keys_compute_once() {
+        let coalescer = Coalescer::new();
+        let computed = AtomicUsize::new(0);
+        let shared = AtomicUsize::new(0);
+        let k = 8;
+        let barrier = Barrier::new(k);
+        std::thread::scope(|s| {
+            for _ in 0..k {
+                s.spawn(|| {
+                    barrier.wait();
+                    let (value, was_shared) = coalescer.run("same", || {
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        // Let followers pile up behind the slot.
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        42u64
+                    });
+                    assert_eq!(value, 42);
+                    if was_shared {
+                        shared.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "exactly one compute");
+        assert_eq!(shared.load(Ordering::SeqCst), k - 1, "k-1 followers");
+        assert_eq!(coalescer.in_flight(), 0, "slot retired");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let coalescer = Coalescer::new();
+        let computed = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let computed = &computed;
+                let coalescer = &coalescer;
+                s.spawn(move || {
+                    let (v, shared) = coalescer.run(&format!("k{i}"), || {
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        i
+                    });
+                    assert_eq!(v, i);
+                    assert!(!shared);
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::SeqCst), 4);
+    }
+
+    /// A panicking leader unblocks followers, who compute for themselves.
+    #[test]
+    fn leader_panic_does_not_strand_followers() {
+        let coalescer = Arc::new(Coalescer::new());
+        let barrier = Arc::new(Barrier::new(2));
+        let leader = {
+            let coalescer = Arc::clone(&coalescer);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    coalescer.run("k", || {
+                        barrier.wait(); // follower is enqueued behind us
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        panic!("leader dies");
+                    })
+                }));
+                assert!(result.is_err());
+            })
+        };
+        barrier.wait();
+        // Follower: arrives while the leader is computing, must not hang.
+        let (value, _) = coalescer.run("k", || 7u64);
+        assert_eq!(value, 7);
+        leader.join().unwrap();
+        assert_eq!(coalescer.in_flight(), 0);
+    }
+}

@@ -1,0 +1,304 @@
+//! The TCP front end: newline-delimited JSON over `std::net`, one
+//! connection per worker-pool job.
+//!
+//! The accept loop is deliberately boring: take a connection, hand it to
+//! the worker pool (the vendored rayon stand-in's `ThreadPool`), repeat.
+//! Each connection handler reads lines, feeds them through
+//! [`Service::handle_line`] (which never panics), and writes one response
+//! line per request. A `shutdown` frame acks, then trips a flag the accept
+//! loop checks; a wake-up connection from the handler unblocks `accept` so
+//! the daemon exits promptly without platform-specific socket tricks.
+
+use crate::protocol::{caps, error_line};
+use crate::service::Service;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Runs the service behind `listener` with `workers` connection handlers.
+/// Blocks until a client sends a `shutdown` frame, then drains: open
+/// connections are served to EOF before the worker pool is released, so a
+/// shutdown never cuts off an in-flight response (clients that want a fast
+/// daemon exit should close their connections first).
+pub fn serve(listener: TcpListener, service: Arc<Service>, workers: usize) -> std::io::Result<u64> {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(workers.max(1))
+        .build()
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut connections = 0u64;
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(stream) => stream,
+            // A failed accept (e.g. the client vanished between SYN and
+            // accept) is that client's problem, not the daemon's.
+            Err(e) => {
+                eprintln!("[serve] accept failed: {e}");
+                continue;
+            }
+        };
+        connections += 1;
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        pool.spawn(move || handle_connection(stream, &service, &stop, local));
+    }
+    Ok(connections)
+}
+
+/// One connection: a sequence of newline-delimited frames.
+fn handle_connection(stream: TcpStream, service: &Service, stop: &AtomicBool, local: SocketAddr) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".into());
+    // One small request/response pair per round trip: Nagle + delayed ACK
+    // would add ~40 ms to every exchange.
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("[serve] {peer}: cannot clone stream: {e}");
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = Vec::new();
+    loop {
+        line.clear();
+        // Capped read: `read_line` into an unbounded String would let a
+        // client stream newline-less bytes until the daemon OOMs — the
+        // MAX_LINE_BYTES cap must bind *while reading*, not after. An
+        // over-long frame gets a typed error and the connection closes
+        // (framing can't be resynced mid-line).
+        match read_capped_line(&mut reader, &mut line, caps::MAX_LINE_BYTES) {
+            Ok(0) => return, // EOF: client done
+            Ok(_) => {}
+            Err(ReadLineError::TooLong) => {
+                let err = crate::error::ServeError::TooLarge(format!(
+                    "frame exceeds {} bytes",
+                    caps::MAX_LINE_BYTES
+                ));
+                let _ = writer.write_all(format!("{}\n", error_line(0, &err)).as_bytes());
+                return;
+            }
+            Err(ReadLineError::Io(e)) => {
+                eprintln!("[serve] {peer}: read failed: {e}");
+                return;
+            }
+        }
+        let line = String::from_utf8_lossy(&line);
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (mut response, shutdown) = service.handle_line(&line);
+        response.push('\n');
+        // One write per response (a split frame + Nagle costs a delayed-ACK
+        // round trip per request).
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            // The client hung up mid-response; nothing left to serve it.
+            return;
+        }
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            // Unblock the accept loop so it observes the flag.
+            let _ = TcpStream::connect(local);
+            return;
+        }
+    }
+}
+
+enum ReadLineError {
+    /// The line outgrew the cap before a newline arrived.
+    TooLong,
+    /// The underlying read failed.
+    Io(std::io::Error),
+}
+
+/// Reads one `\n`-terminated line into `buf` (newline excluded), refusing
+/// to buffer more than `cap` bytes. Returns the number of bytes read (0 =
+/// clean EOF).
+fn read_capped_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    cap: usize,
+) -> Result<usize, ReadLineError> {
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ReadLineError::Io(e)),
+        };
+        if available.is_empty() {
+            // EOF mid-line still yields what we have (matches read_line).
+            return Ok(buf.len());
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(newline) => {
+                if buf.len() + newline > cap {
+                    return Err(ReadLineError::TooLong);
+                }
+                buf.extend_from_slice(&available[..newline]);
+                reader.consume(newline + 1);
+                return Ok(buf.len() + 1);
+            }
+            None => {
+                let take = available.len();
+                if buf.len() + take > cap {
+                    return Err(ReadLineError::TooLong);
+                }
+                buf.extend_from_slice(available);
+                reader.consume(take);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{compact, Request, Response};
+    use cello_bench::json::Json;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cello-server-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Sends one line, reads one line.
+    fn round_trip(addr: SocketAddr, line: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream.write_all(format!("{line}\n").as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut out = String::new();
+        reader.read_line(&mut out).unwrap();
+        out
+    }
+
+    /// Full daemon loop over a real socket: compile (miss), compile (hit),
+    /// malformed frame (typed error), stats, shutdown — then the serve loop
+    /// actually returns.
+    #[test]
+    fn end_to_end_over_tcp() {
+        let dir = tmpdir("e2e");
+        let service = Arc::new(Service::open(&dir).unwrap());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let daemon = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || serve(listener, service, 4).unwrap())
+        };
+
+        let mut req = Request::cg("fv1");
+        req.iterations = 1;
+        req.strategy = "beam2".into();
+        req.id = 1;
+        let first =
+            Response::from_json(&Json::parse(&round_trip(addr, &req.to_line())).unwrap()).unwrap();
+        assert_eq!(first.cache.as_str(), "miss");
+        req.id = 2;
+        let second =
+            Response::from_json(&Json::parse(&round_trip(addr, &req.to_line())).unwrap()).unwrap();
+        assert_eq!(second.cache.as_str(), "hit");
+        assert_eq!(second.best_key, first.best_key);
+
+        let err = round_trip(addr, "{ not json");
+        assert!(err.contains("\"status\": \"error\""), "{err}");
+
+        let stats = round_trip(addr, r#"{"op": "stats"}"#);
+        assert!(stats.contains("\"hits\": 1"), "{stats}");
+
+        let ack = round_trip(addr, r#"{"op": "shutdown"}"#);
+        assert!(ack.contains("\"shutdown\""));
+        daemon.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A newline-less flood larger than the frame cap gets a typed
+    /// `too-large` error and a closed connection — the daemon buffers at
+    /// most `caps::MAX_LINE_BYTES`, it does not read until OOM.
+    #[test]
+    fn oversized_frame_is_rejected_while_reading() {
+        let dir = tmpdir("flood");
+        let service = Arc::new(Service::open(&dir).unwrap());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let daemon = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || serve(listener, service, 2).unwrap())
+        };
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let chunk = vec![b'x'; 1 << 16];
+        // Write until the server refuses (it answers + closes once the cap
+        // trips); cap our own effort at ~2x the server cap.
+        let mut sent = 0usize;
+        while sent <= 2 * caps::MAX_LINE_BYTES {
+            match stream.write_all(&chunk) {
+                Ok(()) => sent += chunk.len(),
+                Err(_) => break, // server already closed on us
+            }
+        }
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("too-large"), "{line}");
+        let _ = round_trip(addr, r#"{"op": "shutdown"}"#);
+        daemon.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Several frames down one connection get one response line each, in
+    /// order.
+    #[test]
+    fn pipelined_frames_one_connection() {
+        let dir = tmpdir("pipeline");
+        let service = Arc::new(Service::open(&dir).unwrap());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let daemon = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || serve(listener, service, 2).unwrap())
+        };
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut req = Request::cg("fv1");
+        req.iterations = 1;
+        req.strategy = "beam2".into();
+        for id in [10, 11, 12] {
+            req.id = id;
+            stream
+                .write_all(format!("{}\n", req.to_line()).as_bytes())
+                .unwrap();
+        }
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for id in [10, 11, 12] {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let resp = Response::from_json(&Json::parse(&line).unwrap()).unwrap();
+            assert_eq!(resp.id, id);
+        }
+        // Close *both* fds of the main connection (the reader holds a dup;
+        // the handler only sees EOF — and the pool only drains — once every
+        // clone is gone).
+        drop(reader);
+        drop(stream);
+        let _ = round_trip(
+            addr,
+            &compact(&Json::Obj(vec![(
+                "op".into(),
+                Json::Str("shutdown".into()),
+            )])),
+        );
+        daemon.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

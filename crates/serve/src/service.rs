@@ -1,0 +1,539 @@
+//! The compilation service: request → workload → fingerprint → (store |
+//! coalesced warm/cold search) → response.
+//!
+//! The full request path, in order:
+//!
+//! 1. build the workload DAG + accelerator the request names (typed errors
+//!    for unknown datasets / impossible parameters);
+//! 2. fingerprint (DAG, accel, space, strategy) — `cello_search::fingerprint`;
+//! 3. **exact store hit**: collision-checked read of the persistent cache,
+//!    served without touching the tuner (this is the ≥100× path);
+//! 4. otherwise **coalesce** on the fingerprint: one leader compiles,
+//!    concurrent identical requests share its result;
+//! 5. the leader looks for a **family** record (same DAG + strategy,
+//!    different SRAM/nodes) and, when found, warm-starts a *narrowed* beam
+//!    from its stored Pareto seeds ([`cello_search::Tuner::tune_seeded`]);
+//!    cold otherwise;
+//! 6. the outcome is persisted and answered.
+//!
+//! Every step is panic-fenced: a compile that panics becomes a typed
+//! `internal` error response and the daemon keeps serving.
+
+use crate::coalesce::Coalescer;
+use crate::error::ServeError;
+use crate::protocol::{compact, error_line, parse_frame, CacheTag, Frame, Request, Response};
+use crate::store::{ScheduleStore, StoredOutcome};
+use cello_bench::json::Json;
+use cello_core::accel::CelloConfig;
+use cello_core::score::binding::Schedule;
+use cello_graph::dag::TensorDag;
+use cello_graph::dot::to_dot_annotated;
+use cello_search::fingerprint::{fingerprint, Fingerprint};
+use cello_search::{SpaceConfig, Strategy, Tuner};
+use cello_workloads::bicgstab::{build_bicgstab_dag, BicgParams};
+use cello_workloads::cg::{build_cg_dag, CgParams};
+use cello_workloads::datasets::{registry, Dataset, DatasetKind};
+use cello_workloads::gcn::{build_gcn_dag, GcnParams};
+use cello_workloads::hpcg::{build_hpcg_dag, HpcgParams};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Service counters (all monotone; reported by the `stats` op).
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    hits: AtomicU64,
+    warm: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    compiles: AtomicU64,
+}
+
+/// What one leader's compilation produced, shared with coalesced followers.
+#[derive(Clone)]
+struct CompileResult {
+    rec: Arc<StoredOutcome>,
+    cache: CacheTag,
+}
+
+/// The schedule-compilation service (transport-agnostic; `server` puts it
+/// behind TCP, tests and `loadgen --in-process` call it directly).
+pub struct Service {
+    store: ScheduleStore,
+    coalescer: Coalescer<Result<CompileResult, ServeError>>,
+    counters: Counters,
+}
+
+impl Service {
+    /// Opens the service over a persistent cache directory.
+    pub fn open(cache_dir: &Path) -> Result<Self, ServeError> {
+        Ok(Self {
+            store: ScheduleStore::open(cache_dir)?,
+            coalescer: Coalescer::new(),
+            counters: Counters::default(),
+        })
+    }
+
+    /// Total tuner runs this process performed (the coalescing test's
+    /// observable: k identical concurrent requests must move this by 1).
+    pub fn compiles(&self) -> u64 {
+        self.counters.compiles.load(Ordering::Relaxed)
+    }
+
+    /// Number of records in the persistent store.
+    pub fn store_len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Handles one wire line. Returns the response line (never panics,
+    /// always valid JSON) plus whether a shutdown was requested.
+    pub fn handle_line(&self, line: &str) -> (String, bool) {
+        match parse_frame(line) {
+            Err(e) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                (error_line(0, &e), false)
+            }
+            Ok(Frame::Stats { id }) => (self.stats_line(id), false),
+            Ok(Frame::Shutdown { id }) => (
+                compact(&Json::Obj(vec![
+                    ("id".into(), Json::int(id)),
+                    ("status".into(), Json::Str("ok".into())),
+                    ("op".into(), Json::Str("shutdown".into())),
+                ])),
+                true,
+            ),
+            Ok(Frame::Compile(req)) => {
+                self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                // Panic fence: a compile bug answers `internal`, the daemon
+                // lives on.
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.handle(&req)))
+                        .unwrap_or_else(|panic| {
+                            let msg = panic
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| panic.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "compile panicked".into());
+                            Err(ServeError::Internal(msg))
+                        });
+                match outcome {
+                    Ok(resp) => {
+                        self.counters.ok.fetch_add(1, Ordering::Relaxed);
+                        (compact(&resp.to_json()), false)
+                    }
+                    Err(e) => {
+                        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        (error_line(req.id, &e), false)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles one parsed compile request.
+    pub fn handle(&self, req: &Request) -> Result<Response, ServeError> {
+        let started = Instant::now();
+        let (dag, accel) = build_workload(req)?;
+        let strategy = Strategy::parse(&req.strategy)
+            .ok_or_else(|| ServeError::UnknownStrategy(req.strategy.clone()))?;
+        let cfg = space_of(req, &accel);
+        let fp = fingerprint(&dag, &accel, &cfg, &strategy);
+
+        if let Some(rec) = self.store.lookup(&fp) {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(self.respond(req, &fp, &rec, CacheTag::Hit, started, &dag, &accel));
+        }
+
+        let (result, shared) = self.coalescer.run(&fp.hash, || {
+            self.compile(&dag, &accel, &cfg, &strategy, &fp)
+        });
+        let result = result?;
+        let tag = if shared {
+            CacheTag::Coalesced
+        } else {
+            result.cache
+        };
+        match tag {
+            CacheTag::Hit => &self.counters.hits,
+            CacheTag::Warm => &self.counters.warm,
+            CacheTag::Miss => &self.counters.misses,
+            CacheTag::Coalesced => &self.counters.coalesced,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        Ok(self.respond(req, &fp, &result.rec, tag, started, &dag, &accel))
+    }
+
+    /// The leader path under coalescing: re-check the store (an identical
+    /// leader may have landed between our miss and acquiring the slot),
+    /// then warm- or cold-compile, persist, and share.
+    fn compile(
+        &self,
+        dag: &TensorDag,
+        accel: &CelloConfig,
+        cfg: &SpaceConfig,
+        strategy: &Strategy,
+        fp: &Fingerprint,
+    ) -> Result<CompileResult, ServeError> {
+        if let Some(rec) = self.store.lookup(fp) {
+            return Ok(CompileResult {
+                rec: Arc::new(rec),
+                cache: CacheTag::Hit,
+            });
+        }
+        let family = self.store.lookup_family(fp);
+        let tuner = Tuner::new(dag, accel, cfg.clone());
+        let (out, cache) = match &family {
+            Some(rec) => (
+                tuner.tune_seeded(&warm_strategy(strategy), &rec.seeds()),
+                CacheTag::Warm,
+            ),
+            None => (tuner.tune(strategy), CacheTag::Miss),
+        };
+        self.counters.compiles.fetch_add(1, Ordering::Relaxed);
+        let rec = StoredOutcome::from_outcome(fp, &out);
+        if let Err(e) = self.store.insert(fp, &rec) {
+            // Serving beats caching: answer from the in-memory outcome and
+            // let the next identical request recompile.
+            eprintln!("[serve] could not persist {}: {e}", fp.hash);
+        }
+        Ok(CompileResult {
+            rec: Arc::new(rec),
+            cache,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn respond(
+        &self,
+        req: &Request,
+        fp: &Fingerprint,
+        rec: &StoredOutcome,
+        cache: CacheTag,
+        started: Instant,
+        dag: &TensorDag,
+        accel: &CelloConfig,
+    ) -> Response {
+        let dot = req.emit_dot.then(|| {
+            let schedule = rec.best.candidate.build(dag);
+            schedule_dot(dag, &schedule, accel)
+        });
+        Response {
+            id: req.id,
+            fingerprint: fp.hash.clone(),
+            family: fp.family.clone(),
+            cache,
+            compile_micros: started.elapsed().as_micros() as u64,
+            strategy: rec.strategy.clone(),
+            best_key: rec.best.key.clone(),
+            base_cycles: rec.base_cycles,
+            tuned_cycles: rec.tuned_cycles,
+            tuned_dram_bytes: rec.best.cost.dram_bytes,
+            tuned_noc_hop_bytes: rec.best.cost.noc_hop_bytes,
+            tuned_traffic_bytes: rec.best.cost.total_traffic_bytes(),
+            tuned_energy_pj: rec.tuned_energy_pj,
+            evaluations: match cache {
+                CacheTag::Hit => 0,
+                _ => rec.evaluations,
+            },
+            surrogate_scored: match cache {
+                CacheTag::Hit => 0,
+                _ => rec.surrogate_scored,
+            },
+            pareto_size: rec.pareto.len() as u64,
+            dot,
+        }
+    }
+
+    fn stats_line(&self, id: u64) -> String {
+        let c = &self.counters;
+        compact(&Json::Obj(vec![
+            ("id".into(), Json::int(id)),
+            ("status".into(), Json::Str("ok".into())),
+            ("op".into(), Json::Str("stats".into())),
+            (
+                "requests".into(),
+                Json::int(c.requests.load(Ordering::Relaxed)),
+            ),
+            ("ok".into(), Json::int(c.ok.load(Ordering::Relaxed))),
+            ("errors".into(), Json::int(c.errors.load(Ordering::Relaxed))),
+            ("hits".into(), Json::int(c.hits.load(Ordering::Relaxed))),
+            ("warm".into(), Json::int(c.warm.load(Ordering::Relaxed))),
+            ("misses".into(), Json::int(c.misses.load(Ordering::Relaxed))),
+            (
+                "coalesced".into(),
+                Json::int(c.coalesced.load(Ordering::Relaxed)),
+            ),
+            (
+                "compiles".into(),
+                Json::int(c.compiles.load(Ordering::Relaxed)),
+            ),
+            ("store_records".into(), Json::int(self.store.len() as u64)),
+            (
+                "store_collisions".into(),
+                Json::int(self.store.collisions()),
+            ),
+            (
+                "in_flight".into(),
+                Json::int(self.coalescer.in_flight() as u64),
+            ),
+        ]))
+    }
+}
+
+/// The warm-start narrowing: seeds substitute for beam breadth, so a warm
+/// beam runs at a quarter of the requested width (floor 2). Non-beam
+/// traversals keep their shape (seeds still join the comparison set).
+fn warm_strategy(strategy: &Strategy) -> Strategy {
+    match strategy {
+        Strategy::Beam { width } => Strategy::Beam {
+            width: (*width / 4).max(2),
+        },
+        Strategy::Prefiltered { keep_frac, inner } => Strategy::Prefiltered {
+            keep_frac: *keep_frac,
+            inner: Box::new(warm_strategy(inner)),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Resolves a request's pattern into (DAG, accelerator).
+fn build_workload(req: &Request) -> Result<(TensorDag, CelloConfig), ServeError> {
+    let accel = CelloConfig::paper().with_sram_bytes(req.sram_mb << 20);
+    let dataset = match &req.dataset {
+        Some(name) => Some(
+            registry()
+                .into_iter()
+                .find(|d| d.name == name.as_str())
+                .ok_or_else(|| ServeError::UnknownDataset(name.clone()))?,
+        ),
+        None => None,
+    };
+    // Explicit m/nnz (e.g. derived client-side from a real SuiteSparse
+    // `.mtx`) beats the registry; one of the two must pin the pattern.
+    let pattern = |what: &'static str| -> Result<(u64, u64), ServeError> {
+        match (req.m, req.nnz, &dataset) {
+            (Some(m), Some(nnz), _) => Ok((m, nnz)),
+            (None, None, Some(d)) => Ok((d.m as u64, d.nnz as u64)),
+            (Some(_), None, _) | (None, Some(_), _) => Err(ServeError::BadParam(
+                "explicit patterns need both m and nnz".into(),
+            )),
+            (None, None, None) => Err(ServeError::MissingField(what)),
+        }
+    };
+    let dag = match req.workload.as_str() {
+        "cg" => {
+            let (m, nnz) = pattern("dataset")?;
+            build_cg_dag(&CgParams {
+                m,
+                occupancy: nnz as f64 / m as f64,
+                a_payload_words: 2 * nnz + m + 1,
+                n: req.n,
+                nprime: req.n,
+                iterations: req.iterations,
+            })
+        }
+        "bicgstab" => {
+            let (m, nnz) = pattern("dataset")?;
+            build_bicgstab_dag(&BicgParams {
+                m,
+                occupancy: nnz as f64 / m as f64,
+                a_payload_words: 2 * nnz + m + 1,
+                n: req.n,
+                iterations: req.iterations,
+            })
+        }
+        "hpcg" => build_hpcg_dag(&HpcgParams {
+            nx: req.nx.unwrap_or(48),
+            n: req.n,
+            iterations: req.iterations,
+        }),
+        "gcn" => {
+            let params = match &dataset {
+                Some(d) => {
+                    if !matches!(d.kind, DatasetKind::Graph { .. }) {
+                        return Err(ServeError::BadParam(format!(
+                            "dataset {:?} is not a graph (gcn needs cora/protein or explicit m+nnz)",
+                            d.name
+                        )));
+                    }
+                    GcnParams::from_dataset(d, req.layers)
+                }
+                None => {
+                    let (m, nnz) = pattern("dataset")?;
+                    GcnParams {
+                        vertices: m,
+                        nnz,
+                        // Paper-typical feature widths for ad-hoc graphs.
+                        features: 128,
+                        outputs: 16,
+                        layers: req.layers,
+                    }
+                }
+            };
+            build_gcn_dag(&params)
+        }
+        other => return Err(ServeError::UnknownWorkload(other.into())),
+    };
+    Ok((dag, accel))
+}
+
+/// The search space a request asks for.
+fn space_of(req: &Request, accel: &CelloConfig) -> SpaceConfig {
+    let mut cfg = if req.widened {
+        SpaceConfig::widened_with_nodes(&req.nodes)
+    } else {
+        SpaceConfig::with_nodes(&req.nodes)
+    };
+    if req.per_phase_sram {
+        cfg = cfg.with_repartition(accel.sram_words());
+    }
+    cfg
+}
+
+/// Renders a scheduled DAG as annotated Graphviz: nodes clustered by phase,
+/// each cluster labeled with its resolved SRAM split (pipeline / RF words
+/// and the CHORD remainder), edges colored by realization.
+pub fn schedule_dot(dag: &TensorDag, schedule: &Schedule, accel: &CelloConfig) -> String {
+    let phase_of = schedule.phase_of();
+    let labels: Vec<String> = schedule
+        .phase_splits
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let chord = if schedule.options.enable_chord {
+                accel.sram_words().saturating_sub(s.reserved_words())
+            } else {
+                0
+            };
+            format!(
+                "phase {i} | pb={} rf={} chord={}",
+                s.pipeline_buffer_words, s.rf_capacity_words, chord
+            )
+        })
+        .collect();
+    to_dot_annotated(
+        dag,
+        |e| {
+            if schedule.realized.get(e.0).copied().unwrap_or(false) {
+                ("blue".into(), "pipe".into())
+            } else {
+                let tensor = &dag.node(cello_graph::dag::NodeId(dag.edge(e).src)).output;
+                let binding = format!("{:?}", schedule.binding_of(&tensor.name)).to_lowercase();
+                ("gray".into(), binding)
+            }
+        },
+        |n| phase_of.get(n.0).copied(),
+        &labels,
+    )
+}
+
+/// Data needed by tests and `loadgen` to pick apart a workload the same way
+/// the service does.
+pub fn dataset_by_name(name: &str) -> Option<Dataset> {
+    registry().into_iter().find(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cello-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_request(id: u64) -> Request {
+        let mut req = Request::cg("fv1");
+        req.id = id;
+        req.iterations = 1;
+        req.strategy = "beam2".into();
+        req
+    }
+
+    #[test]
+    fn miss_then_hit_with_persistent_cache() {
+        let dir = tmpdir("miss-hit");
+        let service = Service::open(&dir).unwrap();
+        let first = service.handle(&tiny_request(1)).unwrap();
+        assert_eq!(first.cache, CacheTag::Miss);
+        assert!(first.evaluations > 0);
+        let second = service.handle(&tiny_request(2)).unwrap();
+        assert_eq!(second.cache, CacheTag::Hit);
+        assert_eq!(second.id, 2);
+        assert_eq!(second.evaluations, 0);
+        assert_eq!(second.best_key, first.best_key);
+        assert_eq!(second.tuned_cycles, first.tuned_cycles);
+        assert_eq!(service.compiles(), 1);
+        // A fresh service over the same directory hits straight from disk.
+        let warm_boot = Service::open(&dir).unwrap();
+        let third = warm_boot.handle(&tiny_request(3)).unwrap();
+        assert_eq!(third.cache, CacheTag::Hit);
+        assert_eq!(third.best_key, first.best_key);
+        assert_eq!(warm_boot.compiles(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn near_miss_warm_starts() {
+        let dir = tmpdir("warm");
+        let service = Service::open(&dir).unwrap();
+        let cold = service.handle(&tiny_request(1)).unwrap();
+        assert_eq!(cold.cache, CacheTag::Miss);
+        // Same DAG + strategy, different SRAM: family member → warm.
+        let mut near = tiny_request(2);
+        near.sram_mb = 8;
+        let warm = service.handle(&near).unwrap();
+        assert_eq!(warm.cache, CacheTag::Warm);
+        assert_eq!(warm.family, cold.family);
+        assert_ne!(warm.fingerprint, cold.fingerprint);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn handle_line_never_panics_and_shutdown_flags() {
+        let dir = tmpdir("lines");
+        let service = Service::open(&dir).unwrap();
+        for line in ["", "{", "null", r#"{"workload": "fft"}"#] {
+            let (resp, shutdown) = service.handle_line(line);
+            assert!(resp.contains("\"status\": \"error\""), "{resp}");
+            assert!(!shutdown);
+            Json::parse(&resp).expect("error responses are valid JSON");
+        }
+        let (resp, shutdown) = service.handle_line(r#"{"op": "stats"}"#);
+        assert!(!shutdown);
+        assert!(resp.contains("\"requests\""));
+        let (resp, shutdown) = service.handle_line(r#"{"op": "shutdown", "id": 5}"#);
+        assert!(shutdown);
+        assert!(resp.contains("\"shutdown\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dot_response_is_annotated() {
+        let dir = tmpdir("dot");
+        let service = Service::open(&dir).unwrap();
+        let mut req = tiny_request(1);
+        req.emit_dot = true;
+        let resp = service.handle(&req).unwrap();
+        let dot = resp.dot.expect("dot requested");
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("pb="), "phase labels carry the SRAM split");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_dataset_is_typed() {
+        let dir = tmpdir("unknown");
+        let service = Service::open(&dir).unwrap();
+        let mut req = tiny_request(1);
+        req.dataset = Some("zz_matrix".into());
+        assert_eq!(service.handle(&req).unwrap_err().kind(), "unknown-dataset");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -61,6 +61,21 @@ impl CgParams {
         }
     }
 
+    /// Builds from an actual sparse matrix — e.g. a real SuiteSparse
+    /// pattern loaded with [`crate::datasets::load_matrix_market`] — so the
+    /// DAG's footprints and occupancy reflect the file's true sparsity
+    /// rather than a registry entry's published statistics.
+    pub fn from_csr(a: &CsrMatrix, n: u64, iterations: u32) -> Self {
+        Self {
+            m: a.rows() as u64,
+            occupancy: a.occupancy(),
+            a_payload_words: a.payload_words(),
+            n,
+            nprime: n,
+            iterations,
+        }
+    }
+
     /// Words of one skewed `M×N` tensor (`P`, `R`, `S`, `X`).
     pub fn big_words(&self) -> u64 {
         self.m * self.n

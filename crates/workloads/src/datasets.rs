@@ -1,14 +1,21 @@
-//! Dataset registry (paper Table VI) with synthetic generation.
+//! Dataset registry (paper Table VI) with synthetic generation, plus a
+//! Matrix Market (`.mtx`) loader for real SuiteSparse sparsity patterns.
 //!
 //! The paper's datasets come from SuiteSparse (PDE matrices) and OMEGA (GNN
 //! graphs). We register their published statistics and generate synthetic
 //! stand-ins matching `M` and `nnz` (see DESIGN.md §2 — the traffic and
 //! roofline study depends only on shapes/footprints, and our SPD generators
-//! also let the numeric solvers converge).
+//! also let the numeric solvers converge). When an actual SuiteSparse
+//! download is at hand, [`load_matrix_market`] parses the standard
+//! coordinate format (`real`/`integer`/`pattern` fields, `general`/
+//! `symmetric` symmetry) into a [`CsrMatrix`], so CG/HPCG-style DAGs can be
+//! built from the *real* sparsity pattern instead of the stand-in —
+//! `cello-serve`'s `loadgen --mtx` wires exactly that into its request mix.
 
 use cello_tensor::gen::{random_graph_adjacency, random_spd};
-use cello_tensor::sparse::CsrMatrix;
+use cello_tensor::sparse::{CooMatrix, CsrMatrix};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// What kind of workload a dataset feeds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -123,6 +130,203 @@ pub const PROTEIN: Dataset = Dataset {
     workload: "GCN Layer",
 };
 
+/// Why a Matrix Market file failed to load — a typed error, never a panic:
+/// the serving path feeds untrusted files through this parser.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MtxError {
+    /// The file could not be read.
+    Io(String),
+    /// Missing or malformed `%%MatrixMarket` banner.
+    BadBanner(String),
+    /// An unsupported format/field/symmetry combination (only
+    /// `matrix coordinate {real,integer,pattern} {general,symmetric}` is
+    /// accepted — `complex`/`hermitian`/`skew-symmetric`/`array` are not
+    /// workloads this model runs).
+    Unsupported(String),
+    /// A malformed size or entry line (1-based line number + complaint).
+    Parse {
+        /// 1-based line number in the file.
+        line: usize,
+        /// What was wrong.
+        msg: String,
+    },
+    /// An entry's coordinates fall outside the declared dimensions.
+    OutOfBounds {
+        /// 1-based line number in the file.
+        line: usize,
+        /// The offending (row, col), 1-based as written.
+        coord: (usize, usize),
+    },
+}
+
+impl fmt::Display for MtxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MtxError::Io(e) => write!(f, "cannot read .mtx file: {e}"),
+            MtxError::BadBanner(b) => write!(f, "bad MatrixMarket banner: {b:?}"),
+            MtxError::Unsupported(what) => write!(f, "unsupported MatrixMarket flavor: {what}"),
+            MtxError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+            MtxError::OutOfBounds { line, coord } => {
+                write!(
+                    f,
+                    "line {line}: entry ({}, {}) out of bounds",
+                    coord.0, coord.1
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MtxError {}
+
+/// Parses Matrix Market coordinate text into CSR. Symmetric files mirror
+/// their strictly-lower/upper entries; `pattern` fields take value 1.0;
+/// duplicate coordinates accumulate (the COO builder's semantics, matching
+/// the MM spec's "assembled from duplicates" reading).
+pub fn parse_matrix_market(text: &str) -> Result<CsrMatrix, MtxError> {
+    let mut lines = text.lines().enumerate();
+    let (_, banner) = lines
+        .next()
+        .ok_or_else(|| MtxError::BadBanner("empty file".into()))?;
+    let tokens: Vec<String> = banner.split_whitespace().map(str::to_lowercase).collect();
+    if tokens.first().map(String::as_str) != Some("%%matrixmarket") {
+        return Err(MtxError::BadBanner(banner.into()));
+    }
+    if tokens.len() != 5 {
+        return Err(MtxError::BadBanner(banner.into()));
+    }
+    let (object, format, field, symmetry) = (&tokens[1], &tokens[2], &tokens[3], &tokens[4]);
+    if object != "matrix" || format != "coordinate" {
+        return Err(MtxError::Unsupported(format!("{object} {format}")));
+    }
+    if !matches!(field.as_str(), "real" | "integer" | "pattern") {
+        return Err(MtxError::Unsupported(format!("field {field}")));
+    }
+    let symmetric = match symmetry.as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => return Err(MtxError::Unsupported(format!("symmetry {other}"))),
+    };
+    let pattern = field == "pattern";
+
+    // Size line: first non-comment, non-blank line after the banner.
+    let mut size: Option<(usize, usize, usize, usize)> = None; // rows, cols, nnz, line no
+    let mut coo: Option<CooMatrix> = None;
+    let mut seen = 0usize;
+    for (idx, raw) in lines {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match size {
+            None => {
+                if fields.len() != 3 {
+                    return Err(MtxError::Parse {
+                        line: line_no,
+                        msg: format!("size line needs 'rows cols nnz', got {line:?}"),
+                    });
+                }
+                let parse = |s: &str| -> Result<usize, MtxError> {
+                    s.parse().map_err(|_| MtxError::Parse {
+                        line: line_no,
+                        msg: format!("bad size {s:?}"),
+                    })
+                };
+                let (r, c, n) = (parse(fields[0])?, parse(fields[1])?, parse(fields[2])?);
+                size = Some((r, c, n, line_no));
+                coo = Some(CooMatrix::new(r, c));
+            }
+            Some((rows, cols, declared, _)) => {
+                let want = if pattern { 2 } else { 3 };
+                if fields.len() < want {
+                    return Err(MtxError::Parse {
+                        line: line_no,
+                        msg: format!("entry needs {want} fields, got {line:?}"),
+                    });
+                }
+                let coord = |s: &str| -> Result<usize, MtxError> {
+                    let v: usize = s.parse().map_err(|_| MtxError::Parse {
+                        line: line_no,
+                        msg: format!("bad index {s:?}"),
+                    })?;
+                    if v == 0 {
+                        return Err(MtxError::Parse {
+                            line: line_no,
+                            msg: "indices are 1-based; found 0".into(),
+                        });
+                    }
+                    Ok(v)
+                };
+                let (r1, c1) = (coord(fields[0])?, coord(fields[1])?);
+                if r1 > rows || c1 > cols {
+                    return Err(MtxError::OutOfBounds {
+                        line: line_no,
+                        coord: (r1, c1),
+                    });
+                }
+                let value = if pattern {
+                    1.0
+                } else {
+                    fields[2].parse::<f64>().map_err(|_| MtxError::Parse {
+                        line: line_no,
+                        msg: format!("bad value {:?}", fields[2]),
+                    })?
+                };
+                seen += 1;
+                if seen > declared {
+                    return Err(MtxError::Parse {
+                        line: line_no,
+                        msg: format!("more than the declared {declared} entries"),
+                    });
+                }
+                let builder = coo.as_mut().expect("size parsed before entries");
+                builder.push(r1 - 1, c1 - 1, value);
+                if symmetric && r1 != c1 {
+                    builder.push(c1 - 1, r1 - 1, value);
+                }
+            }
+        }
+    }
+    let Some((_, _, declared, size_line)) = size else {
+        return Err(MtxError::Parse {
+            line: 1,
+            msg: "no size line".into(),
+        });
+    };
+    if seen != declared {
+        return Err(MtxError::Parse {
+            line: size_line,
+            msg: format!("declared {declared} entries, file has {seen}"),
+        });
+    }
+    Ok(coo.expect("built alongside size").to_csr())
+}
+
+/// Reads and parses a `.mtx` file from disk.
+pub fn load_matrix_market(path: &std::path::Path) -> Result<CsrMatrix, MtxError> {
+    let text = std::fs::read_to_string(path).map_err(|e| MtxError::Io(format!("{path:?}: {e}")))?;
+    parse_matrix_market(&text)
+}
+
+/// Renders a CSR matrix as Matrix Market `coordinate real general` text —
+/// the round-trip partner of [`parse_matrix_market`], also used to produce
+/// the checked-in sample under `data/`.
+pub fn write_matrix_market(a: &CsrMatrix) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "%%MatrixMarket matrix coordinate real general");
+    let _ = writeln!(out, "% written by cello-workloads");
+    let _ = writeln!(out, "{} {} {}", a.rows(), a.cols(), a.nnz());
+    for r in 0..a.rows() {
+        for (c, v) in a.row(r) {
+            let _ = writeln!(out, "{} {} {v:?}", r + 1, c + 1);
+        }
+    }
+    out
+}
+
 /// Every Table VI dataset.
 pub fn registry() -> Vec<Dataset> {
     vec![FV1, SHALLOW_WATER1, G2_CIRCUIT, NASA4704, CORA, PROTEIN]
@@ -182,5 +386,83 @@ mod tests {
     #[test]
     fn payload_includes_metadata() {
         assert_eq!(FV1.csr_payload_words(), 2 * 85_264 + 9604 + 1);
+    }
+
+    #[test]
+    fn mtx_round_trips_generated_matrices() {
+        let a = FV1.generate();
+        let back = parse_matrix_market(&write_matrix_market(&a)).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn mtx_parses_symmetric_and_pattern_flavors() {
+        // Symmetric: lower triangle given, mirror implied.
+        let sym = "%%MatrixMarket matrix coordinate real symmetric\n\
+                   % a comment\n\
+                   3 3 4\n1 1 2.0\n2 1 -1.0\n2 2 2.0\n3 3 1.5\n";
+        let a = parse_matrix_market(sym).unwrap();
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.nnz(), 5, "one mirrored off-diagonal");
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.get(0, 1), -1.0, "mirrored");
+        assert!(a.is_symmetric(0.0));
+        // Pattern: entries take value 1.0.
+        let pat = "%%MatrixMarket matrix coordinate pattern general\n2 2 3\n1 1\n1 2\n2 2\n";
+        let p = parse_matrix_market(pat).unwrap();
+        assert_eq!(p.nnz(), 3);
+        assert_eq!(p.get(0, 1), 1.0);
+        // Integer field parses as real.
+        let int = "%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n";
+        assert_eq!(parse_matrix_market(int).unwrap().get(0, 0), 7.0);
+    }
+
+    /// Malformed files land in typed errors, never panics — the serve
+    /// request path feeds untrusted files through here.
+    #[test]
+    fn mtx_rejects_malformed_files_with_typed_errors() {
+        type Matcher = fn(&MtxError) -> bool;
+        let cases: Vec<(&str, Matcher)> = vec![
+            ("", |e| matches!(e, MtxError::BadBanner(_))),
+            ("%%MatrixMarket matrix array real general\n", |e| {
+                matches!(e, MtxError::Unsupported(_))
+            }),
+            (
+                "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+                |e| matches!(e, MtxError::Unsupported(_)),
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 1\n1 1 1\n",
+                |e| matches!(e, MtxError::Unsupported(_)),
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real general\nnot a size\n",
+                |e| matches!(e, MtxError::Parse { .. }),
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 5.0\n",
+                |e| matches!(e, MtxError::OutOfBounds { line: 3, .. }),
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 5.0\n",
+                |e| matches!(e, MtxError::Parse { .. }),
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 5.0\n",
+                |e| matches!(e, MtxError::Parse { .. }),
+            ),
+            (
+                "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 x\n",
+                |e| matches!(e, MtxError::Parse { .. }),
+            ),
+        ];
+        for (text, matches) in cases {
+            let err = parse_matrix_market(text).expect_err(text);
+            assert!(matches(&err), "{text:?} -> {err}");
+        }
+        assert!(matches!(
+            load_matrix_market(std::path::Path::new("/no/such/file.mtx")),
+            Err(MtxError::Io(_))
+        ));
     }
 }

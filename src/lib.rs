@@ -3,7 +3,8 @@
 //! Re-exports the whole workspace under one roof so examples, integration
 //! tests and downstream users can `use cello::…` without naming individual
 //! crates. See `README.md` for the architecture overview (including the
-//! `cello-search` auto-tuner and the `cello_dse` CLI).
+//! `cello-search` auto-tuner, the `cello_dse` CLI, and the `cello-serve`
+//! schedule-compilation daemon with its `cello_client`/`loadgen` tools).
 //!
 //! ```
 //! use cello::tensor::ai_best_gemm;
@@ -16,6 +17,7 @@ pub use cello_core as core;
 pub use cello_graph as graph;
 pub use cello_mem as mem;
 pub use cello_search as search;
+pub use cello_serve as serve;
 pub use cello_sim as sim;
 pub use cello_tensor as tensor;
 pub use cello_workloads as workloads;
