@@ -222,6 +222,8 @@ fn main() {
             "candidates_per_sec",
             "p50_micros",
             "p95_micros",
+            "p99_us",
+            "coalesced_requests",
             "throughput_rps",
             "hit_speedup",
         ] {

@@ -199,6 +199,26 @@ fn workloads() -> Vec<Workload> {
     all
 }
 
+/// Prints the process-global search instrumentation accumulated over every
+/// tune this run (tunes, exact-vs-surrogate evaluation split, memo cache
+/// hits, prefilter keep/drop tallies) — the registry the serve daemon
+/// exposes over its `metrics` op, surfaced here for CLI runs.
+fn print_obs_summary() {
+    let snap = cello_obs::metrics::global().snapshot();
+    let get = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    println!(
+        "[obs] {} tunes: {} exact evals, {} surrogate, {} cache hits, {} candidates; \
+         prefilter kept {} / dropped {}",
+        get("search_tunes"),
+        get("search_exact_evals"),
+        get("search_surrogate_evals"),
+        get("search_cache_hits"),
+        get("search_candidates"),
+        get("search_prefilter_kept"),
+        get("search_prefilter_dropped"),
+    );
+}
+
 fn outcome_row(name: &str, out: &SearchOutcome) -> Vec<String> {
     vec![
         name.to_string(),
@@ -385,6 +405,7 @@ fn run_quick(args: &Args) {
             std::process::exit(1);
         }
     }
+    print_obs_summary();
     if !violations.is_empty() {
         eprintln!("quick trajectory FAILED (artifact written above):");
         for v in &violations {
@@ -508,4 +529,5 @@ fn main() {
         beam.evaluations,
         exhaustive.evaluations,
     );
+    print_obs_summary();
 }

@@ -6,6 +6,11 @@
 //!     --workload cg --dataset shallow_water1 --n 16 --iterations 10 \
 //!     --config cello --bandwidth 1tb --sram-mb 4
 //! ```
+//!
+//! `--trace-out trace.json` additionally writes a Chrome trace-event file
+//! (one model-time span tree per simulated config, phases as children) —
+//! open it in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`
+//! for the phase-level flame view.
 
 use cello_core::accel::CelloConfig;
 use cello_graph::dag::TensorDag;
@@ -32,6 +37,7 @@ USAGE:
               [--blocks <resnet blocks, default 1>]
               [--bandwidth 1tb|250gb]
               [--sram-mb <default 4>]
+              [--trace-out <chrome-trace JSON file>]
               [--help]
 ";
 
@@ -93,6 +99,7 @@ fn main() {
     let iterations: u32 = get("iterations", "10").parse().expect("--iterations");
     let blocks: u32 = get("blocks", "1").parse().expect("--blocks");
     let sram_mb: u64 = get("sram-mb", "4").parse().expect("--sram-mb");
+    let trace_out = args.get("trace-out").cloned();
     let configs = parse_config(&get("config", "all"));
 
     let mut accel = match get("bandwidth", "1tb").to_ascii_lowercase().as_str() {
@@ -154,6 +161,7 @@ fn main() {
         "{:<14}{:>12}{:>14}{:>14}{:>12}{:>12}",
         "config", "GFPMuls/s", "DRAM MB", "energy µJ", "ops/B", "time µs"
     );
+    let mut spans = Vec::new();
     for kind in configs {
         let r = run_config(&dag, kind, &accel, &workload);
         println!(
@@ -165,5 +173,21 @@ fn main() {
             r.achieved_intensity(),
             r.seconds * 1e6,
         );
+        if trace_out.is_some() {
+            spans.push(cello_sim::obs::report_span(&r, &accel));
+        }
+    }
+    if let Some(path) = trace_out {
+        let trace = cello_obs::chrome::chrome_trace(&spans);
+        match std::fs::write(&path, trace) {
+            Ok(()) => println!(
+                "\n[trace] wrote {} span tree(s) to {path} — open in https://ui.perfetto.dev",
+                spans.len()
+            ),
+            Err(e) => {
+                eprintln!("cello_run: cannot write {path}: {e}");
+                exit(1);
+            }
+        }
     }
 }

@@ -45,6 +45,26 @@ impl AccessStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Field-wise difference against an `earlier` snapshot of the same
+    /// monotone counters — the per-phase delta the engine attributes to one
+    /// phase. Saturating so a mismatched pair yields zeros, not a panic.
+    pub fn delta_since(&self, earlier: &AccessStats) -> AccessStats {
+        AccessStats {
+            dram_read_bytes: self.dram_read_bytes.saturating_sub(earlier.dram_read_bytes),
+            dram_write_bytes: self
+                .dram_write_bytes
+                .saturating_sub(earlier.dram_write_bytes),
+            sram_read_words: self.sram_read_words.saturating_sub(earlier.sram_read_words),
+            sram_write_words: self
+                .sram_write_words
+                .saturating_sub(earlier.sram_write_words),
+            tag_accesses: self.tag_accesses.saturating_sub(earlier.tag_accesses),
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            writebacks: self.writebacks.saturating_sub(earlier.writebacks),
+        }
+    }
 }
 
 impl AddAssign for AccessStats {
@@ -101,5 +121,28 @@ mod tests {
         assert_eq!(a.hits, 3);
         assert_eq!(a.misses, 5);
         assert_eq!(a.dram_bytes(), 48);
+    }
+
+    #[test]
+    fn delta_since_inverts_add_assign() {
+        let earlier = AccessStats {
+            hits: 2,
+            misses: 1,
+            dram_read_bytes: 64,
+            tag_accesses: 8,
+            ..Default::default()
+        };
+        let mut later = earlier;
+        let phase = AccessStats {
+            hits: 5,
+            writebacks: 2,
+            dram_write_bytes: 128,
+            sram_read_words: 7,
+            ..Default::default()
+        };
+        later += phase;
+        assert_eq!(later.delta_since(&earlier), phase);
+        // Mismatched order saturates to zero instead of underflowing.
+        assert_eq!(earlier.delta_since(&later), AccessStats::default());
     }
 }

@@ -1,0 +1,130 @@
+//! Chrome trace-event JSON export.
+//!
+//! Renders a forest of [`SpanNode`]s as the trace-event format understood
+//! by Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`: a
+//! top-level object with a `traceEvents` array of *complete* events
+//! (`"ph": "X"`) carrying `name`, `ts`/`dur` in microseconds, `pid`/`tid`,
+//! and an `args` object. Every root in the forest gets its own `tid`
+//! (1-based) under a single `pid` so concurrent requests stack as separate
+//! tracks; children inherit their root's ids and nest by interval
+//! containment, which is how the viewers reconstruct the flame graph.
+
+use crate::span::{ArgValue, SpanNode};
+use std::fmt::Write as _;
+
+const PID: u32 = 1;
+
+/// Renders `roots` as a Chrome trace JSON document.
+pub fn chrome_trace(roots: &[SpanNode]) -> String {
+    let mut out = String::from("{\"traceEvents\": [");
+    let mut first = true;
+    for (idx, root) in roots.iter().enumerate() {
+        write_events(&mut out, root, idx as u32 + 1, &mut first);
+    }
+    out.push_str("], \"displayTimeUnit\": \"ms\"}");
+    out
+}
+
+fn write_events(out: &mut String, node: &SpanNode, tid: u32, first: &mut bool) {
+    if !*first {
+        out.push_str(", ");
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "{{\"name\": {}, \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": {PID}, \"tid\": {tid}, \"args\": {{",
+        json_string(&node.name),
+        node.ts_us,
+        node.dur_us,
+    );
+    for (i, (key, value)) in node.args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: ", json_string(key));
+        match value {
+            ArgValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            ArgValue::F64(v) if v.is_finite() => {
+                let _ = write!(out, "{v}");
+            }
+            ArgValue::F64(_) => out.push_str("null"),
+            ArgValue::Str(s) => out.push_str(&json_string(s)),
+        }
+    }
+    out.push_str("}}");
+    for child in &node.children {
+        write_events(out, child, tid, first);
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exports_complete_events_per_node() {
+        let root = SpanNode {
+            name: "request".into(),
+            ts_us: 0.0,
+            dur_us: 120.5,
+            args: vec![("id".into(), ArgValue::U64(9))],
+            children: vec![SpanNode {
+                name: "tune \"cg\"".into(),
+                ts_us: 10.0,
+                dur_us: 100.0,
+                args: vec![
+                    ("evals".into(), ArgValue::U64(12)),
+                    ("frac".into(), ArgValue::F64(0.25)),
+                    ("tag".into(), ArgValue::Str("hit\n".into())),
+                ],
+                children: vec![],
+            }],
+        };
+        let json = chrome_trace(&[root.clone(), SpanNode::new("other")]);
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 3);
+        assert!(json.contains("\"tune \\\"cg\\\"\""));
+        assert!(json.contains("\"evals\": 12"));
+        assert!(json.contains("\"frac\": 0.25"));
+        assert!(json.contains("\"hit\\n\""));
+        assert!(json.contains("\"tid\": 1"));
+        assert!(json.contains("\"tid\": 2"));
+        assert!(json.contains("\"dur\": 120.500"));
+        // Second root and its single event are the only tid-2 entries.
+        assert_eq!(json.matches("\"tid\": 2").count(), 1);
+    }
+
+    #[test]
+    fn escaping_covers_control_chars() {
+        assert_eq!(json_string("a\"b\\c\td\u{1}"), "\"a\\\"b\\\\c\\td\\u0001\"");
+        assert_eq!(json_string("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn empty_forest_is_valid() {
+        let json = chrome_trace(&[]);
+        assert!(json.starts_with("{\"traceEvents\": []"));
+    }
+}

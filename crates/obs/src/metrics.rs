@@ -1,0 +1,388 @@
+//! Named counters, gauges, and latency histograms.
+//!
+//! A [`Registry`] hands out `Arc`'d instruments keyed by name; callers keep
+//! the handle and touch atomics on the hot path (no map lookup per event).
+//! Counters **saturate** instead of wrapping — a u64 that silently restarts
+//! at zero after 2^64 events would corrupt every rate computed from it.
+//! Histograms use 65 log2-width buckets covering all of `u64`, with exact
+//! min/max tracked on the side so percentile estimates can be clamped to
+//! the observed range.
+//!
+//! [`global()`] is the process-wide registry (`cello-serve`'s daemon and the
+//! in-process tuner share it so `metrics` requests see search counters);
+//! tests inject a fresh `Registry` instead to stay isolated.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+const BUCKETS: usize = 65;
+
+/// A monotone, saturating event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`, saturating at `u64::MAX`.
+    pub fn add(&self, n: u64) {
+        // fetch_update never fails with a closure that always returns Some.
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(n))
+            });
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-writer-wins signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket latency histogram: 65 log2-width buckets (bucket `k`
+/// holds values whose bit length is `k`, i.e. `[2^(k-1), 2^k)`), plus exact
+/// min/max and sum. Lock-free to record, cheap to snapshot.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(v))
+            });
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy for percentile math and serialization.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|k| self.counts[k].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable histogram state: mergeable, with percentile estimation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (bucket `k` = bit length `k`).
+    pub counts: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Saturating sum of observed values.
+    pub sum: u64,
+    /// Exact minimum observed (`u64::MAX` when empty).
+    pub min: u64,
+    /// Exact maximum observed (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Inclusive upper bound of bucket `k`.
+fn upper_bound(k: usize) -> u64 {
+    match k {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << k) - 1,
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (identity for [`merge`](Self::merge)).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observation in (for single-threaded accumulation, e.g.
+    /// loadgen's per-workload tallies).
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges another snapshot in. Elementwise saturating adds plus
+    /// min/max folds — associative and commutative, so shard-and-merge
+    /// aggregation is order-independent.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for k in 0..BUCKETS {
+            self.counts[k] = self.counts[k].saturating_add(other.counts[k]);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Estimates the `p`-th percentile (`0.0..=100.0`): the inclusive upper
+    /// bound of the first bucket whose cumulative count reaches
+    /// `ceil(p/100 · count)`, clamped to the exact observed `[min, max]`.
+    /// The clamp guarantees `min ≤ p50 ≤ p95 ≤ p99 ≤ max` and that the
+    /// estimate never exceeds the true value by more than one bucket width.
+    /// Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 100.0) / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for k in 0..BUCKETS {
+            seen = seen.saturating_add(self.counts[k]);
+            if seen >= rank {
+                return upper_bound(k).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A named-instrument registry. Lookup takes a lock; the returned `Arc`
+/// handles are lock-free, so hot paths resolve names once.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry (tests inject these).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            crate::lock(&self.counters)
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(
+            crate::lock(&self.gauges)
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(
+            crate::lock(&self.histograms)
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// A point-in-time copy of every instrument.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: crate::lock(&self.counters)
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: crate::lock(&self.gauges)
+                .iter()
+                .map(|(name, g)| (name.clone(), g.get()))
+                .collect(),
+            histograms: crate::lock(&self.histograms)
+                .iter()
+                .map(|(name, h)| (name.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A consistent-enough copy of a [`Registry`]'s instruments (each
+/// instrument is snapshotted atomically; the set is read under the maps'
+/// locks).
+#[derive(Clone, Debug, Default)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// The process-wide registry. Daemon code records here so one `metrics`
+/// request surfaces every layer; tests should construct their own
+/// [`Registry`] instead.
+pub fn global() -> Arc<Registry> {
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(Registry::new())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates() {
+        let c = Counter::default();
+        c.add(u64::MAX - 1);
+        c.inc();
+        c.inc();
+        assert_eq!(c.get(), u64::MAX, "saturates instead of wrapping");
+    }
+
+    #[test]
+    fn gauge_tracks_in_flight() {
+        let g = Gauge::default();
+        g.add(3);
+        g.add(-1);
+        assert_eq!(g.get(), 2);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_u64() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for k in 0..BUCKETS {
+            assert_eq!(bucket_of(upper_bound(k)), k, "upper bound lives in bucket");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_clamped() {
+        let h = Histogram::default();
+        for v in [3u64, 5, 9, 100, 1000, 1001, 5000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.min, 3);
+        assert_eq!(s.max, 5000);
+        let (p50, p95, p99) = (s.percentile(50.0), s.percentile(95.0), s.percentile(99.0));
+        assert!(s.min <= p50 && p50 <= p95 && p95 <= p99 && p99 <= s.max);
+        // Single observation: every percentile is that value.
+        let mut one = HistogramSnapshot::empty();
+        one.record(42);
+        assert_eq!(one.percentile(50.0), 42);
+        assert_eq!(one.percentile(99.0), 42);
+        assert_eq!(one.mean(), 42.0);
+        // Empty: zeros, no panic.
+        assert_eq!(HistogramSnapshot::empty().percentile(99.0), 0);
+        assert_eq!(HistogramSnapshot::empty().mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = HistogramSnapshot::empty();
+        let mut b = HistogramSnapshot::empty();
+        let mut both = HistogramSnapshot::empty();
+        for v in [1u64, 10, 100] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [7u64, 70, 700_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn registry_returns_shared_handles() {
+        let r = Registry::new();
+        r.counter("requests_total").add(2);
+        r.counter("requests_total").inc();
+        r.histogram("tune_us").record(500);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["requests_total"], 3);
+        assert_eq!(snap.histograms["tune_us"].count, 1);
+        // Global registry is one instance.
+        assert!(Arc::ptr_eq(&global(), &global()));
+    }
+}

@@ -1,0 +1,84 @@
+//! A bounded flight recorder for finished span trees.
+//!
+//! `cello-serve` pushes one [`SpanNode`] per request; the ring keeps the
+//! most recent `capacity` of them so a `trace` protocol request can ship a
+//! Chrome trace of what the daemon just did without unbounded memory. The
+//! lock is poison-proof: a worker panicking mid-push must not wedge every
+//! later `trace` request.
+
+use crate::span::SpanNode;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A fixed-capacity ring of recent span trees (oldest evicted first).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: Mutex<VecDeque<SpanNode>>,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `capacity` trees (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            ring: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Records one finished tree, evicting the oldest at capacity.
+    pub fn push(&self, node: SpanNode) {
+        let mut ring = crate::lock(&self.ring);
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(node);
+    }
+
+    /// The retained trees, oldest first.
+    pub fn recent(&self) -> Vec<SpanNode> {
+        crate::lock(&self.ring).iter().cloned().collect()
+    }
+
+    /// Number of retained trees.
+    pub fn len(&self) -> usize {
+        crate::lock(&self.ring).len()
+    }
+
+    /// Whether nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum retained trees.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let rec = FlightRecorder::new(3);
+        assert!(rec.is_empty());
+        for i in 0..5u64 {
+            rec.push(SpanNode::new(format!("req-{i}")));
+        }
+        assert_eq!(rec.len(), 3);
+        let names: Vec<String> = rec.recent().into_iter().map(|n| n.name).collect();
+        assert_eq!(names, ["req-2", "req-3", "req-4"]);
+        assert_eq!(rec.capacity(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let rec = FlightRecorder::new(0);
+        rec.push(SpanNode::new("only"));
+        rec.push(SpanNode::new("newer"));
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec.recent()[0].name, "newer");
+    }
+}

@@ -211,6 +211,7 @@ impl<'a> Tuner<'a> {
                             }
                         }
                     }
+                    let _level_span = cello_obs::span!("beam_level", level = di, pool = pool.len());
                     let batch: Vec<Candidate> =
                         pool.iter().map(|p| self.space.assemble(p)).collect();
                     *seen += batch.len() as u64;
@@ -269,6 +270,7 @@ impl<'a> Tuner<'a> {
     /// wide cold beam finds, at a fraction of the sim evaluations —
     /// `cello-serve` pairs seeds with `width / 4`.
     pub fn tune_seeded(&self, strategy: &Strategy, seeds: &[Candidate]) -> SearchOutcome {
+        let _tune_span = cello_obs::span!("tune", strategy = strategy.label(), seeds = seeds.len());
         let seed_picks: Vec<Vec<usize>> = seeds.iter().map(|c| self.space.project(c)).collect();
         if let Strategy::Prefiltered { keep_frac, inner } = strategy {
             // Nested prefilters collapse: pruning an already-pruned
@@ -357,6 +359,11 @@ impl<'a> Tuner<'a> {
             .collect();
         uniq.sort_by(rank);
         let keep = ((keep_frac.max(0.0) * uniq.len() as f64).ceil() as usize).clamp(1, uniq.len());
+        let registry = cello_obs::metrics::global();
+        registry.counter("search_prefilter_kept").add(keep as u64);
+        registry
+            .counter("search_prefilter_dropped")
+            .add((uniq.len() - keep) as u64);
 
         // Tier 2: exact evaluation of the survivors, plus the baseline
         // (always part of the comparison set, filtered or not) and the full
@@ -415,6 +422,19 @@ impl<'a> Tuner<'a> {
             })
             .expect("non-empty")
             .clone();
+        let evaluations = self.cache.evaluations() - evals_before;
+        let cache_hits = self.cache.hits() - hits_before;
+        // Mirror the per-run aggregates into the global metrics registry so
+        // long-lived processes (cello-serve, cello_dse) expose cumulative
+        // search counters through one `metrics` snapshot.
+        let registry = cello_obs::metrics::global();
+        registry.counter("search_tunes").inc();
+        registry.counter("search_exact_evals").add(evaluations);
+        registry.counter("search_cache_hits").add(cache_hits);
+        registry
+            .counter("search_surrogate_evals")
+            .add(surrogate_scored);
+        registry.counter("search_candidates").add(seen);
         SearchOutcome {
             strategy,
             baseline,
@@ -422,8 +442,8 @@ impl<'a> Tuner<'a> {
             best_dram,
             best_traffic,
             pareto: pareto_front(all),
-            evaluations: self.cache.evaluations() - evals_before,
-            cache_hits: self.cache.hits() - hits_before,
+            evaluations,
+            cache_hits,
             candidates_seen: seen,
             surrogate_scored,
         }

@@ -10,7 +10,7 @@
 //!   `             [--mtx data/pde_512.mtx] [--n 16] [--iterations 2]`
 //!   `             [--nodes 1,4] [--strategy beam4] [--sram-mb 4]`
 //!   `             [--per-phase-sram] [--widened] [--dot schedule.dot]`
-//!   `cello_client --stats | --shutdown`
+//!   `cello_client --stats | --metrics | --trace | --shutdown`
 
 use cello_bench::json::Json;
 use cello_serve::protocol::{compact, Request, Response};
@@ -28,6 +28,8 @@ struct Args {
 enum Op {
     Compile,
     Stats,
+    Metrics,
+    Trace,
     Shutdown,
 }
 
@@ -75,6 +77,8 @@ fn parse_args() -> Args {
                 args.dot_path = Some(value("--dot").into());
             }
             "--stats" => args.op = Op::Stats,
+            "--metrics" => args.op = Op::Metrics,
+            "--trace" => args.op = Op::Trace,
             "--shutdown" => args.op = Op::Shutdown,
             other => {
                 eprintln!("unknown argument {other:?} (see the module docs for usage)");
@@ -152,6 +156,8 @@ fn main() {
 
     let line = match args.op {
         Op::Stats => r#"{"op": "stats"}"#.to_string(),
+        Op::Metrics => r#"{"op": "metrics"}"#.to_string(),
+        Op::Trace => r#"{"op": "trace"}"#.to_string(),
         Op::Shutdown => r#"{"op": "shutdown"}"#.to_string(),
         Op::Compile => args.request.to_line(),
     };
@@ -164,7 +170,7 @@ fn main() {
         }
     };
     match args.op {
-        Op::Stats | Op::Shutdown => {
+        Op::Stats | Op::Metrics | Op::Trace | Op::Shutdown => {
             println!("{}", doc.render().trim_end());
         }
         Op::Compile => match Response::from_json(&doc) {

@@ -31,7 +31,7 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         let mut value = |flag: &str| {
             it.next().unwrap_or_else(|| {
-                eprintln!("{flag} needs a value");
+                cello_obs::error!("serve", "{flag} needs a value");
                 std::process::exit(2);
             })
         };
@@ -40,12 +40,13 @@ fn parse_args() -> Args {
             "--cache-dir" => args.cache_dir = value("--cache-dir").into(),
             "--workers" => {
                 args.workers = value("--workers").parse().unwrap_or_else(|_| {
-                    eprintln!("--workers needs a positive integer");
+                    cello_obs::error!("serve", "--workers needs a positive integer");
                     std::process::exit(2);
                 })
             }
             other => {
-                eprintln!(
+                cello_obs::error!(
+                    "serve",
                     "unknown argument {other:?}; usage: cello_serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N]"
                 );
                 std::process::exit(2);
@@ -56,18 +57,25 @@ fn parse_args() -> Args {
 }
 
 fn main() {
+    // `CELLO_LOG` controls daemon verbosity (default `info`); e.g.
+    // `CELLO_LOG=debug,serve=trace cello_serve` for per-compile detail.
+    cello_obs::log::init_from_env();
     let args = parse_args();
-    let service = match Service::open(&args.cache_dir) {
+    // The daemon shares the process-global metrics registry so search-layer
+    // counters (exact/surrogate evals, prefilter tallies) show up in the
+    // same `metrics` snapshot as the serve-layer ones.
+    let registry = cello_obs::metrics::global();
+    let service = match Service::open_with_registry(&args.cache_dir, registry) {
         Ok(service) => Arc::new(service),
         Err(e) => {
-            eprintln!("cello_serve: {e}");
+            cello_obs::error!("serve", "cello_serve: {e}");
             std::process::exit(1);
         }
     };
     let listener = match TcpListener::bind(&args.addr) {
         Ok(listener) => listener,
         Err(e) => {
-            eprintln!("cello_serve: cannot bind {}: {e}", args.addr);
+            cello_obs::error!("serve", "cello_serve: cannot bind {}: {e}", args.addr);
             std::process::exit(1);
         }
     };
@@ -81,10 +89,14 @@ fn main() {
         args.cache_dir,
         service.store_len(),
     );
+    cello_obs::info!(
+        "serve",
+        "accepting connections on {local}; send {{\"op\": \"metrics\"}} or {{\"op\": \"trace\"}} to inspect"
+    );
     match serve(listener, service, args.workers) {
         Ok(connections) => println!("cello_serve: shutdown after {connections} connections"),
         Err(e) => {
-            eprintln!("cello_serve: {e}");
+            cello_obs::error!("serve", "cello_serve: {e}");
             std::process::exit(1);
         }
     }

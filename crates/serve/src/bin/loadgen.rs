@@ -25,6 +25,7 @@
 
 use cello_bench::json::Json;
 use cello_bench::{emit, f3};
+use cello_obs::HistogramSnapshot;
 use cello_serve::protocol::{CacheTag, Request, Response};
 use cello_serve::{serve, Service};
 use std::io::{BufRead, BufReader, Write};
@@ -161,20 +162,16 @@ struct Sample {
     tag: Option<CacheTag>, // None = failed request
 }
 
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
+/// Folds an iterator of latencies into the shared obs histogram type — the
+/// same log2-bucketed estimator the daemon's `metrics` op reports, so
+/// loadgen's p50/p95/p99 and the server-side `request_us` snapshot are
+/// directly comparable (both clamp percentiles to the exact [min, max]).
+fn histogram(values: impl Iterator<Item = u64>) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::empty();
+    for v in values {
+        h.record(v);
     }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
-}
-
-fn mean(values: impl Iterator<Item = u64>) -> f64 {
-    let v: Vec<u64> = values.collect();
-    if v.is_empty() {
-        return 0.0;
-    }
-    v.iter().sum::<u64>() as f64 / v.len() as f64
+    h
 }
 
 fn main() {
@@ -299,10 +296,14 @@ fn main() {
         .filter(|s| matches!(s.tag, Some(CacheTag::Hit) | Some(CacheTag::Coalesced)))
         .count();
     let hit_rate = hits as f64 / total.max(1) as f64;
-    let mut latencies: Vec<u64> = samples.iter().map(|s| s.micros).collect();
-    latencies.sort_unstable();
-    let p50 = percentile(&latencies, 0.50);
-    let p95 = percentile(&latencies, 0.95);
+    let coalesced = samples
+        .iter()
+        .filter(|s| s.tag == Some(CacheTag::Coalesced))
+        .count();
+    let latencies = histogram(samples.iter().map(|s| s.micros));
+    let p50 = latencies.percentile(50.0);
+    let p95 = latencies.percentile(95.0);
+    let p99 = latencies.percentile(99.0);
     // Cold-vs-hit on *server-reported* time: client wall clock under full
     // concurrency folds queueing and CPU contention from neighboring
     // compiles into hit latency, which would understate (and jitter) the
@@ -311,18 +312,20 @@ fn main() {
         .iter()
         .filter(|s| matches!(s.tag, Some(CacheTag::Miss) | Some(CacheTag::Warm)))
         .count();
-    let cold_micros = mean(
+    let cold_micros = histogram(
         samples
             .iter()
             .filter(|s| matches!(s.tag, Some(CacheTag::Miss) | Some(CacheTag::Warm)))
             .map(|s| s.server_micros),
-    );
-    let hit_micros = mean(
+    )
+    .mean();
+    let hit_micros = histogram(
         samples
             .iter()
             .filter(|s| matches!(s.tag, Some(CacheTag::Hit)))
             .map(|s| s.server_micros),
-    );
+    )
+    .mean();
     let hit_speedup = if hit_micros > 0.0 {
         cold_micros / hit_micros
     } else {
@@ -337,8 +340,7 @@ fn main() {
         if of.is_empty() {
             continue;
         }
-        let mut lat: Vec<u64> = of.iter().map(|s| s.micros).collect();
-        lat.sort_unstable();
+        let lat = histogram(of.iter().map(|s| s.micros));
         let tag_count = |want: CacheTag| {
             of.iter()
                 .filter(|s| s.tag == Some(want))
@@ -353,8 +355,8 @@ fn main() {
             tag_count(CacheTag::Warm),
             tag_count(CacheTag::Coalesced),
             tag_count(CacheTag::Hit),
-            percentile(&lat, 0.5).to_string(),
-            percentile(&lat, 0.95).to_string(),
+            lat.percentile(50.0).to_string(),
+            lat.percentile(95.0).to_string(),
         ]);
     }
     rows.push(vec![
@@ -390,7 +392,7 @@ fn main() {
         &rows,
     );
     println!(
-        "hit rate {} | p50 {p50} µs | p95 {p95} µs | {} req/s | cold {} µs vs hit {} µs ({}x)",
+        "hit rate {} | p50 {p50} µs | p95 {p95} µs | p99 {p99} µs | {} req/s | cold {} µs vs hit {} µs ({}x)",
         f3(hit_rate),
         f3(throughput),
         f3(cold_micros),
@@ -420,6 +422,8 @@ fn main() {
                 ("hit_rate".into(), Json::Num(hit_rate)),
                 ("p50_micros".into(), Json::int(p50)),
                 ("p95_micros".into(), Json::int(p95)),
+                ("p99_us".into(), Json::int(p99)),
+                ("coalesced_requests".into(), Json::int(coalesced as u64)),
                 ("throughput_rps".into(), Json::Num(throughput)),
                 ("cold_micros".into(), Json::Num(cold_micros)),
                 ("hit_micros".into(), Json::Num(hit_micros)),

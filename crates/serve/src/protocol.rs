@@ -62,6 +62,18 @@ pub enum Frame {
         /// Echoed request id.
         id: u64,
     },
+    /// Report the full observability registry snapshot (counters, gauges,
+    /// and histogram percentiles).
+    Metrics {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// Ship the flight recorder's recent per-request span trees as Chrome
+    /// trace JSON.
+    Trace {
+        /// Echoed request id.
+        id: u64,
+    },
     /// Stop accepting connections and exit the daemon.
     Shutdown {
         /// Echoed request id.
@@ -243,11 +255,13 @@ pub fn parse_frame(line: &str) -> Result<Frame, ServeError> {
     let op = field_str(&doc, "op")?.unwrap_or_else(|| "compile".into());
     match op.as_str() {
         "stats" => return Ok(Frame::Stats { id }),
+        "metrics" => return Ok(Frame::Metrics { id }),
+        "trace" => return Ok(Frame::Trace { id }),
         "shutdown" => return Ok(Frame::Shutdown { id }),
         "compile" => {}
         other => {
             return Err(ServeError::BadParam(format!(
-                "op must be compile|stats|shutdown, got {other:?}"
+                "op must be compile|stats|metrics|trace|shutdown, got {other:?}"
             )))
         }
     }
@@ -787,6 +801,14 @@ mod tests {
         assert_eq!(
             parse_frame(r#"{"op": "stats", "id": 7}"#).unwrap(),
             Frame::Stats { id: 7 }
+        );
+        assert_eq!(
+            parse_frame(r#"{"op": "metrics", "id": 3}"#).unwrap(),
+            Frame::Metrics { id: 3 }
+        );
+        assert_eq!(
+            parse_frame(r#"{"op": "trace"}"#).unwrap(),
+            Frame::Trace { id: 0 }
         );
         assert_eq!(
             parse_frame(r#"{"op": "shutdown"}"#).unwrap(),

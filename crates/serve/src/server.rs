@@ -38,7 +38,7 @@ pub fn serve(listener: TcpListener, service: Arc<Service>, workers: usize) -> st
             // A failed accept (e.g. the client vanished between SYN and
             // accept) is that client's problem, not the daemon's.
             Err(e) => {
-                eprintln!("[serve] accept failed: {e}");
+                cello_obs::warn!("serve", "accept failed: {e}");
                 continue;
             }
         };
@@ -62,7 +62,7 @@ fn handle_connection(stream: TcpStream, service: &Service, stop: &AtomicBool, lo
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(e) => {
-            eprintln!("[serve] {peer}: cannot clone stream: {e}");
+            cello_obs::error!("serve", "{peer}: cannot clone stream: {e}");
             return;
         }
     };
@@ -87,7 +87,7 @@ fn handle_connection(stream: TcpStream, service: &Service, stop: &AtomicBool, lo
                 return;
             }
             Err(ReadLineError::Io(e)) => {
-                eprintln!("[serve] {peer}: read failed: {e}");
+                cello_obs::warn!("serve", "{peer}: read failed: {e}");
                 return;
             }
         }

@@ -28,6 +28,8 @@ use cello_core::accel::CelloConfig;
 use cello_core::score::binding::Schedule;
 use cello_graph::dag::TensorDag;
 use cello_graph::dot::to_dot_annotated;
+use cello_obs::metrics::{Counter, Histogram, Registry};
+use cello_obs::{FlightRecorder, SpanRecorder};
 use cello_search::fingerprint::{fingerprint, Fingerprint};
 use cello_search::{SpaceConfig, Strategy, Tuner};
 use cello_workloads::bicgstab::{build_bicgstab_dag, BicgParams};
@@ -36,21 +38,46 @@ use cello_workloads::datasets::{registry, Dataset, DatasetKind};
 use cello_workloads::gcn::{build_gcn_dag, GcnParams};
 use cello_workloads::hpcg::{build_hpcg_dag, HpcgParams};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Service counters (all monotone; reported by the `stats` op).
-#[derive(Default)]
-struct Counters {
-    requests: AtomicU64,
-    ok: AtomicU64,
-    errors: AtomicU64,
-    hits: AtomicU64,
-    warm: AtomicU64,
-    misses: AtomicU64,
-    coalesced: AtomicU64,
-    compiles: AtomicU64,
+/// How many finished request span trees the flight recorder retains for
+/// `trace` requests.
+const FLIGHT_CAPACITY: usize = 128;
+
+/// The service's registry-backed instruments (all saturating, poison-proof
+/// by construction). Handles are resolved once at `open` so the request
+/// path never takes the registry lock.
+struct Instruments {
+    registry: Arc<Registry>,
+    requests: Arc<Counter>,
+    ok: Arc<Counter>,
+    errors: Arc<Counter>,
+    hits: Arc<Counter>,
+    warm: Arc<Counter>,
+    misses: Arc<Counter>,
+    coalesced: Arc<Counter>,
+    compiles: Arc<Counter>,
+    tune_us: Arc<Histogram>,
+    request_us: Arc<Histogram>,
+}
+
+impl Instruments {
+    fn new(registry: Arc<Registry>) -> Self {
+        Self {
+            requests: registry.counter("requests_total"),
+            ok: registry.counter("responses_ok"),
+            errors: registry.counter("errors_total"),
+            hits: registry.counter("cache_hits"),
+            warm: registry.counter("cache_warm"),
+            misses: registry.counter("cache_misses"),
+            coalesced: registry.counter("coalesced_requests"),
+            compiles: registry.counter("compiles_total"),
+            tune_us: registry.histogram("tune_us"),
+            request_us: registry.histogram("request_us"),
+            registry,
+        }
+    }
 }
 
 /// What one leader's compilation produced, shared with coalesced followers.
@@ -65,23 +92,47 @@ struct CompileResult {
 pub struct Service {
     store: ScheduleStore,
     coalescer: Coalescer<Result<CompileResult, ServeError>>,
-    counters: Counters,
+    obs: Instruments,
+    flights: FlightRecorder,
 }
 
 impl Service {
-    /// Opens the service over a persistent cache directory.
+    /// Opens the service over a persistent cache directory, with its own
+    /// private metrics registry (so parallel tests never share counters).
     pub fn open(cache_dir: &Path) -> Result<Self, ServeError> {
+        Self::open_with_registry(cache_dir, Arc::new(Registry::new()))
+    }
+
+    /// Opens the service recording into `registry`. The daemon passes
+    /// `cello_obs::metrics::global()` so one `metrics` snapshot carries both
+    /// the service counters and the tuner's `search_*` counters (which
+    /// `cello-search` records globally).
+    pub fn open_with_registry(
+        cache_dir: &Path,
+        registry: Arc<Registry>,
+    ) -> Result<Self, ServeError> {
         Ok(Self {
             store: ScheduleStore::open(cache_dir)?,
             coalescer: Coalescer::new(),
-            counters: Counters::default(),
+            obs: Instruments::new(registry),
+            flights: FlightRecorder::new(FLIGHT_CAPACITY),
         })
     }
 
     /// Total tuner runs this process performed (the coalescing test's
     /// observable: k identical concurrent requests must move this by 1).
     pub fn compiles(&self) -> u64 {
-        self.counters.compiles.load(Ordering::Relaxed)
+        self.obs.compiles.get()
+    }
+
+    /// The registry this service records into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.obs.registry
+    }
+
+    /// The flight recorder holding recent request span trees.
+    pub fn flights(&self) -> &FlightRecorder {
+        &self.flights
     }
 
     /// Number of records in the persistent store.
@@ -94,10 +145,12 @@ impl Service {
     pub fn handle_line(&self, line: &str) -> (String, bool) {
         match parse_frame(line) {
             Err(e) => {
-                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                self.obs.errors.inc();
                 (error_line(0, &e), false)
             }
             Ok(Frame::Stats { id }) => (self.stats_line(id), false),
+            Ok(Frame::Metrics { id }) => (self.metrics_line(id), false),
+            Ok(Frame::Trace { id }) => (self.trace_line(id), false),
             Ok(Frame::Shutdown { id }) => (
                 compact(&Json::Obj(vec![
                     ("id".into(), Json::int(id)),
@@ -107,7 +160,7 @@ impl Service {
                 true,
             ),
             Ok(Frame::Compile(req)) => {
-                self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                self.obs.requests.inc();
                 // Panic fence: a compile bug answers `internal`, the daemon
                 // lives on.
                 let outcome =
@@ -122,11 +175,11 @@ impl Service {
                         });
                 match outcome {
                     Ok(resp) => {
-                        self.counters.ok.fetch_add(1, Ordering::Relaxed);
+                        self.obs.ok.inc();
                         (compact(&resp.to_json()), false)
                     }
                     Err(e) => {
-                        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        self.obs.errors.inc();
                         (error_line(req.id, &e), false)
                     }
                 }
@@ -134,22 +187,54 @@ impl Service {
         }
     }
 
-    /// Handles one parsed compile request.
+    /// Handles one parsed compile request, recording its staged span tree
+    /// (build → lookup → coalesce/tune → respond) into the flight recorder.
     pub fn handle(&self, req: &Request) -> Result<Response, ServeError> {
         let started = Instant::now();
-        let (dag, accel) = build_workload(req)?;
-        let strategy = Strategy::parse(&req.strategy)
-            .ok_or_else(|| ServeError::UnknownStrategy(req.strategy.clone()))?;
-        let cfg = space_of(req, &accel);
-        let fp = fingerprint(&dag, &accel, &cfg, &strategy);
+        let mut flight = SpanRecorder::new("request");
+        flight.arg("id", req.id);
+        flight.arg("workload", req.workload.as_str());
+        if let Some(d) = &req.dataset {
+            flight.arg("dataset", d.as_str());
+        }
+        let result = self.handle_staged(req, started, &mut flight);
+        match &result {
+            Ok(resp) => flight.arg("cache", resp.cache.as_str()),
+            Err(e) => flight.arg("error", e.kind()),
+        }
+        self.obs
+            .request_us
+            .record(started.elapsed().as_micros() as u64);
+        self.flights.push(flight.finish());
+        result
+    }
 
-        if let Some(rec) = self.store.lookup(&fp) {
-            self.counters.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(self.respond(req, &fp, &rec, CacheTag::Hit, started, &dag, &accel));
+    fn handle_staged(
+        &self,
+        req: &Request,
+        started: Instant,
+        flight: &mut SpanRecorder,
+    ) -> Result<Response, ServeError> {
+        let (dag, accel, cfg, strategy, fp) = flight.timed("build", |_| {
+            let (dag, accel) = build_workload(req)?;
+            let strategy = Strategy::parse(&req.strategy)
+                .ok_or_else(|| ServeError::UnknownStrategy(req.strategy.clone()))?;
+            let cfg = space_of(req, &accel);
+            let fp = fingerprint(&dag, &accel, &cfg, &strategy);
+            Ok::<_, ServeError>((dag, accel, cfg, strategy, fp))
+        })?;
+
+        if let Some(rec) = flight.timed("lookup", |_| self.store.lookup(&fp)) {
+            self.obs.hits.inc();
+            return Ok(flight.timed("respond", |_| {
+                self.respond(req, &fp, &rec, CacheTag::Hit, started, &dag, &accel)
+            }));
         }
 
-        let (result, shared) = self.coalescer.run(&fp.hash, || {
-            self.compile(&dag, &accel, &cfg, &strategy, &fp)
+        let (result, shared) = flight.timed("coalesce", |span| {
+            self.coalescer.run(&fp.hash, || {
+                span.timed("tune", |_| self.compile(&dag, &accel, &cfg, &strategy, &fp))
+            })
         });
         let result = result?;
         let tag = if shared {
@@ -158,13 +243,15 @@ impl Service {
             result.cache
         };
         match tag {
-            CacheTag::Hit => &self.counters.hits,
-            CacheTag::Warm => &self.counters.warm,
-            CacheTag::Miss => &self.counters.misses,
-            CacheTag::Coalesced => &self.counters.coalesced,
+            CacheTag::Hit => &self.obs.hits,
+            CacheTag::Warm => &self.obs.warm,
+            CacheTag::Miss => &self.obs.misses,
+            CacheTag::Coalesced => &self.obs.coalesced,
         }
-        .fetch_add(1, Ordering::Relaxed);
-        Ok(self.respond(req, &fp, &result.rec, tag, started, &dag, &accel))
+        .inc();
+        Ok(flight.timed("respond", |_| {
+            self.respond(req, &fp, &result.rec, tag, started, &dag, &accel)
+        }))
     }
 
     /// The leader path under coalescing: re-check the store (an identical
@@ -186,6 +273,7 @@ impl Service {
         }
         let family = self.store.lookup_family(fp);
         let tuner = Tuner::new(dag, accel, cfg.clone());
+        let tune_started = Instant::now();
         let (out, cache) = match &family {
             Some(rec) => (
                 tuner.tune_seeded(&warm_strategy(strategy), &rec.seeds()),
@@ -193,12 +281,23 @@ impl Service {
             ),
             None => (tuner.tune(strategy), CacheTag::Miss),
         };
-        self.counters.compiles.fetch_add(1, Ordering::Relaxed);
+        self.obs
+            .tune_us
+            .record(tune_started.elapsed().as_micros() as u64);
+        self.obs.compiles.inc();
+        cello_obs::debug!(
+            "serve",
+            "compiled {} ({}): {} evals, {} surrogate",
+            fp.hash,
+            cache.as_str(),
+            out.evaluations,
+            out.surrogate_scored
+        );
         let rec = StoredOutcome::from_outcome(fp, &out);
         if let Err(e) = self.store.insert(fp, &rec) {
             // Serving beats caching: answer from the in-memory outcome and
             // let the next identical request recompile.
-            eprintln!("[serve] could not persist {}: {e}", fp.hash);
+            cello_obs::warn!("serve", "could not persist {}: {e}", fp.hash);
         }
         Ok(CompileResult {
             rec: Arc::new(rec),
@@ -249,28 +348,19 @@ impl Service {
     }
 
     fn stats_line(&self, id: u64) -> String {
-        let c = &self.counters;
+        let c = &self.obs;
         compact(&Json::Obj(vec![
             ("id".into(), Json::int(id)),
             ("status".into(), Json::Str("ok".into())),
             ("op".into(), Json::Str("stats".into())),
-            (
-                "requests".into(),
-                Json::int(c.requests.load(Ordering::Relaxed)),
-            ),
-            ("ok".into(), Json::int(c.ok.load(Ordering::Relaxed))),
-            ("errors".into(), Json::int(c.errors.load(Ordering::Relaxed))),
-            ("hits".into(), Json::int(c.hits.load(Ordering::Relaxed))),
-            ("warm".into(), Json::int(c.warm.load(Ordering::Relaxed))),
-            ("misses".into(), Json::int(c.misses.load(Ordering::Relaxed))),
-            (
-                "coalesced".into(),
-                Json::int(c.coalesced.load(Ordering::Relaxed)),
-            ),
-            (
-                "compiles".into(),
-                Json::int(c.compiles.load(Ordering::Relaxed)),
-            ),
+            ("requests".into(), Json::int(c.requests.get())),
+            ("ok".into(), Json::int(c.ok.get())),
+            ("errors".into(), Json::int(c.errors.get())),
+            ("hits".into(), Json::int(c.hits.get())),
+            ("warm".into(), Json::int(c.warm.get())),
+            ("misses".into(), Json::int(c.misses.get())),
+            ("coalesced".into(), Json::int(c.coalesced.get())),
+            ("compiles".into(), Json::int(c.compiles.get())),
             ("store_records".into(), Json::int(self.store.len() as u64)),
             (
                 "store_collisions".into(),
@@ -281,6 +371,78 @@ impl Service {
                 Json::int(self.coalescer.in_flight() as u64),
             ),
         ]))
+    }
+
+    /// The `metrics` op: the full registry snapshot — counters, gauges, and
+    /// histogram summaries (count/mean/min/max/p50/p95/p99).
+    fn metrics_line(&self, id: u64) -> String {
+        // Point-in-time gauges refresh at snapshot time.
+        self.obs
+            .registry
+            .gauge("in_flight")
+            .set(self.coalescer.in_flight() as i64);
+        self.obs
+            .registry
+            .gauge("store_records")
+            .set(self.store.len() as i64);
+        self.obs
+            .registry
+            .gauge("flight_spans")
+            .set(self.flights.len() as i64);
+        let snap = self.obs.registry.snapshot();
+        let counters = Json::Obj(
+            snap.counters
+                .iter()
+                .map(|(name, v)| (name.clone(), Json::int(*v)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            snap.gauges
+                .iter()
+                .map(|(name, v)| (name.clone(), Json::Num(*v as f64)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            snap.histograms
+                .iter()
+                .map(|(name, h)| {
+                    let empty = h.count == 0;
+                    (
+                        name.clone(),
+                        Json::Obj(vec![
+                            ("count".into(), Json::int(h.count)),
+                            ("mean".into(), Json::Num(h.mean())),
+                            ("min".into(), Json::int(if empty { 0 } else { h.min })),
+                            ("max".into(), Json::int(h.max)),
+                            ("p50".into(), Json::int(h.percentile(50.0))),
+                            ("p95".into(), Json::int(h.percentile(95.0))),
+                            ("p99".into(), Json::int(h.percentile(99.0))),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        compact(&Json::Obj(vec![
+            ("id".into(), Json::int(id)),
+            ("status".into(), Json::Str("ok".into())),
+            ("op".into(), Json::Str("metrics".into())),
+            ("counters".into(), counters),
+            ("gauges".into(), gauges),
+            ("histograms".into(), histograms),
+        ]))
+    }
+
+    /// The `trace` op: the flight recorder's retained request span trees
+    /// rendered as an embedded Chrome trace document (one track per
+    /// request), importable straight into Perfetto.
+    fn trace_line(&self, id: u64) -> String {
+        let recent = self.flights.recent();
+        // `chrome_trace` emits a single-line JSON object, embeddable as-is.
+        format!(
+            "{{\"id\": {id}, \"status\": \"ok\", \"op\": \"trace\", \"spans\": {}, \"trace\": {}}}",
+            recent.len(),
+            cello_obs::chrome::chrome_trace(&recent),
+        )
     }
 }
 
@@ -511,6 +673,71 @@ mod tests {
         let (resp, shutdown) = service.handle_line(r#"{"op": "shutdown", "id": 5}"#);
         assert!(shutdown);
         assert!(resp.contains("\"shutdown\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_and_trace_ops_reflect_activity() {
+        let dir = tmpdir("metrics");
+        let service = Service::open(&dir).unwrap();
+        let (first, _) = service.handle_line(&tiny_request(1).to_line());
+        assert!(first.contains("\"status\": \"ok\""), "{first}");
+        let (_, _) = service.handle_line(&tiny_request(2).to_line());
+
+        let (m, shutdown) = service.handle_line(r#"{"op": "metrics", "id": 9}"#);
+        assert!(!shutdown);
+        let doc = Json::parse(&m).expect("metrics is valid JSON");
+        let counter = |name: &str| {
+            doc.get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("counter {name} missing: {m}")) as u64
+        };
+        assert_eq!(counter("requests_total"), 2);
+        assert_eq!(counter("cache_hits"), 1, "second request hit the store");
+        assert_eq!(counter("cache_misses"), 1);
+        assert_eq!(counter("compiles_total"), 1);
+        let tune = doc
+            .get("histograms")
+            .and_then(|h| h.get("tune_us"))
+            .expect("tune_us histogram present");
+        let field = |k: &str| tune.get(k).and_then(Json::as_f64).unwrap() as u64;
+        assert_eq!(field("count"), 1, "one real tuner run");
+        assert!(field("min") <= field("p50"));
+        assert!(field("p50") <= field("p95"));
+        assert!(field("p95") <= field("p99"));
+        assert!(field("p99") <= field("max").max(1));
+        assert_eq!(
+            doc.get("histograms")
+                .and_then(|h| h.get("request_us"))
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_f64),
+            Some(2.0),
+            "both requests timed"
+        );
+
+        let (t, shutdown) = service.handle_line(r#"{"op": "trace", "id": 4}"#);
+        assert!(!shutdown);
+        let tdoc = Json::parse(&t).expect("trace is valid JSON");
+        assert_eq!(
+            tdoc.get("spans").and_then(Json::as_f64),
+            Some(2.0),
+            "two flights retained: {t}"
+        );
+        let events = tdoc
+            .get("trace")
+            .and_then(|tr| tr.get("traceEvents"))
+            .and_then(Json::as_array)
+            .expect("embedded chrome document");
+        assert!(
+            events.len() >= 2 + 2 * 3,
+            "request roots plus stage children"
+        );
+        assert!(t.contains("\"ph\": \"X\""));
+        assert!(
+            t.contains("\"tune\""),
+            "leader flight records the tune stage"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

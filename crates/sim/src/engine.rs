@@ -52,6 +52,9 @@ pub fn run_schedule(
 
     let mut phase_cycles: Vec<(u64, u64)> = Vec::with_capacity(plan.phases.len());
     let mut phase_dram_bytes: Vec<u64> = Vec::with_capacity(plan.phases.len() + 1);
+    let mut phase_stats: Vec<cello_mem::stats::AccessStats> =
+        Vec::with_capacity(plan.phases.len() + 1);
+    let mut phase_noc_hop_words: Vec<u64> = Vec::with_capacity(plan.phases.len());
     let mut total_cycles: u64 = 0;
     let mut total_noc_hop_words: u64 = 0;
     let mut prev_stats = backend.stats();
@@ -62,7 +65,13 @@ pub fn run_schedule(
     // schedule replays bit-identically to the pre-repartition engine.
     let repartition = schedule.repartition_active();
 
-    for phase in &plan.phases {
+    for (pi, phase) in plan.phases.iter().enumerate() {
+        let _span = cello_obs::span!(
+            "phase",
+            idx = pi,
+            ops = phase.compute_macs,
+            noc_hop_words = phase.noc_hop_words,
+        );
         if repartition {
             backend.phase_boundary(crate::evaluate::phase_chord_capacity_words(
                 accel,
@@ -87,11 +96,13 @@ pub fn run_schedule(
 
         let now = backend.stats();
         let phase_dram = now.dram_bytes() - prev_stats.dram_bytes();
+        phase_stats.push(now.delta_since(&prev_stats));
         prev_stats = now;
         let compute = phase.compute_macs.div_ceil(accel.pe_count.max(1));
         let mem = accel.dram.transfer_cycles(phase_dram, accel.freq_hz);
         phase_cycles.push((compute, mem));
         phase_dram_bytes.push(phase_dram);
+        phase_noc_hop_words.push(phase.noc_hop_words);
         total_noc_hop_words += phase.noc_hop_words;
         total_cycles += compute.max(mem) + noc_cycles(phase.noc_hop_words, accel);
     }
@@ -103,6 +114,7 @@ pub fn run_schedule(
         let mem = accel.dram.transfer_cycles(drain, accel.freq_hz);
         phase_cycles.push((0, mem));
         phase_dram_bytes.push(drain);
+        phase_stats.push(final_stats.delta_since(&prev_stats));
         total_cycles += mem;
     }
 
@@ -136,6 +148,8 @@ pub fn run_schedule(
         stats: final_stats,
         phase_cycles,
         phase_dram_bytes,
+        phase_stats,
+        phase_noc_hop_words,
     }
 }
 

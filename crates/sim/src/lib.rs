@@ -29,13 +29,17 @@
 //!   scores candidates with;
 //! - [`scaling`]: the §V-B strong-scaling harness — naive-vs-scalable as
 //!   two partitioned schedules scored by the same engine;
-//! - [`report`]: run reports, geomeans, TSV emission.
+//! - [`report`]: run reports, geomeans, TSV emission;
+//! - [`obs`]: the cycles-model span tree — a [`RunReport`] rendered as a
+//!   `cello_obs` span forest (model time, not wall clock) for the
+//!   `cello_run --trace-out` Chrome-trace flame view.
 
 pub mod backends;
 pub mod baselines;
 pub mod energy;
 pub mod engine;
 pub mod evaluate;
+pub mod obs;
 pub mod phases;
 pub mod report;
 pub mod scaling;

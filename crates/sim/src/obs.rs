@@ -1,0 +1,166 @@
+//! Model-time span trees for finished runs.
+//!
+//! Renders a [`RunReport`] as a `cello_obs` span tree in **cycles-model
+//! time**: every timestamp/duration is simulated cycles converted to
+//! microseconds at the configured frequency, not wall clock. Phases tile
+//! the root back-to-back in exactly the order the engine walked them, so
+//! opening `cello_run --trace-out` output in Perfetto gives the phase-level
+//! flame view of where modeled time (and each phase's DRAM bytes, NoC
+//! hop-words, and CHORD hit/miss behavior) went.
+//!
+//! Invariants the acceptance tests pin:
+//! - child durations sum to the root duration (= `RunReport::seconds` in
+//!   µs) up to f64 rounding, because both derive from the same integer
+//!   cycle counts;
+//! - each phase's `dram_bytes` arg is copied verbatim from
+//!   `RunReport::phase_dram_bytes`.
+
+use crate::engine::noc_cycles;
+use crate::report::RunReport;
+use cello_core::accel::CelloConfig;
+use cello_obs::{ArgValue, SpanNode};
+
+/// Converts `cycles` at `accel`'s frequency to model-time microseconds.
+fn cycles_us(cycles: u64, accel: &CelloConfig) -> f64 {
+    cycles as f64 / accel.freq_hz * 1e6
+}
+
+/// Builds the model-time span tree for one run: a root named
+/// `config:workload` spanning the whole run, one child per phase (plus a
+/// final `drain` child when the backend flushed residual state on finish).
+pub fn report_span(report: &RunReport, accel: &CelloConfig) -> SpanNode {
+    let mut root = SpanNode::new(format!("{}:{}", report.config, report.workload))
+        .arg("cycles", report.cycles)
+        .arg("dram_bytes", report.dram_bytes)
+        .arg("noc_hop_bytes", report.noc_hop_bytes)
+        .arg("nodes", report.nodes);
+    root.dur_us = report.seconds * 1e6;
+
+    let mut at_cycles: u64 = 0;
+    for (i, &(compute, mem)) in report.phase_cycles.iter().enumerate() {
+        // The engine pushes planned phases first, then at most one drain
+        // entry — which is exactly the tail with no hop-words recorded.
+        let is_drain = i >= report.phase_noc_hop_words.len();
+        let hop_words = if is_drain {
+            0
+        } else {
+            report.phase_noc_hop_words[i]
+        };
+        let noc = noc_cycles(hop_words, accel);
+        let dur_cycles = compute.max(mem) + noc;
+        let mut child = SpanNode {
+            name: if is_drain {
+                "drain".to_string()
+            } else {
+                format!("phase-{i}")
+            },
+            ts_us: cycles_us(at_cycles, accel),
+            dur_us: cycles_us(dur_cycles, accel),
+            args: vec![
+                ("compute_cycles".to_string(), ArgValue::U64(compute)),
+                ("mem_cycles".to_string(), ArgValue::U64(mem)),
+                ("noc_cycles".to_string(), ArgValue::U64(noc)),
+                ("noc_hop_words".to_string(), ArgValue::U64(hop_words)),
+            ],
+            children: Vec::new(),
+        };
+        if let Some(&bytes) = report.phase_dram_bytes.get(i) {
+            child
+                .args
+                .push(("dram_bytes".to_string(), ArgValue::U64(bytes)));
+        }
+        if let Some(stats) = report.phase_stats.get(i) {
+            child.args.extend([
+                (
+                    "dram_read_bytes".to_string(),
+                    ArgValue::U64(stats.dram_read_bytes),
+                ),
+                (
+                    "dram_write_bytes".to_string(),
+                    ArgValue::U64(stats.dram_write_bytes),
+                ),
+                ("chord_hits".to_string(), ArgValue::U64(stats.hits)),
+                ("chord_misses".to_string(), ArgValue::U64(stats.misses)),
+                (
+                    "chord_writebacks".to_string(),
+                    ArgValue::U64(stats.writebacks),
+                ),
+            ]);
+        }
+        root.children.push(child);
+        at_cycles += dur_cycles;
+    }
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::run_config;
+    use crate::ConfigKind;
+    use cello_core::score::binding::{build_schedule, ScheduleOptions};
+    use cello_graph::dag::TensorDag;
+    use cello_workloads::cg::{build_cg_dag, CgParams};
+
+    fn small_cg() -> TensorDag {
+        build_cg_dag(&CgParams {
+            m: 20_000,
+            occupancy: 4.0,
+            a_payload_words: 2 * 80_000 + 20_001,
+            n: 16,
+            nprime: 16,
+            iterations: 3,
+        })
+    }
+
+    #[test]
+    fn phase_spans_tile_the_root() {
+        let dag = small_cg();
+        let accel = CelloConfig::paper();
+        let r = run_config(&dag, ConfigKind::Cello, &accel, "cg");
+        let span = report_span(&r, &accel);
+        assert_eq!(span.children.len(), r.phase_cycles.len());
+        // Durations sum to the root (same integer cycles underneath).
+        let sum: f64 = span.children.iter().map(|c| c.dur_us).sum();
+        assert!(
+            (sum - span.dur_us).abs() <= span.dur_us * 1e-9 + 1e-9,
+            "{sum} vs {}",
+            span.dur_us
+        );
+        // Phases are contiguous: each starts where the previous ended.
+        let mut at = 0.0;
+        for child in &span.children {
+            assert!((child.ts_us - at).abs() < 1e-6);
+            at += child.dur_us;
+        }
+        // dram_bytes args are verbatim copies.
+        for (i, child) in span.children.iter().enumerate() {
+            assert_eq!(
+                child.get_arg("dram_bytes"),
+                Some(&ArgValue::U64(r.phase_dram_bytes[i]))
+            );
+        }
+    }
+
+    #[test]
+    fn drain_phase_is_labelled() {
+        let dag = small_cg();
+        let accel = CelloConfig::paper();
+        let schedule = build_schedule(&dag, ScheduleOptions::cello());
+        let mut backend = crate::backends::ChordBackend::new(cello_core::ChordConfig {
+            capacity_words: crate::evaluate::chord_capacity_words(&accel, &schedule),
+            word_bytes: accel.word_bytes,
+            policy: cello_core::ChordPolicyKind::PreludeRiff,
+            max_entries: accel.riff_entries,
+        });
+        let r = crate::run_schedule(&dag, &schedule, &accel, &mut backend, "CELLO", "cg");
+        let span = report_span(&r, &accel);
+        if r.phase_cycles.len() > r.phase_noc_hop_words.len() {
+            assert_eq!(span.children.last().unwrap().name, "drain");
+        }
+        assert!(span
+            .children
+            .iter()
+            .all(|c| c.get_arg("chord_hits").is_some()));
+    }
+}

@@ -47,6 +47,16 @@ pub struct RunReport {
     /// drain entry when the backend flushed residual state; the repartition
     /// property tests use this to pin per-phase monotonicity.
     pub phase_dram_bytes: Vec<u64>,
+    /// Per-phase backend counter deltas (per node), aligned with
+    /// `phase_dram_bytes` including the drain entry: read/write split, SRAM
+    /// words, and CHORD hit/miss/writeback attribution feeding the
+    /// phase-level trace view.
+    pub phase_stats: Vec<AccessStats>,
+    /// Per-phase NoC hop-words, one entry per *planned* phase — no drain
+    /// entry (the drain moves no NoC traffic), so
+    /// `phase_cycles.len() > phase_noc_hop_words.len()` is exactly the
+    /// "a drain phase exists" predicate trace builders key off.
+    pub phase_noc_hop_words: Vec<u64>,
 }
 
 impl RunReport {
@@ -140,6 +150,8 @@ mod tests {
             stats: AccessStats::default(),
             phase_cycles: vec![],
             phase_dram_bytes: vec![],
+            phase_stats: vec![],
+            phase_noc_hop_words: vec![],
         }
     }
 

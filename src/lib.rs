@@ -16,6 +16,7 @@
 pub use cello_core as core;
 pub use cello_graph as graph;
 pub use cello_mem as mem;
+pub use cello_obs as obs;
 pub use cello_search as search;
 pub use cello_serve as serve;
 pub use cello_sim as sim;
