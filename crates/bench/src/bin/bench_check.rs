@@ -13,11 +13,20 @@
 //! | `tuned_cycles` | ≤ 1.10× its baseline value |
 //! | `tuned_traffic_bytes` | ≤ 1.10× its baseline value |
 //! | `hit_rate` | ≥ baseline − 0.10 (absolute drop) |
+//! | `candidates_seen` | ≥ 0.50× its baseline value |
+//! | `candidates_per_sec` | ≥ 0.25× its baseline value |
 //!
-//! Everything else (`candidates_per_sec`, latency percentiles, throughput,
-//! `hit_speedup`) is machine-dependent: reported, never gated — the
-//! *machine-independent* serving bar (zero failures, ≥ 50% hit rate,
-//! ≥ 100× hit speedup) is enforced by `loadgen --quick` itself.
+//! The two candidate-throughput floors guard the tier-0 funnel's reason to
+//! exist: `candidates_seen` is machine-independent (a deterministic sweep
+//! can only shrink if someone narrows the funnel), so its floor is tight;
+//! `candidates_per_sec` is machine-dependent, so its floor is loose — it
+//! only trips on an asymptotic regression (e.g. a per-candidate allocation
+//! sneaking back into the sketch loop), not on a slow CI runner.
+//!
+//! Everything else (latency percentiles, throughput, `hit_speedup`) is
+//! machine-dependent: reported, never gated — the *machine-independent*
+//! serving bar (zero failures, ≥ 50% hit rate, ≥ 100× hit speedup) is
+//! enforced by `loadgen --quick` itself.
 //!
 //! Coverage is part of the contract, scoped per workload family: a baseline
 //! record whose name family (the prefix before `/`) appears in the current
@@ -43,6 +52,11 @@ const TOLERANCE: f64 = 0.10;
 const MIN_CORRELATION: f64 = 0.9;
 /// Allowed absolute drop in cache hit rate.
 const HIT_RATE_DROP: f64 = 0.10;
+/// Floor on candidates considered, relative to baseline (deterministic).
+const SEEN_FLOOR: f64 = 0.50;
+/// Floor on candidate throughput, relative to baseline (machine-dependent,
+/// so deliberately loose: catches asymptotic regressions only).
+const THROUGHPUT_FLOOR: f64 = 0.25;
 
 struct Record {
     name: String,
@@ -182,6 +196,8 @@ fn main() {
             "rank_correlation",
             "hit_rate",
             "failed",
+            "candidates_seen",
+            "candidates_per_sec",
         ] {
             if base.field(key).is_some() && cur.field(key).is_none() {
                 failures.push(format!(
@@ -216,10 +232,25 @@ fn main() {
                 }
             }
         }
+        // Ratio floors: these must not *fall* below a fraction of baseline.
+        for (key, floor) in [
+            ("candidates_seen", SEEN_FLOOR),
+            ("candidates_per_sec", THROUGHPUT_FLOOR),
+        ] {
+            let (Some(c), Some(b)) = (cur.field(key), base.field(key)) else {
+                continue;
+            };
+            let ratio = c / b.max(1.0);
+            shown.push(format!("{key} {c:.0} ({ratio:.3}x)"));
+            if ratio < floor {
+                failures.push(format!(
+                    "{label}: {key} fell to {ratio:.3}x of baseline (< {floor:.2}x floor)"
+                ));
+            }
+        }
         // Reported-only context, when present.
         for key in [
             "rank_correlation",
-            "candidates_per_sec",
             "p50_micros",
             "p95_micros",
             "p99_us",

@@ -16,9 +16,17 @@
 //!
 //! `--prefilter` swaps the beam for the two-tier
 //! `Strategy::Prefiltered(0.1, Beam)` over the **widened** space
-//! (`SpaceConfig::widened`: six cut points + per-tensor CHORD priority
-//! biasing): the analytic surrogate ranks the traversal and only the top
-//! tenth reaches `sim::evaluate`.
+//! (`SpaceConfig::widened`: six cut points + graded per-tensor CHORD
+//! priority biasing): the analytic surrogate ranks the traversal and only
+//! the top tenth reaches `sim::evaluate`.
+//!
+//! `--tier0` runs the full three-tier funnel instead:
+//! `Prefiltered(0.1, Tier0)` over the widened space. Tier 0 sweeps up to
+//! 49 152 assignments through the closed-form asymptotic cost sketch
+//! (`cello_search::tier0` — no schedule build, no phase walk), keeps only
+//! the sketch-Pareto survivors (≤ 96), the surrogate ranks those, and the
+//! simulator scores the top tenth — ~100× more candidates considered per
+//! second than the two-tier beam.
 //!
 //! `--per-phase-sram` opens the per-phase SRAM repartition dimension
 //! (`SpaceConfig::with_repartition`): fused/solo split profiles override
@@ -27,15 +35,15 @@
 //!
 //! `--quick` is the CI bench-trajectory mode: CG/HPCG/GCN at single-node,
 //! at the `--nodes` mesh, and over the per-phase-SRAM space (`name+pp`
-//! records), always prefiltered, emitting `BENCH_dse.json` at the repo
-//! root (cycles, DRAM/NoC bytes, energy, candidates/sec, surrogate
-//! rank-correlation) for the `bench_check` regression gate, plus the usual
-//! stdout table.
+//! records), always through the three-tier funnel, emitting
+//! `BENCH_dse.json` at the repo root (cycles, DRAM/NoC bytes, energy,
+//! candidates seen/sec, surrogate rank-correlation) for the `bench_check`
+//! regression gate, plus the usual stdout table.
 //!
 //! Output: a TSV under `results/dse.tsv` plus the stdout tables.
 //!
-//! Usage: `cargo run --release --bin cello_dse [-- --nodes 1,4,16]
-//! [--prefilter] [--per-phase-sram] [--quick]`
+//! Usage: `cargo run --release --bin cello_dse [-- --nodes 1,4,16,64]
+//! [--prefilter] [--tier0] [--per-phase-sram] [--quick]`
 
 use cello_bench::json::Json;
 use cello_bench::{emit, f3, surrogate_rank_correlation};
@@ -52,6 +60,17 @@ use cello_workloads::resnet::{build_resnet_block_dag, ResNetBlockParams};
 
 /// Prefilter keep fraction used by `--prefilter` and the quick trajectory.
 const KEEP_FRAC: f64 = 0.1;
+/// Tier-0 sketch budget for `--tier0` and the quick trajectory: how many
+/// assignments the symbolic sweep considers per tune.
+const TIER0_BUDGET: u64 = 49_152;
+/// Tier-0 keep cap: sketch-Pareto survivors promoted to the surrogate.
+const TIER0_KEEP: usize = 96;
+/// Tolerance on the quick-mode containment checks (per-phase vs global
+/// split, mesh vs single node). The bigger space *contains* the smaller,
+/// but a sampled tier-0 sweep is not monotone across space inclusion —
+/// the larger space draws a different assignment stream — so containment
+/// holds to within the funnel's 2% quality bar rather than exactly.
+const CONTAIN_TOL: f64 = 1.02;
 /// Seed for the rank-correlation sample (same stream as `Strategy::Random`).
 const CORR_SEED: u64 = 0xCE110;
 /// Candidates in the rank-correlation sample.
@@ -68,11 +87,14 @@ struct Workload {
 struct Args {
     /// Node counts for the partition dimension (`[1]` = single-node space).
     nodes: Vec<u64>,
-    /// Small-budget trajectory run (CI): CG/HPCG/GCN, prefiltered beam 4,
-    /// emits `BENCH_dse.json`.
+    /// Small-budget trajectory run (CI): CG/HPCG/GCN through the
+    /// three-tier funnel, emits `BENCH_dse.json`.
     quick: bool,
     /// Use the two-tier prefilter over the widened space.
     prefilter: bool,
+    /// Use the three-tier funnel (tier-0 sketch → surrogate → sim) over
+    /// the widened space.
+    tier0: bool,
     /// Open the per-phase SRAM repartition dimension.
     per_phase_sram: bool,
 }
@@ -82,6 +104,7 @@ fn parse_args() -> Args {
         nodes: vec![1],
         quick: false,
         prefilter: false,
+        tier0: false,
         per_phase_sram: false,
     };
     let mut it = std::env::args().skip(1);
@@ -108,10 +131,11 @@ fn parse_args() -> Args {
             }
             "--quick" => args.quick = true,
             "--prefilter" => args.prefilter = true,
+            "--tier0" => args.tier0 = true,
             "--per-phase-sram" => args.per_phase_sram = true,
             other => {
                 eprintln!(
-                    "unknown argument {other:?}; usage: cello_dse [--nodes 1,4,16] [--prefilter] [--per-phase-sram] [--quick]"
+                    "unknown argument {other:?}; usage: cello_dse [--nodes 1,4,16,64] [--prefilter] [--tier0] [--per-phase-sram] [--quick]"
                 );
                 std::process::exit(2);
             }
@@ -217,6 +241,23 @@ fn print_obs_summary() {
         get("search_prefilter_kept"),
         get("search_prefilter_dropped"),
     );
+    // The three-tier funnel, narrowest last: how many candidates each tier
+    // received and passed on. Tier-0 counters are zero when no `Tier0`
+    // strategy ran.
+    let t0_kept = get("search_tier0_kept");
+    let t0_pruned = get("search_tier0_pruned");
+    if t0_kept + t0_pruned > 0 {
+        println!(
+            "[obs] funnel: tier0 swept {} -> kept {} ({} pruned symbolically); \
+             surrogate scored {} -> promoted {}; sim evaluated {}",
+            t0_kept + t0_pruned,
+            t0_kept,
+            t0_pruned,
+            get("search_surrogate_evals"),
+            get("search_prefilter_kept"),
+            get("search_exact_evals"),
+        );
+    }
 }
 
 fn outcome_row(name: &str, out: &SearchOutcome) -> Vec<String> {
@@ -258,7 +299,13 @@ const DSE_HEADER: [&str; 14] = [
 /// The CI bench-trajectory mode: prefiltered tuning of CG/HPCG/GCN at
 /// single-node and at the `--nodes` mesh, `BENCH_dse.json` emission.
 fn run_quick(args: &Args) {
-    let beam = Strategy::Beam { width: 4 };
+    // The full three-tier funnel: tier-0 sketches TIER0_BUDGET assignments
+    // symbolically, the surrogate ranks the sketch-Pareto survivors, the
+    // simulator scores the top KEEP_FRAC of those.
+    let inner = Strategy::Tier0 {
+        budget: TIER0_BUDGET,
+        keep: TIER0_KEEP,
+    };
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut records: Vec<Json> = Vec::new();
     // Single-node always; the `--nodes` mesh as a second variant only when
@@ -294,7 +341,7 @@ fn run_quick(args: &Args) {
             };
             let started = std::time::Instant::now();
             let tuner = Tuner::new(&w.dag, &w.accel, cfg.clone());
-            let out = tuner.tune(&Strategy::prefiltered(KEEP_FRAC, beam.clone()));
+            let out = tuner.tune(&Strategy::prefiltered(KEEP_FRAC, inner.clone()));
             let elapsed = started.elapsed().as_secs_f64().max(1e-9);
             let corr = surrogate_rank_correlation(&w.dag, &w.accel, &cfg, CORR_SAMPLES, CORR_SEED);
             let cand_per_sec = out.candidates_seen as f64 / elapsed;
@@ -303,14 +350,16 @@ fn run_quick(args: &Args) {
                 (false, 1) => best_plain_single = Some(best),
                 (false, _) => best_mesh = Some(best),
                 // The repartitioned space contains every global-split
-                // schedule; prefiltered beam must not lose that containment
-                // in practice.
+                // schedule, but a *sampled* tier-0 sweep is not monotone
+                // across space inclusion (the larger space draws a
+                // different assignment stream), so the containment check
+                // carries the funnel's 2% quality tolerance.
                 (true, _) => {
                     if let Some(plain) = best_plain_single {
-                        if best > plain {
+                        if best as f64 > CONTAIN_TOL * plain as f64 {
                             violations.push(format!(
                                 "{record_name}: per-phase best traffic {best} worse than \
-                                 global-split {plain}"
+                                 global-split {plain} beyond {CONTAIN_TOL}x"
                             ));
                         }
                     }
@@ -366,11 +415,12 @@ fn run_quick(args: &Args) {
             }
         }
         // The widened multi-node space contains every single-node schedule;
-        // prefiltered search must not lose that containment in practice.
+        // same 2% tolerance as above for the sampled symbolic sweep.
         if let (Some(single), Some(mesh)) = (best_plain_single, best_mesh) {
-            if mesh > single {
+            if mesh as f64 > CONTAIN_TOL * single as f64 {
                 violations.push(format!(
-                    "{}: multi-node best traffic {mesh} worse than single-node {single}",
+                    "{}: multi-node best traffic {mesh} worse than single-node {single} \
+                     beyond {CONTAIN_TOL}x",
                     w.name,
                 ));
             }
@@ -378,7 +428,7 @@ fn run_quick(args: &Args) {
     }
     emit(
         "dse_quick",
-        "cello_dse --quick: two-tier trajectory (CI bench)",
+        "cello_dse --quick: three-tier trajectory (CI bench)",
         &DSE_HEADER,
         &rows,
     );
@@ -431,13 +481,21 @@ fn main() {
     // side of the sweep comparison below — no need to re-tune.
     let mut cg_multi: Option<SearchOutcome> = None;
     let space_for = |menu: &[u64]| {
-        if args.prefilter {
+        if args.prefilter || args.tier0 {
             SpaceConfig::widened_with_nodes(menu)
         } else {
             SpaceConfig::with_nodes(menu)
         }
     };
-    let primary = if args.prefilter {
+    let primary = if args.tier0 {
+        Strategy::prefiltered(
+            KEEP_FRAC,
+            Strategy::Tier0 {
+                budget: TIER0_BUDGET,
+                keep: TIER0_KEEP,
+            },
+        )
+    } else if args.prefilter {
         Strategy::prefiltered(KEEP_FRAC, Strategy::Beam { width: beam_width })
     } else {
         Strategy::Beam { width: beam_width }

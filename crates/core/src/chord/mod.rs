@@ -17,4 +17,4 @@ pub mod buffer;
 pub mod table;
 
 pub use buffer::{Chord, ChordConfig, ChordPolicyKind, ConsumeResult, TensorAudit};
-pub use table::{PriorityBias, RiffIndexTable, RiffPriority, TensorEntry};
+pub use table::{PriorityBias, RiffIndexTable, RiffPriority, TensorEntry, MAX_BIAS_LEVEL};

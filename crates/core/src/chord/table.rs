@@ -53,41 +53,58 @@ impl RiffPriority {
     }
 }
 
+/// Largest honored bias magnitude; levels above it clamp here so a forged
+/// or hand-built level can never shift `(freq, dist)` past representability.
+pub const MAX_BIAS_LEVEL: u8 = 3;
+
 /// A per-tensor bias on the `(freq, dist)` metadata SCORE hands to RIFF —
 /// the schedule-side half of the SCORE-CHORD interface exposed as a search
 /// decision. The heuristic derives priorities as *facts* from the DAG; a
 /// bias lets the DSE engine overrule them: boosting a tensor makes RIFF
 /// treat it as hotter than its derived reuse pattern says (it evicts others
-/// more readily and resists eviction), demoting does the opposite. Dead
-/// tensors (`freq == 0`) are never biased — resurrecting a tensor nobody
-/// reads again could only waste capacity.
+/// more readily and resists eviction), demoting does the opposite. Each
+/// variant carries a magnitude level `1..=MAX_BIAS_LEVEL` (clamped in
+/// [`Self::apply`]): level `l` scales `freq`/`dist` by `2^l`, so the search
+/// can express *how hard* to overrule the derived facts, not just the
+/// direction. Dead tensors (`freq == 0`) are never biased — resurrecting a
+/// tensor nobody reads again could only waste capacity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PriorityBias {
-    /// Treat the tensor as reused sooner and more often: `dist` halves,
-    /// `freq` doubles.
-    Boost,
-    /// Treat the tensor as colder: `dist` doubles, `freq` halves (floored at
-    /// one so the tensor is demoted, not declared dead — full DRAM demotion
-    /// is already expressible as a `Binding::Dram` steer).
-    Demote,
+    /// Treat the tensor as reused sooner and more often: `dist` shrinks and
+    /// `freq` grows by `2^level`.
+    Boost(u8),
+    /// Treat the tensor as colder: `dist` grows and `freq` shrinks (floored
+    /// at one so the tensor is demoted, not declared dead — full DRAM
+    /// demotion is already expressible as a `Binding::Dram` steer) by
+    /// `2^level`.
+    Demote(u8),
 }
 
 impl PriorityBias {
+    /// The honored magnitude level: `1..=MAX_BIAS_LEVEL` regardless of what
+    /// the variant carries.
+    pub fn level(self) -> u8 {
+        match self {
+            PriorityBias::Boost(l) | PriorityBias::Demote(l) => l.clamp(1, MAX_BIAS_LEVEL),
+        }
+    }
+
     /// Applies the bias to a derived `(freq, dist)` pair.
     pub fn apply(self, priority: RiffPriority) -> RiffPriority {
         if priority.freq == 0 {
             return priority; // dead stays dead
         }
+        let shift = u32::from(self.level());
         match self {
-            PriorityBias::Boost => RiffPriority {
-                freq: priority.freq.saturating_mul(2),
-                dist: (priority.dist / 2).max(1),
+            PriorityBias::Boost(_) => RiffPriority {
+                freq: priority.freq.saturating_mul(1 << shift),
+                dist: (priority.dist >> shift).max(1),
             },
-            PriorityBias::Demote => RiffPriority {
-                freq: (priority.freq / 2).max(1),
+            PriorityBias::Demote(_) => RiffPriority {
+                freq: (priority.freq >> shift).max(1),
                 // Cap below the `dead()` sentinel so a demoted-but-live
                 // tensor still outranks a genuinely dead one.
-                dist: priority.dist.saturating_mul(2).min(u32::MAX - 1),
+                dist: priority.dist.saturating_mul(1 << shift).min(u32::MAX - 1),
             },
         }
     }
@@ -409,21 +426,48 @@ mod tests {
     #[test]
     fn priority_bias_shifts_rank_but_never_kills() {
         let p = RiffPriority::new(3, 8);
-        let boosted = PriorityBias::Boost.apply(p);
-        let demoted = PriorityBias::Demote.apply(p);
+        let boosted = PriorityBias::Boost(1).apply(p);
+        let demoted = PriorityBias::Demote(1).apply(p);
         assert_eq!(boosted, RiffPriority::new(6, 4));
         assert_eq!(demoted, RiffPriority::new(1, 16));
         assert!(boosted > p && p > demoted);
         // Demote floors freq at 1 and caps dist below the dead sentinel.
-        let weak = PriorityBias::Demote.apply(RiffPriority::new(1, u32::MAX - 1));
+        let weak = PriorityBias::Demote(1).apply(RiffPriority::new(1, u32::MAX - 1));
         assert!(weak.freq == 1 && weak > RiffPriority::dead());
         // Dead tensors pass through untouched.
         assert_eq!(
-            PriorityBias::Boost.apply(RiffPriority::dead()),
+            PriorityBias::Boost(1).apply(RiffPriority::dead()),
             RiffPriority::dead()
         );
         // Boost keeps dist at least 1 (reuse "now" is not expressible).
-        assert_eq!(PriorityBias::Boost.apply(RiffPriority::new(2, 1)).dist, 1);
+        assert_eq!(
+            PriorityBias::Boost(1).apply(RiffPriority::new(2, 1)).dist,
+            1
+        );
+    }
+
+    /// Magnitude levels scale both axes by `2^level`; out-of-range levels
+    /// clamp into `1..=MAX_BIAS_LEVEL`, so level monotonicity holds at the
+    /// extremes too.
+    #[test]
+    fn priority_bias_levels_are_graded_and_clamped() {
+        let p = RiffPriority::new(4, 32);
+        assert_eq!(PriorityBias::Boost(2).apply(p), RiffPriority::new(16, 8));
+        assert_eq!(PriorityBias::Boost(3).apply(p), RiffPriority::new(32, 4));
+        assert_eq!(PriorityBias::Demote(2).apply(p), RiffPriority::new(1, 128));
+        assert_eq!(PriorityBias::Demote(3).apply(p), RiffPriority::new(1, 256));
+        // Level 0 and level 200 clamp to the honored range.
+        assert_eq!(
+            PriorityBias::Boost(0).apply(p),
+            PriorityBias::Boost(1).apply(p)
+        );
+        assert_eq!(
+            PriorityBias::Demote(200).apply(p),
+            PriorityBias::Demote(MAX_BIAS_LEVEL).apply(p)
+        );
+        // Stronger boosts never rank below weaker ones.
+        assert!(PriorityBias::Boost(3).apply(p) > PriorityBias::Boost(1).apply(p));
+        assert!(PriorityBias::Demote(3).apply(p) < PriorityBias::Demote(1).apply(p));
     }
 
     #[test]

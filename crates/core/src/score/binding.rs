@@ -1054,18 +1054,18 @@ mod tests {
         let dag = cg_iteration();
         let constraints = ScheduleConstraints {
             chord_priority_bias: [
-                ("S".to_string(), PriorityBias::Boost), // valid: S is CHORD-bound
-                ("R".to_string(), PriorityBias::Demote), // valid
-                ("D".to_string(), PriorityBias::Boost), // invalid: RF-bound
-                ("X".to_string(), PriorityBias::Boost), // invalid: terminal/DRAM
+                ("S".to_string(), PriorityBias::Boost(1)), // valid: S is CHORD-bound
+                ("R".to_string(), PriorityBias::Demote(2)), // valid
+                ("D".to_string(), PriorityBias::Boost(1)), // invalid: RF-bound
+                ("X".to_string(), PriorityBias::Boost(1)), // invalid: terminal/DRAM
             ]
             .into_iter()
             .collect(),
             ..Default::default()
         };
         let s = build_schedule_with(&dag, ScheduleOptions::cello(), &constraints);
-        assert_eq!(s.chord_bias.get("S"), Some(&PriorityBias::Boost));
-        assert_eq!(s.chord_bias.get("R"), Some(&PriorityBias::Demote));
+        assert_eq!(s.chord_bias.get("S"), Some(&PriorityBias::Boost(1)));
+        assert_eq!(s.chord_bias.get("R"), Some(&PriorityBias::Demote(2)));
         assert!(!s.chord_bias.contains_key("D"));
         assert!(!s.chord_bias.contains_key("X"));
         // No CHORD, no bias.

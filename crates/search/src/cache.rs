@@ -1,11 +1,14 @@
-//! Thread-safe memoized evaluation cache, shared across both tiers.
+//! Thread-safe memoized evaluation cache, shared across both concrete
+//! tiers.
 //!
-//! Keys are **canonicalized schedules** ([`crate::Candidate::schedule_key`]),
-//! so decision combinations that collapse to the same schedule — no-op cuts,
-//! steering requests the builder dropped as invalid, partition changes under
-//! a CHORD-less preset — cost one evaluation total. The cache is shared
-//! across strategies within one [`crate::Tuner`], so a beam run after an
-//! exhaustive run on the same space is nearly free.
+//! Keys are **interned canonicalized schedules**
+//! ([`crate::Candidate::interned_key`] — the 128-bit FNV hash of
+//! [`crate::Candidate::schedule_key`]), so decision combinations that
+//! collapse to the same schedule — no-op cuts, steering requests the
+//! builder dropped as invalid, partition changes under a CHORD-less preset
+//! — cost one evaluation total. The cache is shared across strategies
+//! within one [`crate::Tuner`], so a beam run after an exhaustive run on
+//! the same space is nearly free.
 //!
 //! Two memo tables live side by side under the same keys: the exact
 //! simulator tier (`lookup`/`insert`) and the analytic surrogate tier
@@ -13,13 +16,25 @@
 //! the surrogate table while traversing and the exact table only for
 //! survivors; a later exact-tier run over the same space then starts from
 //! whatever the prefilter already paid for.
+//!
+//! Each tier's table is **lock-striped** into [`SHARDS`] shards selected by
+//! the key's low bits: `batch_with`'s rayon workers used to serialize on a
+//! single global `Mutex<HashMap>` for every lookup/insert, which capped the
+//! parallel speedup exactly where the tier-0 funnel pushes the most
+//! traffic. The keys are FNV hashes, so their low bits are already
+//! uniformly distributed — no re-hashing needed to balance the stripes.
 
+use crate::fingerprint::ScheduleKey;
 use cello_sim::evaluate::CostEstimate;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
-/// Locks a memo table, recovering from poisoning instead of panicking.
+/// Lock stripes per tier. A small power of two: enough that a dozen rayon
+/// workers rarely collide, cheap enough that an empty cache is still tiny.
+const SHARDS: usize = 16;
+
+/// Locks a memo shard, recovering from poisoning instead of panicking.
 ///
 /// The cache is shared across worker threads of a long-running service
 /// (`cello-serve`): if one request's evaluation panics while holding the
@@ -31,11 +46,38 @@ fn lock_table<T>(table: &Mutex<T>) -> MutexGuard<'_, T> {
     table.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// One tier's lock-striped memo table.
+struct Striped {
+    shards: [Mutex<HashMap<ScheduleKey, CostEstimate>>; SHARDS],
+}
+
+impl Default for Striped {
+    fn default() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+}
+
+impl Striped {
+    fn shard(&self, key: ScheduleKey) -> &Mutex<HashMap<ScheduleKey, CostEstimate>> {
+        &self.shards[(key.0 as usize) & (SHARDS - 1)]
+    }
+
+    fn get(&self, key: ScheduleKey) -> Option<CostEstimate> {
+        lock_table(self.shard(key)).get(&key).copied()
+    }
+
+    fn put(&self, key: ScheduleKey, cost: CostEstimate) {
+        lock_table(self.shard(key)).insert(key, cost);
+    }
+}
+
 /// Memo tables plus hit/evaluation counters for both tiers.
 #[derive(Default)]
 pub struct EvalCache {
-    map: Mutex<HashMap<String, CostEstimate>>,
-    surrogate_map: Mutex<HashMap<String, CostEstimate>>,
+    map: Striped,
+    surrogate_map: Striped,
     hits: AtomicU64,
     evaluations: AtomicU64,
     surrogate_hits: AtomicU64,
@@ -49,8 +91,8 @@ impl EvalCache {
     }
 
     /// Cached exact cost for `key`, counting a hit when present.
-    pub fn lookup(&self, key: &str) -> Option<CostEstimate> {
-        let found = lock_table(&self.map).get(key).copied();
+    pub fn lookup(&self, key: ScheduleKey) -> Option<CostEstimate> {
+        let found = self.map.get(key);
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -58,14 +100,14 @@ impl EvalCache {
     }
 
     /// Records a fresh exact evaluation.
-    pub fn insert(&self, key: String, cost: CostEstimate) {
+    pub fn insert(&self, key: ScheduleKey, cost: CostEstimate) {
         self.evaluations.fetch_add(1, Ordering::Relaxed);
-        lock_table(&self.map).insert(key, cost);
+        self.map.put(key, cost);
     }
 
     /// Cached surrogate score for `key`, counting a surrogate hit.
-    pub fn lookup_surrogate(&self, key: &str) -> Option<CostEstimate> {
-        let found = lock_table(&self.surrogate_map).get(key).copied();
+    pub fn lookup_surrogate(&self, key: ScheduleKey) -> Option<CostEstimate> {
+        let found = self.surrogate_map.get(key);
         if found.is_some() {
             self.surrogate_hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -73,9 +115,9 @@ impl EvalCache {
     }
 
     /// Records a fresh surrogate scoring.
-    pub fn insert_surrogate(&self, key: String, cost: CostEstimate) {
+    pub fn insert_surrogate(&self, key: ScheduleKey, cost: CostEstimate) {
         self.surrogate_evaluations.fetch_add(1, Ordering::Relaxed);
-        lock_table(&self.surrogate_map).insert(key, cost);
+        self.surrogate_map.put(key, cost);
     }
 
     /// Number of distinct schedules exactly evaluated so far.
@@ -112,13 +154,17 @@ mod tests {
         }
     }
 
+    fn k(v: u128) -> ScheduleKey {
+        ScheduleKey(v)
+    }
+
     #[test]
     fn lookup_insert_counters() {
         let cache = EvalCache::new();
-        assert!(cache.lookup("k").is_none());
+        assert!(cache.lookup(k(1)).is_none());
         assert_eq!(cache.hits(), 0);
-        cache.insert("k".into(), cost(7));
-        assert_eq!(cache.lookup("k").unwrap().cycles, 7);
+        cache.insert(k(1), cost(7));
+        assert_eq!(cache.lookup(k(1)).unwrap().cycles, 7);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.evaluations(), 1);
     }
@@ -127,33 +173,52 @@ mod tests {
     #[test]
     fn tiers_do_not_alias() {
         let cache = EvalCache::new();
-        cache.insert_surrogate("k".into(), cost(3));
-        assert!(cache.lookup("k").is_none(), "surrogate fill is tier-local");
-        cache.insert("k".into(), cost(7));
-        assert_eq!(cache.lookup_surrogate("k").unwrap().cycles, 3);
-        assert_eq!(cache.lookup("k").unwrap().cycles, 7);
+        cache.insert_surrogate(k(1), cost(3));
+        assert!(cache.lookup(k(1)).is_none(), "surrogate fill is tier-local");
+        cache.insert(k(1), cost(7));
+        assert_eq!(cache.lookup_surrogate(k(1)).unwrap().cycles, 3);
+        assert_eq!(cache.lookup(k(1)).unwrap().cycles, 7);
         assert_eq!(cache.evaluations(), 1);
         assert_eq!(cache.surrogate_evaluations(), 1);
         assert_eq!(cache.surrogate_hits(), 1);
     }
 
-    /// A thread that panics while holding the lock must not take the cache
-    /// down with it: later lookups and inserts keep working (the
+    /// A thread that panics while holding a shard lock must not take the
+    /// cache down with it: later lookups and inserts keep working (the
     /// daemon-survives-one-bad-request guarantee).
     #[test]
     fn survives_lock_poisoning() {
         let cache = EvalCache::new();
-        cache.insert("keep".into(), cost(1));
+        cache.insert(k(5), cost(1));
         let _ = std::thread::scope(|s| {
             s.spawn(|| {
-                let _guard = lock_table(&cache.map);
+                let _guard = lock_table(cache.map.shard(k(5)));
                 panic!("poison the lock on purpose");
             })
             .join()
         });
-        assert_eq!(cache.lookup("keep").unwrap().cycles, 1);
-        cache.insert("after".into(), cost(2));
-        assert_eq!(cache.lookup("after").unwrap().cycles, 2);
+        assert_eq!(cache.lookup(k(5)).unwrap().cycles, 1);
+        cache.insert(k(5 + SHARDS as u128), cost(2));
+        assert_eq!(cache.lookup(k(5 + SHARDS as u128)).unwrap().cycles, 2);
+    }
+
+    /// Keys land on every stripe and stay retrievable — the striping is an
+    /// invisible implementation detail to callers.
+    #[test]
+    fn striping_is_transparent() {
+        let cache = EvalCache::new();
+        for i in 0..(4 * SHARDS as u128) {
+            cache.insert(k(i), cost(i as u64));
+        }
+        assert_eq!(cache.evaluations(), 4 * SHARDS as u64);
+        for i in 0..(4 * SHARDS as u128) {
+            assert_eq!(cache.lookup(k(i)).unwrap().cycles, i as u64);
+        }
+        // All shards are populated (consecutive keys round-robin the low
+        // bits).
+        for shard in &cache.map.shards {
+            assert_eq!(lock_table(shard).len(), 4);
+        }
     }
 
     #[test]
@@ -162,12 +227,12 @@ mod tests {
         std::thread::scope(|s| {
             for i in 0..8u64 {
                 let cache = &cache;
-                s.spawn(move || cache.insert(format!("k{i}"), cost(i)));
+                s.spawn(move || cache.insert(k(i as u128), cost(i)));
             }
         });
         assert_eq!(cache.evaluations(), 8);
         for i in 0..8u64 {
-            assert_eq!(cache.lookup(&format!("k{i}")).unwrap().cycles, i);
+            assert_eq!(cache.lookup(k(i as u128)).unwrap().cycles, i);
         }
     }
 }

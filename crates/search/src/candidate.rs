@@ -1,12 +1,12 @@
 //! One point of the SCORE × CHORD co-design space.
 
+use crate::fingerprint::{Fnv128Writer, ScheduleKey};
 use cello_core::score::binding::{
     build_schedule_with, Binding, Schedule, ScheduleConstraints, ScheduleOptions,
 };
 use cello_core::score::multinode::PartitionAxis;
 use cello_graph::dag::TensorDag;
 use serde::{Deserialize, Serialize};
-use std::fmt::Write as _;
 
 /// A candidate schedule: preset knobs plus programmatic constraints.
 ///
@@ -48,84 +48,106 @@ impl Candidate {
     /// the SRAM partition that sizes it.
     pub fn schedule_key(schedule: &Schedule) -> String {
         let mut key = String::new();
-        for phase in &schedule.phases {
-            for op in &phase.ops {
-                let _ = write!(key, "{}.", op.0);
-            }
-            key.push('|');
+        write_schedule_key(&mut key, schedule);
+        key
+    }
+
+    /// The interned form of [`Self::schedule_key`]: the same canonical byte
+    /// sequence streamed straight into a 128-bit FNV hasher, no `String`
+    /// materialized. Both paths share [`write_schedule_key`], so interned
+    /// keys collide **exactly** when the string keys are equal — by
+    /// construction, and pinned by the migration differential test.
+    pub fn interned_key(schedule: &Schedule) -> ScheduleKey {
+        let mut w = Fnv128Writer::new();
+        write_schedule_key(&mut w, schedule);
+        w.finish()
+    }
+}
+
+/// Streams the canonical schedule-key text into any [`std::fmt::Write`]
+/// sink — the single source of truth for both the human-readable `String`
+/// key and the interned [`ScheduleKey`] hash.
+pub(crate) fn write_schedule_key<W: std::fmt::Write>(key: &mut W, schedule: &Schedule) {
+    for phase in &schedule.phases {
+        for op in &phase.ops {
+            let _ = write!(key, "{}.", op.0);
         }
-        key.push(';');
-        for &r in &schedule.realized {
-            key.push(if r { '1' } else { '0' });
-        }
-        key.push(';');
-        for (name, b) in &schedule.binding {
-            let tag = match b {
-                Binding::RegisterFile => 'R',
-                Binding::Pipeline => 'P',
-                Binding::Chord => 'C',
-                Binding::Dram => 'D',
-            };
-            let _ = write!(key, "{name}:{tag},");
-        }
-        key.push(';');
-        if schedule.options.enable_chord {
-            if schedule.repartition_active() {
-                // Per-phase SRAM repartition: once any phase deviates, the
-                // evaluators derive every capacity from the resolved
-                // `phase_splits` vector and the global split is inert (the
-                // engine resizes away the initial capacity before the first
-                // access) — so the *vector* is the identity. Serializing
-                // global+deviations instead would split candidates that
-                // differ only in the unused global pb/rf choice into
-                // distinct keys and re-run identical sim evaluations.
-                for split in &schedule.phase_splits {
-                    let _ = write!(
-                        key,
-                        "@{}.{}",
-                        split.pipeline_buffer_words, split.rf_capacity_words
-                    );
-                }
-            } else {
-                // Uniform split: the global values are the whole story, and
-                // a uniform repartition shares its key with the plain global
-                // schedule (they evaluate identically by construction — the
-                // differential proptest pins it). Without CHORD the splits
-                // only matter through the phase structure and bindings
-                // already serialized above.
+        let _ = key.write_char('|');
+    }
+    let _ = key.write_char(';');
+    for &r in &schedule.realized {
+        let _ = key.write_char(if r { '1' } else { '0' });
+    }
+    let _ = key.write_char(';');
+    for (name, b) in &schedule.binding {
+        let tag = match b {
+            Binding::RegisterFile => 'R',
+            Binding::Pipeline => 'P',
+            Binding::Chord => 'C',
+            Binding::Dram => 'D',
+        };
+        let _ = write!(key, "{name}:{tag},");
+    }
+    let _ = key.write_char(';');
+    if schedule.options.enable_chord {
+        if schedule.repartition_active() {
+            // Per-phase SRAM repartition: once any phase deviates, the
+            // evaluators derive every capacity from the resolved
+            // `phase_splits` vector and the global split is inert (the
+            // engine resizes away the initial capacity before the first
+            // access) — so the *vector* is the identity. Serializing
+            // global+deviations instead would split candidates that
+            // differ only in the unused global pb/rf choice into
+            // distinct keys and re-run identical sim evaluations.
+            for split in &schedule.phase_splits {
                 let _ = write!(
                     key,
-                    "pb{}rf{}",
-                    schedule.options.pipeline_buffer_words, schedule.options.rf_capacity_words
+                    "@{}.{}",
+                    split.pipeline_buffer_words, split.rf_capacity_words
                 );
             }
         } else {
-            key.push('x');
+            // Uniform split: the global values are the whole story, and
+            // a uniform repartition shares its key with the plain global
+            // schedule (they evaluate identically by construction — the
+            // differential proptest pins it). Without CHORD the splits
+            // only matter through the phase structure and bindings
+            // already serialized above.
+            let _ = write!(
+                key,
+                "pb{}rf{}",
+                schedule.options.pipeline_buffer_words, schedule.options.rf_capacity_words
+            );
         }
-        key.push(';');
-        // CHORD priority biases: already validated down to CHORD-bound
-        // tensors by the builder (empty without CHORD), so serializing the
-        // surviving map is exactly the evaluation-relevant subset.
-        for (name, bias) in &schedule.chord_bias {
-            let tag = match bias {
-                cello_core::chord::PriorityBias::Boost => '+',
-                cello_core::chord::PriorityBias::Demote => '-',
-            };
-            let _ = write!(key, "{name}{tag},");
-        }
-        key.push(';');
-        if schedule.partition.is_multi() {
-            let _ = write!(key, "n{}", schedule.partition.nodes);
-            match schedule.partition.axis {
-                PartitionAxis::Rank(rank) => {
-                    let _ = write!(key, "r{rank}");
-                }
-                PartitionAxis::Stage => key.push('s'),
+    } else {
+        let _ = key.write_char('x');
+    }
+    let _ = key.write_char(';');
+    // CHORD priority biases: already validated down to CHORD-bound
+    // tensors by the builder (empty without CHORD), so serializing the
+    // surviving map is exactly the evaluation-relevant subset. The
+    // magnitude level is part of the identity: Boost(1) and Boost(2)
+    // evaluate differently.
+    for (name, bias) in &schedule.chord_bias {
+        let (tag, level) = match bias {
+            cello_core::chord::PriorityBias::Boost(_) => ('+', bias.level()),
+            cello_core::chord::PriorityBias::Demote(_) => ('-', bias.level()),
+        };
+        let _ = write!(key, "{name}{tag}{level},");
+    }
+    let _ = key.write_char(';');
+    if schedule.partition.is_multi() {
+        let _ = write!(key, "n{}", schedule.partition.nodes);
+        match schedule.partition.axis {
+            PartitionAxis::Rank(rank) => {
+                let _ = write!(key, "r{rank}");
             }
-        } else {
-            key.push('1');
+            PartitionAxis::Stage => {
+                let _ = key.write_char('s');
+            }
         }
-        key
+    } else {
+        let _ = key.write_char('1');
     }
 }
 
@@ -235,12 +257,52 @@ mod tests {
         base.constraints.cut_before.insert(1);
         base.constraints.cut_before.insert(2);
         let k = Candidate::schedule_key(&base.build(&dag));
-        let kb = with_bias("T0", PriorityBias::Boost);
-        let kd = with_bias("T0", PriorityBias::Demote);
+        let kb = with_bias("T0", PriorityBias::Boost(1));
+        let kd = with_bias("T0", PriorityBias::Demote(1));
         assert_ne!(k, kb);
         assert_ne!(kb, kd);
+        // The magnitude level is part of the identity.
+        assert_ne!(kb, with_bias("T0", PriorityBias::Boost(2)));
         // Biasing the terminal (DRAM-bound) tensor is dropped: same key.
-        assert_eq!(k, with_bias("T2", PriorityBias::Boost));
+        assert_eq!(k, with_bias("T2", PriorityBias::Boost(1)));
+    }
+
+    /// Key-migration differential: the interned 128-bit key is the FNV hash
+    /// of exactly the canonical string key, so interned keys collide iff the
+    /// strings were equal — across every structurally distinct schedule a
+    /// small widened space can produce.
+    #[test]
+    fn interned_key_matches_string_key_exactly() {
+        use crate::fingerprint::fnv128_hex;
+        use crate::space::{SearchSpace, SpaceConfig};
+        let dag = toy_chain(3);
+        let cfg = SpaceConfig {
+            max_cut_points: 2,
+            max_steer_tensors: 1,
+            max_loop_order_nodes: 1,
+            max_chord_bias_tensors: 1,
+            node_choices: vec![1, 4],
+            ..SpaceConfig::default()
+        };
+        let space = SearchSpace::from_dag(&dag, &cfg);
+        let total = space.exhaustive_size() as usize;
+        let mut by_string = std::collections::HashMap::new();
+        for i in 0..total {
+            let cand = space.assemble(&space.index_to_picks(i as u64));
+            let schedule = cand.build(&dag);
+            let s = Candidate::schedule_key(&schedule);
+            let k = Candidate::interned_key(&schedule);
+            // The interned key is literally the hash of the string key.
+            assert_eq!(k.hex(), fnv128_hex(&s));
+            // Equal strings always landed on equal interned keys (and the
+            // hash equation above makes unequal-string collisions a 128-bit
+            // FNV collision — the trust level the serve cache already uses).
+            let prev = by_string.insert(s, k);
+            if let Some(p) = prev {
+                assert_eq!(p, k);
+            }
+        }
+        assert!(by_string.len() > 4, "space exercised distinct schedules");
     }
 
     /// Per-phase splits are part of the memo identity exactly when they

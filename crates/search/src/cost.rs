@@ -2,23 +2,24 @@
 //! NoC hop-bytes, energy).
 
 use crate::candidate::Candidate;
+use crate::fingerprint::ScheduleKey;
 use cello_sim::evaluate::CostEstimate;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 
 /// A scored candidate.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Evaluated {
     /// The candidate spec.
     pub candidate: Candidate,
-    /// Canonical key of the schedule it built (memo-cache identity).
-    pub key: String,
+    /// Interned canonical key of the schedule it built (memo-cache
+    /// identity — see [`Candidate::interned_key`]).
+    pub key: ScheduleKey,
     /// The four objectives.
     pub cost: CostEstimate,
 }
 
 /// Deterministic total order: cycles, then DRAM bytes, then NoC hop-bytes,
-/// then energy, then the canonical key as the final tiebreak.
+/// then energy, then the interned key as the final tiebreak.
 pub fn rank(a: &Evaluated, b: &Evaluated) -> Ordering {
     a.cost
         .cycles
@@ -35,7 +36,7 @@ pub fn pareto_front(evaluated: &[Evaluated]) -> Vec<Evaluated> {
     let mut seen = std::collections::HashSet::new();
     let mut unique: Vec<&Evaluated> = Vec::new();
     for e in evaluated {
-        if seen.insert(e.key.as_str()) {
+        if seen.insert(e.key) {
             unique.push(e);
         }
     }
@@ -52,10 +53,10 @@ pub fn pareto_front(evaluated: &[Evaluated]) -> Vec<Evaluated> {
 mod tests {
     use super::*;
 
-    fn ev(key: &str, cycles: u64, dram: u64, energy: f64) -> Evaluated {
+    fn ev(key: u128, cycles: u64, dram: u64, energy: f64) -> Evaluated {
         Evaluated {
             candidate: Candidate::paper_heuristic(),
-            key: key.into(),
+            key: ScheduleKey(key),
             cost: CostEstimate {
                 cycles,
                 dram_bytes: dram,
@@ -70,40 +71,36 @@ mod tests {
     /// exercised at the front level).
     #[test]
     fn nan_energy_cannot_corrupt_the_front() {
-        let all = vec![ev("good", 10, 10, 1.0), ev("nan", 10, 10, f64::NAN)];
+        let all = vec![ev(1, 10, 10, 1.0), ev(2, 10, 10, f64::NAN)];
         let front = pareto_front(&all);
-        let keys: Vec<&str> = front.iter().map(|e| e.key.as_str()).collect();
-        assert_eq!(keys, vec!["good"]);
+        let keys: Vec<ScheduleKey> = front.iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![ScheduleKey(1)]);
     }
 
     #[test]
     fn front_keeps_tradeoffs_drops_dominated() {
         let all = vec![
-            ev("a", 100, 50, 1.0),
-            ev("b", 90, 60, 1.0),  // trades cycles for bytes with a
-            ev("c", 110, 55, 1.0), // dominated by a
-            ev("d", 90, 60, 2.0),  // dominated by b
+            ev(1, 100, 50, 1.0),
+            ev(2, 90, 60, 1.0),  // trades cycles for bytes with 1
+            ev(3, 110, 55, 1.0), // dominated by 1
+            ev(4, 90, 60, 2.0),  // dominated by 2
         ];
         let front = pareto_front(&all);
-        let keys: Vec<&str> = front.iter().map(|e| e.key.as_str()).collect();
-        assert_eq!(keys, vec!["b", "a"]);
+        let keys: Vec<ScheduleKey> = front.iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![ScheduleKey(2), ScheduleKey(1)]);
     }
 
     #[test]
     fn front_dedupes_by_key() {
-        let all = vec![ev("a", 10, 10, 1.0), ev("a", 10, 10, 1.0)];
+        let all = vec![ev(1, 10, 10, 1.0), ev(1, 10, 10, 1.0)];
         assert_eq!(pareto_front(&all).len(), 1);
     }
 
     #[test]
     fn rank_is_total_and_deterministic() {
-        let mut v = [
-            ev("b", 10, 10, 1.0),
-            ev("a", 10, 10, 1.0),
-            ev("c", 9, 99, 9.0),
-        ];
+        let mut v = [ev(2, 10, 10, 1.0), ev(1, 10, 10, 1.0), ev(3, 9, 99, 9.0)];
         v.sort_by(rank);
-        let keys: Vec<&str> = v.iter().map(|e| e.key.as_str()).collect();
-        assert_eq!(keys, vec!["c", "a", "b"]);
+        let keys: Vec<ScheduleKey> = v.iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![ScheduleKey(3), ScheduleKey(1), ScheduleKey(2)]);
     }
 }

@@ -133,7 +133,7 @@ pub fn dag_canonical_text(dag: &TensorDag) -> String {
 /// declaration order.
 fn space_canonical_text(cfg: &SpaceConfig) -> String {
     let mut out = format!(
-        "space{{cuts={} steers={} orders={} pb={:?} rf={:?} nodes={:?} bias={}",
+        "space{{cuts={} steers={} orders={} pb={:?} rf={:?} nodes={:?} bias={} mags={:?}",
         cfg.max_cut_points,
         cfg.max_steer_tensors,
         cfg.max_loop_order_nodes,
@@ -141,6 +141,7 @@ fn space_canonical_text(cfg: &SpaceConfig) -> String {
         cfg.rf_words_choices,
         cfg.node_choices,
         cfg.max_chord_bias_tensors,
+        cfg.chord_bias_magnitudes,
     );
     out.push_str(" rep=[");
     for p in &cfg.repartition_profiles {
@@ -158,16 +159,83 @@ fn space_canonical_text(cfg: &SpaceConfig) -> String {
     out
 }
 
+/// FNV-1a 128-bit offset basis (hash of the empty string).
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a 128-bit prime.
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
 /// 128-bit FNV-1a as 32 lowercase hex digits.
 pub fn fnv128_hex(text: &str) -> String {
-    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
-    const PRIME: u128 = 0x0000000001000000000000000000013b;
-    let mut h = OFFSET;
-    for b in text.bytes() {
-        h ^= b as u128;
-        h = h.wrapping_mul(PRIME);
+    let mut w = Fnv128Writer::new();
+    w.consume(text.as_bytes());
+    format!("{:032x}", w.finish().0)
+}
+
+/// An interned 128-bit schedule identity: the FNV-1a hash of the canonical
+/// [`crate::candidate::schedule_key`] text, produced *streamingly* (the key
+/// text is hashed as it is formatted, never materialized). Two keys are
+/// equal exactly when the underlying canonical strings are equal (up to
+/// 128-bit collision — the same trust level serve's fingerprint cache
+/// already accepts). `Copy` + 16 bytes makes it free to thread through the
+/// eval cache, dedup sets, and the beam, where `String` keys used to cost
+/// an allocation plus byte-wise compares per candidate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ScheduleKey(pub u128);
+
+impl ScheduleKey {
+    /// The key as 32 lowercase hex digits — the stable wire/disk spelling
+    /// used by serve's warm-start codec.
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
     }
-    format!("{h:032x}")
+
+    /// Parses the [`Self::hex`] spelling back. Any non-hex or wrong-length
+    /// input returns `None` (old stores carried raw key text here; those
+    /// degrade to a fresh evaluation, never to a wrong hit).
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(ScheduleKey)
+    }
+}
+
+/// Streaming 128-bit FNV-1a hasher that plugs into [`std::fmt::Write`], so
+/// the exact byte sequence a `format!`-style serializer would produce can
+/// be hashed without allocating the intermediate `String`.
+#[derive(Clone, Debug)]
+pub struct Fnv128Writer {
+    h: u128,
+}
+
+impl Fnv128Writer {
+    pub fn new() -> Self {
+        Fnv128Writer { h: FNV128_OFFSET }
+    }
+
+    fn consume(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.h ^= b as u128;
+            self.h = self.h.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    pub fn finish(&self) -> ScheduleKey {
+        ScheduleKey(self.h)
+    }
+}
+
+impl Default for Fnv128Writer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Write for Fnv128Writer {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.consume(s.as_bytes());
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -273,5 +341,39 @@ mod tests {
         // FNV-1a 128 of the empty string is the offset basis.
         assert_eq!(fnv128_hex(""), "6c62272e07bb014262b821756295c58d");
         assert_ne!(fnv128_hex("a"), fnv128_hex("b"));
+    }
+
+    /// The streaming writer hashes exactly the bytes written, whatever the
+    /// chunking, and matches the one-shot string hash.
+    #[test]
+    fn streaming_writer_matches_one_shot_hash() {
+        use std::fmt::Write as _;
+        let mut w = Fnv128Writer::new();
+        let (name, idx, tag) = ("spmv", 3, "realized");
+        write!(w, "op.{name}|{idx};{tag}").unwrap();
+        assert_eq!(w.finish().hex(), fnv128_hex("op.spmv|3;realized"));
+        // Chunk boundaries are invisible.
+        let mut a = Fnv128Writer::new();
+        a.write_str("hel").unwrap();
+        a.write_str("lo").unwrap();
+        let mut b = Fnv128Writer::new();
+        b.write_str("hello").unwrap();
+        assert_eq!(a.finish(), b.finish());
+        assert_eq!(Fnv128Writer::new().finish().hex(), fnv128_hex(""));
+    }
+
+    #[test]
+    fn schedule_key_hex_round_trips() {
+        let k = Fnv128Writer::new().finish();
+        assert_eq!(ScheduleKey::from_hex(&k.hex()), Some(k));
+        let k2 = ScheduleKey(0x0123_4567_89ab_cdef_0011_2233_4455_6677);
+        assert_eq!(k2.hex().len(), 32);
+        assert_eq!(ScheduleKey::from_hex(&k2.hex()), Some(k2));
+        // Legacy raw-text keys (wrong length / non-hex) degrade to None.
+        assert_eq!(ScheduleKey::from_hex("op.spmv|3;realized"), None);
+        assert_eq!(
+            ScheduleKey::from_hex("zz62272e07bb014262b821756295c58d"),
+            None
+        );
     }
 }

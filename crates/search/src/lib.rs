@@ -31,8 +31,14 @@
 //!   schedule** (not the candidate), so decision combinations that collapse
 //!   to the same schedule are evaluated once;
 //! - [`strategy`]: exhaustive enumeration (small DAGs), beam search with
-//!   configurable width, a seeded random-sampling baseline, and the
-//!   two-tier [`Strategy::Prefiltered`] wrapper;
+//!   configurable width, a seeded random-sampling baseline, the symbolic
+//!   [`Strategy::Tier0`] sweep, and the tiered [`Strategy::Prefiltered`]
+//!   wrapper;
+//! - [`tier0`]: the tier-0 asymptotic cost sketch — a closed-form
+//!   `[dram, noc, spill, cycles]` vector computed per assignment from
+//!   precomputed per-decision effects, no schedule built and no phase walk,
+//!   pruned by symbolic Pareto dominance so only non-dominated sketches
+//!   reach the concrete tiers;
 //! - [`surrogate`]: the tier-1 analytic cost model — the same
 //!   [`cello_sim::phases::PhasePlan`] the simulator replays, scored with a
 //!   closed-form CHORD capacity split instead of the stateful RIFF walk
@@ -40,7 +46,8 @@
 //! - [`tuner`]: drives everything — candidates are scored in parallel
 //!   (rayon) through `cello_sim::evaluate`'s cheap traffic+roofline path,
 //!   or analytically prefiltered first under `Strategy::Prefiltered`
-//!   (both tiers memoized in one shared cache).
+//!   (both concrete tiers memoized in one shared lock-striped cache keyed
+//!   by interned 128-bit schedule keys).
 //!
 //! Every strategy is deterministic: parallel evaluation preserves order,
 //! ranking ties break on the canonical schedule key, and the random strategy
@@ -67,6 +74,14 @@
 //! let two_tier = tuner.tune(&Strategy::prefiltered(0.2, Strategy::Beam { width: 4 }));
 //! assert!(two_tier.best_cycles.cost.cycles <= two_tier.baseline.cost.cycles);
 //! assert!(two_tier.surrogate_scored > 0);
+//!
+//! // Three-tier: sketch-prune symbolically, surrogate-rank the survivors,
+//! // sim-evaluate the top 20% of those.
+//! let funnel = tuner.tune(&Strategy::prefiltered(
+//!     0.2,
+//!     Strategy::Tier0 { budget: 512, keep: 32 },
+//! ));
+//! assert!(funnel.best_cycles.cost.cycles <= funnel.baseline.cost.cycles);
 //! ```
 
 pub mod cache;
@@ -76,13 +91,15 @@ pub mod fingerprint;
 pub mod space;
 pub mod strategy;
 pub mod surrogate;
+pub mod tier0;
 pub mod tuner;
 
 pub use cache::EvalCache;
 pub use candidate::Candidate;
 pub use cost::{pareto_front, Evaluated};
-pub use fingerprint::{fingerprint, Fingerprint};
+pub use fingerprint::{fingerprint, Fingerprint, Fnv128Writer, ScheduleKey};
 pub use space::{Choice, Decision, RepartitionProfile, SearchSpace, SpaceConfig};
 pub use strategy::Strategy;
 pub use surrogate::{spearman, surrogate_cost};
+pub use tier0::{Sketch, Tier0Model, Tier0Prune};
 pub use tuner::{SearchOutcome, Tuner};

@@ -188,9 +188,15 @@ pub struct SpaceConfig {
     /// default) disables the dimension entirely.
     pub node_choices: Vec<u64>,
     /// Max per-tensor CHORD `(freq, dist)` priority-bias decisions (largest
-    /// CHORD footprints first; each adds a ×3 neutral/boost/demote
-    /// dimension). 0 — the default — keeps the interface purely derived.
+    /// CHORD footprints first; each adds a `1 + 2×|magnitudes|` dimension:
+    /// neutral, then boost/demote per listed magnitude). 0 — the default —
+    /// keeps the interface purely derived.
     pub max_chord_bias_tensors: usize,
+    /// Bias magnitude levels offered per biased tensor (each contributes a
+    /// `Boost(level)` and a `Demote(level)` choice). `vec![1]` — the default
+    /// — reproduces the original ±1 menu; the widened config opens the full
+    /// graded range `1..=MAX_BIAS_LEVEL`.
+    pub chord_bias_magnitudes: Vec<u8>,
     /// Per-phase SRAM repartition profiles (fused/solo split pairs). Empty —
     /// the default — keeps the split a single global decision; a non-empty
     /// menu adds a repartition dimension with "no repartition" as choice 0.
@@ -209,6 +215,7 @@ impl Default for SpaceConfig {
             rf_words_choices: vec![16_384, 4_096],
             node_choices: vec![1],
             max_chord_bias_tensors: 0,
+            chord_bias_magnitudes: vec![1],
             repartition_profiles: Vec::new(),
         }
     }
@@ -223,15 +230,17 @@ impl SpaceConfig {
         }
     }
 
-    /// The exhaustive-scale space the two-tier prefilter unlocks: more
-    /// cluster-cut points and per-tensor CHORD priority biasing on top of
-    /// the default menus. Roughly 36× the default assignment count on CG —
-    /// affordable under `Strategy::Prefiltered`, wasteful to re-simulate
-    /// exhaustively.
+    /// The exhaustive-scale space the tiered prefilter unlocks: more
+    /// cluster-cut points and graded per-tensor CHORD priority biasing
+    /// (the full `1..=MAX_BIAS_LEVEL` magnitude menu) on top of the default
+    /// menus. Roughly 200× the default assignment count on CG — affordable
+    /// under `Strategy::Prefiltered` with a tier-0 inner stage, wasteful to
+    /// re-simulate exhaustively.
     pub fn widened() -> Self {
         Self {
             max_cut_points: 6,
             max_chord_bias_tensors: 2,
+            chord_bias_magnitudes: (1..=cello_core::chord::MAX_BIAS_LEVEL).collect(),
             ..Self::default()
         }
     }
@@ -403,22 +412,23 @@ impl SearchSpace {
         // footprint-ordered list as steering — the tensors whose residency
         // the bias can actually move.
         for (_, tensor) in chord_tensors.iter().take(cfg.max_chord_bias_tensors) {
+            let mut choices = vec![Choice::ChordBias {
+                tensor: tensor.clone(),
+                bias: None,
+            }];
+            for &level in &cfg.chord_bias_magnitudes {
+                choices.push(Choice::ChordBias {
+                    tensor: tensor.clone(),
+                    bias: Some(PriorityBias::Boost(level)),
+                });
+                choices.push(Choice::ChordBias {
+                    tensor: tensor.clone(),
+                    bias: Some(PriorityBias::Demote(level)),
+                });
+            }
             decisions.push(Decision {
                 name: format!("bias@{tensor}"),
-                choices: vec![
-                    Choice::ChordBias {
-                        tensor: tensor.clone(),
-                        bias: None,
-                    },
-                    Choice::ChordBias {
-                        tensor: tensor.clone(),
-                        bias: Some(PriorityBias::Boost),
-                    },
-                    Choice::ChordBias {
-                        tensor: tensor.clone(),
-                        bias: Some(PriorityBias::Demote),
-                    },
-                ],
+                choices,
             });
         }
 
@@ -566,62 +576,96 @@ impl SearchSpace {
         let mut c = Candidate::paper_heuristic();
         for (di, d) in self.decisions.iter().enumerate() {
             let pick = picks.get(di).copied().unwrap_or(0);
-            match &d.choices[pick] {
-                Choice::Preset {
-                    scope,
-                    enable_hold,
-                    enable_multicast,
-                    enable_chord,
-                } => {
-                    c.options.scope = *scope;
-                    c.options.enable_hold = *enable_hold;
-                    c.options.enable_multicast = *enable_multicast;
-                    c.options.enable_chord = *enable_chord;
-                }
-                Choice::SramSplit {
-                    pipeline_words,
-                    rf_words,
-                } => {
-                    c.options.pipeline_buffer_words = *pipeline_words;
-                    c.options.rf_capacity_words = *rf_words;
-                }
-                Choice::Cut { node, enabled } => {
-                    if *enabled {
-                        c.constraints.cut_before.insert(*node);
-                    }
-                }
-                Choice::Steer { tensor, binding } => {
-                    if *binding != Binding::Chord {
-                        c.constraints
-                            .binding_overrides
-                            .insert(tensor.clone(), *binding);
-                    }
-                }
-                Choice::Partition { partition } => {
-                    if partition.is_multi() {
-                        c.constraints.partition = Some(*partition);
-                    }
-                }
-                Choice::OrderFlip { node, order } => {
-                    if let Some(order) = order {
-                        c.constraints.loop_orders.insert(*node, order.clone());
-                    }
-                }
-                Choice::ChordBias { tensor, bias } => {
-                    if let Some(bias) = bias {
-                        c.constraints
-                            .chord_priority_bias
-                            .insert(tensor.clone(), *bias);
-                    }
-                }
-                Choice::Repartition { profile } => {
-                    if let Some(rep) = profile.as_ref().and_then(|p| p.to_constraint()) {
-                        c.constraints.phase_repartition = Some(rep);
-                    }
-                }
-            }
+            apply_choice(&mut c, &d.choices[pick]);
         }
         c
+    }
+
+    /// Applies one decision's pick onto an already-assembled candidate —
+    /// the incremental counterpart of [`Self::assemble`]. Because every
+    /// default (index-0) choice is a no-op on the paper heuristic and each
+    /// decision mutates disjoint candidate state, extending a prefix
+    /// `picks[..di]`'s candidate with `apply_pick(c, di, pick)` yields
+    /// exactly `assemble(picks[..di] ++ [pick])` — what lets beam search
+    /// reuse prefix-built candidates instead of re-assembling the whole
+    /// vector at every level.
+    pub fn apply_pick(&self, c: &mut Candidate, decision: usize, pick: usize) {
+        apply_choice(&mut *c, &self.decisions[decision].choices[pick]);
+    }
+
+    /// Decodes an exhaustive-enumeration index into an assignment vector
+    /// (mixed-radix, decision 0 least significant — the same odometer order
+    /// `Strategy::Exhaustive` walks). Indices are taken modulo
+    /// [`Self::exhaustive_size`].
+    pub fn index_to_picks(&self, index: u64) -> Vec<usize> {
+        let mut rem = index;
+        self.decisions
+            .iter()
+            .map(|d| {
+                let n = d.choices.len() as u64;
+                let p = (rem % n) as usize;
+                rem /= n;
+                p
+            })
+            .collect()
+    }
+}
+
+/// Applies one [`Choice`] to a candidate (see [`SearchSpace::apply_pick`]).
+fn apply_choice(c: &mut Candidate, choice: &Choice) {
+    match choice {
+        Choice::Preset {
+            scope,
+            enable_hold,
+            enable_multicast,
+            enable_chord,
+        } => {
+            c.options.scope = *scope;
+            c.options.enable_hold = *enable_hold;
+            c.options.enable_multicast = *enable_multicast;
+            c.options.enable_chord = *enable_chord;
+        }
+        Choice::SramSplit {
+            pipeline_words,
+            rf_words,
+        } => {
+            c.options.pipeline_buffer_words = *pipeline_words;
+            c.options.rf_capacity_words = *rf_words;
+        }
+        Choice::Cut { node, enabled } => {
+            if *enabled {
+                c.constraints.cut_before.insert(*node);
+            }
+        }
+        Choice::Steer { tensor, binding } => {
+            if *binding != Binding::Chord {
+                c.constraints
+                    .binding_overrides
+                    .insert(tensor.clone(), *binding);
+            }
+        }
+        Choice::Partition { partition } => {
+            if partition.is_multi() {
+                c.constraints.partition = Some(*partition);
+            }
+        }
+        Choice::OrderFlip { node, order } => {
+            if let Some(order) = order {
+                c.constraints.loop_orders.insert(*node, order.clone());
+            }
+        }
+        Choice::ChordBias { tensor, bias } => {
+            if let Some(bias) = bias {
+                c.constraints
+                    .chord_priority_bias
+                    .insert(tensor.clone(), *bias);
+            }
+        }
+        Choice::Repartition { profile } => {
+            if let Some(rep) = profile.as_ref().and_then(|p| p.to_constraint()) {
+                c.constraints.phase_repartition = Some(rep);
+            }
+        }
     }
 }
 
@@ -724,9 +768,9 @@ mod tests {
         assert!(plain.decisions.iter().all(|d| d.name != "partition"));
     }
 
-    /// The widened config adds ×3 bias decisions on the hottest CHORD
-    /// tensors, keeps neutral as choice 0, and assembled bias picks land in
-    /// the constraints.
+    /// The widened config adds graded bias decisions (neutral + boost/demote
+    /// per magnitude level) on the hottest CHORD tensors, keeps neutral as
+    /// choice 0, and assembled bias picks land in the constraints.
     #[test]
     fn widened_space_adds_chord_bias_dimension() {
         let dag = cg(2);
@@ -739,7 +783,9 @@ mod tests {
             .collect();
         assert_eq!(biases.len(), cfg.max_chord_bias_tensors);
         for d in &biases {
-            assert_eq!(d.choices.len(), 3);
+            // Neutral + {boost, demote} × {1, 2, 3}.
+            assert_eq!(d.choices.len(), 1 + 2 * cfg.chord_bias_magnitudes.len());
+            assert_eq!(d.choices.len(), 7);
             assert!(matches!(d.choices[0], Choice::ChordBias { bias: None, .. }));
         }
         // Defaults still reproduce the heuristic; a bias pick constrains.
@@ -761,12 +807,50 @@ mod tests {
         let plain = SearchSpace::from_dag(&dag, &SpaceConfig::default());
         assert!(plain.decisions.iter().all(|d| !d.name.starts_with("bias@")));
         // Widening multiplies the assignment count as advertised (6 cut
-        // points × 3² biases vs 4 cut points).
+        // points × 7² graded biases vs 4 cut points).
         assert_eq!(
             space.exhaustive_size(),
-            plain.exhaustive_size() * 4 * 9,
-            "two extra cuts (×4) and two bias tensors (×9)"
+            plain.exhaustive_size() * 4 * 49,
+            "two extra cuts (×4) and two graded bias tensors (×49)"
         );
+    }
+
+    /// `index_to_picks` decodes the exhaustive odometer: index 0 is the
+    /// default assignment, consecutive indices step decision 0 first, and
+    /// every decoded pick is in range.
+    #[test]
+    fn index_to_picks_decodes_odometer_order() {
+        let dag = cg(2);
+        let space = SearchSpace::from_dag(&dag, &SpaceConfig::widened_with_nodes(&[1, 4]));
+        assert_eq!(space.index_to_picks(0), space.default_picks());
+        let one = space.index_to_picks(1);
+        assert_eq!(one[0], 1);
+        assert!(one[1..].iter().all(|&p| p == 0));
+        let radix0 = space.decisions[0].choices.len() as u64;
+        let carry = space.index_to_picks(radix0);
+        assert_eq!(carry[0], 0);
+        assert_eq!(carry[1], 1);
+        for idx in [7u64, 1000, space.exhaustive_size() - 1] {
+            for (p, d) in space.index_to_picks(idx).iter().zip(&space.decisions) {
+                assert!(*p < d.choices.len());
+            }
+        }
+    }
+
+    /// `apply_pick` on a prefix-assembled candidate equals re-assembling the
+    /// extended prefix — the identity incremental beam assembly relies on.
+    #[test]
+    fn apply_pick_matches_prefix_reassembly() {
+        let dag = cg(2);
+        let space = SearchSpace::from_dag(&dag, &SpaceConfig::widened_with_nodes(&[1, 4]));
+        for picks in space.sample_assignments(8, 23) {
+            let mut inc = space.assemble(&[]);
+            for (di, &p) in picks.iter().enumerate() {
+                space.apply_pick(&mut inc, di, p);
+                assert_eq!(inc, space.assemble(&picks[..=di]));
+            }
+            assert_eq!(inc, space.assemble(&picks));
+        }
     }
 
     /// A repartition menu adds its dimension with "no repartition" as the

@@ -1,5 +1,5 @@
-//! Search strategies: exhaustive, beam, seeded random sampling, and the
-//! two-tier analytic prefilter.
+//! Search strategies: exhaustive, beam, seeded random sampling, the
+//! symbolic tier-0 sweep, and the tiered analytic prefilter.
 //!
 //! Strategies only decide **which assignments to score**; scoring itself
 //! (parallel evaluation, memoization, Pareto bookkeeping) lives in
@@ -31,13 +31,29 @@ pub enum Strategy {
         /// RNG seed; same seed + same space ⇒ same candidates.
         seed: u64,
     },
-    /// Two-tier search: run `inner`'s traversal entirely on the analytic
+    /// Tier-0 symbolic sweep ([`crate::tier0`]): enumerate up to `budget`
+    /// assignments (the whole space when it fits, a seeded uniform sample
+    /// otherwise), score each with the closed-form asymptotic cost sketch —
+    /// no schedule build, no phase walk — and keep only the sketch-Pareto
+    /// non-dominated set, capped at `keep`. The kept candidates are then
+    /// concretely scored by whichever tier runs this traversal. On its own
+    /// it is a coarse search; as the inner stage of [`Self::Prefiltered`]
+    /// it is the wide mouth of the three-tier funnel.
+    Tier0 {
+        /// Max assignments sketched (the symbolic reach).
+        budget: u64,
+        /// Max sketch-Pareto survivors promoted to concrete scoring.
+        keep: usize,
+    },
+    /// Tiered search: run `inner`'s traversal entirely on the analytic
     /// surrogate ([`crate::surrogate::surrogate_cost`], tier 1), rank every
     /// distinct schedule it visited, keep the top `keep_frac` fraction, and
     /// run `cello_sim::evaluate` only on those survivors (tier 2). Both
     /// tiers share the tuner's memo cache. `keep_frac >= 1.0` keeps the
     /// whole visited set — no pruning — so the tuner degenerates it to the
-    /// inner strategy exactly.
+    /// inner strategy exactly. With [`Self::Tier0`] as `inner` this is the
+    /// full three-tier funnel: tier 0 prunes symbolically, the surrogate
+    /// ranks the survivors, the simulator scores the top fraction.
     Prefiltered {
         /// Fraction of surrogate-ranked candidates promoted to exact
         /// evaluation, clamped to `(0, 1]`; at least one always survives.
@@ -55,6 +71,7 @@ impl Strategy {
             Strategy::Exhaustive => "exhaustive".into(),
             Strategy::Beam { width } => format!("beam{width}"),
             Strategy::Random { samples, seed } => format!("random{samples}@{seed}"),
+            Strategy::Tier0 { budget, keep } => format!("tier0b{budget}k{keep}"),
             Strategy::Prefiltered { keep_frac, inner } => {
                 format!("prefilter{keep_frac}+{}", inner.label())
             }
@@ -70,15 +87,27 @@ impl Strategy {
     }
 
     /// Parses a [`Self::label`]-shaped string back into a strategy —
-    /// `"exhaustive"`, `"beam8"`, `"random64@7"`,
-    /// `"prefilter0.1+beam8"` — the wire format `cello-serve` requests
-    /// carry. Returns `None` on anything else (a typed protocol error at the
-    /// daemon, never a panic). Parsed parameters are validity-clamped the
-    /// same way the tuner clamps them (width ≥ 1, `keep_frac ∈ (0, 1]`).
+    /// `"exhaustive"`, `"beam8"`, `"random64@7"`, `"tier0b4096k32"`,
+    /// `"prefilter0.1+tier0b4096k32"` — the wire format `cello-serve`
+    /// requests carry. Returns `None` on anything else (a typed protocol
+    /// error at the daemon, never a panic). Parsed parameters are
+    /// validity-clamped the same way the tuner clamps them (width ≥ 1,
+    /// budget/keep ≥ 1, `keep_frac ∈ (0, 1]`).
     pub fn parse(label: &str) -> Option<Strategy> {
         let label = label.trim();
         if label == "exhaustive" {
             return Some(Strategy::Exhaustive);
+        }
+        // Before "beam": "tier0…" does not share a prefix, but keep the
+        // more specific pattern first anyway.
+        if let Some(rest) = label.strip_prefix("tier0b") {
+            let (budget, keep) = rest.split_once('k')?;
+            let budget: u64 = budget.parse().ok()?;
+            let keep: usize = keep.parse().ok()?;
+            return Some(Strategy::Tier0 {
+                budget: budget.max(1),
+                keep: keep.max(1),
+            });
         }
         if let Some(rest) = label.strip_prefix("beam") {
             let width: usize = rest.parse().ok()?;
@@ -158,6 +187,25 @@ mod tests {
             Strategy::prefiltered(0.1, Strategy::Beam { width: 8 }).label(),
             "prefilter0.1+beam8"
         );
+        assert_eq!(
+            Strategy::Tier0 {
+                budget: 4096,
+                keep: 32
+            }
+            .label(),
+            "tier0b4096k32"
+        );
+        assert_eq!(
+            Strategy::prefiltered(
+                0.1,
+                Strategy::Tier0 {
+                    budget: 12288,
+                    keep: 48
+                }
+            )
+            .label(),
+            "prefilter0.1+tier0b12288k48"
+        );
     }
 
     /// `parse` inverts `label` on every strategy shape the wire carries, and
@@ -173,6 +221,17 @@ mod tests {
             },
             Strategy::prefiltered(0.1, Strategy::Beam { width: 8 }),
             Strategy::prefiltered(0.25, Strategy::Exhaustive),
+            Strategy::Tier0 {
+                budget: 4096,
+                keep: 32,
+            },
+            Strategy::prefiltered(
+                0.1,
+                Strategy::Tier0 {
+                    budget: 12288,
+                    keep: 48,
+                },
+            ),
         ] {
             assert_eq!(Strategy::parse(&s.label()), Some(s.clone()), "{s:?}");
         }
@@ -189,11 +248,19 @@ mod tests {
             "prefilter0.1+prefilter0.1+beam4",
             "annealed",
             "beam4 extra",
+            "tier0b",
+            "tier0b4096",
+            "tier0bxk4",
+            "tier0b4096k",
         ] {
             assert_eq!(Strategy::parse(bad), None, "{bad:?} should not parse");
         }
         // Clamps mirror the tuner's.
         assert_eq!(Strategy::parse("beam0"), Some(Strategy::Beam { width: 1 }));
+        assert_eq!(
+            Strategy::parse("tier0b0k0"),
+            Some(Strategy::Tier0 { budget: 1, keep: 1 })
+        );
     }
 
     #[test]

@@ -1,0 +1,906 @@
+//! Tier-0: closed-form asymptotic cost sketches + symbolic dominance
+//! pruning — the wide mouth of the three-tier DSE funnel.
+//!
+//! The two concrete tiers both pay a per-candidate fixed cost that has
+//! nothing to do with scoring: `Candidate::build` materializes a schedule
+//! through the constraint-validating builder, and even the analytic
+//! surrogate then walks the phase plan. That caps how many candidates a
+//! search can *consider* per second, which caps how wide a space it can
+//! reach. Tier 0 scores an assignment **without building its schedule**:
+//! a [`Sketch`] of four monotone resource terms is computed directly from
+//! the [`SearchSpace`] decision vector and DAG-level quantities
+//! precomputed once per space. [`Tier0Model::new`] builds one default
+//! schedule per (scheduler preset × SRAM split) pair — a few dozen builds
+//! total, paid once — and the per-assignment sketch afterwards is
+//! O(decisions) with no allocation.
+//!
+//! The split axis matters to the *DRAM* term, not just capacity: the
+//! pipeline buffer gates which edges can realize at all
+//! (`pipeline_can_stream`), so a lean split that donates SRAM to CHORD
+//! also blocks fusion and round-trips the unrealized intermediates. A
+//! capacity-only model would let lean splits falsely dominate fat ones;
+//! baking the split into the precomputed DRAM base keeps dominance honest.
+//!
+//! The four sketch terms, all in machine units so dominance is meaningful:
+//!
+//! 1. **DRAM floor words** — cold external reads, terminal writebacks,
+//!    round-trips of intermediates the (preset, split) leaves unrealized,
+//!    per-use streaming of DRAM-steered tensors, plus cut decisions'
+//!    consequences;
+//! 2. **NoC word-hops** — the §V-B closed forms per partition choice:
+//!    `0` single-node, small-tensor broadcast/reduce over the mesh
+//!    diameter for rank slicing, full intermediates over the NoC for stage
+//!    splitting;
+//! 3. **CHORD spill words** — a greedy priority-ordered fill of the hot
+//!    CHORD-bound tensors (bias decisions re-weight the fill order, rank
+//!    slicing shrinks sliced footprints `1/nodes`) against the split's
+//!    CHORD capacity; whatever does not fit streams per use;
+//! 4. **cycle proxy** — the roofline `max(compute, DRAM)` over the terms
+//!    above plus NoC transfer cycles.
+//!
+//! A candidate whose sketch is elementwise `>=` another's (and strictly
+//! `>` somewhere) cannot beat it under any cost model monotone in these
+//! resources — it is **symbolically dominated** and pruned without ever
+//! being built. Equal sketches are mutually non-dominating and both
+//! survive, so pruning alone never separates candidates the sketch cannot
+//! tell apart; the `keep` cap (scalar-magnitude tiebreak) is the only
+//! lossy step, and the tier-0 soundness proptest pins that with cap slack
+//! the surviving set always contains the sim-optimal candidate.
+
+use crate::candidate::Candidate;
+use crate::space::{Choice, SearchSpace};
+use crate::strategy::SplitMix64;
+use cello_core::accel::CelloConfig;
+use cello_core::chord::PriorityBias;
+use cello_core::score::binding::Binding;
+use cello_core::score::multinode::{NocModel, Partition, PartitionAxis};
+use cello_graph::dag::TensorDag;
+use cello_tensor::shape::RankId;
+use std::collections::HashMap;
+
+/// Cap on the pressure list (hot CHORD tensors + cuttable intermediates)
+/// the greedy fill scans per sketch — keeps the per-candidate cost O(1).
+/// Must stay ≤ 32 (pressure sets are `u32` bitmasks).
+const MAX_PRESSURE: usize = 16;
+
+/// Cap on (preset × split) base schedules ≤ 64 (membership bitmasks are
+/// `u64`). Six presets × six splits fits; degenerate hand-built spaces
+/// that exceed it fall back to the last base.
+const MAX_BASES: usize = 64;
+
+/// The four-term asymptotic cost sketch (see module docs for the terms).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Sketch(pub [u64; 4]);
+
+impl Sketch {
+    /// Elementwise `<=` with strict `<` somewhere: `self`'s candidate is
+    /// at least as cheap on every resource and strictly cheaper on one, so
+    /// any cost model monotone in the terms prefers it.
+    pub fn dominates(&self, other: &Sketch) -> bool {
+        let mut strict = false;
+        for i in 0..4 {
+            if self.0[i] > other.0[i] {
+                return false;
+            }
+            strict |= self.0[i] < other.0[i];
+        }
+        strict
+    }
+
+    /// Scalar magnitude for the `keep`-cap tiebreak among mutually
+    /// non-dominated sketches (smaller = kept first). Not used for
+    /// pruning — only for choosing which front members to drop when the
+    /// front outgrows the cap.
+    pub fn scalar(&self) -> u64 {
+        self.0[0]
+            .saturating_add(self.0[1])
+            .saturating_add(self.0[2])
+            .saturating_add(self.0[3])
+    }
+}
+
+/// One potential occupant of CHORD capacity: a hot CHORD-bound tensor from
+/// a base schedule, or an intermediate a cut decision can push out of the
+/// pipeline into CHORD.
+struct PressureTensor {
+    words: u64,
+    /// Reads after production (consumer count) — the per-use streaming
+    /// multiplier for whatever spills.
+    uses: u64,
+    /// Static fill priority (hotter = filled first).
+    score: u64,
+    /// The tensor's ranks, to detect `1/nodes` footprint slicing.
+    ranks: Vec<RankId>,
+    /// Bit `b` set ⇔ CHORD-bound under base schedule `b` (already
+    /// competing for capacity without any cut).
+    member: u64,
+}
+
+/// What one (preset, SRAM split) pair fixes before the per-assignment
+/// decisions apply.
+struct Base {
+    chord_on: bool,
+    /// DRAM floor words of this pair's default schedule — includes the
+    /// round-trips of edges the split's pipeline buffer blocks.
+    dram_words: u64,
+}
+
+/// Closed-form consequences of one partition choice.
+struct PartitionChoice {
+    nodes: u64,
+    sliced: Option<RankId>,
+    noc_word_hops: u64,
+}
+
+/// Consequences of one repartition profile: which split's base models its
+/// fused-phase realizability, and the (optimistic) CHORD capacity of its
+/// most generous phase.
+struct RepartitionChoice {
+    base_split: Option<usize>,
+    capacity: u64,
+}
+
+/// Per-decision sketch effect, aligned with `space.decisions`.
+enum Effect {
+    /// The preset decision.
+    Preset,
+    /// The SRAM-split decision: per-choice CHORD capacity words.
+    SramSplit(Vec<u64>),
+    /// Partition decision: per-choice closed forms.
+    Partition(Vec<PartitionChoice>),
+    /// Per-phase repartition: per-choice override (`None` = keep the
+    /// global split).
+    Repartition(Vec<Option<RepartitionChoice>>),
+    /// Cut decision (choice 1 = enabled): pressure-list index of the
+    /// intermediate it unrealizes.
+    Cut { pressure: usize },
+    /// Steer decision (choice 1 = DRAM): pressure-list index of the
+    /// steered tensor.
+    Steer { pressure: Option<usize> },
+    /// Bias decision: per-choice signed magnitude (`+l` boost, `-l`
+    /// demote, `0` neutral) applied to the tensor's fill score.
+    Bias {
+        pressure: Option<usize>,
+        shift: Vec<i8>,
+    },
+    /// Decisions the sketch cannot see (loop-order flips are cost-neutral
+    /// intra-op by construction — §V-B).
+    Inert,
+}
+
+/// Result of a tier-0 sweep.
+pub struct Tier0Prune {
+    /// Surviving assignments (sketch-Pareto, capped), in admission order.
+    pub kept: Vec<Vec<usize>>,
+    /// Assignments sketched.
+    pub swept: u64,
+}
+
+/// The per-space precomputation that makes sketches build-free (see
+/// module docs).
+pub struct Tier0Model {
+    /// Indexed `preset * n_splits + split`.
+    bases: Vec<Base>,
+    n_splits: usize,
+    pressure: Vec<PressureTensor>,
+    effects: Vec<Effect>,
+    /// CHORD capacity when no SRAM-split decision exists (derived spaces
+    /// always have one, but the model stays total).
+    default_capacity: u64,
+    compute_macs: u64,
+    pe_count: u64,
+    word_bytes: u64,
+    /// DRAM bytes transferred per core cycle (bandwidth / frequency).
+    dram_bytes_per_cycle: u64,
+    /// NoC bytes per core cycle per link.
+    noc_bytes_per_cycle: u64,
+}
+
+impl Tier0Model {
+    /// Precomputes sketch ingredients for `space` over `dag`/`accel`: one
+    /// default schedule per (preset, SRAM split) pair — the only builds
+    /// tier 0 ever pays — the unified CHORD pressure list, and
+    /// per-decision effects.
+    pub fn new(dag: &TensorDag, accel: &CelloConfig, space: &SearchSpace) -> Self {
+        // Tensor name -> (words, uses, ranks) over node outputs and
+        // externals.
+        let mut meta: HashMap<&str, (u64, u64, &[RankId])> = HashMap::new();
+        for (id, node) in dag.nodes() {
+            let uses = dag.edges().filter(|(_, e)| e.src == id.0).count() as u64;
+            meta.insert(
+                &node.output.name,
+                (node.output.words, uses, &node.output.ranks),
+            );
+        }
+        for ext in dag.externals() {
+            meta.insert(
+                &ext.meta.name,
+                (ext.meta.words, ext.consumers.len() as u64, &ext.meta.ranks),
+            );
+        }
+
+        let preset_di = space
+            .decisions
+            .iter()
+            .position(|d| matches!(d.choices.first(), Some(Choice::Preset { .. })));
+        let split_di = space
+            .decisions
+            .iter()
+            .position(|d| matches!(d.choices.first(), Some(Choice::SramSplit { .. })));
+        let preset_count = preset_di.map_or(1, |di| space.decisions[di].choices.len());
+        let n_splits = split_di.map_or(1, |di| space.decisions[di].choices.len());
+
+        // Build each (preset, split) default schedule once; derive its DRAM
+        // floor and which tensors it binds to CHORD.
+        let mut bases = Vec::with_capacity((preset_count * n_splits).min(MAX_BASES));
+        let mut pressure: Vec<PressureTensor> = Vec::new();
+        let mut pressure_idx: HashMap<String, usize> = HashMap::new();
+        'bases: for pi in 0..preset_count {
+            for si in 0..n_splits {
+                if bases.len() >= MAX_BASES {
+                    break 'bases;
+                }
+                let base_bit = bases.len();
+                let mut c = Candidate::paper_heuristic();
+                if let Some(di) = preset_di {
+                    space.apply_pick(&mut c, di, pi);
+                }
+                if let Some(di) = split_di {
+                    space.apply_pick(&mut c, di, si);
+                }
+                let schedule = c.build(dag);
+                let chord_on = schedule.options.enable_chord;
+                let mut dram_words = 0u64;
+                for (name, binding) in &schedule.binding {
+                    let &(words, uses, ranks) = match meta.get(name.as_str()) {
+                        Some(m) => m,
+                        None => continue,
+                    };
+                    let external = dag.externals().iter().any(|e| &e.meta.name == name);
+                    let terminal = !external && uses == 0;
+                    match binding {
+                        Binding::Dram => {
+                            // Streams per use; producers also write it out.
+                            dram_words += words * uses.max(1);
+                            if !external {
+                                dram_words += words;
+                            }
+                        }
+                        Binding::Chord => {
+                            // Cold fill once (externals) / eventual
+                            // terminal writeback; re-use cost is the spill
+                            // term's job.
+                            if external || terminal {
+                                dram_words += words;
+                            }
+                            let idx = *pressure_idx.entry(name.clone()).or_insert_with(|| {
+                                pressure.push(PressureTensor {
+                                    words,
+                                    uses: uses.max(1),
+                                    score: pressure_score(words, uses),
+                                    ranks: ranks.to_vec(),
+                                    member: 0,
+                                });
+                                pressure.len() - 1
+                            });
+                            pressure[idx].member |= 1 << base_bit;
+                        }
+                        Binding::RegisterFile => {
+                            if external {
+                                dram_words += words; // one cold load
+                            }
+                        }
+                        Binding::Pipeline => {}
+                    }
+                }
+                bases.push(Base {
+                    chord_on,
+                    dram_words,
+                });
+            }
+        }
+
+        // Per-decision effects. Cut decisions add their intermediate to the
+        // pressure list: under build-free sketching a cut's effect is "this
+        // tensor now competes for CHORD" (or round-trips DRAM with CHORD
+        // off).
+        let mut effects = Vec::with_capacity(space.decisions.len());
+        for d in &space.decisions {
+            let effect = match d.choices.first() {
+                Some(Choice::Preset { .. }) => Effect::Preset,
+                Some(Choice::SramSplit { .. }) => {
+                    let caps = d
+                        .choices
+                        .iter()
+                        .map(|c| match c {
+                            Choice::SramSplit {
+                                pipeline_words,
+                                rf_words,
+                            } => accel.sram_words().saturating_sub(pipeline_words + rf_words),
+                            _ => 0,
+                        })
+                        .collect();
+                    Effect::SramSplit(caps)
+                }
+                Some(Choice::Partition { .. }) => {
+                    let choices = d
+                        .choices
+                        .iter()
+                        .map(|c| match c {
+                            Choice::Partition { partition } => partition_choice(dag, *partition),
+                            _ => PartitionChoice {
+                                nodes: 1,
+                                sliced: None,
+                                noc_word_hops: 0,
+                            },
+                        })
+                        .collect();
+                    Effect::Partition(choices)
+                }
+                Some(Choice::Repartition { .. }) => {
+                    let splits: Vec<(u64, u64)> = split_di
+                        .map(|di| {
+                            space.decisions[di]
+                                .choices
+                                .iter()
+                                .map(|c| match c {
+                                    Choice::SramSplit {
+                                        pipeline_words,
+                                        rf_words,
+                                    } => (*pipeline_words, *rf_words),
+                                    _ => (0, 0),
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    let choices = d
+                        .choices
+                        .iter()
+                        .map(|c| match c {
+                            Choice::Repartition { profile: Some(p) } => {
+                                // The most generous phase's capacity — the
+                                // optimistic (sound) direction for a floor —
+                                // and the fused phase's split for
+                                // realizability, when the split menu has it.
+                                let fused =
+                                    p.fused.pipeline_buffer_words + p.fused.rf_capacity_words;
+                                let solo = p.solo.pipeline_buffer_words + p.solo.rf_capacity_words;
+                                Some(RepartitionChoice {
+                                    base_split: splits.iter().position(|&(pw, rw)| {
+                                        pw == p.fused.pipeline_buffer_words
+                                            && rw == p.fused.rf_capacity_words
+                                    }),
+                                    capacity: accel.sram_words().saturating_sub(fused.min(solo)),
+                                })
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    Effect::Repartition(choices)
+                }
+                Some(Choice::Cut { node, .. }) => {
+                    // The intermediate a cut before `node` stops streaming:
+                    // its first incoming edge's producer output.
+                    let name = dag
+                        .edges()
+                        .find(|(_, e)| e.dst == *node)
+                        .and_then(|(_, e)| {
+                            dag.nodes()
+                                .find(|(id, _)| id.0 == e.src)
+                                .map(|(_, n)| n.output.name.clone())
+                        });
+                    match name {
+                        Some(name) => {
+                            let idx = *pressure_idx.entry(name.clone()).or_insert_with(|| {
+                                let (words, uses, ranks) =
+                                    meta.get(name.as_str()).copied().unwrap_or((0, 1, &[]));
+                                pressure.push(PressureTensor {
+                                    words,
+                                    uses: uses.max(1),
+                                    score: pressure_score(words, uses),
+                                    ranks: ranks.to_vec(),
+                                    member: 0,
+                                });
+                                pressure.len() - 1
+                            });
+                            Effect::Cut { pressure: idx }
+                        }
+                        None => Effect::Inert,
+                    }
+                }
+                Some(Choice::Steer { tensor, .. }) => Effect::Steer {
+                    pressure: pressure_idx.get(tensor.as_str()).copied(),
+                },
+                Some(Choice::ChordBias { tensor, .. }) => {
+                    let shift = d
+                        .choices
+                        .iter()
+                        .map(|c| match c {
+                            Choice::ChordBias {
+                                bias: Some(b @ PriorityBias::Boost(_)),
+                                ..
+                            } => b.level() as i8,
+                            Choice::ChordBias {
+                                bias: Some(b @ PriorityBias::Demote(_)),
+                                ..
+                            } => -(b.level() as i8),
+                            _ => 0i8,
+                        })
+                        .collect();
+                    Effect::Bias {
+                        pressure: pressure_idx.get(tensor.as_str()).copied(),
+                        shift,
+                    }
+                }
+                _ => Effect::Inert,
+            };
+            effects.push(effect);
+        }
+
+        // Keep the pressure list bounded: heaviest tensors first, then
+        // re-point the effects at the surviving indices (dropped tensors'
+        // DRAM consequences stay covered by the bases).
+        if pressure.len() > MAX_PRESSURE {
+            let mut order: Vec<usize> = (0..pressure.len()).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(pressure[i].words));
+            order.truncate(MAX_PRESSURE);
+            let mut remap: HashMap<usize, usize> = HashMap::new();
+            let mut trimmed: Vec<PressureTensor> = Vec::with_capacity(MAX_PRESSURE);
+            for &old_i in &order {
+                remap.insert(old_i, trimmed.len());
+                trimmed.push(std::mem::replace(
+                    &mut pressure[old_i],
+                    PressureTensor {
+                        words: 0,
+                        uses: 1,
+                        score: 0,
+                        ranks: Vec::new(),
+                        member: 0,
+                    },
+                ));
+            }
+            pressure = trimmed;
+            for effect in &mut effects {
+                match effect {
+                    Effect::Cut { pressure: p } => match remap.get(p) {
+                        Some(&n) => *p = n,
+                        None => *effect = Effect::Inert,
+                    },
+                    Effect::Steer { pressure: p } | Effect::Bias { pressure: p, .. } => {
+                        *p = p.and_then(|old| remap.get(&old).copied());
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let compute_macs: u64 = dag.nodes().map(|(_, n)| n.spec.macs()).sum();
+        Self {
+            bases,
+            n_splits,
+            pressure,
+            effects,
+            default_capacity: accel
+                .sram_words()
+                .saturating_sub(accel.pipeline_buffer_words + accel.rf_capacity_words),
+            compute_macs,
+            pe_count: accel.pe_count.max(1),
+            word_bytes: accel.word_bytes as u64,
+            dram_bytes_per_cycle: ((accel.dram.bandwidth_bytes_per_sec / accel.freq_hz) as u64)
+                .max(1),
+            noc_bytes_per_cycle: ((accel.noc_bandwidth_bytes_per_sec / accel.freq_hz) as u64)
+                .max(1),
+        }
+    }
+
+    /// Sketches one assignment — O(decisions + pressure), no allocation,
+    /// no schedule build.
+    pub fn sketch(&self, picks: &[usize]) -> Sketch {
+        debug_assert_eq!(picks.len(), self.effects.len());
+        let mut preset = 0usize;
+        let mut base_split = 0usize;
+        let mut capacity = self.default_capacity;
+        let mut nodes = 1u64;
+        let mut sliced: Option<RankId> = None;
+        let mut noc_word_hops = 0u64;
+        let mut steered: u32 = 0;
+        let mut cuts: u32 = 0;
+        let mut shifts = [0i8; MAX_PRESSURE];
+        for (effect, &pick) in self.effects.iter().zip(picks) {
+            match effect {
+                Effect::Preset => preset = pick,
+                Effect::SramSplit(caps) => {
+                    base_split = pick.min(caps.len().saturating_sub(1));
+                    capacity = caps[base_split];
+                }
+                Effect::Partition(choices) => {
+                    let c = &choices[pick.min(choices.len() - 1)];
+                    nodes = c.nodes;
+                    sliced = c.sliced;
+                    noc_word_hops = c.noc_word_hops;
+                }
+                Effect::Repartition(choices) => {
+                    if let Some(Some(r)) = choices.get(pick) {
+                        capacity = r.capacity;
+                        if let Some(s) = r.base_split {
+                            base_split = s;
+                        }
+                    }
+                }
+                Effect::Cut { pressure } => {
+                    if pick == 1 {
+                        cuts |= 1 << pressure;
+                    }
+                }
+                Effect::Steer { pressure } => {
+                    if pick == 1 {
+                        if let Some(p) = pressure {
+                            steered |= 1 << p;
+                        }
+                    }
+                }
+                Effect::Bias { pressure, shift } => {
+                    if let Some(p) = pressure {
+                        shifts[*p] = shift[pick.min(shift.len() - 1)];
+                    }
+                }
+                Effect::Inert => {}
+            }
+        }
+
+        let base_idx = (preset * self.n_splits + base_split).min(self.bases.len() - 1);
+        let base = &self.bases[base_idx];
+        let mut dram_words = base.dram_words;
+        let mut spill_words = 0u64;
+        if base.chord_on {
+            // Gather the live pressure set (base members + enabled cuts,
+            // minus DRAM-steered) into a fixed-size descending-score fill.
+            let mut order = [0usize; MAX_PRESSURE];
+            let mut scores = [0u64; MAX_PRESSURE];
+            let mut len = 0usize;
+            for (i, t) in self.pressure.iter().enumerate() {
+                let resident = (t.member >> base_idx) & 1 == 1;
+                if (steered >> i) & 1 == 1 {
+                    if resident {
+                        // Steered to DRAM: streams per use instead of
+                        // competing for CHORD.
+                        dram_words += t.words * t.uses;
+                    }
+                    continue;
+                }
+                if !resident && (cuts >> i) & 1 != 1 {
+                    continue;
+                }
+                let shift = shifts[i];
+                let score = if shift >= 0 {
+                    t.score << shift as u32
+                } else {
+                    t.score >> (-shift) as u32
+                };
+                // Insertion sort: descending score, earlier index on ties.
+                let mut j = len;
+                while j > 0 && scores[j - 1] < score {
+                    scores[j] = scores[j - 1];
+                    order[j] = order[j - 1];
+                    j -= 1;
+                }
+                scores[j] = score;
+                order[j] = i;
+                len += 1;
+            }
+            let mut remaining = capacity;
+            for &i in &order[..len] {
+                let t = &self.pressure[i];
+                let eff_words = match sliced {
+                    Some(r) if t.ranks.contains(&r) => (t.words / nodes).max(1),
+                    _ => t.words,
+                };
+                let granted = eff_words.min(remaining);
+                remaining -= granted;
+                spill_words = spill_words.saturating_add((eff_words - granted) * t.uses);
+            }
+        } else {
+            // CHORD off: every enabled cut's intermediate round-trips DRAM.
+            for (i, t) in self.pressure.iter().enumerate() {
+                if (cuts >> i) & 1 == 1 {
+                    dram_words = dram_words.saturating_add(t.words * (1 + t.uses));
+                }
+            }
+        }
+
+        let compute_cycles = self.compute_macs.div_ceil(self.pe_count).div_ceil(nodes);
+        let dram_cycles = (dram_words.saturating_add(spill_words))
+            .saturating_mul(self.word_bytes)
+            .div_ceil(self.dram_bytes_per_cycle.saturating_mul(nodes));
+        let noc_cycles = noc_word_hops
+            .saturating_mul(self.word_bytes)
+            .div_ceil(self.noc_bytes_per_cycle);
+        let cycles = compute_cycles.max(dram_cycles) + noc_cycles;
+        Sketch([dram_words, noc_word_hops, spill_words, cycles])
+    }
+
+    /// Sweeps up to `budget` assignments of `space` (the full odometer when
+    /// it fits, a seeded uniform sample otherwise) and returns the
+    /// sketch-Pareto survivors, capped at `keep` by scalar magnitude.
+    /// Deterministic: same space + budget + keep + seed ⇒ same survivors.
+    pub fn prune(&self, space: &SearchSpace, budget: u64, keep: usize, seed: u64) -> Tier0Prune {
+        let budget = budget.max(1);
+        let keep = keep.max(1);
+        let total = space.exhaustive_size();
+        struct Entry {
+            sketch: Sketch,
+            scalar: u64,
+            order: u64,
+            picks: Vec<usize>,
+        }
+        // `keep` may be enormous ("keep everything"); cap the pre-allocation,
+        // not the logic.
+        let mut kept: Vec<Entry> = Vec::with_capacity(keep.saturating_add(1).min(4096));
+        let consider = |picks: &[usize], order: u64, kept: &mut Vec<Entry>| {
+            let sketch = self.sketch(picks);
+            if kept.iter().any(|k| k.sketch.dominates(&sketch)) {
+                return;
+            }
+            kept.retain(|k| !sketch.dominates(&k.sketch));
+            kept.push(Entry {
+                sketch,
+                scalar: sketch.scalar(),
+                order,
+                picks: picks.to_vec(),
+            });
+            if kept.len() > keep {
+                // Drop the worst non-dominated survivor: largest scalar,
+                // latest admission on ties (incumbents win).
+                let worst = kept
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, k)| (k.scalar, k.order))
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                kept.remove(worst);
+            }
+        };
+        let radices: Vec<usize> = space.decisions.iter().map(|d| d.choices.len()).collect();
+        let mut picks = vec![0usize; radices.len()];
+        let swept;
+        if total <= budget {
+            // Exhaustive odometer walk, in-place increments (same order as
+            // `SearchSpace::index_to_picks`).
+            for order in 0..total {
+                consider(&picks, order, &mut kept);
+                for (p, &radix) in picks.iter_mut().zip(&radices) {
+                    *p += 1;
+                    if *p < radix {
+                        break;
+                    }
+                    *p = 0;
+                }
+            }
+            swept = total;
+        } else {
+            // Same stream as `SearchSpace::sample_assignments`, drawn into
+            // a reused buffer.
+            let mut rng = SplitMix64::new(seed);
+            for order in 0..budget {
+                for (p, &radix) in picks.iter_mut().zip(&radices) {
+                    *p = rng.below(radix as u64) as usize;
+                }
+                consider(&picks, order, &mut kept);
+            }
+            swept = budget;
+        }
+        kept.sort_by_key(|k| k.order);
+        Tier0Prune {
+            kept: kept.into_iter().map(|k| k.picks).collect(),
+            swept,
+        }
+    }
+}
+
+/// Reuse-density fill priority: reused words fill before single-use ones;
+/// among equal reuse, smaller tensors first (more reuse per capacity
+/// word). Headroom above bit 20 keeps ±[`cello_core::chord::MAX_BIAS_LEVEL`]
+/// shifts meaningful without overflow.
+fn pressure_score(words: u64, uses: u64) -> u64 {
+    (uses.max(1) << 20) | ((1 << 19) - words.min((1 << 19) - 1))
+}
+
+/// Closed-form NoC consequences of one partition choice (§V-B).
+fn partition_choice(dag: &TensorDag, partition: Partition) -> PartitionChoice {
+    if !partition.is_multi() {
+        return PartitionChoice {
+            nodes: 1,
+            sliced: None,
+            noc_word_hops: 0,
+        };
+    }
+    let noc = NocModel::new(partition.nodes);
+    let noc_word_hops = match partition.axis {
+        PartitionAxis::Rank(rank) => {
+            // Scalable dataflow (Fig 8 bottom): only tensors *not* carrying
+            // the sliced rank cross the NoC — externals broadcast in,
+            // partial outputs reduce out, each over the mesh diameter.
+            let mut words = 0u64;
+            for ext in dag.externals() {
+                if !ext.meta.ranks.contains(&rank) {
+                    words =
+                        words.saturating_add(ext.meta.words.saturating_mul(noc.hops_broadcast()));
+                }
+            }
+            for (_, node) in dag.nodes() {
+                if !node.output.ranks.contains(&rank) {
+                    words =
+                        words.saturating_add(node.output.words.saturating_mul(noc.hops_reduce()));
+                }
+            }
+            words
+        }
+        PartitionAxis::Stage => {
+            // Naive strategy (Fig 8 top): every producer→consumer
+            // intermediate ships in full between stage nodes.
+            let mut words = 0u64;
+            for (_, edge) in dag.edges() {
+                if let Some((_, node)) = dag.nodes().find(|(id, _)| id.0 == edge.src) {
+                    words = words.saturating_add(node.output.words);
+                }
+            }
+            words
+        }
+    };
+    PartitionChoice {
+        nodes: partition.nodes,
+        sliced: partition.sliced_rank(),
+        noc_word_hops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SpaceConfig;
+    use cello_workloads::cg::{build_cg_dag, CgParams};
+
+    fn cg(iters: u32) -> TensorDag {
+        build_cg_dag(&CgParams {
+            m: 20_000,
+            occupancy: 4.0,
+            a_payload_words: 2 * 80_000 + 20_001,
+            n: 16,
+            nprime: 16,
+            iterations: iters,
+        })
+    }
+
+    #[test]
+    fn dominance_is_elementwise_and_strict() {
+        let a = Sketch([1, 2, 3, 4]);
+        let b = Sketch([1, 2, 3, 5]);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&a), "equal sketches never dominate");
+        let c = Sketch([0, 9, 3, 4]); // trade on term 1
+        assert!(!a.dominates(&c));
+        assert!(!c.dominates(&a));
+    }
+
+    /// The default assignment's sketch is finite and sane: nonzero DRAM
+    /// floor (externals must be read), zero NoC (single-node), and a cycle
+    /// proxy at least the compute roofline.
+    #[test]
+    fn default_sketch_is_sane() {
+        let dag = cg(2);
+        let accel = CelloConfig::paper();
+        let space = SearchSpace::from_dag(&dag, &SpaceConfig::default());
+        let model = Tier0Model::new(&dag, &accel, &space);
+        let s = model.sketch(&space.default_picks());
+        assert!(s.0[0] > 0, "externals must cost DRAM words");
+        assert_eq!(s.0[1], 0, "single-node has no NoC term");
+        let compute = dag
+            .nodes()
+            .map(|(_, n)| n.spec.macs())
+            .sum::<u64>()
+            .div_ceil(accel.pe_count);
+        assert!(s.0[3] >= compute, "cycle proxy respects the compute floor");
+    }
+
+    /// Multi-node rank slicing pays NoC hops the single-node default does
+    /// not — the sketch must keep the axes separate so the NoC-free
+    /// default never falsely dominates a capacity-relieved slice.
+    #[test]
+    fn rank_slice_pays_noc_but_keeps_its_own_axis() {
+        let dag = cg(2);
+        let accel = CelloConfig::paper();
+        let space = SearchSpace::from_dag(&dag, &SpaceConfig::with_nodes(&[1, 4]));
+        let model = Tier0Model::new(&dag, &accel, &space);
+        let pd = space
+            .decisions
+            .iter()
+            .position(|d| d.name == "partition")
+            .unwrap();
+        let mut picks = space.default_picks();
+        picks[pd] = 1; // 4-node dominant-rank slice
+        let sliced = model.sketch(&picks);
+        assert!(sliced.0[1] > 0, "rank slice pays NoC hops");
+    }
+
+    /// In the exhaustive regime with no keep-cap pressure, pruning is
+    /// *covering*: every dropped assignment is sketch-dominated by a
+    /// survivor (dominance is transitive, so admission preserves this).
+    /// The paper-heuristic default in particular is either kept outright or
+    /// dominated by a kept assignment — never silently lost. Survivors are
+    /// mutually non-dominated (a genuine Pareto set).
+    #[test]
+    fn prune_covers_the_default_and_keeps_a_pareto_set() {
+        let dag = cg(2);
+        let accel = CelloConfig::paper();
+        let space = SearchSpace::from_dag(&dag, &SpaceConfig::default());
+        let model = Tier0Model::new(&dag, &accel, &space);
+        let total = space.exhaustive_size();
+        let out = model.prune(&space, total, usize::MAX >> 1, 0);
+        assert_eq!(out.swept, total);
+        assert!(!out.kept.is_empty());
+        let default_picks = space.default_picks();
+        let default = model.sketch(&default_picks);
+        assert!(
+            out.kept.contains(&default_picks)
+                || out.kept.iter().any(|p| model.sketch(p).dominates(&default)),
+            "the default was dropped without a dominating survivor"
+        );
+        let sketches: Vec<Sketch> = out.kept.iter().map(|p| model.sketch(p)).collect();
+        for (i, a) in sketches.iter().enumerate() {
+            for (j, b) in sketches.iter().enumerate() {
+                assert!(
+                    i == j || !a.dominates(b),
+                    "survivors must be mutually non-dominated ({i} vs {j})"
+                );
+            }
+        }
+    }
+
+    /// Pruning is deterministic and respects budget and keep caps in both
+    /// the exhaustive and sampled regimes.
+    #[test]
+    fn prune_is_deterministic_and_capped() {
+        let dag = cg(2);
+        let accel = CelloConfig::paper();
+        let space = SearchSpace::from_dag(&dag, &SpaceConfig::widened_with_nodes(&[1, 4]));
+        let model = Tier0Model::new(&dag, &accel, &space);
+        // Sampled regime: the widened multi-node space exceeds the budget.
+        assert!(space.exhaustive_size() > 2000);
+        let a = model.prune(&space, 2000, 16, 7);
+        let b = model.prune(&space, 2000, 16, 7);
+        assert_eq!(a.swept, 2000);
+        assert_eq!(a.kept, b.kept, "same seed ⇒ same survivors");
+        assert!(a.kept.len() <= 16);
+        // Exhaustive regime: budget covers the whole (default) space.
+        let small = SearchSpace::from_dag(&dag, &SpaceConfig::default());
+        let sm = Tier0Model::new(&dag, &accel, &small);
+        let total = small.exhaustive_size();
+        let out = sm.prune(&small, total, usize::MAX >> 1, 0);
+        assert_eq!(out.swept, total, "budget ≥ space ⇒ full sweep");
+        for picks in &out.kept {
+            for (p, d) in picks.iter().zip(&small.decisions) {
+                assert!(*p < d.choices.len());
+            }
+        }
+    }
+
+    /// A sampled sweep prunes hard: survivors are a small fraction of the
+    /// swept budget (the whole point of the tier).
+    #[test]
+    fn prune_discards_most_of_the_budget() {
+        let dag = cg(3);
+        let accel = CelloConfig::paper();
+        let space = SearchSpace::from_dag(&dag, &SpaceConfig::widened_with_nodes(&[1, 4]));
+        let model = Tier0Model::new(&dag, &accel, &space);
+        let out = model.prune(&space, 8192, 48, 0);
+        assert_eq!(out.swept, 8192);
+        assert!(out.kept.len() <= 48);
+        assert!(
+            (out.kept.len() as u64) * 20 < out.swept,
+            "kept {} of {}",
+            out.kept.len(),
+            out.swept
+        );
+    }
+}

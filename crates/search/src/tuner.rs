@@ -1,26 +1,39 @@
 //! The tuner: parallel scoring, strategy execution, outcome assembly.
 //!
-//! Two evaluation tiers share one memo cache: the exact simulator
-//! (`cello_sim::evaluate`) and the analytic surrogate
-//! ([`crate::surrogate::surrogate_cost`], whose cost stays a bounded scan
-//! no matter how rich the exact tier grows). Direct strategies score
-//! everything exactly;
-//! [`Strategy::Prefiltered`] traverses on the surrogate and promotes only
-//! the top-ranked fraction to the exact tier — the piece that makes
-//! exhaustive-scale spaces ([`SpaceConfig::widened`]) affordable.
+//! Three evaluation tiers form a funnel. Tier 0 ([`crate::tier0`]) is
+//! symbolic: closed-form cost sketches over raw pick vectors, no schedule
+//! ever built, pruned by Pareto dominance. The two concrete tiers share
+//! one memo cache: the exact simulator (`cello_sim::evaluate`) and the
+//! analytic surrogate ([`crate::surrogate::surrogate_cost`], whose cost
+//! stays a bounded scan no matter how rich the exact tier grows). Direct
+//! strategies score everything exactly; [`Strategy::Prefiltered`]
+//! traverses on the surrogate and promotes only the top-ranked fraction
+//! to the exact tier; with [`Strategy::Tier0`] as its inner traversal the
+//! full funnel runs — sketch-prune thousands of assignments per
+//! millisecond, surrogate-rank the survivors, simulate the top slice —
+//! which is the piece that makes exhaustive-scale spaces
+//! ([`SpaceConfig::widened`]) affordable.
 
 use crate::cache::EvalCache;
 use crate::candidate::Candidate;
 use crate::cost::{pareto_front, rank, Evaluated};
+use crate::fingerprint::ScheduleKey;
 use crate::space::{SearchSpace, SpaceConfig};
 use crate::strategy::Strategy;
 use crate::surrogate::surrogate_cost;
+use crate::tier0::Tier0Model;
 use cello_core::accel::CelloConfig;
 use cello_graph::dag::TensorDag;
 use cello_sim::evaluate::{evaluate_schedule, CostEstimate};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+
+/// Seed for tier-0's sampled sweep when the space exceeds the budget.
+/// Fixed (not configurable) for the same reason `Strategy::Exhaustive` has
+/// no seed: the tier-0 sweep is part of the strategy's identity, and two
+/// runs of the same strategy must visit the same candidates.
+const TIER0_SWEEP_SEED: u64 = 0x7E40;
 
 /// What one `tune` run found.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -97,36 +110,38 @@ impl<'a> Tuner<'a> {
     /// Scores a batch of candidates in parallel through `tier`, memoized in
     /// that tier's table. Results align with the input order.
     fn batch_with(&self, candidates: Vec<Candidate>, tier: Tier) -> Vec<Evaluated> {
-        // Build every schedule (cheap, parallel) and canonicalize.
-        let built: Vec<(Candidate, cello_core::score::binding::Schedule, String)> = candidates
+        // Build every schedule (cheap, parallel) and intern its canonical
+        // key — a 128-bit FNV streamed straight off the canonical text, so
+        // no per-candidate `String` is ever allocated on this path.
+        let built: Vec<(Candidate, cello_core::score::binding::Schedule, ScheduleKey)> = candidates
             .into_par_iter()
             .map(|c| {
                 let schedule = c.build(self.dag);
-                let key = Candidate::schedule_key(&schedule);
+                let key = Candidate::interned_key(&schedule);
                 (c, schedule, key)
             })
             .collect();
         // One cache lookup per distinct key in the batch (so the hit counter
         // reflects genuine reuse, not bookkeeping); unique misses get one
         // evaluation each.
-        let mut resolved: HashMap<&str, CostEstimate> = HashMap::new();
-        let mut pending: HashSet<&str> = HashSet::new();
-        let mut fresh: Vec<(&str, &cello_core::score::binding::Schedule)> = Vec::new();
+        let mut resolved: HashMap<ScheduleKey, CostEstimate> = HashMap::new();
+        let mut pending: HashSet<ScheduleKey> = HashSet::new();
+        let mut fresh: Vec<(ScheduleKey, &cello_core::score::binding::Schedule)> = Vec::new();
         for (_, schedule, key) in &built {
-            if resolved.contains_key(key.as_str()) || pending.contains(key.as_str()) {
+            if resolved.contains_key(key) || pending.contains(key) {
                 continue;
             }
             let cached = match tier {
-                Tier::Exact => self.cache.lookup(key),
-                Tier::Surrogate => self.cache.lookup_surrogate(key),
+                Tier::Exact => self.cache.lookup(*key),
+                Tier::Surrogate => self.cache.lookup_surrogate(*key),
             };
             match cached {
                 Some(cost) => {
-                    resolved.insert(key, cost);
+                    resolved.insert(*key, cost);
                 }
                 None => {
-                    pending.insert(key);
-                    fresh.push((key, schedule));
+                    pending.insert(*key);
+                    fresh.push((*key, schedule));
                 }
             }
         }
@@ -139,8 +154,8 @@ impl<'a> Tuner<'a> {
             .collect();
         for ((key, _), cost) in fresh.into_iter().zip(costs) {
             match tier {
-                Tier::Exact => self.cache.insert(key.to_string(), cost),
-                Tier::Surrogate => self.cache.insert_surrogate(key.to_string(), cost),
+                Tier::Exact => self.cache.insert(key, cost),
+                Tier::Surrogate => self.cache.insert_surrogate(key, cost),
             }
             resolved.insert(key, cost);
         }
@@ -148,8 +163,8 @@ impl<'a> Tuner<'a> {
             .iter()
             .map(|(candidate, _, key)| Evaluated {
                 candidate: candidate.clone(),
-                key: key.clone(),
-                cost: resolved[key.as_str()],
+                key: *key,
+                cost: resolved[key],
             })
             .collect()
     }
@@ -165,8 +180,8 @@ impl<'a> Tuner<'a> {
     /// assignments (see [`SearchSpace::project`]) that guide beam search:
     /// their prefixes always compete in (and survive into) the beam, so a
     /// narrow warm-started beam still walks the cached winners' paths.
-    /// Exhaustive and random traversals ignore seeds — the caller evaluates
-    /// the full seed assignments up front instead.
+    /// Exhaustive, random, and tier-0 traversals ignore seeds — the caller
+    /// evaluates the full seed assignments up front instead.
     fn traverse(
         &self,
         strategy: &Strategy,
@@ -183,7 +198,7 @@ impl<'a> Tuner<'a> {
                 while idx < total {
                     let hi = (idx + BATCH).min(total);
                     let batch: Vec<Candidate> = (idx..hi)
-                        .map(|i| self.space.assemble(&self.odometer(i)))
+                        .map(|i| self.space.assemble(&self.space.index_to_picks(i)))
                         .collect();
                     *seen += batch.len() as u64;
                     all.extend(self.batch_with(batch, tier));
@@ -192,50 +207,63 @@ impl<'a> Tuner<'a> {
             }
             Strategy::Beam { width } => {
                 let width = width.max(1);
-                let mut beam: Vec<Vec<usize>> = vec![Vec::new()];
+                // The beam carries each prefix's already-assembled candidate:
+                // extending a prefix applies exactly one decision
+                // (`SearchSpace::apply_pick`) instead of re-walking the whole
+                // vector — the level cost drops from O(prefix·pool) to
+                // O(pool).
+                let mut beam: Vec<(Vec<usize>, Candidate)> =
+                    vec![(Vec::new(), self.space.assemble(&[]))];
                 for (di, d) in self.space.decisions.iter().enumerate() {
-                    let mut pool: Vec<Vec<usize>> = Vec::new();
-                    for prefix in &beam {
+                    let mut pool: Vec<(Vec<usize>, Candidate)> =
+                        Vec::with_capacity(beam.len() * d.choices.len() + seeds.len());
+                    let mut members: HashSet<Vec<usize>> = HashSet::with_capacity(pool.capacity());
+                    for (prefix, cand) in &beam {
                         for choice in 0..d.choices.len() {
                             let mut picks = prefix.clone();
                             picks.push(choice);
-                            pool.push(picks);
+                            if members.insert(picks.clone()) {
+                                let mut c = cand.clone();
+                                self.space.apply_pick(&mut c, di, choice);
+                                pool.push((picks, c));
+                            }
                         }
                     }
                     // Seed prefixes enter the pool even when no surviving
                     // beam prefix leads to them.
                     for s in seeds {
-                        if let Some(prefix) = s.get(..=di).map(<[usize]>::to_vec) {
-                            if !pool.contains(&prefix) {
-                                pool.push(prefix);
+                        if let Some(prefix) = s.get(..=di) {
+                            if members.insert(prefix.to_vec()) {
+                                pool.push((prefix.to_vec(), self.space.assemble(prefix)));
                             }
                         }
                     }
                     let _level_span = cello_obs::span!("beam_level", level = di, pool = pool.len());
-                    let batch: Vec<Candidate> =
-                        pool.iter().map(|p| self.space.assemble(p)).collect();
+                    let batch: Vec<Candidate> = pool.iter().map(|(_, c)| c.clone()).collect();
                     *seen += batch.len() as u64;
                     let scored = self.batch_with(batch, tier);
                     all.extend(scored.iter().cloned());
                     let mut ranked: Vec<(usize, &Evaluated)> = scored.iter().enumerate().collect();
                     ranked.sort_by(|a, b| rank(a.1, b.1).then(a.0.cmp(&b.0)));
-                    beam = ranked
-                        .into_iter()
-                        .take(width)
-                        .map(|(i, _)| pool[i].clone())
-                        .collect();
+                    let survivors: Vec<usize> =
+                        ranked.into_iter().take(width).map(|(i, _)| i).collect();
+                    let mut kept: HashSet<Vec<usize>> =
+                        survivors.iter().map(|&i| pool[i].0.clone()).collect();
+                    let mut next: Vec<(Vec<usize>, Candidate)> =
+                        survivors.into_iter().map(|i| pool[i].clone()).collect();
                     // Seed prefixes survive every level regardless of local
                     // rank: a seed that looks mediocre half-assigned can
                     // still be the best full schedule (its strength may live
                     // in a later decision), and dropping it would forfeit
                     // the whole point of warm-starting.
                     for s in seeds {
-                        if let Some(prefix) = s.get(..=di).map(<[usize]>::to_vec) {
-                            if !beam.contains(&prefix) {
-                                beam.push(prefix);
+                        if let Some(prefix) = s.get(..=di) {
+                            if kept.insert(prefix.to_vec()) {
+                                next.push((prefix.to_vec(), self.space.assemble(prefix)));
                             }
                         }
                     }
+                    beam = next;
                     debug_assert!(!beam.is_empty(), "beam emptied at decision {di}");
                 }
             }
@@ -247,6 +275,26 @@ impl<'a> Tuner<'a> {
                     .map(|picks| self.space.assemble(picks))
                     .collect();
                 *seen += batch.len() as u64;
+                all.extend(self.batch_with(batch, tier));
+            }
+            Strategy::Tier0 { budget, keep } => {
+                // Tier 0: sketch up to `budget` assignments symbolically (no
+                // schedule build — see `crate::tier0`), promote only the
+                // sketch-Pareto survivors to `tier`. Every sketched
+                // assignment counts as seen: the sweep *is* the search
+                // considering it and ruling it out.
+                let model = Tier0Model::new(self.dag, self.accel, &self.space);
+                let pruned = model.prune(&self.space, budget, keep, TIER0_SWEEP_SEED);
+                *seen += pruned.swept;
+                let registry = cello_obs::metrics::global();
+                registry
+                    .counter("search_tier0_kept")
+                    .add(pruned.kept.len() as u64);
+                registry
+                    .counter("search_tier0_pruned")
+                    .add(pruned.swept - pruned.kept.len() as u64);
+                let batch: Vec<Candidate> =
+                    pruned.kept.iter().map(|p| self.space.assemble(p)).collect();
                 all.extend(self.batch_with(batch, tier));
             }
             Strategy::Prefiltered { .. } => unreachable!("prefilter flattened before traversal"),
@@ -353,10 +401,7 @@ impl<'a> Tuner<'a> {
         // Rank the distinct visited schedules analytically; keep the top
         // fraction (at least one).
         let mut keys = HashSet::new();
-        let mut uniq: Vec<Evaluated> = scored
-            .into_iter()
-            .filter(|e| keys.insert(e.key.clone()))
-            .collect();
+        let mut uniq: Vec<Evaluated> = scored.into_iter().filter(|e| keys.insert(e.key)).collect();
         uniq.sort_by(rank);
         let keep = ((keep_frac.max(0.0) * uniq.len() as f64).ceil() as usize).clamp(1, uniq.len());
         let registry = cello_obs::metrics::global();
@@ -448,21 +493,6 @@ impl<'a> Tuner<'a> {
             surrogate_scored,
         }
     }
-
-    /// Mixed-radix decomposition of `index` over the decision sizes.
-    fn odometer(&self, index: u64) -> Vec<usize> {
-        let mut rem = index;
-        self.space
-            .decisions
-            .iter()
-            .map(|d| {
-                let base = d.choices.len() as u64;
-                let p = (rem % base) as usize;
-                rem /= base;
-                p
-            })
-            .collect()
-    }
 }
 
 /// Which scoring tier a batch goes through.
@@ -500,6 +530,7 @@ mod tests {
             rf_words_choices: vec![16_384],
             node_choices: vec![1],
             max_chord_bias_tensors: 0,
+            chord_bias_magnitudes: vec![1],
             repartition_profiles: Vec::new(),
         }
     }
@@ -546,8 +577,8 @@ mod tests {
             let tuner = Tuner::new(&dag, &accel, small_cfg());
             let out = tuner.tune(strategy);
             (
-                out.best_cycles.key.clone(),
-                out.pareto.iter().map(|e| e.key.clone()).collect::<Vec<_>>(),
+                out.best_cycles.key,
+                out.pareto.iter().map(|e| e.key).collect::<Vec<_>>(),
                 out.evaluations,
             )
         };
@@ -559,6 +590,17 @@ mod tests {
                 seed: 7,
             },
             Strategy::prefiltered(0.25, Strategy::Beam { width: 3 }),
+            Strategy::Tier0 {
+                budget: 256,
+                keep: 16,
+            },
+            Strategy::prefiltered(
+                0.25,
+                Strategy::Tier0 {
+                    budget: 256,
+                    keep: 16,
+                },
+            ),
         ] {
             assert_eq!(run(&strategy), run(&strategy), "{:?}", strategy);
         }
@@ -573,7 +615,7 @@ mod tests {
         let explored = |seed: u64| {
             let tuner = Tuner::new(&dag, &accel, small_cfg());
             let out = tuner.tune(&Strategy::Random { samples: 30, seed });
-            let mut keys: Vec<String> = out.pareto.iter().map(|e| e.key.clone()).collect();
+            let mut keys: Vec<ScheduleKey> = out.pareto.iter().map(|e| e.key).collect();
             keys.sort();
             (out.evaluations, keys)
         };
@@ -612,6 +654,52 @@ mod tests {
         );
         // The analytic tier did the heavy lifting.
         assert!(pre.surrogate_scored > pre.evaluations);
+    }
+
+    /// The three-tier acceptance claim: with tier-0 as the inner traversal,
+    /// `Prefiltered` lands within 2% of the two-tier funnel's best total
+    /// traffic on the widened multi-node CG space while scoring strictly
+    /// fewer candidates on the surrogate (the sketch absorbed the sweep) and
+    /// sweeping far more assignments overall.
+    #[test]
+    fn tier0_funnel_matches_two_tier_with_fewer_surrogate_scorings() {
+        let dag = cg(3);
+        let accel = CelloConfig::paper();
+        let cfg = SpaceConfig::widened_with_nodes(&[1, 4]);
+        let two_tier = Tuner::new(&dag, &accel, cfg.clone())
+            .tune(&Strategy::prefiltered(0.1, Strategy::Beam { width: 8 }));
+        let funnel = Tuner::new(&dag, &accel, cfg).tune(&Strategy::prefiltered(
+            0.1,
+            Strategy::Tier0 {
+                budget: 12_288,
+                keep: 48,
+            },
+        ));
+        let ratio = funnel.best_traffic.cost.total_traffic_bytes() as f64
+            / two_tier.best_traffic.cost.total_traffic_bytes().max(1) as f64;
+        assert!(
+            ratio <= 1.02,
+            "three-tier traffic {} vs two-tier {} ({ratio:.4}x)",
+            funnel.best_traffic.cost.total_traffic_bytes(),
+            two_tier.best_traffic.cost.total_traffic_bytes(),
+        );
+        assert!(
+            funnel.surrogate_scored < two_tier.surrogate_scored,
+            "tier-0 must shrink the surrogate tier ({} vs {})",
+            funnel.surrogate_scored,
+            two_tier.surrogate_scored,
+        );
+        assert!(
+            funnel.candidates_seen >= 4 * two_tier.candidates_seen,
+            "the sketch sweep must widen the funnel mouth ({} vs {})",
+            funnel.candidates_seen,
+            two_tier.candidates_seen,
+        );
+        // Tier-0 never drops the paper heuristic from the comparison set.
+        assert!(
+            funnel.best_traffic.cost.total_traffic_bytes()
+                <= funnel.baseline.cost.total_traffic_bytes()
+        );
     }
 
     /// `keep_frac = 1.0` keeps everything — no pruning — so the two-tier

@@ -16,7 +16,7 @@
 
 use crate::error::ServeError;
 use cello_bench::json::Json;
-use cello_core::chord::PriorityBias;
+use cello_core::chord::{PriorityBias, MAX_BIAS_LEVEL};
 use cello_core::score::binding::{Binding, PipelineScope};
 use cello_core::score::loop_order::LoopOrder;
 use cello_core::score::multinode::{Partition, PartitionAxis};
@@ -602,11 +602,12 @@ pub fn candidate_to_json(c: &Candidate) -> Json {
                 .chord_priority_bias
                 .iter()
                 .map(|(t, b)| {
+                    // Graded wire form: "+N"/"-N" (level 1..=MAX_BIAS_LEVEL).
                     let tag = match b {
-                        PriorityBias::Boost => "+",
-                        PriorityBias::Demote => "-",
+                        PriorityBias::Boost(_) => format!("+{}", b.level()),
+                        PriorityBias::Demote(_) => format!("-{}", b.level()),
                     };
-                    (t.clone(), Json::Str(tag.into()))
+                    (t.clone(), Json::Str(tag))
                 })
                 .collect(),
         ),
@@ -711,9 +712,20 @@ pub fn candidate_from_json(doc: &Json) -> Result<Candidate, ServeError> {
     }
     if let Some(Json::Obj(bias)) = doc.get("bias") {
         for (tensor, b) in bias {
+            // "+N"/"-N"; bare "+"/"-" (pre-graded cache files) parse as
+            // level 1, matching their old semantics exactly.
+            let level = |rest: &str| -> Result<u8, ServeError> {
+                if rest.is_empty() {
+                    return Ok(1);
+                }
+                rest.parse::<u8>()
+                    .ok()
+                    .filter(|l| (1..=MAX_BIAS_LEVEL).contains(l))
+                    .ok_or_else(|| bad(&format!("bias level {rest:?}")))
+            };
             let bias = match b.as_str() {
-                Some("+") => PriorityBias::Boost,
-                Some("-") => PriorityBias::Demote,
+                Some(s) if s.starts_with('+') => PriorityBias::Boost(level(&s[1..])?),
+                Some(s) if s.starts_with('-') => PriorityBias::Demote(level(&s[1..])?),
                 other => return Err(bad(&format!("bias {other:?}"))),
             };
             c.constraints
@@ -896,7 +908,10 @@ mod tests {
         );
         c.constraints
             .chord_priority_bias
-            .insert("A".into(), PriorityBias::Boost);
+            .insert("A".into(), PriorityBias::Boost(1));
+        c.constraints
+            .chord_priority_bias
+            .insert("B".into(), PriorityBias::Demote(2));
         c.constraints.partition = Some(Partition::by_rank(4, RankId::new("m")));
         c.constraints.phase_repartition = Some(
             PhaseRepartition::by_kind(
@@ -925,10 +940,29 @@ mod tests {
             r#"{"scope": "any", "hold": true, "multicast": true, "chord": true, "pb": 1, "rf": 1, "cuts": ["x"]}"#,
             r#"{"scope": "any", "hold": true, "multicast": true, "chord": true, "pb": 1, "rf": 1, "partition": {"axis": "rank"}}"#,
             r#"{"scope": "any", "hold": true, "multicast": true, "chord": true, "pb": 1, "rf": 1, "repartition": {"sram": 10, "fused": [100, 100], "solo": [0, 0]}}"#,
+            r#"{"scope": "any", "hold": true, "multicast": true, "chord": true, "pb": 1, "rf": 1, "bias": {"A": "+9"}}"#,
+            r#"{"scope": "any", "hold": true, "multicast": true, "chord": true, "pb": 1, "rf": 1, "bias": {"A": "~1"}}"#,
         ] {
             let doc = Json::parse(bad).unwrap();
             let err = candidate_from_json(&doc).unwrap_err();
             assert_eq!(err.kind(), "store", "{bad}");
         }
+    }
+
+    /// Cache files written before bias levels existed carry bare "+"/"-"
+    /// tags; they must keep parsing, as level 1 (their old semantics).
+    #[test]
+    fn legacy_ungraded_bias_tags_parse_as_level_one() {
+        let text = r#"{"scope": "any", "hold": true, "multicast": true, "chord": true,
+                       "pb": 1, "rf": 1, "bias": {"A": "+", "B": "-"}}"#;
+        let c = candidate_from_json(&Json::parse(text).unwrap()).unwrap();
+        assert_eq!(
+            c.constraints.chord_priority_bias.get("A"),
+            Some(&PriorityBias::Boost(1))
+        );
+        assert_eq!(
+            c.constraints.chord_priority_bias.get("B"),
+            Some(&PriorityBias::Demote(1))
+        );
     }
 }

@@ -37,7 +37,8 @@ const MAX_STORED_PARETO: usize = 12;
 /// One cached candidate: its canonical key, cost, and portable spec.
 #[derive(Clone, Debug)]
 pub struct StoredCandidate {
-    /// Canonical schedule key.
+    /// Canonical schedule key (hex of the interned 128-bit
+    /// [`cello_search::ScheduleKey`]).
     pub key: String,
     /// The four objectives.
     pub cost: CostEstimate,
@@ -75,7 +76,7 @@ impl StoredOutcome {
     /// Converts a fresh tuner outcome into its storable form.
     pub fn from_outcome(fp: &Fingerprint, out: &SearchOutcome) -> Self {
         let cand = |e: &cello_search::Evaluated| StoredCandidate {
-            key: e.key.clone(),
+            key: e.key.hex(),
             cost: e.cost,
             candidate: e.candidate.clone(),
         };
@@ -368,6 +369,7 @@ mod tests {
             rf_words_choices: vec![16_384],
             node_choices: vec![1],
             max_chord_bias_tensors: 0,
+            chord_bias_magnitudes: vec![1],
             repartition_profiles: Vec::new(),
         };
         let strategy = Strategy::Beam { width: 2 };
@@ -387,7 +389,7 @@ mod tests {
             .insert(&fp, &StoredOutcome::from_outcome(&fp, &out))
             .unwrap();
         let rec = store.lookup(&fp).expect("hit");
-        assert_eq!(rec.best.key, out.best_traffic.key);
+        assert_eq!(rec.best.key, out.best_traffic.key.hex());
         assert_eq!(rec.best.cost, out.best_traffic.cost);
         assert_eq!(rec.base_cycles, out.baseline.cost.cycles);
         assert_eq!(rec.pareto.len(), out.pareto.len().min(MAX_STORED_PARETO));

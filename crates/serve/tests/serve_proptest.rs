@@ -196,7 +196,7 @@ fn cache_hit_is_bit_identical_to_fresh_compilation() {
     let out = Tuner::new(&dag, &accel, cfg).tune(&Strategy::Beam { width: 2 });
 
     for resp in [&miss, &hit] {
-        assert_eq!(resp.best_key, out.best_traffic.key);
+        assert_eq!(resp.best_key, out.best_traffic.key.hex());
         assert_eq!(resp.tuned_cycles, out.best_cycles.cost.cycles);
         assert_eq!(resp.tuned_dram_bytes, out.best_traffic.cost.dram_bytes);
         assert_eq!(

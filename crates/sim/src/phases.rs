@@ -460,7 +460,7 @@ mod tests {
         );
         constraints
             .chord_priority_bias
-            .insert("T0".into(), PriorityBias::Boost);
+            .insert("T0".into(), PriorityBias::Boost(1));
         let boosted = plan_phases(
             &dag,
             &build_schedule_with(&dag, ScheduleOptions::cello(), &constraints),

@@ -241,6 +241,7 @@ proptest! {
             rf_words_choices: vec![16_384],
             node_choices: vec![1],
             max_chord_bias_tensors: 0,
+            chord_bias_magnitudes: vec![1],
             repartition_profiles: Vec::new(),
         };
         let global = Tuner::new(&dag, &accel, small.clone()).tune(&Strategy::Exhaustive);

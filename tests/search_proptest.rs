@@ -1,7 +1,9 @@
 //! Property tests for the DSE engine (`cello-search`): determinism of the
-//! Pareto front under a fixed seed, and the guarantee that tuning never
-//! loses to the `ScheduleOptions::cello()` paper heuristic on the toy
-//! chain/diamond DAGs.
+//! Pareto front under a fixed seed, the guarantee that tuning never loses
+//! to the `ScheduleOptions::cello()` paper heuristic on the toy
+//! chain/diamond DAGs, and soundness of the tier-0 symbolic prune (it
+//! never discards the sim-optimal candidate on exhaustively-coverable
+//! spaces).
 
 use cello::core::accel::CelloConfig;
 use cello::core::score::binding::{build_schedule, ScheduleOptions};
@@ -94,6 +96,7 @@ fn small_cfg() -> SpaceConfig {
         rf_words_choices: vec![16_384],
         node_choices: vec![1],
         max_chord_bias_tensors: 0,
+        chord_bias_magnitudes: vec![1],
         repartition_profiles: Vec::new(),
     }
 }
@@ -122,7 +125,7 @@ proptest! {
             let out = tuner.tune(&Strategy::Random { samples: 24, seed });
             out.pareto
                 .iter()
-                .map(|e| (e.key.clone(), e.cost.cycles, e.cost.dram_bytes))
+                .map(|e| (e.key, e.cost.cycles, e.cost.dram_bytes))
                 .collect::<Vec<_>>()
         };
         prop_assert_eq!(run(), run());
@@ -141,8 +144,8 @@ proptest! {
             let tuner = Tuner::new(&dag, &accel, small_cfg());
             let out = tuner.tune(&Strategy::Beam { width: 3 });
             (
-                out.best_cycles.key.clone(),
-                out.pareto.iter().map(|e| e.key.clone()).collect::<Vec<_>>(),
+                out.best_cycles.key,
+                out.pareto.iter().map(|e| e.key).collect::<Vec<_>>(),
                 out.evaluations,
             )
         };
@@ -176,6 +179,47 @@ proptest! {
         }
     }
 
+    /// Tier-0's symbolic dominance prune is *sound* when its budget and
+    /// keep cap cover the whole space: everything it discards is
+    /// sketch-dominated by a survivor, and on these spaces that never
+    /// loses the sim-optimal schedule — the funnel's rank-best cost equals
+    /// exhaustive enumeration's on every objective, for both DAG shapes.
+    #[test]
+    fn tier0_never_discards_the_sim_optimum(
+        n_ops in 2usize..5,
+        fanout in 2usize..4,
+        m in 10_000u64..300_000,
+    ) {
+        for dag in [chain(n_ops, m), diamond(fanout, m)] {
+            let accel = CelloConfig::paper();
+            let ex = Tuner::new(&dag, &accel, small_cfg()).tune(&Strategy::Exhaustive);
+            let tuner = Tuner::new(&dag, &accel, small_cfg());
+            let budget = tuner.space().exhaustive_size();
+            let t0 = tuner.tune(&Strategy::Tier0 {
+                budget,
+                keep: usize::MAX >> 1,
+            });
+            prop_assert!(
+                t0.candidates_seen >= ex.candidates_seen,
+                "tier-0 swept the whole space ({} vs {})",
+                t0.candidates_seen, ex.candidates_seen
+            );
+            prop_assert!(
+                t0.evaluations <= ex.evaluations,
+                "the prune must not add evaluations"
+            );
+            prop_assert_eq!(
+                t0.best_cycles.cost, ex.best_cycles.cost,
+                "rank-best must survive the symbolic prune"
+            );
+            prop_assert_eq!(
+                t0.best_traffic.cost.total_traffic_bytes(),
+                ex.best_traffic.cost.total_traffic_bytes(),
+                "traffic-best must survive the symbolic prune"
+            );
+        }
+    }
+
     /// Same guarantee on diamond DAGs.
     #[test]
     fn tuned_never_worse_than_cello_on_diamonds(
@@ -200,7 +244,7 @@ proptest! {
             // And the Pareto front never contains a point dominated by the
             // baseline (the baseline is in the comparison set).
             for e in &out.pareto {
-                prop_assert!(!out.baseline.cost.dominates(&e.cost), "{}", e.key);
+                prop_assert!(!out.baseline.cost.dominates(&e.cost), "{}", e.key.hex());
             }
         }
     }

@@ -152,8 +152,8 @@ proptest! {
         prop_assert_eq!(&pre.best_cycles.candidate, &direct.best_cycles.candidate);
         prop_assert_eq!(&pre.best_traffic.key, &direct.best_traffic.key);
         prop_assert_eq!(
-            pre.pareto.iter().map(|e| e.key.as_str()).collect::<Vec<_>>(),
-            direct.pareto.iter().map(|e| e.key.as_str()).collect::<Vec<_>>()
+            pre.pareto.iter().map(|e| e.key).collect::<Vec<_>>(),
+            direct.pareto.iter().map(|e| e.key).collect::<Vec<_>>()
         );
     }
 
