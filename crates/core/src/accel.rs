@@ -37,6 +37,11 @@ pub struct CelloConfig {
     pub riff_entries: usize,
     /// Per-link NoC bandwidth in bytes/s (multi-node runs, §V-B).
     pub noc_bandwidth_bytes_per_sec: f64,
+    /// Words of SRAM one unit of prefetch depth stages (doubled when the
+    /// staging region is double-buffered). A schedule's
+    /// `TransferTuning::staging_words` carve — subtracted from CHORD's
+    /// capacity — is `depth × this × banks`; depth 0 carves nothing.
+    pub staging_quantum_words: u64,
 }
 
 impl CelloConfig {
@@ -52,6 +57,7 @@ impl CelloConfig {
             pipeline_buffer_words: 65_536,
             riff_entries: 64,
             noc_bandwidth_bytes_per_sec: 256.0e9,
+            staging_quantum_words: 4096,
         }
     }
 
@@ -119,7 +125,7 @@ impl CelloConfig {
     /// CHORD configs) is included — only the inputs they derive from.
     pub fn canonical_text(&self) -> String {
         format!(
-            "accel{{pe={} freq={:?} sram={} word={} dram_bw={:?} dram_pj={:?} rf={} pb={} riff={} noc_bw={:?}}}",
+            "accel{{pe={} freq={:?} sram={} word={} dram_bw={:?} dram_pj={:?} rf={} pb={} riff={} noc_bw={:?} stage_q={}}}",
             self.pe_count,
             self.freq_hz,
             self.sram_bytes,
@@ -130,6 +136,7 @@ impl CelloConfig {
             self.pipeline_buffer_words,
             self.riff_entries,
             self.noc_bandwidth_bytes_per_sec,
+            self.staging_quantum_words,
         )
     }
 
@@ -173,6 +180,10 @@ mod tests {
             },
             CelloConfig {
                 noc_bandwidth_bytes_per_sec: 1.0e9,
+                ..base
+            },
+            CelloConfig {
+                staging_quantum_words: base.staging_quantum_words * 2,
                 ..base
             },
         ];

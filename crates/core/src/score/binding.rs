@@ -24,6 +24,7 @@ use crate::score::multinode::{Partition, PartitionAxis};
 use crate::score::repartition::{PhaseRepartition, PhaseSplit};
 use crate::score::swizzle::{minimize_swizzles, SwizzleReport};
 use crate::score::tiling::{pipeline_can_stream, rf_fits};
+use crate::score::transfer::TransferTuning;
 use cello_graph::dag::{EdgeId, NodeId, TensorDag};
 use cello_graph::node::OpKind;
 use serde::{Deserialize, Serialize};
@@ -172,6 +173,10 @@ pub struct Schedule {
     /// [`ScheduleConstraints::phase_repartition`] was applied — the uniform
     /// case is the degenerate global split, bit-exact in both evaluators.
     pub phase_splits: Vec<PhaseSplit>,
+    /// DRAM transfer ordering (prefetch depth + double-buffering). The
+    /// default ([`TransferTuning::off`]) replays the serialized cycle model
+    /// bit-identically; see [`crate::score::transfer`].
+    pub transfer: TransferTuning,
 }
 
 impl Schedule {
@@ -376,6 +381,12 @@ pub struct ScheduleConstraints {
     /// from the validated constructors) is dropped in favor of the global
     /// split, like every other invalid constraint.
     pub phase_repartition: Option<PhaseRepartition>,
+    /// Requested DRAM transfer ordering (`None` = the serialized default).
+    /// Always valid — every depth is executable; the evaluators price the
+    /// staging carve it implies, so the search sees its real cost. The
+    /// builder normalizes it (`double_buffer` is cleared at depth 0) so the
+    /// no-op request collapses onto the unconstrained schedule.
+    pub transfer: Option<TransferTuning>,
 }
 
 impl ScheduleConstraints {
@@ -392,7 +403,8 @@ impl ScheduleConstraints {
         }
     }
 
-    /// True when no constraint is set.
+    /// True when no constraint is set (a normalized-to-off transfer request
+    /// counts as unset — it is the no-op decision).
     pub fn is_empty(&self) -> bool {
         self.cut_before.is_empty()
             && self.binding_overrides.is_empty()
@@ -400,6 +412,7 @@ impl ScheduleConstraints {
             && self.partition.is_none()
             && self.chord_priority_bias.is_empty()
             && self.phase_repartition.is_none()
+            && self.transfer.is_none_or(|t| t.normalized().is_off())
     }
 }
 
@@ -677,6 +690,10 @@ pub fn build_schedule_with(
         partition,
         chord_bias,
         phase_splits,
+        transfer: constraints
+            .transfer
+            .map(TransferTuning::normalized)
+            .unwrap_or_default(),
     }
 }
 

@@ -17,7 +17,10 @@
 //!   `binding::build_schedule_with` validates and the simulator scores;
 //! - [`repartition`]: the per-phase SRAM split
 //!   ([`repartition::PhaseRepartition`]) — pipeline-buffer/RF reservations
-//!   as a *per-cluster* decision, with CHORD resized at phase boundaries.
+//!   as a *per-cluster* decision, with CHORD resized at phase boundaries;
+//! - [`transfer`]: DRAM transfer ordering ([`transfer::TransferTuning`]) —
+//!   prefetch depth and double-buffering as a schedule decision, trading a
+//!   staging carve out of CHORD for compute/transfer overlap.
 
 pub mod binding;
 pub mod classify;
@@ -26,3 +29,4 @@ pub mod multinode;
 pub mod repartition;
 pub mod swizzle;
 pub mod tiling;
+pub mod transfer;

@@ -9,7 +9,7 @@
 //!    with a target string, filtered by `CELLO_LOG` (`info` by default,
 //!    `debug,serve=trace` grammar for per-target overrides), written to
 //!    stderr and/or registered [`log::LogSink`]s.
-//! 2. **Hierarchical spans** ([`span`]): `span!("tune")` /
+//! 2. **Hierarchical spans** ([`mod@span`]): `span!("tune")` /
 //!    `span!("phase", idx = i)` guards with wall-clock timing on a
 //!    thread-local stack (collection is off by default — one relaxed atomic
 //!    load on the tuner's hot path), plus [`span::SpanRecorder`] for

@@ -17,7 +17,7 @@
 //! survivors; a later exact-tier run over the same space then starts from
 //! whatever the prefilter already paid for.
 //!
-//! Each tier's table is **lock-striped** into [`SHARDS`] shards selected by
+//! Each tier's table is **lock-striped** into `SHARDS` shards selected by
 //! the key's low bits: `batch_with`'s rayon workers used to serialize on a
 //! single global `Mutex<HashMap>` for every lookup/insert, which capped the
 //! parallel speedup exactly where the tier-0 funnel pushes the most

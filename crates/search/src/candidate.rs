@@ -54,7 +54,7 @@ impl Candidate {
 
     /// The interned form of [`Self::schedule_key`]: the same canonical byte
     /// sequence streamed straight into a 128-bit FNV hasher, no `String`
-    /// materialized. Both paths share [`write_schedule_key`], so interned
+    /// materialized. Both paths share `write_schedule_key`, so interned
     /// keys collide **exactly** when the string keys are equal — by
     /// construction, and pinned by the migration differential test.
     pub fn interned_key(schedule: &Schedule) -> ScheduleKey {
@@ -148,6 +148,23 @@ pub(crate) fn write_schedule_key<W: std::fmt::Write>(key: &mut W, schedule: &Sch
         }
     } else {
         let _ = key.write_char('1');
+    }
+    // Transfer ordering: serialized only when it changes evaluation. A
+    // depth-0 tuning is the pre-overlap model bit for bit, so those
+    // schedules keep their historical keys (and their cached evaluations);
+    // double- vs single-buffered staging at the same depth evaluates
+    // differently, so the bank flag is part of the identity.
+    if !schedule.transfer.is_off() {
+        let _ = write!(
+            key,
+            ";t{}{}",
+            schedule.transfer.prefetch_depth,
+            if schedule.transfer.double_buffer {
+                'd'
+            } else {
+                's'
+            }
+        );
     }
 }
 
@@ -350,6 +367,36 @@ mod tests {
         };
         assert_eq!(with_global(65_536, 16_384), with_global(16_384, 4_096));
         assert_eq!(with_global(65_536, 16_384), k1);
+    }
+
+    /// Transfer tunings are part of the memo identity exactly when they
+    /// overlap anything: the depth-0 tuning shares the plain schedule's key
+    /// (bit-identical evaluation), while depth and bank mode each split it.
+    #[test]
+    fn key_covers_transfer_tuning() {
+        use cello_core::TransferTuning;
+        let dag = toy_chain(3);
+        let with = |t: Option<TransferTuning>| {
+            let mut c = Candidate::paper_heuristic();
+            c.constraints.transfer = t;
+            Candidate::schedule_key(&c.build(&dag))
+        };
+        let plain = with(None);
+        assert_eq!(plain, with(Some(TransferTuning::off())), "off = no-op");
+        assert_eq!(
+            plain,
+            with(Some(TransferTuning {
+                prefetch_depth: 0,
+                double_buffer: true,
+            })),
+            "depth-0 normalizes away the bank flag"
+        );
+        let d1 = with(Some(TransferTuning::double_buffered(1)));
+        let d2 = with(Some(TransferTuning::double_buffered(2)));
+        let s1 = with(Some(TransferTuning::single_buffered(1)));
+        assert_ne!(plain, d1);
+        assert_ne!(d1, d2, "depth is part of the identity");
+        assert_ne!(d1, s1, "bank mode is part of the identity");
     }
 
     #[test]

@@ -155,6 +155,15 @@ fn space_canonical_text(cfg: &SpaceConfig) -> String {
             p.solo.rf_capacity_words,
         );
     }
+    out.push_str("] xfer=[");
+    for t in &cfg.transfer_menu {
+        let _ = write!(
+            out,
+            "{}{},",
+            t.prefetch_depth,
+            if t.double_buffer { 'd' } else { 's' }
+        );
+    }
     out.push_str("]}");
     out
 }
@@ -172,7 +181,7 @@ pub fn fnv128_hex(text: &str) -> String {
 }
 
 /// An interned 128-bit schedule identity: the FNV-1a hash of the canonical
-/// [`crate::candidate::schedule_key`] text, produced *streamingly* (the key
+/// `Candidate::schedule_key` text, produced *streamingly* (the key
 /// text is hashed as it is formatted, never materialized). Two keys are
 /// equal exactly when the underlying canonical strings are equal (up to
 /// 128-bit collision — the same trust level serve's fingerprint cache
@@ -320,6 +329,19 @@ mod tests {
         );
         assert_ne!(base.hash, other_space.hash);
         assert_eq!(base.family, other_space.family);
+        // A transfer menu is part of the space section too.
+        let xfer_space = SpaceConfig {
+            transfer_menu: SpaceConfig::default_transfer_menu(),
+            ..SpaceConfig::default()
+        };
+        let other_xfer = fingerprint(
+            &dag,
+            &CelloConfig::paper(),
+            &xfer_space,
+            &Strategy::Beam { width: 8 },
+        );
+        assert_ne!(base.hash, other_xfer.hash);
+        assert_eq!(base.family, other_xfer.family);
     }
 
     #[test]

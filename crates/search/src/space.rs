@@ -34,7 +34,13 @@
 //!    broadcast/reduce over the NoC) or split pipeline stages across nodes
 //!    (the Fig 8 naive strategy, full intermediates on the NoC). Enabled by
 //!    listing node counts > 1 in [`SpaceConfig::node_choices`]; the
-//!    single-node partition is always choice 0.
+//!    single-node partition is always choice 0;
+//! 8. **Transfer ordering** — prefetch depth × double-buffer toggle
+//!    ([`cello_core::TransferTuning`]): how far the DMA engine runs ahead
+//!    of compute, hiding inbound DRAM transfers behind earlier phases at
+//!    the price of a staging carve out of CHORD capacity. Enabled by a
+//!    non-empty [`SpaceConfig::transfer_menu`]; the serialized depth-0
+//!    model is always choice 0.
 
 use crate::candidate::Candidate;
 use cello_core::chord::PriorityBias;
@@ -42,6 +48,7 @@ use cello_core::score::binding::{Binding, PipelineScope};
 use cello_core::score::loop_order::{choose_loop_order, LoopOrder};
 use cello_core::score::multinode::{dominant_partition_rank, Partition};
 use cello_core::score::repartition::{PhaseRepartition, PhaseSplit};
+use cello_core::score::transfer::TransferTuning;
 use cello_graph::dag::TensorDag;
 use cello_graph::node::Dominance;
 use serde::{Deserialize, Serialize};
@@ -108,6 +115,12 @@ pub enum Choice {
     Repartition {
         /// The fused/solo profile applied, if any.
         profile: Option<RepartitionProfile>,
+    },
+    /// Reorder DRAM transfers (`TransferTuning::off()` = the serialized
+    /// depth-0 model — the paper-heuristic default).
+    Transfer {
+        /// The prefetch-depth/double-buffer tuning applied.
+        tuning: TransferTuning,
     },
 }
 
@@ -201,6 +214,12 @@ pub struct SpaceConfig {
     /// the default — keeps the split a single global decision; a non-empty
     /// menu adds a repartition dimension with "no repartition" as choice 0.
     pub repartition_profiles: Vec<RepartitionProfile>,
+    /// DRAM transfer-ordering menu (prefetch depth × double-buffering).
+    /// Empty — the default — keeps the serialized depth-0 model and adds no
+    /// dimension; a non-empty menu adds a transfer dimension with the
+    /// serialized model as choice 0 (off entries in the menu are dropped —
+    /// choice 0 already is the off tuning).
+    pub transfer_menu: Vec<TransferTuning>,
 }
 
 impl Default for SpaceConfig {
@@ -217,6 +236,7 @@ impl Default for SpaceConfig {
             max_chord_bias_tensors: 0,
             chord_bias_magnitudes: vec![1],
             repartition_profiles: Vec::new(),
+            transfer_menu: Vec::new(),
         }
     }
 }
@@ -241,8 +261,23 @@ impl SpaceConfig {
             max_cut_points: 6,
             max_chord_bias_tensors: 2,
             chord_bias_magnitudes: (1..=cello_core::chord::MAX_BIAS_LEVEL).collect(),
+            transfer_menu: Self::default_transfer_menu(),
             ..Self::default()
         }
+    }
+
+    /// The transfer-ordering menu the widened space searches: shallow
+    /// single-buffered prefetch (idle-bandwidth only, no extra carve
+    /// banks), then double-buffered depths 1/2/4 — deeper hiding for a
+    /// bigger staging carve. The serialized depth-0 model is implicit
+    /// choice 0 of the dimension, never part of the menu.
+    pub fn default_transfer_menu() -> Vec<TransferTuning> {
+        vec![
+            TransferTuning::single_buffered(1),
+            TransferTuning::double_buffered(1),
+            TransferTuning::double_buffered(2),
+            TransferTuning::double_buffered(4),
+        ]
     }
 
     /// [`Self::widened`] plus the multi-node partition dimension.
@@ -348,6 +383,29 @@ impl SearchSpace {
                 name: "repartition".into(),
                 choices,
             });
+        }
+
+        // 3c. Transfer ordering (the SoMa-style DRAM communication-schedule
+        // decision): serialized depth-0 first, then the configured
+        // prefetch/double-buffer tunings. Off entries are dropped — they
+        // would duplicate choice 0 and collapse onto the same schedule.
+        if !cfg.transfer_menu.is_empty() {
+            let mut choices = vec![Choice::Transfer {
+                tuning: TransferTuning::off(),
+            }];
+            choices.extend(
+                cfg.transfer_menu
+                    .iter()
+                    .map(|t| t.normalized())
+                    .filter(|t| !t.is_off())
+                    .map(|tuning| Choice::Transfer { tuning }),
+            );
+            if choices.len() > 1 {
+                decisions.push(Decision {
+                    name: "transfer".into(),
+                    choices,
+                });
+            }
         }
 
         // 4. Cluster cuts: nodes that actually join a cluster under the
@@ -563,6 +621,13 @@ impl SearchSpace {
                             profile.as_ref().and_then(|p| p.to_constraint())
                                 == c.constraints.phase_repartition
                         }
+                        Choice::Transfer { tuning } => {
+                            c.constraints
+                                .transfer
+                                .map(TransferTuning::normalized)
+                                .unwrap_or_default()
+                                == *tuning
+                        }
                     })
                     .unwrap_or(0)
             })
@@ -664,6 +729,11 @@ fn apply_choice(c: &mut Candidate, choice: &Choice) {
         Choice::Repartition { profile } => {
             if let Some(rep) = profile.as_ref().and_then(|p| p.to_constraint()) {
                 c.constraints.phase_repartition = Some(rep);
+            }
+        }
+        Choice::Transfer { tuning } => {
+            if !tuning.normalized().is_off() {
+                c.constraints.transfer = Some(tuning.normalized());
             }
         }
     }
@@ -807,12 +877,68 @@ mod tests {
         let plain = SearchSpace::from_dag(&dag, &SpaceConfig::default());
         assert!(plain.decisions.iter().all(|d| !d.name.starts_with("bias@")));
         // Widening multiplies the assignment count as advertised (6 cut
-        // points × 7² graded biases vs 4 cut points).
+        // points × 7² graded biases × 5 transfer tunings vs 4 cut points).
         assert_eq!(
             space.exhaustive_size(),
-            plain.exhaustive_size() * 4 * 49,
-            "two extra cuts (×4) and two graded bias tensors (×49)"
+            plain.exhaustive_size() * 4 * 49 * 5,
+            "two extra cuts (×4), two graded bias tensors (×49), transfer (×5)"
         );
+    }
+
+    /// A transfer menu adds its dimension with the serialized depth-0 model
+    /// as choice 0, assembled picks land as normalized constraints, off
+    /// entries dedupe onto choice 0, and the default config leaves the
+    /// space untouched.
+    #[test]
+    fn transfer_menu_adds_dimension() {
+        let dag = cg(2);
+        let cfg = SpaceConfig::widened();
+        let space = SearchSpace::from_dag(&dag, &cfg);
+        let td = space
+            .decisions
+            .iter()
+            .position(|d| d.name == "transfer")
+            .expect("transfer decision present");
+        let d = &space.decisions[td];
+        assert_eq!(d.choices.len(), 1 + cfg.transfer_menu.len());
+        assert_eq!(
+            d.choices[0],
+            Choice::Transfer {
+                tuning: TransferTuning::off()
+            }
+        );
+        // Defaults still reproduce the paper heuristic (no constraint).
+        let base = space.assemble(&space.default_picks());
+        assert_eq!(base, Candidate::paper_heuristic());
+        assert!(base.constraints.transfer.is_none());
+        // A non-default pick lands normalized in the constraints and builds
+        // a schedule that carries it.
+        let mut picks = space.default_picks();
+        picks[td] = 2; // double_buffered(1)
+        let c = space.assemble(&picks);
+        assert_eq!(
+            c.constraints.transfer,
+            Some(TransferTuning::double_buffered(1))
+        );
+        let s = c.build(&dag);
+        s.validate(&dag).unwrap();
+        assert_eq!(s.transfer, TransferTuning::double_buffered(1));
+        // Off/denormalized menu entries are dropped rather than duplicated.
+        let degenerate = SpaceConfig {
+            transfer_menu: vec![
+                TransferTuning::off(),
+                TransferTuning {
+                    prefetch_depth: 0,
+                    double_buffer: true,
+                },
+            ],
+            ..SpaceConfig::default()
+        };
+        let degen_space = SearchSpace::from_dag(&dag, &degenerate);
+        assert!(degen_space.decisions.iter().all(|d| d.name != "transfer"));
+        // The default config emits no transfer dimension at all.
+        let plain = SearchSpace::from_dag(&dag, &SpaceConfig::default());
+        assert!(plain.decisions.iter().all(|d| d.name != "transfer"));
     }
 
     /// `index_to_picks` decodes the exhaustive odometer: index 0 is the

@@ -46,6 +46,7 @@ use cello_mem::model::BufferKind;
 use cello_mem::stats::AccessStats;
 use cello_sim::energy::{noc_energy_pj, offchip_energy_pj, onchip_energy_pj};
 use cello_sim::evaluate::{chord_capacity_words, phase_chord_capacity_words, CostEstimate};
+use cello_sim::overlap::OverlapLedger;
 use cello_sim::phases::plan_phases;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -67,7 +68,8 @@ struct LiveTensor {
 /// ties) applied eagerly at the moment a grant or a capacity change
 /// over-subscribes the buffer, so evictions land in the phase (and on the
 /// victim) the RIFF machinery would pick. Fully-evicted tensors leave the
-/// live set, freeing their table slot.
+/// live set, freeing their table slot. Evicted bytes are *outbound* DRAM
+/// traffic (writebacks), which the overlap ledger never prefetch-hides.
 fn shrink_to(
     live: &mut BTreeMap<&str, LiveTensor>,
     cap: u64,
@@ -143,17 +145,23 @@ pub fn surrogate_cost(dag: &TensorDag, schedule: &Schedule, accel: &CelloConfig)
     let mut sram_write_words: u64 = 0;
     let mut tag_accesses: u64 = 0;
     let mut total_cycles: u64 = 0;
+    // Transfer timing mirrors the engine through the shared ledger: the
+    // surrogate classifies every DRAM charge as inbound (reads/streams,
+    // prefetch-hidable) or outbound (writes/writebacks, always exposed),
+    // and a depth-0 tuning replays `max(compute, mem) + noc` bit-for-bit.
+    let mut ledger = OverlapLedger::new(schedule.transfer, accel);
 
     for phase in &plan.phases {
-        let mut phase_dram_bytes: u64 = 0;
+        let mut phase_inbound_bytes: u64 = 0;
+        let mut phase_outbound_bytes: u64 = 0;
         if repartition {
             // Phase boundary: mirror the engine's CHORD resize. A shrink
             // revokes granted residency junior-first, and revoked *dirty*
             // grants persist to DRAM as the resize traffic, charged to the
             // entering phase.
-            let new_cap = phase_chord_capacity_words(accel, &phase.split);
+            let new_cap = phase_chord_capacity_words(accel, &phase.split, &schedule.transfer);
             if new_cap < chord_cap {
-                shrink_to(&mut live, new_cap, word_bytes, &mut phase_dram_bytes);
+                shrink_to(&mut live, new_cap, word_bytes, &mut phase_outbound_bytes);
             }
             chord_cap = new_cap;
         }
@@ -169,7 +177,7 @@ pub fn surrogate_cost(dag: &TensorDag, schedule: &Schedule, accel: &CelloConfig)
             match (binding, a.write) {
                 (Binding::RegisterFile, false) => {
                     if a.external && rf_loaded.insert(&a.name) {
-                        phase_dram_bytes += a.words * word_bytes;
+                        phase_inbound_bytes += a.words * word_bytes;
                     }
                 }
                 (Binding::RegisterFile, true) => {}
@@ -182,10 +190,10 @@ pub fn surrogate_cost(dag: &TensorDag, schedule: &Schedule, accel: &CelloConfig)
                     // bind to CHORD or DRAM instead).
                 }
                 (Binding::Dram, false) => {
-                    phase_dram_bytes += a.words * word_bytes;
+                    phase_inbound_bytes += a.words * word_bytes;
                 }
                 (Binding::Dram, true) => {
-                    phase_dram_bytes += a.words * word_bytes;
+                    phase_outbound_bytes += a.words * word_bytes;
                 }
                 (Binding::Chord, true) => {
                     // Produce: head fills its priority share, tail spills.
@@ -197,7 +205,7 @@ pub fn surrogate_cost(dag: &TensorDag, schedule: &Schedule, accel: &CelloConfig)
                     } else {
                         0
                     };
-                    phase_dram_bytes += (a.words - granted) * word_bytes;
+                    phase_outbound_bytes += (a.words - granted) * word_bytes;
                     sram_write_words += granted;
                     if slot_free {
                         live.insert(
@@ -211,7 +219,7 @@ pub fn surrogate_cost(dag: &TensorDag, schedule: &Schedule, accel: &CelloConfig)
                         );
                         // The grant comes out of strictly-junior residency:
                         // evict it now, like the backend's RIFF admit does.
-                        shrink_to(&mut live, chord_cap, word_bytes, &mut phase_dram_bytes);
+                        shrink_to(&mut live, chord_cap, word_bytes, &mut phase_outbound_bytes);
                     }
                 }
                 (Binding::Chord, false) => {
@@ -219,7 +227,7 @@ pub fn surrogate_cost(dag: &TensorDag, schedule: &Schedule, accel: &CelloConfig)
                     if a.external && chord_seen.insert(&a.name) {
                         // First touch: cold stream from DRAM; cache the
                         // share that fits when there are future uses.
-                        phase_dram_bytes += a.words * word_bytes;
+                        phase_inbound_bytes += a.words * word_bytes;
                         if a.freq_after > 0 && live.len() < accel.riff_entries {
                             seq += 1;
                             let granted = share(&live, chord_cap, a.words, priority, seq);
@@ -233,7 +241,7 @@ pub fn surrogate_cost(dag: &TensorDag, schedule: &Schedule, accel: &CelloConfig)
                                     granted,
                                 },
                             );
-                            shrink_to(&mut live, chord_cap, word_bytes, &mut phase_dram_bytes);
+                            shrink_to(&mut live, chord_cap, word_bytes, &mut phase_outbound_bytes);
                         }
                     } else if let Some(t) = live.get(a.name.as_str()) {
                         // Resident head hits; the tail streams from DRAM.
@@ -246,12 +254,12 @@ pub fn surrogate_cost(dag: &TensorDag, schedule: &Schedule, accel: &CelloConfig)
                             share(&live, chord_cap, a.words, priority, t_seq).min(prev_granted);
                         let miss = a.words - resident;
                         sram_read_words += resident;
-                        phase_dram_bytes += miss * word_bytes;
+                        phase_inbound_bytes += miss * word_bytes;
                         if t_dirty && prev_granted > resident {
                             // The share lost since the last access was a
                             // dirty tail with future uses: it persisted to
                             // DRAM on eviction.
-                            phase_dram_bytes += (prev_granted - resident) * word_bytes;
+                            phase_outbound_bytes += (prev_granted - resident) * word_bytes;
                         }
                         if a.freq_after == 0 {
                             live.remove(a.name.as_str()); // last use: retire, drop
@@ -263,16 +271,16 @@ pub fn surrogate_cost(dag: &TensorDag, schedule: &Schedule, accel: &CelloConfig)
                     } else {
                         // Produced while the table was full, fully evicted,
                         // or fetch-bypassed: pure DRAM streaming.
-                        phase_dram_bytes += a.words * word_bytes;
+                        phase_inbound_bytes += a.words * word_bytes;
                     }
                 }
             }
         }
         let compute = phase.compute_macs.div_ceil(accel.pe_count.max(1));
-        let mem = accel.dram.transfer_cycles(phase_dram_bytes, accel.freq_hz);
         let noc = cello_sim::engine::noc_cycles(phase.noc_hop_words, accel);
-        total_cycles += compute.max(mem) + noc;
-        dram_bytes += phase_dram_bytes;
+        let timing = ledger.phase(compute, phase_inbound_bytes, phase_outbound_bytes, noc);
+        total_cycles += timing.cycles;
+        dram_bytes += phase_inbound_bytes + phase_outbound_bytes;
     }
 
     let agg = plan.dram_agg;

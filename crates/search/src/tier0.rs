@@ -36,7 +36,11 @@
 //!    slicing shrinks sliced footprints `1/nodes`) against the split's
 //!    CHORD capacity; whatever does not fit streams per use;
 //! 4. **cycle proxy** — the roofline `max(compute, DRAM)` over the terms
-//!    above plus NoC transfer cycles.
+//!    above plus NoC transfer cycles; under a transfer-tuning decision
+//!    ([`crate::space::Choice::Transfer`]) only the *exposed* fraction of
+//!    the DRAM cycles enters the max (see [`Tier0Model::sketch`]), while
+//!    the prefetch staging carve shrinks the CHORD capacity the spill
+//!    term fills against.
 //!
 //! A candidate whose sketch is elementwise `>=` another's (and strictly
 //! `>` somewhere) cannot beat it under any cost model monotone in these
@@ -54,6 +58,7 @@ use cello_core::accel::CelloConfig;
 use cello_core::chord::PriorityBias;
 use cello_core::score::binding::Binding;
 use cello_core::score::multinode::{NocModel, Partition, PartitionAxis};
+use cello_core::TransferTuning;
 use cello_graph::dag::TensorDag;
 use cello_tensor::shape::RankId;
 use std::collections::HashMap;
@@ -163,6 +168,9 @@ enum Effect {
         pressure: Option<usize>,
         shift: Vec<i8>,
     },
+    /// Transfer-tuning decision: per-choice prefetch/double-buffer
+    /// setting (choice 0 is always "off").
+    Transfer(Vec<TransferTuning>),
     /// Decisions the sketch cannot see (loop-order flips are cost-neutral
     /// intra-op by construction — §V-B).
     Inert,
@@ -190,6 +198,9 @@ pub struct Tier0Model {
     compute_macs: u64,
     pe_count: u64,
     word_bytes: u64,
+    /// Quantum for the prefetch staging carve
+    /// ([`cello_core::TransferTuning::staging_words`]).
+    staging_quantum_words: u64,
     /// DRAM bytes transferred per core cycle (bandwidth / frequency).
     dram_bytes_per_cycle: u64,
     /// NoC bytes per core cycle per link.
@@ -411,6 +422,17 @@ impl Tier0Model {
                 Some(Choice::Steer { tensor, .. }) => Effect::Steer {
                     pressure: pressure_idx.get(tensor.as_str()).copied(),
                 },
+                Some(Choice::Transfer { .. }) => {
+                    let menu = d
+                        .choices
+                        .iter()
+                        .map(|c| match c {
+                            Choice::Transfer { tuning } => tuning.normalized(),
+                            _ => TransferTuning::off(),
+                        })
+                        .collect();
+                    Effect::Transfer(menu)
+                }
                 Some(Choice::ChordBias { tensor, .. }) => {
                     let shift = d
                         .choices
@@ -486,6 +508,7 @@ impl Tier0Model {
             compute_macs,
             pe_count: accel.pe_count.max(1),
             word_bytes: accel.word_bytes as u64,
+            staging_quantum_words: accel.staging_quantum_words,
             dram_bytes_per_cycle: ((accel.dram.bandwidth_bytes_per_sec / accel.freq_hz) as u64)
                 .max(1),
             noc_bytes_per_cycle: ((accel.noc_bandwidth_bytes_per_sec / accel.freq_hz) as u64)
@@ -506,6 +529,7 @@ impl Tier0Model {
         let mut steered: u32 = 0;
         let mut cuts: u32 = 0;
         let mut shifts = [0i8; MAX_PRESSURE];
+        let mut transfer = TransferTuning::off();
         for (effect, &pick) in self.effects.iter().zip(picks) {
             match effect {
                 Effect::Preset => preset = pick,
@@ -543,6 +567,9 @@ impl Tier0Model {
                     if let Some(p) = pressure {
                         shifts[*p] = shift[pick.min(shift.len() - 1)];
                     }
+                }
+                Effect::Transfer(menu) => {
+                    transfer = menu[pick.min(menu.len() - 1)];
                 }
                 Effect::Inert => {}
             }
@@ -588,7 +615,11 @@ impl Tier0Model {
                 order[j] = i;
                 len += 1;
             }
-            let mut remaining = capacity;
+            // The prefetch staging region comes out of whatever CHORD
+            // capacity the split (or repartition override) left — the same
+            // carve the sim applies in `phase_chord_capacity_words`.
+            let mut remaining =
+                capacity.saturating_sub(transfer.staging_words(self.staging_quantum_words));
             for &i in &order[..len] {
                 let t = &self.pressure[i];
                 let eff_words = match sliced {
@@ -615,7 +646,27 @@ impl Tier0Model {
         let noc_cycles = noc_word_hops
             .saturating_mul(self.word_bytes)
             .div_ceil(self.noc_bytes_per_cycle);
-        let cycles = compute_cycles.max(dram_cycles) + noc_cycles;
+        // Overlap-aware cycle proxy. Depth 0 is the serialized roofline,
+        // bit-identical to the pre-overlap sketch. With a prefetch window
+        // of depth `d`, double-buffered transfers expose only ~1/(d+1) of
+        // the DRAM cycles (each phase's inbound hides behind up to `d`
+        // predecessors); single-buffered prefetch can only use idle
+        // bandwidth, so it never exposes less than the memory-over-compute
+        // excess. The asymmetry keeps off/sb/db sketches mutually
+        // non-dominated (the carve above already charges the spill axis),
+        // so the soundness proptest's covering property survives.
+        let cycles = if transfer.is_off() {
+            compute_cycles.max(dram_cycles) + noc_cycles
+        } else {
+            let window = transfer.prefetch_depth as u64 + 1;
+            let pipelined = dram_cycles.div_ceil(window);
+            let exposed = if transfer.double_buffer {
+                pipelined
+            } else {
+                dram_cycles.saturating_sub(compute_cycles).max(pipelined)
+            };
+            compute_cycles.max(exposed) + noc_cycles
+        };
         Sketch([dram_words, noc_word_hops, spill_words, cycles])
     }
 
@@ -883,6 +934,58 @@ mod tests {
                 assert!(*p < d.choices.len());
             }
         }
+    }
+
+    /// The transfer decision reaches the sketch: on a memory-bound
+    /// workload a double-buffered pick shrinks the cycle proxy below the
+    /// serialized (off) proxy, never below the compute floor, and the two
+    /// sketches stay mutually non-dominated (the overlapped pick pays the
+    /// staging carve on the spill axis or wins strictly on cycles — either
+    /// way neither prunes the other).
+    #[test]
+    fn transfer_tuning_shapes_the_cycle_proxy() {
+        let dag = cg(2);
+        let accel = CelloConfig::paper();
+        let cfg = SpaceConfig {
+            transfer_menu: SpaceConfig::default_transfer_menu(),
+            ..SpaceConfig::default()
+        };
+        let space = SearchSpace::from_dag(&dag, &cfg);
+        let model = Tier0Model::new(&dag, &accel, &space);
+        let td = space
+            .decisions
+            .iter()
+            .position(|d| d.name == "transfer")
+            .expect("transfer decision exists");
+        let menu: Vec<TransferTuning> = space.decisions[td]
+            .choices
+            .iter()
+            .map(|c| match c {
+                Choice::Transfer { tuning } => *tuning,
+                _ => unreachable!("transfer decision holds transfer choices"),
+            })
+            .collect();
+        assert!(menu[0].is_off(), "choice 0 is the serialized baseline");
+        let db = menu
+            .iter()
+            .position(|t| t.double_buffer)
+            .expect("menu has a double-buffered entry");
+        let mut picks = space.default_picks();
+        let off = model.sketch(&picks);
+        picks[td] = db;
+        let on = model.sketch(&picks);
+        let compute = dag
+            .nodes()
+            .map(|(_, n)| n.spec.macs())
+            .sum::<u64>()
+            .div_ceil(accel.pe_count);
+        assert!(on.0[3] < off.0[3], "double-buffering hides DRAM cycles");
+        assert!(on.0[3] >= compute, "never below the compute floor");
+        assert!(on.0[2] >= off.0[2], "the staging carve can only add spill");
+        assert!(
+            !off.dominates(&on) && !on.dominates(&off),
+            "off and overlapped picks must coexist on the sketch front"
+        );
     }
 
     /// A sampled sweep prunes hard: survivors are a small fraction of the

@@ -532,6 +532,7 @@ mod tests {
             max_chord_bias_tensors: 0,
             chord_bias_magnitudes: vec![1],
             repartition_profiles: Vec::new(),
+            transfer_menu: Vec::new(),
         }
     }
 

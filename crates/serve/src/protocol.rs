@@ -21,6 +21,7 @@ use cello_core::score::binding::{Binding, PipelineScope};
 use cello_core::score::loop_order::LoopOrder;
 use cello_core::score::multinode::{Partition, PartitionAxis};
 use cello_core::score::repartition::{PhaseRepartition, PhaseSplit, PhaseSplits};
+use cello_core::TransferTuning;
 use cello_search::Candidate;
 use cello_tensor::shape::RankId;
 
@@ -649,6 +650,18 @@ pub fn candidate_to_json(c: &Candidate) -> Json {
         }
         members.push(("repartition".into(), Json::Obj(obj)));
     }
+    if let Some(t) = c.constraints.transfer {
+        let t = t.normalized();
+        if !t.is_off() {
+            members.push((
+                "transfer".into(),
+                Json::Obj(vec![
+                    ("depth".into(), Json::int(t.prefetch_depth as u64)),
+                    ("db".into(), Json::Bool(t.double_buffer)),
+                ]),
+            ));
+        }
+    }
     Json::Obj(members)
 }
 
@@ -774,6 +787,20 @@ pub fn candidate_from_json(doc: &Json) -> Result<Candidate, ServeError> {
         };
         c.constraints.phase_repartition =
             Some(rebuilt.map_err(|e| bad(&format!("invalid repartition: {e}")))?);
+    }
+    // Absent member = serialized transfers (the only spelling depth 0 has;
+    // specs written before the dimension existed parse unchanged).
+    if let Some(xfer) = doc.get("transfer") {
+        let depth = field_u64(xfer, "depth")?.ok_or_else(|| bad("transfer missing depth"))?;
+        if !(1..=u8::MAX as u64).contains(&depth) {
+            return Err(bad(&format!("transfer depth {depth} out of range")));
+        }
+        let t = if field_bool(xfer, "db")?.unwrap_or(false) {
+            TransferTuning::double_buffered(depth as u8)
+        } else {
+            TransferTuning::single_buffered(depth as u8)
+        };
+        c.constraints.transfer = Some(t);
     }
     Ok(c)
 }
@@ -921,15 +948,24 @@ mod tests {
             )
             .unwrap(),
         );
+        c.constraints.transfer = Some(TransferTuning::double_buffered(2));
         let json = candidate_to_json(&c);
         // Through wire text, like a store record.
         let text = compact(&json);
         let back = candidate_from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, c);
-        // The plain heuristic round-trips too.
+        // The plain heuristic round-trips too — and emits no transfer
+        // member, so pre-transfer cache files stay byte-compatible.
         let plain = Candidate::paper_heuristic();
-        let back = candidate_from_json(&candidate_to_json(&plain)).unwrap();
+        let plain_json = candidate_to_json(&plain);
+        assert!(plain_json.get("transfer").is_none());
+        let back = candidate_from_json(&plain_json).unwrap();
         assert_eq!(back, plain);
+        // Single-buffered prefetch keeps its db=false spelling.
+        let mut sb = Candidate::paper_heuristic();
+        sb.constraints.transfer = Some(TransferTuning::single_buffered(3));
+        let back = candidate_from_json(&candidate_to_json(&sb)).unwrap();
+        assert_eq!(back, sb);
     }
 
     #[test]
@@ -942,6 +978,8 @@ mod tests {
             r#"{"scope": "any", "hold": true, "multicast": true, "chord": true, "pb": 1, "rf": 1, "repartition": {"sram": 10, "fused": [100, 100], "solo": [0, 0]}}"#,
             r#"{"scope": "any", "hold": true, "multicast": true, "chord": true, "pb": 1, "rf": 1, "bias": {"A": "+9"}}"#,
             r#"{"scope": "any", "hold": true, "multicast": true, "chord": true, "pb": 1, "rf": 1, "bias": {"A": "~1"}}"#,
+            r#"{"scope": "any", "hold": true, "multicast": true, "chord": true, "pb": 1, "rf": 1, "transfer": {"depth": 0}}"#,
+            r#"{"scope": "any", "hold": true, "multicast": true, "chord": true, "pb": 1, "rf": 1, "transfer": {"db": true}}"#,
         ] {
             let doc = Json::parse(bad).unwrap();
             let err = candidate_from_json(&doc).unwrap_err();

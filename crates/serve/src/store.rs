@@ -68,7 +68,7 @@ pub struct StoredOutcome {
     pub evaluations: u64,
     /// Surrogate scorings the original compilation cost.
     pub surrogate_scored: u64,
-    /// Rank-sorted Pareto prefix (≤ [`MAX_STORED_PARETO`] entries).
+    /// Rank-sorted Pareto prefix (capped at `MAX_STORED_PARETO` entries).
     pub pareto: Vec<StoredCandidate>,
 }
 
@@ -371,6 +371,7 @@ mod tests {
             max_chord_bias_tensors: 0,
             chord_bias_magnitudes: vec![1],
             repartition_profiles: Vec::new(),
+            transfer_menu: Vec::new(),
         };
         let strategy = Strategy::Beam { width: 2 };
         let fp = fingerprint(&dag, &accel, &cfg, &strategy);

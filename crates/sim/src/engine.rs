@@ -13,7 +13,11 @@
 //!   backend gets its priorities;
 //! - phase time is `max(compute, memory)` cycles: compute = cluster MACs
 //!   over the PE array, memory = phase DRAM bytes over the DRAM bandwidth
-//!   (§VII-A1's "stalls due to memory bandwidth dominate");
+//!   (§VII-A1's "stalls due to memory bandwidth dominate"). Under a
+//!   non-trivial [`cello_core::TransferTuning`] the memory term shrinks to
+//!   the *exposed* transfer — inbound bytes prefetched behind earlier
+//!   phases are hidden by the [`crate::overlap::OverlapLedger`], and NoC
+//!   time folds into the same `max`;
 //! - multi-node schedules (§V-B, [`cello_core::Partition`]) are scored
 //!   through the same walk: rank partitioning slices every tensor carrying
 //!   the partitioned rank to a per-node tile (`words / nodes`), charges
@@ -31,6 +35,7 @@
 
 use crate::backends::{MemoryBackend, TensorRequest};
 use crate::energy::{noc_energy_pj, offchip_energy_pj, onchip_energy_pj};
+use crate::overlap::OverlapLedger;
 use crate::phases::{plan_phases, PhasePlan};
 use crate::report::RunReport;
 use cello_core::accel::CelloConfig;
@@ -64,6 +69,10 @@ pub fn run_schedule(
     // Uniform/global splits never take this path, so every single-split
     // schedule replays bit-identically to the pre-repartition engine.
     let repartition = schedule.repartition_active();
+    // Transfer timing: the ledger hides prefetched inbound bytes behind
+    // earlier phases. A depth-0 tuning (the default) reproduces
+    // `max(compute, mem) + noc` bit-identically.
+    let mut ledger = OverlapLedger::new(schedule.transfer, accel);
 
     for (pi, phase) in plan.phases.iter().enumerate() {
         let _span = cello_obs::span!(
@@ -76,6 +85,7 @@ pub fn run_schedule(
             backend.phase_boundary(crate::evaluate::phase_chord_capacity_words(
                 accel,
                 &phase.split,
+                &schedule.transfer,
             ));
         }
         for access in &phase.accesses {
@@ -95,23 +105,31 @@ pub fn run_schedule(
         }
 
         let now = backend.stats();
-        let phase_dram = now.dram_bytes() - prev_stats.dram_bytes();
-        phase_stats.push(now.delta_since(&prev_stats));
+        let delta = now.delta_since(&prev_stats);
+        let phase_dram = delta.dram_bytes();
         prev_stats = now;
         let compute = phase.compute_macs.div_ceil(accel.pe_count.max(1));
-        let mem = accel.dram.transfer_cycles(phase_dram, accel.freq_hz);
-        phase_cycles.push((compute, mem));
+        let timing = ledger.phase(
+            compute,
+            delta.dram_read_bytes,
+            delta.dram_write_bytes,
+            noc_cycles(phase.noc_hop_words, accel),
+        );
+        phase_stats.push(delta);
+        phase_cycles.push((compute, timing.exposed_mem_cycles));
         phase_dram_bytes.push(phase_dram);
         phase_noc_hop_words.push(phase.noc_hop_words);
         total_noc_hop_words += phase.noc_hop_words;
-        total_cycles += compute.max(mem) + noc_cycles(phase.noc_hop_words, accel);
+        total_cycles += timing.cycles;
     }
 
     backend.finish();
     let final_stats = backend.stats();
     let drain = final_stats.dram_bytes() - prev_stats.dram_bytes();
     if drain > 0 {
-        let mem = accel.dram.transfer_cycles(drain, accel.freq_hz);
+        // The terminal drain has no later compute to hide behind: fully
+        // exposed at every prefetch depth.
+        let mem = ledger.drain(drain);
         phase_cycles.push((0, mem));
         phase_dram_bytes.push(drain);
         phase_stats.push(final_stats.delta_since(&prev_stats));

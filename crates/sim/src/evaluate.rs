@@ -85,28 +85,33 @@ impl CostEstimate {
 }
 
 /// CHORD capacity left for a schedule that reserves `pipeline_buffer_words`
-/// and `rf_capacity_words` of the accelerator's SRAM (never below one cache
-/// line's worth, so degenerate partitions still simulate). The global split
-/// is just the uniform case of [`phase_chord_capacity_words`] — one formula,
-/// not two.
+/// and `rf_capacity_words` of the accelerator's SRAM, minus the schedule's
+/// prefetch staging carve (never below one cache line's worth, so
+/// degenerate partitions still simulate). The global split is just the
+/// uniform case of [`phase_chord_capacity_words`] — one formula, not two.
 pub fn chord_capacity_words(accel: &CelloConfig, schedule: &Schedule) -> u64 {
     phase_chord_capacity_words(
         accel,
         &cello_core::PhaseSplit::of_options(&schedule.options),
+        &schedule.transfer,
     )
 }
 
 /// CHORD capacity during one phase of a repartitioned schedule: the SRAM
-/// minus that phase's own pipeline/RF reservation (same one-cache-line
-/// floor). Equals [`chord_capacity_words`] for every phase of a uniform
-/// split — the global path is the degenerate case.
+/// minus that phase's own pipeline/RF reservation and the schedule-wide
+/// prefetch staging carve ([`cello_core::TransferTuning::staging_words`] —
+/// overlap trades CHORD reuse capacity for latency hiding), with the same
+/// one-cache-line floor. Equals [`chord_capacity_words`] for every phase of
+/// a uniform split — the global path is the degenerate case.
 pub fn phase_chord_capacity_words(
     accel: &CelloConfig,
     split: &cello_core::score::repartition::PhaseSplit,
+    transfer: &cello_core::TransferTuning,
 ) -> u64 {
     accel
         .sram_words()
         .saturating_sub(split.reserved_words())
+        .saturating_sub(transfer.staging_words(accel.staging_quantum_words))
         .max(16)
 }
 

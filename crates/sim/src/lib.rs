@@ -27,6 +27,9 @@
 //! - [`evaluate`]: the cheap cost path (traffic + roofline cycles + NoC
 //!   hop-bytes + energy, no trace) that the `cello-search` DSE engine
 //!   scores candidates with;
+//! - [`overlap`]: the transfer-timing ledger — prefetch/double-buffer
+//!   overlap ([`cello_core::TransferTuning`]) converted into exposed
+//!   transfer cycles, shared verbatim by the engine and the surrogate;
 //! - [`scaling`]: the §V-B strong-scaling harness — naive-vs-scalable as
 //!   two partitioned schedules scored by the same engine;
 //! - [`report`]: run reports, geomeans, TSV emission;
@@ -40,6 +43,7 @@ pub mod energy;
 pub mod engine;
 pub mod evaluate;
 pub mod obs;
+pub mod overlap;
 pub mod phases;
 pub mod report;
 pub mod scaling;

@@ -4,7 +4,7 @@
 //! [`plan_phases`] walks a SCORE [`Schedule`] once and materializes, per
 //! pipeline cluster, exactly what the execution engine would do: the ordered
 //! operand-granular accesses (multicast-deduped, realized edges skipped,
-//! RIFF `(freq, dist)` metadata attached with any [`PriorityBias`] already
+//! RIFF `(freq, dist)` metadata attached with any `PriorityBias` already
 //! applied), the per-node compute share, and the NoC hop-words the §V-B
 //! partition charges. The [`crate::engine`] *replays* the plan against a
 //! stateful [`crate::backends::MemoryBackend`]; the `cello-search`

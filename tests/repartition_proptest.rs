@@ -243,6 +243,7 @@ proptest! {
             max_chord_bias_tensors: 0,
             chord_bias_magnitudes: vec![1],
             repartition_profiles: Vec::new(),
+            transfer_menu: Vec::new(),
         };
         let global = Tuner::new(&dag, &accel, small.clone()).tune(&Strategy::Exhaustive);
         let widened = small.with_repartition(accel.sram_words());

@@ -98,6 +98,7 @@ fn small_cfg() -> SpaceConfig {
         max_chord_bias_tensors: 0,
         chord_bias_magnitudes: vec![1],
         repartition_profiles: Vec::new(),
+        transfer_menu: Vec::new(),
     }
 }
 

@@ -1,0 +1,159 @@
+//! Property tests for overlap-aware DRAM transfer scheduling.
+//!
+//! Three contracts from the transfer-tuning design:
+//!
+//! 1. **Roofline sandwich** — prefetch/double-buffering can hide transfer
+//!    cycles behind compute but never manufactures bandwidth: an
+//!    overlapped schedule's total stays between the aggregate compute
+//!    floor and the serialized (transfer-off) total of the same schedule.
+//! 2. **Depth-0 identity** — `prefetch_depth == 0` is not "a little
+//!    overlap", it is bit-for-bit the pre-overlap serialized model, for
+//!    every spelling of "off" (`None`, `TransferTuning::off()`, a
+//!    denormalized depth-0 with the double-buffer flag set).
+//! 3. **Surrogate ranking** — on widened spaces that include the transfer
+//!    menu, the analytic surrogate's *cycle* estimates rank like the
+//!    exact simulator's (Spearman >= 0.9), so the prefilter can be
+//!    trusted to triage overlapped candidates.
+
+use cello::core::accel::CelloConfig;
+use cello::core::score::binding::{build_schedule_with, ScheduleConstraints, ScheduleOptions};
+use cello::core::TransferTuning;
+use cello::graph::dag::TensorDag;
+use cello::search::{spearman, surrogate_cost, SearchSpace, SpaceConfig};
+use cello::sim::evaluate::evaluate_schedule;
+use cello::workloads::cg::{build_cg_dag, CgParams};
+use proptest::prelude::*;
+
+fn cg(m: u64, iterations: u32) -> TensorDag {
+    build_cg_dag(&CgParams {
+        m,
+        occupancy: 4.0,
+        a_payload_words: 2 * 4 * m + m + 1,
+        n: 16,
+        nprime: 16,
+        iterations,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On explicit-backend (no-CHORD) schedules the staging carve cannot
+    /// change traffic, so the only thing a transfer tuning may do is hide
+    /// cycles: `compute floor <= overlapped <= serialized`, at identical
+    /// DRAM bytes, for every depth and both buffering modes.
+    #[test]
+    fn overlap_stays_in_the_roofline_sandwich(
+        m in 20_000u64..120_000,
+        iterations in 1u32..5,
+        depth in 1u8..6,
+        db in any::<bool>(),
+    ) {
+        let dag = cg(m, iterations);
+        let accel = CelloConfig::paper();
+        let opts = ScheduleOptions::best_intra();
+        let tuning = if db {
+            TransferTuning::double_buffered(depth)
+        } else {
+            TransferTuning::single_buffered(depth)
+        };
+        let mut constraints = ScheduleConstraints::none();
+        let off = evaluate_schedule(
+            &dag,
+            &build_schedule_with(&dag, opts, &constraints),
+            &accel,
+        );
+        constraints.transfer = Some(tuning);
+        let on = evaluate_schedule(
+            &dag,
+            &build_schedule_with(&dag, opts, &constraints),
+            &accel,
+        );
+        prop_assert_eq!(
+            on.dram_bytes, off.dram_bytes,
+            "no CHORD => the carve must not move traffic"
+        );
+        prop_assert!(
+            on.cycles <= off.cycles,
+            "overlap lost to serial: {} > {} (depth {depth} db {db})",
+            on.cycles, off.cycles
+        );
+        let compute_floor = dag
+            .nodes()
+            .map(|(_, n)| n.spec.macs())
+            .sum::<u64>()
+            .div_ceil(accel.pe_count);
+        prop_assert!(
+            on.cycles >= compute_floor,
+            "overlap beat the compute roofline: {} < {compute_floor}",
+            on.cycles
+        );
+    }
+
+    /// Every spelling of "transfers off" replays the serialized model
+    /// bit-identically across random widened-space candidates: `None`,
+    /// the canonical `off()`, and the denormalized depth-0 carrying a
+    /// stale double-buffer flag all produce the same cost vector.
+    #[test]
+    fn depth_zero_replays_the_serialized_model(
+        m in 20_000u64..120_000,
+        iterations in 1u32..4,
+        seed in 0u64..1_000,
+    ) {
+        let dag = cg(m, iterations);
+        let accel = CelloConfig::paper();
+        let space = SearchSpace::from_dag(&dag, &SpaceConfig::widened());
+        for picks in space.sample_assignments(6, seed) {
+            let mut c = space.assemble(&picks);
+            c.constraints.transfer = None;
+            let baseline = evaluate_schedule(&dag, &c.build(&dag), &accel);
+            for off in [
+                TransferTuning::off(),
+                TransferTuning {
+                    prefetch_depth: 0,
+                    double_buffer: true,
+                },
+            ] {
+                c.constraints.transfer = Some(off);
+                let replay = evaluate_schedule(&dag, &c.build(&dag), &accel);
+                prop_assert_eq!(replay, baseline, "off spelling {:?} diverged", off);
+            }
+        }
+    }
+
+    /// The surrogate's cycle estimates rank transfer-enabled widened
+    /// spaces like the exact sim (Spearman >= 0.9) — the contract the
+    /// prefilter needs before it may triage overlapped candidates.
+    #[test]
+    fn surrogate_cycles_rank_transfer_enabled_spaces(
+        m in 20_000u64..120_000,
+        iterations in 2u32..5,
+        seed in 0u64..1_000,
+    ) {
+        let dag = cg(m, iterations);
+        let accel = CelloConfig::paper();
+        let cfg = SpaceConfig::widened();
+        prop_assert!(
+            !cfg.transfer_menu.is_empty(),
+            "widened spaces must include the transfer dimension"
+        );
+        let space = SearchSpace::from_dag(&dag, &cfg);
+        let mut est = Vec::new();
+        let mut sim = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for picks in space.sample_assignments(32, seed) {
+            let schedule = space.assemble(&picks).build(&dag);
+            if !seen.insert(cello::search::Candidate::schedule_key(&schedule)) {
+                continue;
+            }
+            est.push(surrogate_cost(&dag, &schedule, &accel).cycles);
+            sim.push(evaluate_schedule(&dag, &schedule, &accel).cycles);
+        }
+        prop_assert!(est.len() >= 8, "degenerate sample: {} distinct", est.len());
+        let rho = spearman(&est, &sim);
+        prop_assert!(
+            rho >= 0.9,
+            "m={m} iters={iterations} seed={seed}: cycle rho {rho:.3}"
+        );
+    }
+}
