@@ -18,6 +18,7 @@ fn small_cg() -> cello_graph::dag::TensorDag {
         n: 16,
         nprime: 16,
         iterations: 2,
+        a_occupancy: None,
     })
 }
 

@@ -15,6 +15,7 @@ fn dag() -> cello_graph::dag::TensorDag {
         n: 16,
         nprime: 16,
         iterations: 5,
+        a_occupancy: None,
     })
 }
 

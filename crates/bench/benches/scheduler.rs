@@ -16,6 +16,7 @@ fn params(iterations: u32) -> CgParams {
         n: 16,
         nprime: 16,
         iterations,
+        a_occupancy: None,
     }
 }
 

@@ -38,7 +38,15 @@
 //! records), always through the three-tier funnel, emitting
 //! `BENCH_dse.json` at the repo root (cycles, DRAM/NoC bytes, energy,
 //! candidates seen/sec, surrogate rank-correlation) for the `bench_check`
-//! regression gate, plus the usual stdout table.
+//! regression gate, plus the usual stdout table. The trajectory also
+//! carries a **sparse family** (`cg-sparse/*`): CG over real-pattern
+//! `.mtx` fixtures under `data/`, built with `CgParams::from_csr` so the
+//! DAG carries measured occupancy stats and the widened space opens the
+//! CHORD-overbooking dimension. For each sparse workload the tuned
+//! overbooked schedule is compared against the best schedule of the same
+//! space with the overbook menu removed (the worst-case-dense model); at
+//! least one skewed fixture must win strictly on DRAM traffic or cycles,
+//! or the trajectory fails.
 //!
 //! Output: a TSV under `results/dse.tsv` plus the stdout tables.
 //!
@@ -52,7 +60,7 @@ use cello_graph::dag::TensorDag;
 use cello_search::{SearchOutcome, SpaceConfig, Strategy, Tuner};
 use cello_workloads::bicgstab::{build_bicgstab_dag, BicgParams};
 use cello_workloads::cg::{build_cg_dag, CgParams};
-use cello_workloads::datasets::{CORA, G2_CIRCUIT, SHALLOW_WATER1};
+use cello_workloads::datasets::{load_matrix_market, CORA, G2_CIRCUIT, SHALLOW_WATER1};
 use cello_workloads::gcn::{build_gcn_dag, GcnParams};
 use cello_workloads::hpcg::{build_hpcg_dag, HpcgParams};
 use cello_workloads::power_iter::{build_power_iter_dag, PowerIterParams};
@@ -144,6 +152,17 @@ fn parse_args() -> Args {
     args
 }
 
+/// CG over a real `.mtx` fixture: `from_csr` measures per-row-block
+/// occupancy, so the DAG carries the stats that gate the overbooking
+/// dimension on.
+fn sparse_cg(path: &str) -> TensorDag {
+    let a = load_matrix_market(std::path::Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cello_dse --quick: cannot load {path}: {e}");
+        std::process::exit(1);
+    });
+    build_cg_dag(&CgParams::from_csr(&a, 16, 5))
+}
+
 fn quick_workloads() -> Vec<Workload> {
     vec![
         Workload {
@@ -167,6 +186,28 @@ fn quick_workloads() -> Vec<Workload> {
             dag: build_gcn_dag(&GcnParams::from_dataset(&CORA, 2)),
             accel: CelloConfig::paper(),
             multinode: true,
+        },
+        // The sparse family: real-pattern fixtures with measured occupancy.
+        // Arrowhead and the preferential-attachment Laplacian are heavily
+        // skewed (overbooking should win); the tridiagonal is uniform
+        // (occupancy carried, nothing to overbook — the identity path).
+        Workload {
+            name: "cg-sparse/arrowhead",
+            dag: sparse_cg("data/arrowhead_768.mtx"),
+            accel: CelloConfig::paper(),
+            multinode: false,
+        },
+        Workload {
+            name: "cg-sparse/powlaw",
+            dag: sparse_cg("data/powlaw_640.mtx"),
+            accel: CelloConfig::paper(),
+            multinode: false,
+        },
+        Workload {
+            name: "cg-sparse/tridiag",
+            dag: sparse_cg("data/tridiag_1024.mtx"),
+            accel: CelloConfig::paper(),
+            multinode: false,
         },
     ]
 }
@@ -322,9 +363,16 @@ fn run_quick(args: &Args) {
     // trajectory file must land even on a bad run so CI still uploads an
     // artifact and `bench_check` can report what went wrong.
     let mut violations: Vec<String> = Vec::new();
+    // The overbooking payoff check: every sparse workload's tuned
+    // (overbook-enabled) outcome is compared against the best of the same
+    // space with the overbook menu removed; at least one fixture must win
+    // strictly.
+    let mut sparse_compared = 0usize;
+    let mut sparse_wins = 0usize;
     for w in quick_workloads() {
         let mut best_plain_single: Option<u64> = None;
         let mut best_mesh: Option<u64> = None;
+        let mut single_outcome: Option<SearchOutcome> = None;
         for (node_menu, per_phase) in &variants {
             let nodes_label = *node_menu.iter().max().unwrap_or(&1);
             if nodes_label > 1 && !w.multinode {
@@ -347,7 +395,10 @@ fn run_quick(args: &Args) {
             let cand_per_sec = out.candidates_seen as f64 / elapsed;
             let best = out.best_traffic.cost.total_traffic_bytes();
             match (*per_phase, nodes_label) {
-                (false, 1) => best_plain_single = Some(best),
+                (false, 1) => {
+                    best_plain_single = Some(best);
+                    single_outcome = Some(out.clone());
+                }
                 (false, _) => best_mesh = Some(best),
                 // The repartitioned space contains every global-split
                 // schedule, but a *sampled* tier-0 sweep is not monotone
@@ -414,6 +465,38 @@ fn run_quick(args: &Args) {
                 ));
             }
         }
+        // Sparsity payoff: re-tune the same single-node widened space with
+        // the overbooking dimension closed (the worst-case-dense model) and
+        // compare. The overbook-enabled space contains every dense
+        // schedule, so on a skewed fixture the tuned overbooked schedule
+        // should strictly beat the dense best on DRAM traffic or cycles.
+        if w.name.starts_with("cg-sparse/") {
+            if let Some(ob) = &single_outcome {
+                let mut dense_cfg = SpaceConfig::widened_with_nodes(&[1]);
+                dense_cfg.overbook_menu = Vec::new();
+                let dense = Tuner::new(&w.dag, &w.accel, dense_cfg)
+                    .tune(&Strategy::prefiltered(KEEP_FRAC, inner.clone()));
+                let dram_win = ob.best_dram.cost.dram_bytes < dense.best_dram.cost.dram_bytes;
+                let cycle_win = ob.best_cycles.cost.cycles < dense.best_cycles.cost.cycles;
+                sparse_compared += 1;
+                if dram_win || cycle_win {
+                    sparse_wins += 1;
+                }
+                println!(
+                    "{}: overbooked best {} B DRAM / {} cyc vs worst-case-dense {} B / {} cyc ({})",
+                    w.name,
+                    ob.best_dram.cost.dram_bytes,
+                    ob.best_cycles.cost.cycles,
+                    dense.best_dram.cost.dram_bytes,
+                    dense.best_cycles.cost.cycles,
+                    if dram_win || cycle_win {
+                        "overbooking wins"
+                    } else {
+                        "no win"
+                    },
+                );
+            }
+        }
         // The widened multi-node space contains every single-node schedule;
         // same 2% tolerance as above for the sampled symbolic sweep.
         if let (Some(single), Some(mesh)) = (best_plain_single, best_mesh) {
@@ -425,6 +508,12 @@ fn run_quick(args: &Args) {
                 ));
             }
         }
+    }
+    if sparse_compared > 0 && sparse_wins == 0 {
+        violations.push(format!(
+            "no sparse fixture beat the worst-case-dense model \
+             ({sparse_compared} compared) — overbooking carries no payoff"
+        ));
     }
     emit(
         "dse_quick",

@@ -36,5 +36,6 @@ pub use score::binding::{
 };
 pub use score::classify::{classify, Classification, Dependency};
 pub use score::multinode::{dominant_partition_rank, NocModel, Partition, PartitionAxis};
+pub use score::overbook::{ChordOverbook, MAX_OVERBOOK_LEVEL};
 pub use score::repartition::{PhaseRepartition, PhaseSplit, PhaseSplits, RepartitionError};
 pub use score::transfer::TransferTuning;

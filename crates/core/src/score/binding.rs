@@ -21,6 +21,7 @@ use crate::chord::PriorityBias;
 use crate::score::classify::{classify, Classification, Dependency};
 use crate::score::loop_order::{can_pipeline, choose_loop_order, LoopOrder};
 use crate::score::multinode::{Partition, PartitionAxis};
+use crate::score::overbook::ChordOverbook;
 use crate::score::repartition::{PhaseRepartition, PhaseSplit};
 use crate::score::swizzle::{minimize_swizzles, SwizzleReport};
 use crate::score::tiling::{pipeline_can_stream, rf_fits};
@@ -177,6 +178,10 @@ pub struct Schedule {
     /// default ([`TransferTuning::off`]) replays the serialized cycle model
     /// bit-identically; see [`crate::score::transfer`].
     pub transfer: TransferTuning,
+    /// CHORD overbooking level. The default ([`ChordOverbook::off`]) keeps
+    /// the worst-case-dense capacity model bit-identically; see
+    /// [`crate::score::overbook`].
+    pub chord_overbook: ChordOverbook,
 }
 
 impl Schedule {
@@ -387,6 +392,11 @@ pub struct ScheduleConstraints {
     /// builder normalizes it (`double_buffer` is cleared at depth 0) so the
     /// no-op request collapses onto the unconstrained schedule.
     pub transfer: Option<TransferTuning>,
+    /// Requested CHORD overbooking (`None` = worst-case dense). Always
+    /// valid — it only reshapes what the evaluators charge for
+    /// occupancy-carrying CHORD operands; tensors without measured
+    /// occupancy keep their dense footprints regardless of the level.
+    pub chord_overbook: Option<ChordOverbook>,
 }
 
 impl ScheduleConstraints {
@@ -413,6 +423,7 @@ impl ScheduleConstraints {
             && self.chord_priority_bias.is_empty()
             && self.phase_repartition.is_none()
             && self.transfer.is_none_or(|t| t.normalized().is_off())
+            && self.chord_overbook.is_none_or(|o| o.normalized().is_off())
     }
 }
 
@@ -693,6 +704,10 @@ pub fn build_schedule_with(
         transfer: constraints
             .transfer
             .map(TransferTuning::normalized)
+            .unwrap_or_default(),
+        chord_overbook: constraints
+            .chord_overbook
+            .map(ChordOverbook::normalized)
             .unwrap_or_default(),
     }
 }

@@ -20,12 +20,17 @@
 //!   as a *per-cluster* decision, with CHORD resized at phase boundaries;
 //! - [`transfer`]: DRAM transfer ordering ([`transfer::TransferTuning`]) —
 //!   prefetch depth and double-buffering as a schedule decision, trading a
-//!   staging carve out of CHORD for compute/transfer overlap.
+//!   staging carve out of CHORD for compute/transfer overlap;
+//! - [`overbook`]: Tailors-style CHORD overbooking
+//!   ([`overbook::ChordOverbook`]) — granting capacity at a sparse
+//!   operand's *expected* occupancy with a modeled spill penalty, instead
+//!   of its worst-case dense footprint.
 
 pub mod binding;
 pub mod classify;
 pub mod loop_order;
 pub mod multinode;
+pub mod overbook;
 pub mod repartition;
 pub mod swizzle;
 pub mod tiling;

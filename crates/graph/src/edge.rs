@@ -9,6 +9,7 @@
 
 use cello_tensor::layout::Layout;
 use cello_tensor::shape::RankId;
+use cello_tensor::sparse::OccupancyStats;
 use serde::{Deserialize, Serialize};
 
 /// Metadata of a tensor (an op output or an external DAG input such as CG's `A`).
@@ -24,6 +25,10 @@ pub struct TensorMeta {
     pub sparse: bool,
     /// The layout the producer naturally emits.
     pub layout: Layout,
+    /// Per-row-block occupancy statistics of the real nonzero structure,
+    /// when known (`.mtx`-derived sparse operands). `None` keeps the
+    /// worst-case dense model — the pre-occupancy behavior, bit for bit.
+    pub occupancy: Option<OccupancyStats>,
 }
 
 impl TensorMeta {
@@ -35,6 +40,7 @@ impl TensorMeta {
             words,
             sparse: false,
             layout: Layout::RowMajor,
+            occupancy: None,
         }
     }
 
@@ -49,6 +55,13 @@ impl TensorMeta {
     /// Same tensor with a different layout.
     pub fn with_layout(mut self, layout: Layout) -> Self {
         self.layout = layout;
+        self
+    }
+
+    /// Same tensor carrying occupancy statistics of its nonzero structure
+    /// (the Tailors-style overbooking model reads these).
+    pub fn with_occupancy(mut self, occupancy: OccupancyStats) -> Self {
+        self.occupancy = Some(occupancy);
         self
     }
 }
@@ -119,6 +132,9 @@ mod tests {
     fn sparse_meta() {
         let t = TensorMeta::sparse("A", &["m", "k"], 327_680 * 2 + 81_921);
         assert!(t.sparse);
+        assert!(t.occupancy.is_none(), "worst-case dense by default");
+        let o = t.with_occupancy(OccupancyStats::dense());
+        assert_eq!(o.occupancy, Some(OccupancyStats::dense()));
     }
 
     #[test]

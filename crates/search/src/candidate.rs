@@ -166,6 +166,12 @@ pub(crate) fn write_schedule_key<W: std::fmt::Write>(key: &mut W, schedule: &Sch
             }
         );
     }
+    // CHORD overbooking: serialized only when it changes evaluation. Level 0
+    // is the worst-case-dense model bit for bit, so those schedules keep
+    // their historical keys (and their cached evaluations).
+    if !schedule.chord_overbook.is_off() {
+        let _ = write!(key, ";ob{}", schedule.chord_overbook.level);
+    }
 }
 
 #[cfg(test)]
@@ -397,6 +403,31 @@ mod tests {
         assert_ne!(plain, d1);
         assert_ne!(d1, d2, "depth is part of the identity");
         assert_ne!(d1, s1, "bank mode is part of the identity");
+    }
+
+    /// Overbook levels are part of the memo identity exactly when they
+    /// overbook anything: level 0 shares the plain schedule's key
+    /// (bit-identical evaluation), while distinct levels each split it.
+    #[test]
+    fn key_covers_chord_overbook() {
+        use cello_core::ChordOverbook;
+        let dag = toy_chain(3);
+        let with = |o: Option<ChordOverbook>| {
+            let mut c = Candidate::paper_heuristic();
+            c.constraints.chord_overbook = o;
+            Candidate::schedule_key(&c.build(&dag))
+        };
+        let plain = with(None);
+        assert_eq!(plain, with(Some(ChordOverbook::off())), "off = no-op");
+        let l1 = with(Some(ChordOverbook::at(1)));
+        let l2 = with(Some(ChordOverbook::at(2)));
+        assert_ne!(plain, l1);
+        assert_ne!(l1, l2, "the level is part of the identity");
+        // Beyond-max levels normalize onto the clamped key.
+        assert_eq!(
+            with(Some(ChordOverbook::at(200))),
+            with(Some(ChordOverbook::at(cello_core::MAX_OVERBOOK_LEVEL)))
+        );
     }
 
     #[test]

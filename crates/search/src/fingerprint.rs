@@ -92,6 +92,17 @@ pub fn dag_canonical_text(dag: &TensorDag) -> String {
             let _ = write!(out, "{r},");
         }
         let _ = write!(out, "]w{}s{}l{:?}", m.words, m.sparse as u8, m.layout);
+        // Occupancy statistics feed the overbooking model, so they are part
+        // of the evaluation-relevant identity — but only when present:
+        // occupancy-free tensors keep their historical spelling (and every
+        // pre-occupancy cache entry stays valid).
+        if let Some(occ) = &m.occupancy {
+            let _ = write!(
+                out,
+                "o{{b{}n{}m{}v{}x{}h{:?}}}",
+                occ.block_rows, occ.blocks, occ.mean, occ.variance, occ.max, occ.histogram
+            );
+        }
     };
     for (id, node) in dag.nodes() {
         let _ = write!(
@@ -163,6 +174,10 @@ fn space_canonical_text(cfg: &SpaceConfig) -> String {
             t.prefetch_depth,
             if t.double_buffer { 'd' } else { 's' }
         );
+    }
+    out.push_str("] ob=[");
+    for o in &cfg.overbook_menu {
+        let _ = write!(out, "{},", o.level);
     }
     out.push_str("]}");
     out
@@ -260,6 +275,7 @@ mod tests {
             n: 16,
             nprime: 16,
             iterations: iters,
+            a_occupancy: None,
         })
     }
 
@@ -342,6 +358,42 @@ mod tests {
         );
         assert_ne!(base.hash, other_xfer.hash);
         assert_eq!(base.family, other_xfer.family);
+        // So is the overbook menu.
+        let ob_space = SpaceConfig {
+            overbook_menu: SpaceConfig::default_overbook_menu(),
+            ..SpaceConfig::default()
+        };
+        let other_ob = fingerprint(
+            &dag,
+            &CelloConfig::paper(),
+            &ob_space,
+            &Strategy::Beam { width: 8 },
+        );
+        assert_ne!(base.hash, other_ob.hash);
+        assert_eq!(base.family, other_ob.family);
+    }
+
+    /// Occupancy statistics change the DAG identity (and therefore the
+    /// family): the same shape with different measured sparsity must not
+    /// share cached schedules, while occupancy-free DAGs keep their
+    /// historical spelling.
+    #[test]
+    fn occupancy_separates_dag_identity() {
+        use cello_tensor::sparse::OccupancyStats;
+        let plain = dag_canonical_text(&cg(20_000, 2));
+        assert!(!plain.contains("o{"), "no occupancy suffix when absent");
+        let dag_occ = build_cg_dag(&CgParams {
+            m: 20_000,
+            occupancy: 4.0,
+            a_payload_words: 2 * 80_000 + 20_001,
+            n: 16,
+            nprime: 16,
+            iterations: 2,
+            a_occupancy: Some(OccupancyStats::dense()),
+        });
+        let with_occ = dag_canonical_text(&dag_occ);
+        assert_ne!(plain, with_occ);
+        assert!(with_occ.contains("o{"));
     }
 
     #[test]

@@ -60,7 +60,7 @@
 //!
 //! let dag = build_cg_dag(&CgParams {
 //!     m: 20_000, occupancy: 4.0, a_payload_words: 2 * 80_000 + 20_001,
-//!     n: 16, nprime: 16, iterations: 2,
+//!     n: 16, nprime: 16, iterations: 2, a_occupancy: None,
 //! });
 //! let accel = CelloConfig::paper();
 //! let tuner = Tuner::new(&dag, &accel, SpaceConfig::default());

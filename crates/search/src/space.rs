@@ -40,6 +40,15 @@
 //!    of compute, hiding inbound DRAM transfers behind earlier phases at
 //!    the price of a staging carve out of CHORD capacity. Enabled by a
 //!    non-empty [`SpaceConfig::transfer_menu`]; the serialized depth-0
+//!    model is always choice 0;
+//! 9. **CHORD overbooking** — Tailors-style capacity grants at expected
+//!    occupancy ([`cello_core::ChordOverbook`]): sparse operands with
+//!    measured `.mtx` occupancy give back the footprint slack they almost
+//!    never fill, at the price of a modeled spill penalty when a tile
+//!    overflows its grant. Enabled by a non-empty
+//!    [`SpaceConfig::overbook_menu`] **and** a DAG that actually carries
+//!    occupancy statistics — occupancy-free DAGs get no dimension (the
+//!    knob cannot change their evaluation); the worst-case-dense level-0
 //!    model is always choice 0.
 
 use crate::candidate::Candidate;
@@ -47,6 +56,7 @@ use cello_core::chord::PriorityBias;
 use cello_core::score::binding::{Binding, PipelineScope};
 use cello_core::score::loop_order::{choose_loop_order, LoopOrder};
 use cello_core::score::multinode::{dominant_partition_rank, Partition};
+use cello_core::score::overbook::ChordOverbook;
 use cello_core::score::repartition::{PhaseRepartition, PhaseSplit};
 use cello_core::score::transfer::TransferTuning;
 use cello_graph::dag::TensorDag;
@@ -121,6 +131,13 @@ pub enum Choice {
     Transfer {
         /// The prefetch-depth/double-buffer tuning applied.
         tuning: TransferTuning,
+    },
+    /// Overbook CHORD capacity for occupancy-carrying sparse operands
+    /// (`ChordOverbook::off()` = the worst-case-dense model — the
+    /// paper-heuristic default).
+    Overbook {
+        /// The overbooking level applied.
+        overbook: ChordOverbook,
     },
 }
 
@@ -220,6 +237,12 @@ pub struct SpaceConfig {
     /// serialized model as choice 0 (off entries in the menu are dropped —
     /// choice 0 already is the off tuning).
     pub transfer_menu: Vec<TransferTuning>,
+    /// CHORD overbooking level menu. Empty — the default — keeps the
+    /// worst-case-dense capacity model and adds no dimension; a non-empty
+    /// menu adds an overbook dimension **only on DAGs that carry occupancy
+    /// statistics** (level 0 / off entries are dropped — choice 0 already
+    /// is the off level).
+    pub overbook_menu: Vec<ChordOverbook>,
 }
 
 impl Default for SpaceConfig {
@@ -237,6 +260,7 @@ impl Default for SpaceConfig {
             chord_bias_magnitudes: vec![1],
             repartition_profiles: Vec::new(),
             transfer_menu: Vec::new(),
+            overbook_menu: Vec::new(),
         }
     }
 }
@@ -262,8 +286,21 @@ impl SpaceConfig {
             max_chord_bias_tensors: 2,
             chord_bias_magnitudes: (1..=cello_core::chord::MAX_BIAS_LEVEL).collect(),
             transfer_menu: Self::default_transfer_menu(),
+            overbook_menu: Self::default_overbook_menu(),
             ..Self::default()
         }
+    }
+
+    /// The overbooking menu the widened space searches on occupancy-carrying
+    /// DAGs: conservative (half the slack), moderate, and aggressive grants.
+    /// The worst-case-dense level 0 is implicit choice 0 of the dimension,
+    /// never part of the menu.
+    pub fn default_overbook_menu() -> Vec<ChordOverbook> {
+        vec![
+            ChordOverbook::at(1),
+            ChordOverbook::at(2),
+            ChordOverbook::at(4),
+        ]
     }
 
     /// The transfer-ordering menu the widened space searches: shallow
@@ -403,6 +440,32 @@ impl SearchSpace {
             if choices.len() > 1 {
                 decisions.push(Decision {
                     name: "transfer".into(),
+                    choices,
+                });
+            }
+        }
+
+        // 3d. CHORD overbooking (the Tailors-style expected-occupancy
+        // grant): worst-case-dense level 0 first, then the configured
+        // levels. Only DAGs that carry measured occupancy get the dimension
+        // — on occupancy-free DAGs every level evaluates identically to
+        // off, so offering it would multiply the space by pure duplicates.
+        let carries_occupancy = dag.nodes().any(|(_, n)| n.output.occupancy.is_some())
+            || dag.externals().iter().any(|x| x.meta.occupancy.is_some());
+        if !cfg.overbook_menu.is_empty() && carries_occupancy {
+            let mut choices = vec![Choice::Overbook {
+                overbook: ChordOverbook::off(),
+            }];
+            choices.extend(
+                cfg.overbook_menu
+                    .iter()
+                    .map(|o| o.normalized())
+                    .filter(|o| !o.is_off())
+                    .map(|overbook| Choice::Overbook { overbook }),
+            );
+            if choices.len() > 1 {
+                decisions.push(Decision {
+                    name: "overbook".into(),
                     choices,
                 });
             }
@@ -628,6 +691,13 @@ impl SearchSpace {
                                 .unwrap_or_default()
                                 == *tuning
                         }
+                        Choice::Overbook { overbook } => {
+                            c.constraints
+                                .chord_overbook
+                                .map(ChordOverbook::normalized)
+                                .unwrap_or_default()
+                                == *overbook
+                        }
                     })
                     .unwrap_or(0)
             })
@@ -736,6 +806,11 @@ fn apply_choice(c: &mut Candidate, choice: &Choice) {
                 c.constraints.transfer = Some(tuning.normalized());
             }
         }
+        Choice::Overbook { overbook } => {
+            if !overbook.normalized().is_off() {
+                c.constraints.chord_overbook = Some(overbook.normalized());
+            }
+        }
     }
 }
 
@@ -766,6 +841,7 @@ mod tests {
             n: 16,
             nprime: 16,
             iterations: iters,
+            a_occupancy: None,
         })
     }
 
@@ -939,6 +1015,70 @@ mod tests {
         // The default config emits no transfer dimension at all.
         let plain = SearchSpace::from_dag(&dag, &SpaceConfig::default());
         assert!(plain.decisions.iter().all(|d| d.name != "transfer"));
+    }
+
+    /// An overbook menu adds its dimension only on occupancy-carrying DAGs,
+    /// with the worst-case-dense level as choice 0; picks land as normalized
+    /// constraints; occupancy-free DAGs (and the default config) are
+    /// untouched.
+    #[test]
+    fn overbook_menu_gated_on_dag_occupancy() {
+        use cello_tensor::sparse::OccupancyStats;
+        // The plain CG test DAG carries no occupancy: no dimension even
+        // under the widened config (every level would evaluate identically).
+        let plain_dag = cg(2);
+        let widened = SearchSpace::from_dag(&plain_dag, &SpaceConfig::widened());
+        assert!(widened.decisions.iter().all(|d| d.name != "overbook"));
+        // An occupancy-carrying DAG opens the dimension.
+        let mut skew = OccupancyStats::dense();
+        skew.mean = 0.25;
+        skew.variance = 0.04;
+        let dag = build_cg_dag(&CgParams {
+            m: 20_000,
+            occupancy: 4.0,
+            a_payload_words: 2 * 80_000 + 20_001,
+            n: 16,
+            nprime: 16,
+            iterations: 2,
+            a_occupancy: Some(skew),
+        });
+        let cfg = SpaceConfig::widened();
+        let space = SearchSpace::from_dag(&dag, &cfg);
+        let od = space
+            .decisions
+            .iter()
+            .position(|d| d.name == "overbook")
+            .expect("overbook decision present");
+        let d = &space.decisions[od];
+        assert_eq!(d.choices.len(), 1 + cfg.overbook_menu.len());
+        assert_eq!(
+            d.choices[0],
+            Choice::Overbook {
+                overbook: ChordOverbook::off()
+            }
+        );
+        // Defaults still reproduce the paper heuristic (no constraint).
+        let base = space.assemble(&space.default_picks());
+        assert_eq!(base, Candidate::paper_heuristic());
+        assert!(base.constraints.chord_overbook.is_none());
+        // A non-default pick lands normalized and the schedule carries it.
+        let mut picks = space.default_picks();
+        picks[od] = 1;
+        let c = space.assemble(&picks);
+        assert_eq!(c.constraints.chord_overbook, Some(ChordOverbook::at(1)));
+        let s = c.build(&dag);
+        s.validate(&dag).unwrap();
+        assert_eq!(s.chord_overbook, ChordOverbook::at(1));
+        // Off/denormalized menu entries dedupe away the whole dimension.
+        let degenerate = SpaceConfig {
+            overbook_menu: vec![ChordOverbook::off(), ChordOverbook { level: 0 }],
+            ..SpaceConfig::default()
+        };
+        let degen = SearchSpace::from_dag(&dag, &degenerate);
+        assert!(degen.decisions.iter().all(|d| d.name != "overbook"));
+        // The default config emits no overbook dimension at all.
+        let dflt = SearchSpace::from_dag(&dag, &SpaceConfig::default());
+        assert!(dflt.decisions.iter().all(|d| d.name != "overbook"));
     }
 
     /// `index_to_picks` decodes the exhaustive odometer: index 0 is the

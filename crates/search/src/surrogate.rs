@@ -166,6 +166,10 @@ pub fn surrogate_cost(dag: &TensorDag, schedule: &Schedule, accel: &CelloConfig)
             chord_cap = new_cap;
         }
         for a in &phase.accesses {
+            // Overbook spill is planned per access (see `cello_sim::phases`)
+            // and charged as outbound traffic — the engine does the same
+            // per-phase sum, so the two tiers agree on it exactly.
+            phase_outbound_bytes += a.spill_words * word_bytes;
             let priority = RiffPriority::new(a.freq_after, a.dist_after.min(u32::MAX - 1));
             // CHORD bindings degrade to DRAM round-trips under a CHORD-less
             // preset, exactly as the explicit backend treats them.
@@ -380,6 +384,7 @@ mod tests {
             n: 16,
             nprime: 16,
             iterations: iters,
+            a_occupancy: None,
         })
     }
 

@@ -34,7 +34,14 @@
 //! 3. **CHORD spill words** — a greedy priority-ordered fill of the hot
 //!    CHORD-bound tensors (bias decisions re-weight the fill order, rank
 //!    slicing shrinks sliced footprints `1/nodes`) against the split's
-//!    CHORD capacity; whatever does not fit streams per use;
+//!    CHORD capacity; whatever does not fit streams per use. Under an
+//!    overbook decision ([`crate::space::Choice::Overbook`]) an
+//!    occupancy-carrying tensor fills at its *granted*
+//!    (expected-occupancy) footprint instead of its worst-case-dense one,
+//!    shrinks its external cold fill on the DRAM axis by the same grant,
+//!    and charges the Tailors-style variance tail on this axis — the
+//!    exact `granted/spill` split [`cello_sim::phases::plan_phases`]
+//!    applies, so the sketch's axes move the way the concrete tiers will;
 //! 4. **cycle proxy** — the roofline `max(compute, DRAM)` over the terms
 //!    above plus NoC transfer cycles; under a transfer-tuning decision
 //!    ([`crate::space::Choice::Transfer`]) only the *exposed* fraction of
@@ -58,9 +65,10 @@ use cello_core::accel::CelloConfig;
 use cello_core::chord::PriorityBias;
 use cello_core::score::binding::Binding;
 use cello_core::score::multinode::{NocModel, Partition, PartitionAxis};
-use cello_core::TransferTuning;
+use cello_core::{ChordOverbook, TransferTuning};
 use cello_graph::dag::TensorDag;
 use cello_tensor::shape::RankId;
+use cello_tensor::sparse::OccupancyStats;
 use std::collections::HashMap;
 
 /// Cap on the pressure list (hot CHORD tensors + cuttable intermediates)
@@ -116,6 +124,12 @@ struct PressureTensor {
     score: u64,
     /// The tensor's ranks, to detect `1/nodes` footprint slicing.
     ranks: Vec<RankId>,
+    /// External input ⇔ its cold DRAM fill lives in the base `dram_words`
+    /// and shrinks with an overbooked grant.
+    external: bool,
+    /// Measured nonzero structure, when the workload carried one — the
+    /// gate for the overbook decision's effect on this tensor.
+    occupancy: Option<OccupancyStats>,
     /// Bit `b` set ⇔ CHORD-bound under base schedule `b` (already
     /// competing for capacity without any cut).
     member: u64,
@@ -171,6 +185,9 @@ enum Effect {
     /// Transfer-tuning decision: per-choice prefetch/double-buffer
     /// setting (choice 0 is always "off").
     Transfer(Vec<TransferTuning>),
+    /// Overbook decision: per-choice CHORD overbooking level (choice 0 is
+    /// always the worst-case-dense "off").
+    Overbook(Vec<ChordOverbook>),
     /// Decisions the sketch cannot see (loop-order flips are cost-neutral
     /// intra-op by construction — §V-B).
     Inert,
@@ -213,20 +230,31 @@ impl Tier0Model {
     /// tier 0 ever pays — the unified CHORD pressure list, and
     /// per-decision effects.
     pub fn new(dag: &TensorDag, accel: &CelloConfig, space: &SearchSpace) -> Self {
-        // Tensor name -> (words, uses, ranks) over node outputs and
-        // externals.
-        let mut meta: HashMap<&str, (u64, u64, &[RankId])> = HashMap::new();
+        // Tensor name -> (words, uses, ranks, occupancy) over node outputs
+        // and externals.
+        #[allow(clippy::type_complexity)]
+        let mut meta: HashMap<&str, (u64, u64, &[RankId], Option<OccupancyStats>)> = HashMap::new();
         for (id, node) in dag.nodes() {
             let uses = dag.edges().filter(|(_, e)| e.src == id.0).count() as u64;
             meta.insert(
                 &node.output.name,
-                (node.output.words, uses, &node.output.ranks),
+                (
+                    node.output.words,
+                    uses,
+                    &node.output.ranks,
+                    node.output.occupancy,
+                ),
             );
         }
         for ext in dag.externals() {
             meta.insert(
                 &ext.meta.name,
-                (ext.meta.words, ext.consumers.len() as u64, &ext.meta.ranks),
+                (
+                    ext.meta.words,
+                    ext.consumers.len() as u64,
+                    &ext.meta.ranks,
+                    ext.meta.occupancy,
+                ),
             );
         }
 
@@ -263,7 +291,7 @@ impl Tier0Model {
                 let chord_on = schedule.options.enable_chord;
                 let mut dram_words = 0u64;
                 for (name, binding) in &schedule.binding {
-                    let &(words, uses, ranks) = match meta.get(name.as_str()) {
+                    let &(words, uses, ranks, occupancy) = match meta.get(name.as_str()) {
                         Some(m) => m,
                         None => continue,
                     };
@@ -290,6 +318,8 @@ impl Tier0Model {
                                     uses: uses.max(1),
                                     score: pressure_score(words, uses),
                                     ranks: ranks.to_vec(),
+                                    external,
+                                    occupancy,
                                     member: 0,
                                 });
                                 pressure.len() - 1
@@ -403,13 +433,18 @@ impl Tier0Model {
                     match name {
                         Some(name) => {
                             let idx = *pressure_idx.entry(name.clone()).or_insert_with(|| {
-                                let (words, uses, ranks) =
-                                    meta.get(name.as_str()).copied().unwrap_or((0, 1, &[]));
+                                let (words, uses, ranks, occupancy) = meta
+                                    .get(name.as_str())
+                                    .copied()
+                                    .unwrap_or((0, 1, &[], None));
                                 pressure.push(PressureTensor {
                                     words,
                                     uses: uses.max(1),
                                     score: pressure_score(words, uses),
                                     ranks: ranks.to_vec(),
+                                    // Cut intermediates are node outputs.
+                                    external: false,
+                                    occupancy,
                                     member: 0,
                                 });
                                 pressure.len() - 1
@@ -432,6 +467,17 @@ impl Tier0Model {
                         })
                         .collect();
                     Effect::Transfer(menu)
+                }
+                Some(Choice::Overbook { .. }) => {
+                    let menu = d
+                        .choices
+                        .iter()
+                        .map(|c| match c {
+                            Choice::Overbook { overbook } => overbook.normalized(),
+                            _ => ChordOverbook::off(),
+                        })
+                        .collect();
+                    Effect::Overbook(menu)
                 }
                 Some(Choice::ChordBias { tensor, .. }) => {
                     let shift = d
@@ -477,6 +523,8 @@ impl Tier0Model {
                         uses: 1,
                         score: 0,
                         ranks: Vec::new(),
+                        external: false,
+                        occupancy: None,
                         member: 0,
                     },
                 ));
@@ -530,6 +578,7 @@ impl Tier0Model {
         let mut cuts: u32 = 0;
         let mut shifts = [0i8; MAX_PRESSURE];
         let mut transfer = TransferTuning::off();
+        let mut overbook = ChordOverbook::off();
         for (effect, &pick) in self.effects.iter().zip(picks) {
             match effect {
                 Effect::Preset => preset = pick,
@@ -570,6 +619,9 @@ impl Tier0Model {
                 }
                 Effect::Transfer(menu) => {
                     transfer = menu[pick.min(menu.len() - 1)];
+                }
+                Effect::Overbook(menu) => {
+                    overbook = menu[pick.min(menu.len() - 1)];
                 }
                 Effect::Inert => {}
             }
@@ -626,9 +678,27 @@ impl Tier0Model {
                     Some(r) if t.ranks.contains(&r) => (t.words / nodes).max(1),
                     _ => t.words,
                 };
-                let granted = eff_words.min(remaining);
+                // Overbooked grant: occupancy-carrying tensors reserve
+                // capacity at expected occupancy and pay the variance tail
+                // on the spill axis — the same `granted/spill` split
+                // `plan_phases` applies. Off (or absent occupancy) is the
+                // identity, so overbook-free sketches are unchanged.
+                let (need, ob_spill) = match t.occupancy {
+                    Some(occ) if !overbook.is_off() => (
+                        overbook.granted_words(eff_words, &occ),
+                        overbook.spill_words(eff_words, &occ),
+                    ),
+                    _ => (eff_words, 0),
+                };
+                if t.external {
+                    // The cold DRAM fill shrinks with the grant, exactly
+                    // as the engine's occupancy-scaled access words do.
+                    dram_words = dram_words.saturating_sub(eff_words - need);
+                }
+                spill_words = spill_words.saturating_add(ob_spill.saturating_mul(t.uses));
+                let granted = need.min(remaining);
                 remaining -= granted;
-                spill_words = spill_words.saturating_add((eff_words - granted) * t.uses);
+                spill_words = spill_words.saturating_add((need - granted) * t.uses);
             }
         } else {
             // CHORD off: every enabled cut's intermediate round-trips DRAM.
@@ -819,6 +889,7 @@ mod tests {
             n: 16,
             nprime: 16,
             iterations: iters,
+            a_occupancy: None,
         })
     }
 
@@ -986,6 +1057,78 @@ mod tests {
             !off.dominates(&on) && !on.dominates(&off),
             "off and overlapped picks must coexist on the sketch front"
         );
+    }
+
+    /// The overbook decision reaches the sketch: on an occupancy-carrying
+    /// sparse workload an overbooked pick shrinks the DRAM axis (the
+    /// grant scales the external cold fill). With a high-variance, high-
+    /// mean matrix — `rel_std` above the mean's slack `1 - rel_mean`, so
+    /// the modeled refetch tail outweighs the footprint the grant gives
+    /// back — the spill axis grows, and the off and overbooked picks stay
+    /// mutually non-dominated: the prune keeps both sides of the trade.
+    /// (A low-mean matrix makes overbooking a pure win and the sketch
+    /// rightly lets it dominate.) A dense-occupancy DAG sketches
+    /// identically at every level — where overbooking has no effect the
+    /// sketch cannot separate candidates, so the prune stays sound.
+    #[test]
+    fn overbooking_scales_the_dram_and_spill_axes() {
+        let skewed = OccupancyStats {
+            mean: 0.9,
+            variance: 0.09,
+            ..OccupancyStats::dense()
+        };
+        let mut prm = CgParams {
+            m: 20_000,
+            occupancy: 4.0,
+            a_payload_words: 2 * 80_000 + 20_001,
+            n: 16,
+            nprime: 16,
+            iterations: 2,
+            a_occupancy: Some(skewed),
+        };
+        let accel = CelloConfig::paper();
+        let cfg = SpaceConfig {
+            overbook_menu: SpaceConfig::default_overbook_menu(),
+            ..SpaceConfig::default()
+        };
+        let dag = build_cg_dag(&prm);
+        let space = SearchSpace::from_dag(&dag, &cfg);
+        let model = Tier0Model::new(&dag, &accel, &space);
+        let od = space
+            .decisions
+            .iter()
+            .position(|d| d.name == "overbook")
+            .expect("overbook decision exists");
+        let mut picks = space.default_picks();
+        let off = model.sketch(&picks);
+        picks[od] = 1; // ChordOverbook::at(1)
+        let on = model.sketch(&picks);
+        assert!(on.0[0] < off.0[0], "the grant shrinks the A cold fill");
+        assert!(on.0[2] > off.0[2], "the variance tail lands on spill");
+        assert!(
+            !off.dominates(&on) && !on.dominates(&off),
+            "off and overbooked picks must coexist on the sketch front"
+        );
+        // Dense occupancy is the identity at every level.
+        prm.a_occupancy = Some(OccupancyStats::dense());
+        let dag = build_cg_dag(&prm);
+        let space = SearchSpace::from_dag(&dag, &cfg);
+        let model = Tier0Model::new(&dag, &accel, &space);
+        let od = space
+            .decisions
+            .iter()
+            .position(|d| d.name == "overbook")
+            .expect("dense occupancy still gates the dimension on");
+        let mut picks = space.default_picks();
+        let base = model.sketch(&picks);
+        for choice in 1..space.decisions[od].choices.len() {
+            picks[od] = choice;
+            assert_eq!(
+                model.sketch(&picks),
+                base,
+                "dense occupancy sketches identically at every level"
+            );
+        }
     }
 
     /// A sampled sweep prunes hard: survivors are a small fraction of the

@@ -518,6 +518,7 @@ mod tests {
             n: 16,
             nprime: 16,
             iterations: iters,
+            a_occupancy: None,
         })
     }
 
@@ -533,6 +534,7 @@ mod tests {
             chord_bias_magnitudes: vec![1],
             repartition_profiles: Vec::new(),
             transfer_menu: Vec::new(),
+            overbook_menu: Vec::new(),
         }
     }
 

@@ -21,7 +21,7 @@ use cello_core::score::binding::{Binding, PipelineScope};
 use cello_core::score::loop_order::LoopOrder;
 use cello_core::score::multinode::{Partition, PartitionAxis};
 use cello_core::score::repartition::{PhaseRepartition, PhaseSplit, PhaseSplits};
-use cello_core::TransferTuning;
+use cello_core::{ChordOverbook, TransferTuning, MAX_OVERBOOK_LEVEL};
 use cello_search::Candidate;
 use cello_tensor::shape::RankId;
 
@@ -662,6 +662,15 @@ pub fn candidate_to_json(c: &Candidate) -> Json {
             ));
         }
     }
+    if let Some(o) = c.constraints.chord_overbook {
+        let o = o.normalized();
+        if !o.is_off() {
+            members.push((
+                "overbook".into(),
+                Json::Obj(vec![("level".into(), Json::int(o.level as u64))]),
+            ));
+        }
+    }
     Json::Obj(members)
 }
 
@@ -801,6 +810,15 @@ pub fn candidate_from_json(doc: &Json) -> Result<Candidate, ServeError> {
             TransferTuning::single_buffered(depth as u8)
         };
         c.constraints.transfer = Some(t);
+    }
+    // Absent member = overbooking off (the only spelling level 0 has; specs
+    // written before the dimension existed parse unchanged).
+    if let Some(ob) = doc.get("overbook") {
+        let level = field_u64(ob, "level")?.ok_or_else(|| bad("overbook missing level"))?;
+        if !(1..=MAX_OVERBOOK_LEVEL as u64).contains(&level) {
+            return Err(bad(&format!("overbook level {level} out of range")));
+        }
+        c.constraints.chord_overbook = Some(ChordOverbook::at(level as u8));
     }
     Ok(c)
 }
@@ -949,18 +967,26 @@ mod tests {
             .unwrap(),
         );
         c.constraints.transfer = Some(TransferTuning::double_buffered(2));
+        c.constraints.chord_overbook = Some(ChordOverbook::at(2));
         let json = candidate_to_json(&c);
         // Through wire text, like a store record.
         let text = compact(&json);
         let back = candidate_from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, c);
-        // The plain heuristic round-trips too — and emits no transfer
-        // member, so pre-transfer cache files stay byte-compatible.
+        // The plain heuristic round-trips too — and emits no transfer or
+        // overbook member, so pre-transfer cache files stay byte-compatible.
         let plain = Candidate::paper_heuristic();
         let plain_json = candidate_to_json(&plain);
         assert!(plain_json.get("transfer").is_none());
+        assert!(plain_json.get("overbook").is_none());
         let back = candidate_from_json(&plain_json).unwrap();
         assert_eq!(back, plain);
+        // Explicitly-off overbooking serializes exactly like absent: the
+        // member is dropped and the spec parses back to the off default.
+        let mut off = Candidate::paper_heuristic();
+        off.constraints.chord_overbook = Some(ChordOverbook::off());
+        let off_json = candidate_to_json(&off);
+        assert!(off_json.get("overbook").is_none());
         // Single-buffered prefetch keeps its db=false spelling.
         let mut sb = Candidate::paper_heuristic();
         sb.constraints.transfer = Some(TransferTuning::single_buffered(3));
@@ -980,6 +1006,9 @@ mod tests {
             r#"{"scope": "any", "hold": true, "multicast": true, "chord": true, "pb": 1, "rf": 1, "bias": {"A": "~1"}}"#,
             r#"{"scope": "any", "hold": true, "multicast": true, "chord": true, "pb": 1, "rf": 1, "transfer": {"depth": 0}}"#,
             r#"{"scope": "any", "hold": true, "multicast": true, "chord": true, "pb": 1, "rf": 1, "transfer": {"db": true}}"#,
+            r#"{"scope": "any", "hold": true, "multicast": true, "chord": true, "pb": 1, "rf": 1, "overbook": {"level": 0}}"#,
+            r#"{"scope": "any", "hold": true, "multicast": true, "chord": true, "pb": 1, "rf": 1, "overbook": {"level": 99}}"#,
+            r#"{"scope": "any", "hold": true, "multicast": true, "chord": true, "pb": 1, "rf": 1, "overbook": {}}"#,
         ] {
             let doc = Json::parse(bad).unwrap();
             let err = candidate_from_json(&doc).unwrap_err();

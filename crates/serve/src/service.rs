@@ -496,6 +496,7 @@ fn build_workload(req: &Request) -> Result<(TensorDag, CelloConfig), ServeError>
                 n: req.n,
                 nprime: req.n,
                 iterations: req.iterations,
+                a_occupancy: None,
             })
         }
         "bicgstab" => {

@@ -359,6 +359,7 @@ mod tests {
             n: 16,
             nprime: 16,
             iterations: 1,
+            a_occupancy: None,
         });
         let accel = CelloConfig::paper();
         let cfg = SpaceConfig {
@@ -372,6 +373,7 @@ mod tests {
             chord_bias_magnitudes: vec![1],
             repartition_profiles: Vec::new(),
             transfer_menu: Vec::new(),
+            overbook_menu: Vec::new(),
         };
         let strategy = Strategy::Beam { width: 2 };
         let fp = fingerprint(&dag, &accel, &cfg, &strategy);

@@ -206,6 +206,7 @@ mod tests {
             n,
             nprime: n,
             iterations,
+            a_occupancy: None,
         })
     }
 

@@ -73,6 +73,11 @@ pub fn run_schedule(
     // earlier phases. A depth-0 tuning (the default) reproduces
     // `max(compute, mem) + noc` bit-identically.
     let mut ledger = OverlapLedger::new(schedule.transfer, accel);
+    // Overbook spill (see `crate::phases`): planned per access, charged here
+    // as outbound DRAM traffic — overflow writebacks happen mid-phase, so no
+    // prefetch depth can hide them. Zero whenever the schedule doesn't
+    // overbook, keeping the pre-overbook engine bit for bit.
+    let mut spill_bytes_total: u64 = 0;
 
     for (pi, phase) in plan.phases.iter().enumerate() {
         let _span = cello_obs::span!(
@@ -106,13 +111,15 @@ pub fn run_schedule(
 
         let now = backend.stats();
         let delta = now.delta_since(&prev_stats);
-        let phase_dram = delta.dram_bytes();
+        let spill_bytes = phase.spill_words() * accel.word_bytes as u64;
+        spill_bytes_total += spill_bytes;
+        let phase_dram = delta.dram_bytes() + spill_bytes;
         prev_stats = now;
         let compute = phase.compute_macs.div_ceil(accel.pe_count.max(1));
         let timing = ledger.phase(
             compute,
             delta.dram_read_bytes,
-            delta.dram_write_bytes,
+            delta.dram_write_bytes + spill_bytes,
             noc_cycles(phase.noc_hop_words, accel),
         );
         phase_stats.push(delta);
@@ -150,10 +157,11 @@ pub fn run_schedule(
         cycles: total_cycles,
         seconds,
         macs,
-        dram_bytes: final_stats.dram_bytes() * agg,
+        dram_bytes: (final_stats.dram_bytes() + spill_bytes_total) * agg,
         nodes,
         noc_hop_bytes,
-        offchip_energy_pj: offchip_energy_pj(&final_stats, accel.dram.energy_pj_per_byte)
+        offchip_energy_pj: (offchip_energy_pj(&final_stats, accel.dram.energy_pj_per_byte)
+            + spill_bytes_total as f64 * accel.dram.energy_pj_per_byte)
             * agg as f64,
         onchip_energy_pj: onchip_energy_pj(
             &final_stats,

@@ -110,6 +110,7 @@ mod tests {
             n: 16,
             nprime: 16,
             iterations: 3,
+            a_occupancy: None,
         })
     }
 

@@ -27,8 +27,14 @@ pub struct PlannedAccess {
     /// Versioned tensor name.
     pub name: String,
     /// Effective footprint in words (sliced `1/nodes` under rank
-    /// partitioning when the tensor carries the sliced rank).
+    /// partitioning when the tensor carries the sliced rank; shrunk to the
+    /// overbooked grant for occupancy-carrying CHORD operands).
     pub words: u64,
+    /// Words expected to overflow an overbooked CHORD grant and round-trip
+    /// to DRAM — the Tailors-style spill penalty. Zero unless the schedule
+    /// overbooks, the tensor is CHORD-bound, and it carries measured
+    /// occupancy. Both tiers charge these as un-hideable outbound traffic.
+    pub spill_words: u64,
     /// SCORE's binding for this tensor.
     pub binding: Binding,
     /// True for DAG externals (DRAM-resident inputs).
@@ -58,6 +64,14 @@ pub struct PlannedPhase {
     /// tiers derive the phase's CHORD capacity from this one value, so they
     /// cannot disagree about it.
     pub split: PhaseSplit,
+}
+
+impl PlannedPhase {
+    /// Total overbook spill this phase, in words — charged by both tiers as
+    /// outbound DRAM traffic that no prefetch can hide.
+    pub fn spill_words(&self) -> u64 {
+        self.accesses.iter().map(|a| a.spill_words).sum()
+    }
 }
 
 /// The full plan for one schedule.
@@ -191,6 +205,22 @@ pub fn plan_phases(dag: &TensorDag, schedule: &Schedule) -> PhasePlan {
             meta.words
         }
     };
+    // Tailors-style overbooking: an occupancy-carrying CHORD operand is
+    // granted capacity at its expected occupancy (`words` shrinks to the
+    // grant) and charged the modeled overflow as `spill_words`. Computed
+    // here — inside the one plan both tiers consume — so the engine and the
+    // surrogate cannot disagree about grants or spills. Off, non-CHORD, or
+    // occupancy-free tensors keep the worst-case dense model bit for bit.
+    let overbook = schedule.chord_overbook;
+    let occ_words = |meta: &TensorMeta, binding: Binding, words: u64| -> (u64, u64) {
+        match (meta.occupancy, binding) {
+            (Some(occ), Binding::Chord) if !overbook.is_off() => (
+                overbook.granted_words(words, &occ),
+                overbook.spill_words(words, &occ),
+            ),
+            _ => (words, 0),
+        }
+    };
     // A replicated (unsliced) operand is *broadcast* over the mesh only
     // when it lives on-chip (RF/pipeline residents — the paper's Λ/Φ
     // exchanges). DRAM/CHORD-bound replicated operands are instead fetched
@@ -266,9 +296,11 @@ pub fn plan_phases(dag: &TensorDag, schedule: &Schedule) -> PhasePlan {
                 }
                 let (freq, dist) = future_use(&sites, tensor, pi, op_pos);
                 let (freq, dist) = biased(tensor, freq, dist);
+                let (words, spill_words) = occ_words(meta, binding, eff_words(meta));
                 planned.accesses.push(PlannedAccess {
                     name: meta.name.clone(),
-                    words: eff_words(meta),
+                    words,
+                    spill_words,
                     binding,
                     external: false,
                     write: false,
@@ -291,9 +323,11 @@ pub fn plan_phases(dag: &TensorDag, schedule: &Schedule) -> PhasePlan {
                     }
                     let (freq, dist) = future_use(&sites, tensor, pi, op_pos);
                     let (freq, dist) = biased(tensor, freq, dist);
+                    let (words, spill_words) = occ_words(meta, binding, eff_words(meta));
                     planned.accesses.push(PlannedAccess {
                         name: meta.name.clone(),
-                        words: eff_words(meta),
+                        words,
+                        spill_words,
                         binding,
                         external: true,
                         write: false,
@@ -311,9 +345,11 @@ pub fn plan_phases(dag: &TensorDag, schedule: &Schedule) -> PhasePlan {
             }
             let (freq, dist) = future_use(&sites, op.0, pi, op_pos);
             let (freq, dist) = biased(op.0, freq, dist);
+            let (words, spill_words) = occ_words(out, bindings[op.0], eff_words(out));
             planned.accesses.push(PlannedAccess {
                 name: out.name.clone(),
-                words: eff_words(out),
+                words,
+                spill_words,
                 binding: bindings[op.0],
                 external: false,
                 write: true,

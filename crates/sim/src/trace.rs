@@ -122,6 +122,7 @@ mod tests {
             n: 4,
             nprime: 4,
             iterations: 3,
+            a_occupancy: None,
         });
         let m = AddressMap::build(&dag, 4);
         // Physical buffers: A, P, X, R, G, S, D, L, F = 9.

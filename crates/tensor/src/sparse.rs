@@ -44,7 +44,16 @@ impl CooMatrix {
         self.entries.len()
     }
 
-    /// Converts to CSR, summing duplicate coordinates and dropping explicit zeros.
+    /// Converts to CSR, summing duplicate coordinates and dropping explicit
+    /// zeros (including cancellations produced by the summing itself).
+    ///
+    /// Dropping zeros is deliberate: CSR stores *structural* non-zeros, and
+    /// every payload consumer ([`CsrMatrix::payload_words`],
+    /// [`CsrMatrix::occupancy`], the traffic model) reads the stored
+    /// [`CsrMatrix::nnz`], never a declared header count. A Matrix Market
+    /// file with explicit zeros therefore loads to an `nnz()` *below* its
+    /// header count — by design, documented at
+    /// `cello_workloads::datasets::parse_matrix_market`.
     pub fn to_csr(&self) -> CsrMatrix {
         let mut entries = self.entries.clone();
         entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
@@ -74,6 +83,74 @@ impl CooMatrix {
             col_idx,
             values,
         }
+    }
+}
+
+/// Number of buckets in [`OccupancyStats::histogram`].
+pub const OCCUPANCY_BUCKETS: usize = 8;
+
+/// Per-row-block occupancy statistics of a sparse matrix — the nonzero
+/// structure summary the cost model consumes (SCORE "tiles based on
+/// occupancy", §V-B; Tailors-style overbooking sizes buffer grants from
+/// exactly these moments).
+///
+/// Each row block of `block_rows` rows gets an *occupancy fraction*: its
+/// stored non-zeros over its dense capacity (`rows_in_block × cols`). The
+/// stats summarize the distribution of those fractions. A fully dense
+/// matrix has `mean == max == 1` and `variance == 0`, so every consumer
+/// degenerates to the dense model bit-for-bit.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OccupancyStats {
+    /// Rows per block the stats were computed over.
+    pub block_rows: u32,
+    /// Number of row blocks (≥ 1 for a non-empty matrix).
+    pub blocks: u32,
+    /// Mean per-block occupancy fraction.
+    pub mean: f64,
+    /// Population variance of the per-block occupancy fractions.
+    pub variance: f64,
+    /// Maximum per-block occupancy fraction (the worst-case tile).
+    pub max: f64,
+    /// Histogram of `fraction / max` over [`OCCUPANCY_BUCKETS`] equal
+    /// buckets (bucket `i` counts blocks with relative occupancy in
+    /// `[i/8, (i+1)/8)`; exactly `max` lands in the last bucket).
+    pub histogram: [u32; OCCUPANCY_BUCKETS],
+}
+
+impl OccupancyStats {
+    /// The stats of a fully dense tensor: every block at fraction 1, no
+    /// variance. The identity element of every occupancy-aware formula.
+    pub fn dense() -> Self {
+        let mut histogram = [0u32; OCCUPANCY_BUCKETS];
+        histogram[OCCUPANCY_BUCKETS - 1] = 1;
+        OccupancyStats {
+            block_rows: 1,
+            blocks: 1,
+            mean: 1.0,
+            variance: 0.0,
+            max: 1.0,
+            histogram,
+        }
+    }
+
+    /// Mean block occupancy relative to the worst block, in `[0, 1]` —
+    /// the expected-over-worst-case ratio overbooked grants scale by.
+    /// 1.0 when the distribution is flat (dense *or* uniformly sparse).
+    pub fn rel_mean(&self) -> f64 {
+        if self.max <= 0.0 {
+            return 1.0;
+        }
+        (self.mean / self.max).clamp(0.0, 1.0)
+    }
+
+    /// Standard deviation of block occupancy relative to the worst block
+    /// — the skew that overbooked spill penalties scale by. 0 for dense
+    /// and uniformly sparse matrices.
+    pub fn rel_std(&self) -> f64 {
+        if self.max <= 0.0 {
+            return 0.0;
+        }
+        (self.variance.max(0.0).sqrt() / self.max).clamp(0.0, 1.0)
     }
 }
 
@@ -162,6 +239,50 @@ impl CsrMatrix {
     /// streams on-chip. Matches the paper's "data and metadata in CSR format".
     pub fn payload_words(&self) -> u64 {
         (self.values.len() + self.col_idx.len() + self.row_ptr.len()) as u64
+    }
+
+    /// Per-row-block occupancy statistics over blocks of `block_rows` rows
+    /// (see [`OccupancyStats`]). `block_rows` is clamped to `1..=rows`; the
+    /// last block may be short and its fraction uses its actual capacity.
+    pub fn occupancy_stats(&self, block_rows: usize) -> OccupancyStats {
+        let rows = self.rows.max(1);
+        let block_rows = block_rows.clamp(1, rows);
+        let blocks = rows.div_ceil(block_rows);
+        let cols = self.cols.max(1) as f64;
+        let mut fractions = Vec::with_capacity(blocks);
+        for b in 0..blocks {
+            let lo = b * block_rows;
+            let hi = ((b + 1) * block_rows).min(self.rows);
+            let nnz = if lo < self.rows {
+                (self.row_ptr[hi] - self.row_ptr[lo]) as f64
+            } else {
+                0.0
+            };
+            let capacity = (hi.saturating_sub(lo)).max(1) as f64 * cols;
+            fractions.push(nnz / capacity);
+        }
+        let n = fractions.len() as f64;
+        let mean = fractions.iter().sum::<f64>() / n;
+        let variance = fractions
+            .iter()
+            .map(|f| (f - mean) * (f - mean))
+            .sum::<f64>()
+            / n;
+        let max = fractions.iter().cloned().fold(0.0f64, f64::max);
+        let mut histogram = [0u32; OCCUPANCY_BUCKETS];
+        for f in &fractions {
+            let rel = if max > 0.0 { f / max } else { 0.0 };
+            let bucket = ((rel * OCCUPANCY_BUCKETS as f64) as usize).min(OCCUPANCY_BUCKETS - 1);
+            histogram[bucket] = histogram[bucket].saturating_add(1);
+        }
+        OccupancyStats {
+            block_rows: block_rows as u32,
+            blocks: blocks as u32,
+            mean,
+            variance,
+            max,
+            histogram,
+        }
     }
 
     /// True when the sparsity pattern and values are symmetric (within `tol`),
@@ -352,6 +473,76 @@ mod tests {
         assert_eq!(row0, vec![(0, 2.0), (2, 1.0)]);
         let row1: Vec<_> = m.row(1).collect();
         assert_eq!(row1, vec![(1, 3.0)]);
+    }
+
+    #[test]
+    fn occupancy_stats_dense_is_identity() {
+        // A fully dense 4x4 matrix: every block fraction is 1.
+        let mut coo = CooMatrix::new(4, 4);
+        for r in 0..4 {
+            for c in 0..4 {
+                coo.push(r, c, 1.0 + (r * 4 + c) as f64);
+            }
+        }
+        let s = coo.to_csr().occupancy_stats(2);
+        assert_eq!(s.blocks, 2);
+        assert!((s.mean - 1.0).abs() < 1e-12);
+        assert!((s.max - 1.0).abs() < 1e-12);
+        assert!(s.variance.abs() < 1e-12);
+        assert!((s.rel_mean() - 1.0).abs() < 1e-12);
+        assert!(s.rel_std().abs() < 1e-12);
+        assert_eq!(s.histogram[OCCUPANCY_BUCKETS - 1], 2);
+        // The canned dense stats agree.
+        let d = OccupancyStats::dense();
+        assert_eq!(d.rel_mean(), 1.0);
+        assert_eq!(d.rel_std(), 0.0);
+    }
+
+    #[test]
+    fn occupancy_stats_capture_skew() {
+        // Arrowhead pattern: block 0 (row 0) is dense, the rest carry only
+        // the diagonal + first column — strongly skewed occupancy.
+        let n = 8;
+        let mut coo = CooMatrix::new(n, n);
+        for c in 0..n {
+            coo.push(0, c, 1.0);
+        }
+        for r in 1..n {
+            coo.push(r, 0, 1.0);
+            coo.push(r, r, 2.0);
+        }
+        let s = coo.to_csr().occupancy_stats(1);
+        assert_eq!(s.blocks, n as u32);
+        assert!((s.max - 1.0).abs() < 1e-12, "row 0 is dense");
+        assert!(s.rel_mean() < 0.5, "mean well below the worst block");
+        assert!(s.rel_std() > 0.1, "skew shows up as relative std");
+        assert!(s.variance > 0.0);
+        // Uniform sparsity (diagonal only) has no skew at all.
+        let mut diag = CooMatrix::new(n, n);
+        for r in 0..n {
+            diag.push(r, r, 1.0);
+        }
+        let u = diag.to_csr().occupancy_stats(1);
+        assert!((u.rel_mean() - 1.0).abs() < 1e-12);
+        assert!(u.rel_std() < 1e-12);
+        assert!(u.max < 1.0, "still sparse in absolute terms");
+    }
+
+    #[test]
+    fn occupancy_stats_degenerate_inputs() {
+        // Block size clamps; short last block uses its own capacity.
+        let m = sample();
+        let s = m.occupancy_stats(2);
+        assert_eq!(s.blocks, 2);
+        assert_eq!(s.block_rows, 2);
+        let huge = m.occupancy_stats(1000);
+        assert_eq!(huge.blocks, 1);
+        // Empty matrix: max 0, rel_mean defaults to the dense identity.
+        let empty = CooMatrix::new(3, 3).to_csr();
+        let e = empty.occupancy_stats(1);
+        assert_eq!(e.max, 0.0);
+        assert_eq!(e.rel_mean(), 1.0);
+        assert_eq!(e.rel_std(), 0.0);
     }
 
     #[test]

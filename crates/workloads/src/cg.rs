@@ -28,8 +28,12 @@ use cello_tensor::dense::DenseMatrix;
 use cello_tensor::einsum::EinsumSpec;
 use cello_tensor::kernels::{add, gemm, gemm_at_b, invert_small, spmm, sub};
 use cello_tensor::shape::{RankExtent, RankId};
-use cello_tensor::sparse::CsrMatrix;
+use cello_tensor::sparse::{CsrMatrix, OccupancyStats};
 use serde::{Deserialize, Serialize};
+
+/// Row-block granularity for occupancy statistics: aim for ~64 blocks so the
+/// histogram resolves structure without micro-blocking tiny matrices.
+const OCCUPANCY_BLOCK_TARGET: usize = 64;
 
 /// Shape parameters of a CG problem (Table VI/VII).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -46,6 +50,10 @@ pub struct CgParams {
     pub nprime: u64,
     /// CG loop iterations to unroll (Table VII: 10).
     pub iterations: u32,
+    /// Measured per-row-block occupancy statistics of `A` when built from a
+    /// real matrix ([`CgParams::from_csr`]). `None` keeps the worst-case
+    /// dense footprint model.
+    pub a_occupancy: Option<OccupancyStats>,
 }
 
 impl CgParams {
@@ -58,14 +66,17 @@ impl CgParams {
             n,
             nprime: n,
             iterations,
+            a_occupancy: None,
         }
     }
 
     /// Builds from an actual sparse matrix — e.g. a real SuiteSparse
     /// pattern loaded with [`crate::datasets::load_matrix_market`] — so the
     /// DAG's footprints and occupancy reflect the file's true sparsity
-    /// rather than a registry entry's published statistics.
+    /// rather than a registry entry's published statistics. The per-row-block
+    /// occupancy histogram of `A` rides along for the overbooking model.
     pub fn from_csr(a: &CsrMatrix, n: u64, iterations: u32) -> Self {
+        let block_rows = a.rows().div_ceil(OCCUPANCY_BLOCK_TARGET).max(1);
         Self {
             m: a.rows() as u64,
             occupancy: a.occupancy(),
@@ -73,6 +84,7 @@ impl CgParams {
             n,
             nprime: n,
             iterations,
+            a_occupancy: Some(a.occupancy_stats(block_rows)),
         }
     }
 
@@ -285,10 +297,11 @@ pub fn build_cg_dag(prm: &CgParams) -> TensorDag {
         .iter()
         .map(|it| (it.n1, ["m", "k"].as_slice()))
         .collect();
-    dag.add_external(
-        TensorMeta::sparse("A", &["m", "k"], prm.a_payload_words),
-        &a_consumers,
-    );
+    let mut a_meta = TensorMeta::sparse("A", &["m", "k"], prm.a_payload_words);
+    if let Some(occ) = prm.a_occupancy {
+        a_meta = a_meta.with_occupancy(occ);
+    }
+    dag.add_external(a_meta, &a_consumers);
     dag.add_external(
         TensorMeta::dense("P@0", &["m", "n"], bw),
         &[
@@ -524,6 +537,7 @@ mod tests {
             n: 16,
             nprime: 16,
             iterations: 3,
+            a_occupancy: None,
         }
     }
 

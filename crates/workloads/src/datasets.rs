@@ -179,10 +179,17 @@ impl fmt::Display for MtxError {
 
 impl std::error::Error for MtxError {}
 
-/// Parses Matrix Market coordinate text into CSR. Symmetric files mirror
-/// their strictly-lower/upper entries; `pattern` fields take value 1.0;
-/// duplicate coordinates accumulate (the COO builder's semantics, matching
-/// the MM spec's "assembled from duplicates" reading).
+/// Parses Matrix Market coordinate text into CSR. Symmetric files must list
+/// only the lower triangle (`row ≥ col`, the MM spec's rule) and each
+/// off-diagonal entry is mirrored — an upper-triangle entry is a typed
+/// [`MtxError::Parse`], because mirroring it *too* would silently double
+/// any value the file also lists at the transposed coordinate. `pattern`
+/// fields take value 1.0; duplicate coordinates accumulate (the COO
+/// builder's semantics, matching the MM spec's "assembled from duplicates"
+/// reading). Explicit zeros are dropped during CSR assembly
+/// ([`CooMatrix::to_csr`]), so the loaded `nnz()` can sit below the header
+/// count — stored structural non-zeros are what every payload/occupancy
+/// consumer reads.
 pub fn parse_matrix_market(text: &str) -> Result<CsrMatrix, MtxError> {
     let mut lines = text.lines().enumerate();
     let (_, banner) = lines
@@ -281,6 +288,15 @@ pub fn parse_matrix_market(text: &str) -> Result<CsrMatrix, MtxError> {
                         msg: format!("more than the declared {declared} entries"),
                     });
                 }
+                if symmetric && c1 > r1 {
+                    return Err(MtxError::Parse {
+                        line: line_no,
+                        msg: format!(
+                            "symmetric files store the lower triangle only; \
+                             entry ({r1}, {c1}) is above the diagonal"
+                        ),
+                    });
+                }
                 let builder = coo.as_mut().expect("size parsed before entries");
                 builder.push(r1 - 1, c1 - 1, value);
                 if symmetric && r1 != c1 {
@@ -310,17 +326,33 @@ pub fn load_matrix_market(path: &std::path::Path) -> Result<CsrMatrix, MtxError>
     parse_matrix_market(&text)
 }
 
-/// Renders a CSR matrix as Matrix Market `coordinate real general` text —
-/// the round-trip partner of [`parse_matrix_market`], also used to produce
-/// the checked-in sample under `data/`.
+/// Renders a CSR matrix as Matrix Market coordinate text — the round-trip
+/// partner of [`parse_matrix_market`], also used to produce the checked-in
+/// samples under `data/`. Exactly-symmetric matrices (`is_symmetric(0.0)`)
+/// are written in the `symmetric` flavor with the lower triangle only —
+/// halving on-disk nnz and matching the MM spec's storage rule — and
+/// everything else as `general`.
 pub fn write_matrix_market(a: &CsrMatrix) -> String {
     use std::fmt::Write as _;
+    let symmetric = a.is_symmetric(0.0);
     let mut out = String::new();
-    let _ = writeln!(out, "%%MatrixMarket matrix coordinate real general");
+    let flavor = if symmetric { "symmetric" } else { "general" };
+    let _ = writeln!(out, "%%MatrixMarket matrix coordinate real {flavor}");
     let _ = writeln!(out, "% written by cello-workloads");
-    let _ = writeln!(out, "{} {} {}", a.rows(), a.cols(), a.nnz());
+    let stored = if symmetric {
+        // Lower triangle (incl. diagonal) only.
+        (0..a.rows())
+            .map(|r| a.row(r).filter(|&(c, _)| c <= r).count())
+            .sum()
+    } else {
+        a.nnz()
+    };
+    let _ = writeln!(out, "{} {} {stored}", a.rows(), a.cols());
     for r in 0..a.rows() {
         for (c, v) in a.row(r) {
+            if symmetric && c > r {
+                continue;
+            }
             let _ = writeln!(out, "{} {} {v:?}", r + 1, c + 1);
         }
     }
@@ -393,6 +425,83 @@ mod tests {
         let a = FV1.generate();
         let back = parse_matrix_market(&write_matrix_market(&a)).unwrap();
         assert_eq!(a, back);
+    }
+
+    /// The writer emits the `symmetric` flavor (lower triangle only) for
+    /// exactly-symmetric matrices — halving on-disk entries — and still
+    /// round-trips; asymmetric matrices keep the `general` flavor.
+    #[test]
+    fn mtx_writer_emits_symmetric_flavor() {
+        let a = FV1.generate();
+        assert!(a.is_symmetric(0.0));
+        let text = write_matrix_market(&a);
+        assert!(
+            text.starts_with("%%MatrixMarket matrix coordinate real symmetric"),
+            "symmetric matrices use the symmetric flavor"
+        );
+        // On-disk entries = diagonal + half the off-diagonals < nnz.
+        let declared: usize = text
+            .lines()
+            .find(|l| !l.starts_with('%'))
+            .unwrap()
+            .split_whitespace()
+            .nth(2)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(declared < a.nnz(), "{declared} !< {}", a.nnz());
+        assert_eq!(parse_matrix_market(&text).unwrap(), a, "round-trip");
+        // Asymmetric matrices stay `general` and round-trip too.
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 3.0);
+        coo.push(1, 1, 1.0);
+        let b = coo.to_csr();
+        let text = write_matrix_market(&b);
+        assert!(text.starts_with("%%MatrixMarket matrix coordinate real general"));
+        assert_eq!(parse_matrix_market(&text).unwrap(), b);
+    }
+
+    /// Regression (symmetric double-mirroring): a symmetric file listing an
+    /// upper-triangle entry used to get it mirrored *again*, silently
+    /// doubling values when the transposed coordinate was also listed. The
+    /// MM spec's lower-triangle-only rule is now enforced as a typed error.
+    #[test]
+    fn mtx_rejects_upper_triangle_in_symmetric_files() {
+        // Both (2,1) and (1,2) listed: previously parsed to a doubled value.
+        let invalid = "%%MatrixMarket matrix coordinate real symmetric\n\
+                       2 2 3\n1 1 2.0\n2 1 -1.0\n1 2 -1.0\n";
+        match parse_matrix_market(invalid) {
+            Err(MtxError::Parse { line: 5, msg }) => {
+                assert!(msg.contains("lower triangle"), "{msg}")
+            }
+            other => panic!("expected Parse error on line 5, got {other:?}"),
+        }
+        // Even a lone upper-triangle entry is rejected: it is invalid MM.
+        let lone = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 2\n1 1 2.0\n1 2 -1.0\n";
+        assert!(matches!(
+            parse_matrix_market(lone),
+            Err(MtxError::Parse { line: 4, .. })
+        ));
+        // General files keep accepting any coordinate order.
+        let general = "%%MatrixMarket matrix coordinate real general\n\
+                       2 2 2\n1 2 -1.0\n2 1 -1.0\n";
+        assert_eq!(parse_matrix_market(general).unwrap().nnz(), 2);
+    }
+
+    /// Explicit zeros are dropped during CSR assembly: the loaded matrix
+    /// reports its *structural* nnz, below the header count, and payload
+    /// math follows the stored count, not the header.
+    #[test]
+    fn mtx_explicit_zeros_drop_from_stored_nnz() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    2 2 3\n1 1 4.0\n1 2 0.0\n2 2 1.0\n";
+        let a = parse_matrix_market(text).unwrap();
+        assert_eq!(a.nnz(), 2, "explicit zero is not stored");
+        assert_eq!(a.get(0, 1), 0.0);
+        // Payload accounting uses actual nnz(): 2 values + 2 col indices
+        // + 3 row pointers.
+        assert_eq!(a.payload_words(), 2 * 2 + 2 + 1);
     }
 
     #[test]

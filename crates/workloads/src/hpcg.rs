@@ -38,6 +38,7 @@ impl HpcgParams {
             n: self.n,
             nprime: self.n,
             iterations: self.iterations,
+            a_occupancy: None,
         }
     }
 }

@@ -55,6 +55,7 @@ fn main() {
         n: nrhs as u64,
         nprime: nrhs as u64,
         iterations: result.iterations_run.min(10),
+        a_occupancy: Some(a.occupancy_stats(a.rows().div_ceil(64).max(1))),
     };
     let dag = build_cg_dag(&params);
     let accel = CelloConfig::paper();

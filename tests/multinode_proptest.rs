@@ -23,6 +23,7 @@ fn cg(m: u64, n: u64, iterations: u32) -> TensorDag {
         n,
         nprime: n,
         iterations,
+        a_occupancy: None,
     })
 }
 

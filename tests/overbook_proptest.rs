@@ -1,0 +1,208 @@
+//! Property tests for occupancy-derived footprints and Tailors-style
+//! CHORD overbooking.
+//!
+//! Four contracts from the sparsity-aware design:
+//!
+//! 1. **Grant sandwich** — an overbooked grant never exceeds the
+//!    worst-case-dense footprint and the modeled spill never exceeds the
+//!    tensor itself, for every occupancy distribution and every level;
+//!    level 0 is the identity.
+//! 2. **Dense identity** — a workload whose measured occupancy is fully
+//!    dense replays the pre-occupancy worst-case model bit-identically at
+//!    every overbooking level, in the exact engine AND the analytic
+//!    surrogate; likewise overbooking-off replays it for any occupancy.
+//! 3. **Spill monotonicity** — with the mean fixed, raising the
+//!    occupancy variance can only raise the modeled DRAM traffic of an
+//!    overbooked schedule (the refetch tail grows with the skew).
+//! 4. **Surrogate ranking** — on widened spaces that include the
+//!    overbook menu, the surrogate's estimates rank like the exact
+//!    simulator's (Spearman >= 0.9), so the funnel can triage overbooked
+//!    candidates.
+
+use cello::core::accel::CelloConfig;
+use cello::core::score::binding::{build_schedule_with, ScheduleConstraints, ScheduleOptions};
+use cello::core::{ChordOverbook, MAX_OVERBOOK_LEVEL};
+use cello::graph::dag::TensorDag;
+use cello::search::{spearman, surrogate_cost, SearchSpace, SpaceConfig};
+use cello::sim::evaluate::evaluate_schedule;
+use cello::tensor::sparse::OccupancyStats;
+use cello::workloads::cg::{build_cg_dag, CgParams};
+use proptest::prelude::*;
+
+/// An occupancy distribution with the given relative mean and relative
+/// standard deviation (`max` stays 1, so the fractions coincide).
+fn occ(rel_mean: f64, rel_std: f64) -> OccupancyStats {
+    OccupancyStats {
+        mean: rel_mean,
+        variance: rel_std * rel_std,
+        ..OccupancyStats::dense()
+    }
+}
+
+fn cg(m: u64, iterations: u32, a_occupancy: Option<OccupancyStats>) -> TensorDag {
+    build_cg_dag(&CgParams {
+        m,
+        occupancy: 4.0,
+        a_payload_words: 2 * 4 * m + m + 1,
+        n: 16,
+        nprime: 16,
+        iterations,
+        a_occupancy,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For any occupancy distribution, level and tensor size: the granted
+    /// footprint never exceeds worst-case dense, the spill never exceeds
+    /// the tensor, and level 0 grants everything and spills nothing.
+    #[test]
+    fn grants_never_exceed_the_dense_footprint(
+        words in 1u64..10_000_000,
+        rel_mean in 0.0f64..1.0,
+        rel_std in 0.0f64..1.0,
+        level in 0u8..=MAX_OVERBOOK_LEVEL,
+    ) {
+        let stats = occ(rel_mean, rel_std);
+        let ob = ChordOverbook::at(level);
+        let granted = ob.granted_words(words, &stats);
+        let spill = ob.spill_words(words, &stats);
+        prop_assert!(granted <= words, "granted {granted} > dense {words}");
+        prop_assert!(spill <= words, "spill {spill} > tensor {words}");
+        if level == 0 {
+            prop_assert_eq!(granted, words, "off must grant the dense footprint");
+            prop_assert_eq!(spill, 0u64, "off must never spill");
+        }
+        // Dense stats are the identity at every level.
+        let dense = OccupancyStats::dense();
+        prop_assert_eq!(ob.granted_words(words, &dense), words);
+        prop_assert_eq!(ob.spill_words(words, &dense), 0u64);
+    }
+
+    /// Dense measured occupancy replays the worst-case model bit-for-bit
+    /// at every overbooking level — in the exact engine and the
+    /// surrogate — and any occupancy replays it with overbooking off.
+    /// This is the "no silent drift" guarantee: carrying stats on a
+    /// matrix that turns out dense, or declining the overbook knob,
+    /// costs nothing.
+    #[test]
+    fn dense_occupancy_replays_the_worst_case_model(
+        m in 20_000u64..120_000,
+        iterations in 1u32..4,
+        level in 1u8..=MAX_OVERBOOK_LEVEL,
+        rel_mean in 0.1f64..0.9,
+        rel_std in 0.0f64..0.5,
+    ) {
+        let accel = CelloConfig::paper();
+        let opts = ScheduleOptions::cello();
+        let baseline_dag = cg(m, iterations, None);
+        let plain = ScheduleConstraints::none();
+        let baseline = build_schedule_with(&baseline_dag, opts, &plain);
+        let base_sim = evaluate_schedule(&baseline_dag, &baseline, &accel);
+        let base_est = surrogate_cost(&baseline_dag, &baseline, &accel);
+
+        // Dense stats + any level: identical in both tiers.
+        let dense_dag = cg(m, iterations, Some(OccupancyStats::dense()));
+        let mut overbooked = ScheduleConstraints::none();
+        overbooked.chord_overbook = Some(ChordOverbook::at(level));
+        let s = build_schedule_with(&dense_dag, opts, &overbooked);
+        prop_assert_eq!(
+            evaluate_schedule(&dense_dag, &s, &accel), base_sim,
+            "dense occupancy diverged in the engine at level {}", level
+        );
+        prop_assert_eq!(
+            surrogate_cost(&dense_dag, &s, &accel), base_est,
+            "dense occupancy diverged in the surrogate at level {}", level
+        );
+
+        // Skewed stats + overbooking off: identical in both tiers.
+        let skewed_dag = cg(m, iterations, Some(occ(rel_mean, rel_std)));
+        for off in [None, Some(ChordOverbook::off())] {
+            let mut c = ScheduleConstraints::none();
+            c.chord_overbook = off;
+            let s = build_schedule_with(&skewed_dag, opts, &c);
+            prop_assert_eq!(
+                evaluate_schedule(&skewed_dag, &s, &accel), base_sim,
+                "overbook-off spelling {:?} diverged in the engine", off
+            );
+            prop_assert_eq!(
+                surrogate_cost(&skewed_dag, &s, &accel), base_est,
+                "overbook-off spelling {:?} diverged in the surrogate", off
+            );
+        }
+    }
+
+    /// With the mean fixed, more occupancy variance can only mean more
+    /// modeled DRAM traffic under an overbooked schedule: the grant is a
+    /// function of the mean alone, while the refetch tail grows with the
+    /// standard deviation.
+    #[test]
+    fn spill_grows_with_occupancy_variance(
+        m in 20_000u64..120_000,
+        iterations in 1u32..4,
+        level in 1u8..=MAX_OVERBOOK_LEVEL,
+        rel_mean in 0.1f64..0.9,
+        std_lo in 0.0f64..0.5,
+        std_delta in 0.0f64..0.5,
+    ) {
+        let accel = CelloConfig::paper();
+        let opts = ScheduleOptions::cello();
+        let mut constraints = ScheduleConstraints::none();
+        constraints.chord_overbook = Some(ChordOverbook::at(level));
+        let run = |rel_std: f64| {
+            let dag = cg(m, iterations, Some(occ(rel_mean, rel_std)));
+            evaluate_schedule(&dag, &build_schedule_with(&dag, opts, &constraints), &accel)
+        };
+        let lo = run(std_lo);
+        let hi = run(std_lo + std_delta);
+        prop_assert!(
+            hi.dram_bytes >= lo.dram_bytes,
+            "variance raised but traffic fell: {} < {} (mean {rel_mean}, \
+             std {std_lo} -> {}, level {level})",
+            hi.dram_bytes, lo.dram_bytes, std_lo + std_delta
+        );
+    }
+
+    /// The surrogate ranks overbook-enabled widened spaces like the exact
+    /// sim (Spearman >= 0.9 on cycles) — the contract the funnel needs
+    /// before it may triage overbooked candidates.
+    #[test]
+    fn surrogate_ranks_overbooked_spaces(
+        m in 20_000u64..120_000,
+        iterations in 2u32..5,
+        rel_mean in 0.1f64..0.9,
+        rel_std in 0.1f64..0.5,
+        seed in 0u64..1_000,
+    ) {
+        let dag = cg(m, iterations, Some(occ(rel_mean, rel_std)));
+        let accel = CelloConfig::paper();
+        let cfg = SpaceConfig::widened();
+        prop_assert!(
+            !cfg.overbook_menu.is_empty(),
+            "widened spaces must include the overbook dimension"
+        );
+        let space = SearchSpace::from_dag(&dag, &cfg);
+        prop_assert!(
+            space.decisions.iter().any(|d| d.name == "overbook"),
+            "occupancy-carrying DAG must gate the overbook dimension on"
+        );
+        let mut est = Vec::new();
+        let mut sim = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for picks in space.sample_assignments(32, seed) {
+            let schedule = space.assemble(&picks).build(&dag);
+            if !seen.insert(cello::search::Candidate::schedule_key(&schedule)) {
+                continue;
+            }
+            est.push(surrogate_cost(&dag, &schedule, &accel).cycles);
+            sim.push(evaluate_schedule(&dag, &schedule, &accel).cycles);
+        }
+        prop_assert!(est.len() >= 8, "degenerate sample: {} distinct", est.len());
+        let rho = spearman(&est, &sim);
+        prop_assert!(
+            rho >= 0.9,
+            "m={m} iters={iterations} seed={seed}: cycle rho {rho:.3}"
+        );
+    }
+}

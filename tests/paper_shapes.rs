@@ -23,6 +23,7 @@ fn small_cg(n: u64, iterations: u32) -> cello::graph::dag::TensorDag {
         n,
         nprime: n,
         iterations,
+        a_occupancy: None,
     })
 }
 

@@ -190,6 +190,7 @@ proptest! {
             n: 16,
             nprime: 16,
             iterations,
+            a_occupancy: None,
         });
         assert_uniform_differential(&dag, &CelloConfig::paper(), 8, seed);
     }
@@ -231,6 +232,7 @@ proptest! {
             n: 16,
             nprime: 16,
             iterations,
+            a_occupancy: None,
         });
         let accel = CelloConfig::paper();
         let small = SpaceConfig {
@@ -244,6 +246,7 @@ proptest! {
             chord_bias_magnitudes: vec![1],
             repartition_profiles: Vec::new(),
             transfer_menu: Vec::new(),
+            overbook_menu: Vec::new(),
         };
         let global = Tuner::new(&dag, &accel, small.clone()).tune(&Strategy::Exhaustive);
         let widened = small.with_repartition(accel.sram_words());

@@ -99,6 +99,7 @@ fn small_cfg() -> SpaceConfig {
         chord_bias_magnitudes: vec![1],
         repartition_profiles: Vec::new(),
         transfer_menu: Vec::new(),
+        overbook_menu: Vec::new(),
     }
 }
 

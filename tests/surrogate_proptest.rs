@@ -58,6 +58,7 @@ proptest! {
             n: 16,
             nprime: 16,
             iterations,
+            a_occupancy: None,
         });
         let accel = CelloConfig::paper();
         let nodes: &[u64] = [&[1u64][..], &[1, 4][..], &[1, 4, 16][..]][mesh];
@@ -93,6 +94,7 @@ proptest! {
                 n: 16,
                 nprime: 16,
                 iterations,
+                a_occupancy: None,
             })
         };
         let cfg = SpaceConfig::widened().with_repartition(accel.sram_words());
@@ -141,6 +143,7 @@ proptest! {
             n: 16,
             nprime: 16,
             iterations: 2,
+            a_occupancy: None,
         });
         let accel = CelloConfig::paper();
         let cfg = SpaceConfig::widened();
@@ -174,6 +177,7 @@ proptest! {
             n: 16,
             nprime: 16,
             iterations: 2,
+            a_occupancy: None,
         });
         let accel = CelloConfig::paper();
         let tuner = Tuner::new(&dag, &accel, SpaceConfig::widened());

@@ -32,6 +32,7 @@ fn cg(m: u64, iterations: u32) -> TensorDag {
         n: 16,
         nprime: 16,
         iterations,
+        a_occupancy: None,
     })
 }
 
