@@ -35,6 +35,14 @@
 //! the current run entirely are ignored, so the DSE gate and the serve gate
 //! can run in separate CI jobs against the one committed baseline.
 //!
+//! When a record trips a gate, the failure names the symptom; the
+//! attribution table printed alongside it (via [`cello_bench::explain`])
+//! names the cause — every numeric field the record shares with its
+//! baseline, ranked by relative change, so a cycles regression shows up
+//! next to the traffic/eval/correlation fields that moved with it. For the
+//! per-phase, per-axis view, capture full reports with `cello_run
+//! --report-out` and diff them with `cello_explain`.
+//!
 //! To refresh the baseline after an intentional change: re-run the quick
 //! trajectories and merge their `workloads` arrays into
 //! `results/bench_baseline.json` (commit the diff with the reason).
@@ -183,6 +191,7 @@ fn main() {
             continue;
         };
         compared += 1;
+        let failures_before_record = failures.len();
         // Every gated field the baseline record carries must still be
         // present on the current side: a renamed or dropped field would
         // otherwise skip its gate silently, and "CI green because the
@@ -263,6 +272,15 @@ fn main() {
             }
         }
         println!("  {label}: {}", shown.join(", "));
+        // A tripped gate names the symptom; the attribution table names
+        // what moved. Printed only on failure so green runs stay terse.
+        if failures.len() > failures_before_record {
+            let rows = cello_bench::explain::rank_field_deltas(&base.fields, &cur.fields);
+            print!(
+                "{}",
+                cello_bench::explain::render_field_table(&label, &rows)
+            );
+        }
     }
     // Coverage within the families this run produced: a baseline record
     // with no current counterpart means a workload silently fell out of the

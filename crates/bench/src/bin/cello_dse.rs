@@ -48,16 +48,27 @@
 //! least one skewed fixture must win strictly on DRAM traffic or cycles,
 //! or the trajectory fails.
 //!
+//! `--audit` runs every primary tune through
+//! `cello_search::Tuner::tune_audited` instead of `tune` (identical
+//! outcome, same seeds): the per-tier funnel ledger — where every
+//! candidate died (tier-0 prune / schedule dedup / surrogate cut /
+//! promoted), the tier-0 sketch-vs-sim Spearman cross-check, and the
+//! sampled survivor-loss probe — lands in `BENCH_audit.json`. The run
+//! fails if the accounting identity (`candidates_seen` = died + promoted)
+//! breaks, or if an exhaustively-covered space lost its sim optimum;
+//! sampled survivor loss is quantified in the ledger (keep-capped sampled
+//! sweeps are expected to be mildly lossy).
+//!
 //! Output: a TSV under `results/dse.tsv` plus the stdout tables.
 //!
 //! Usage: `cargo run --release --bin cello_dse [-- --nodes 1,4,16,64]
-//! [--prefilter] [--tier0] [--per-phase-sram] [--quick]`
+//! [--prefilter] [--tier0] [--per-phase-sram] [--quick] [--audit]`
 
 use cello_bench::json::Json;
 use cello_bench::{emit, f3, surrogate_rank_correlation};
 use cello_core::accel::CelloConfig;
 use cello_graph::dag::TensorDag;
-use cello_search::{SearchOutcome, SpaceConfig, Strategy, Tuner};
+use cello_search::{AuditConfig, FunnelAudit, SearchOutcome, SpaceConfig, Strategy, Tuner};
 use cello_workloads::bicgstab::{build_bicgstab_dag, BicgParams};
 use cello_workloads::cg::{build_cg_dag, CgParams};
 use cello_workloads::datasets::{load_matrix_market, CORA, G2_CIRCUIT, SHALLOW_WATER1};
@@ -105,6 +116,9 @@ struct Args {
     tier0: bool,
     /// Open the per-phase SRAM repartition dimension.
     per_phase_sram: bool,
+    /// Collect the per-tier funnel ledger (`tune_audited`) and write
+    /// `BENCH_audit.json`; fail on accounting or survivor-loss violations.
+    audit: bool,
 }
 
 fn parse_args() -> Args {
@@ -114,6 +128,7 @@ fn parse_args() -> Args {
         prefilter: false,
         tier0: false,
         per_phase_sram: false,
+        audit: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -141,9 +156,10 @@ fn parse_args() -> Args {
             "--prefilter" => args.prefilter = true,
             "--tier0" => args.tier0 = true,
             "--per-phase-sram" => args.per_phase_sram = true,
+            "--audit" => args.audit = true,
             other => {
                 eprintln!(
-                    "unknown argument {other:?}; usage: cello_dse [--nodes 1,4,16,64] [--prefilter] [--tier0] [--per-phase-sram] [--quick]"
+                    "unknown argument {other:?}; usage: cello_dse [--nodes 1,4,16,64] [--prefilter] [--tier0] [--per-phase-sram] [--quick] [--audit]"
                 );
                 std::process::exit(2);
             }
@@ -299,6 +315,107 @@ fn print_obs_summary() {
             get("search_exact_evals"),
         );
     }
+    let audited = get("search_audit_runs");
+    if audited > 0 {
+        println!(
+            "[obs] audit: {} ledgered tunes, cumulative survivor loss {}",
+            audited,
+            get("search_audit_survivor_loss"),
+        );
+    }
+}
+
+/// One `BENCH_audit.json` record: the funnel ledger for one tune.
+fn audit_record(name: &str, nodes: u64, a: &FunnelAudit) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::Str(name.to_string())),
+        ("nodes".into(), Json::int(nodes)),
+        ("strategy".into(), Json::Str(a.strategy.clone())),
+        ("candidates_seen".into(), Json::int(a.candidates_seen)),
+        ("tier0_swept".into(), Json::int(a.tier0_swept)),
+        ("tier0_kept".into(), Json::int(a.tier0_kept)),
+        ("tier0_pruned".into(), Json::int(a.tier0_pruned)),
+        ("dedup_merged".into(), Json::int(a.dedup_merged)),
+        ("surrogate_ranked".into(), Json::int(a.surrogate_ranked)),
+        ("surrogate_dropped".into(), Json::int(a.surrogate_dropped)),
+        ("promoted".into(), Json::int(a.promoted)),
+        ("accounts_exactly".into(), Json::Bool(a.accounts_exactly())),
+        (
+            "sketch_sim_spearman".into(),
+            a.sketch_sim_spearman.map_or(Json::Null, Json::Num),
+        ),
+        ("rank_checked".into(), Json::int(a.rank_checked)),
+        ("pruned_sampled".into(), Json::int(a.pruned_sampled)),
+        ("survivor_loss".into(), Json::int(a.survivor_loss)),
+        (
+            "sim_optimum_survived".into(),
+            a.sim_optimum_survived.map_or(Json::Null, Json::Bool),
+        ),
+    ])
+}
+
+/// Prints the ledger and pushes any consistency violation: the accounting
+/// identity must close, and on an exhaustively-covered space the sim
+/// optimum must have survived every tier (the
+/// `tier0_never_discards_the_sim_optimum` soundness property). Sampled
+/// survivor loss is *reported*, not failed: a keep-capped sampled sweep is
+/// expected to be lossy, and quantifying that loss is the audit's job.
+fn check_audit(label: &str, a: &FunnelAudit, violations: &mut Vec<String>) {
+    println!(
+        "[audit] {label}: seen {} = tier0_pruned {} + dedup {} + surrogate_dropped {} \
+         + promoted {}; sketch-sim rho {} over {}; survivor loss {}/{} sampled",
+        a.candidates_seen,
+        a.tier0_pruned,
+        a.dedup_merged,
+        a.surrogate_dropped,
+        a.promoted,
+        a.sketch_sim_spearman
+            .map_or_else(|| "n/a".into(), |r| format!("{r:.3}")),
+        a.rank_checked,
+        a.survivor_loss,
+        a.pruned_sampled,
+    );
+    if !a.accounts_exactly() {
+        violations.push(format!(
+            "{label}: audit accounting identity broken — seen {} != {} \
+             (tier0_pruned {} + dedup {} + surrogate_dropped {} + promoted {})",
+            a.candidates_seen,
+            a.tier_sum(),
+            a.tier0_pruned,
+            a.dedup_merged,
+            a.surrogate_dropped,
+            a.promoted,
+        ));
+    }
+    if a.sim_optimum_survived == Some(false) {
+        violations.push(format!(
+            "{label}: the space was exhaustively covered yet the sim optimum \
+             did not survive the funnel — tier-0 soundness broken"
+        ));
+    }
+    if a.survivor_loss > 0 {
+        println!(
+            "[audit] {label}: warning — {} of {} sampled pruned candidates beat \
+             the winner (keep-cap lossiness on a sampled sweep; quantified, not fatal)",
+            a.survivor_loss, a.pruned_sampled,
+        );
+    }
+}
+
+/// Writes `BENCH_audit.json` (the CI-uploaded funnel-forensics artifact).
+fn write_audit_artifact(generated_by: &str, audits: Vec<Json>) {
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::int(1)),
+        ("generated_by".into(), Json::Str(generated_by.to_string())),
+        ("tunes".into(), Json::Arr(audits)),
+    ]);
+    match std::fs::write("BENCH_audit.json", doc.render()) {
+        Ok(()) => println!("[saved BENCH_audit.json]"),
+        Err(e) => {
+            eprintln!("could not write BENCH_audit.json: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn outcome_row(name: &str, out: &SearchOutcome) -> Vec<String> {
@@ -369,6 +486,8 @@ fn run_quick(args: &Args) {
     // strictly.
     let mut sparse_compared = 0usize;
     let mut sparse_wins = 0usize;
+    // `--audit`: the per-tune funnel ledgers, written to BENCH_audit.json.
+    let mut audits: Vec<Json> = Vec::new();
     for w in quick_workloads() {
         let mut best_plain_single: Option<u64> = None;
         let mut best_mesh: Option<u64> = None;
@@ -389,7 +508,15 @@ fn run_quick(args: &Args) {
             };
             let started = std::time::Instant::now();
             let tuner = Tuner::new(&w.dag, &w.accel, cfg.clone());
-            let out = tuner.tune(&Strategy::prefiltered(KEEP_FRAC, inner.clone()));
+            let strategy = Strategy::prefiltered(KEEP_FRAC, inner.clone());
+            // The audited path replays the identical tune (same seeds, same
+            // ordering) while ledgering where every candidate died.
+            let (out, ledger) = if args.audit {
+                let (out, a) = tuner.tune_audited(&strategy, &AuditConfig::default());
+                (out, Some(a))
+            } else {
+                (tuner.tune(&strategy), None)
+            };
             let elapsed = started.elapsed().as_secs_f64().max(1e-9);
             let corr = surrogate_rank_correlation(&w.dag, &w.accel, &cfg, CORR_SAMPLES, CORR_SEED);
             let cand_per_sec = out.candidates_seen as f64 / elapsed;
@@ -463,6 +590,10 @@ fn run_quick(args: &Args) {
                 violations.push(format!(
                     "{label}: surrogate rank correlation {corr:.3} below 0.9"
                 ));
+            }
+            if let Some(a) = ledger {
+                check_audit(&label, &a, &mut violations);
+                audits.push(audit_record(&record_name, nodes_label, &a));
             }
         }
         // Sparsity payoff: re-tune the same single-node widened space with
@@ -544,6 +675,9 @@ fn run_quick(args: &Args) {
             std::process::exit(1);
         }
     }
+    if args.audit {
+        write_audit_artifact("cello_dse --quick --audit", audits);
+    }
     print_obs_summary();
     if !violations.is_empty() {
         eprintln!("quick trajectory FAILED (artifact written above):");
@@ -589,6 +723,10 @@ fn main() {
     } else {
         Strategy::Beam { width: beam_width }
     };
+    // `--audit`: ledger every primary tune; violations fail the run after
+    // the artifact lands.
+    let mut audits: Vec<Json> = Vec::new();
+    let mut audit_failures: Vec<String> = Vec::new();
     for w in workloads() {
         let mut cfg = if multi && w.multinode {
             space_for(&args.nodes)
@@ -609,7 +747,18 @@ fn main() {
             // Fresh tuner (and memo cache) per strategy so each row's
             // evals/cache_hits measure that strategy standalone.
             let tuner = Tuner::new(&w.dag, &w.accel, cfg.clone());
-            let out = tuner.tune(&strategy);
+            let out = if args.audit && si == 0 {
+                let (out, a) = tuner.tune_audited(&strategy, &AuditConfig::default());
+                check_audit(w.name, &a, &mut audit_failures);
+                audits.push(audit_record(
+                    w.name,
+                    *args.nodes.iter().max().unwrap_or(&1),
+                    &a,
+                ));
+                out
+            } else {
+                tuner.tune(&strategy)
+            };
             let improved = out.best_cycles.cost.cycles < out.baseline.cost.cycles
                 || out.best_dram.cost.dram_bytes < out.baseline.cost.dram_bytes;
             if improved && si == 0 {
@@ -677,4 +826,14 @@ fn main() {
         exhaustive.evaluations,
     );
     print_obs_summary();
+    if args.audit {
+        write_audit_artifact(&format!("cello_dse --audit ({})", primary.label()), audits);
+        if !audit_failures.is_empty() {
+            eprintln!("funnel audit FAILED (artifact written above):");
+            for v in &audit_failures {
+                eprintln!("  - {v}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

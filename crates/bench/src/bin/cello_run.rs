@@ -11,6 +11,13 @@
 //! (one model-time span tree per simulated config, phases as children) —
 //! open it in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`
 //! for the phase-level flame view.
+//!
+//! `--report-out reports.json` writes the full [`RunReport`]s (per-phase
+//! cycle/DRAM/CHORD vectors included) as a document `cello_explain` can
+//! diff — capture one before and one after a change, then attribute the
+//! delta per phase and per cost axis.
+//!
+//! [`RunReport`]: cello_sim::report::RunReport
 
 use cello_core::accel::CelloConfig;
 use cello_graph::dag::TensorDag;
@@ -38,6 +45,7 @@ USAGE:
               [--bandwidth 1tb|250gb]
               [--sram-mb <default 4>]
               [--trace-out <chrome-trace JSON file>]
+              [--report-out <full-report JSON file for cello_explain>]
               [--help]
 ";
 
@@ -100,6 +108,7 @@ fn main() {
     let blocks: u32 = get("blocks", "1").parse().expect("--blocks");
     let sram_mb: u64 = get("sram-mb", "4").parse().expect("--sram-mb");
     let trace_out = args.get("trace-out").cloned();
+    let report_out = args.get("report-out").cloned();
     let configs = parse_config(&get("config", "all"));
 
     let mut accel = match get("bandwidth", "1tb").to_ascii_lowercase().as_str() {
@@ -162,6 +171,7 @@ fn main() {
         "config", "GFPMuls/s", "DRAM MB", "energy µJ", "ops/B", "time µs"
     );
     let mut spans = Vec::new();
+    let mut reports = Vec::new();
     for kind in configs {
         let r = run_config(&dag, kind, &accel, &workload);
         println!(
@@ -176,6 +186,9 @@ fn main() {
         if trace_out.is_some() {
             spans.push(cello_sim::obs::report_span(&r, &accel));
         }
+        if report_out.is_some() {
+            reports.push(r);
+        }
     }
     if let Some(path) = trace_out {
         let trace = cello_obs::chrome::chrome_trace(&spans);
@@ -183,6 +196,22 @@ fn main() {
             Ok(()) => println!(
                 "\n[trace] wrote {} span tree(s) to {path} — open in https://ui.perfetto.dev",
                 spans.len()
+            ),
+            Err(e) => {
+                eprintln!("cello_run: cannot write {path}: {e}");
+                exit(1);
+            }
+        }
+    }
+    if let Some(path) = report_out {
+        let doc = cello_bench::explain::reports_doc(
+            &format!("cello_run --workload {workload} --dataset {dataset_name}"),
+            &reports,
+        );
+        match std::fs::write(&path, doc.render()) {
+            Ok(()) => println!(
+                "\n[report] wrote {} full report(s) to {path} — diff with cello_explain",
+                reports.len()
             ),
             Err(e) => {
                 eprintln!("cello_run: cannot write {path}: {e}");

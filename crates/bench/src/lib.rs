@@ -12,6 +12,7 @@ use cello_sim::baselines::{run_config, ConfigKind};
 use cello_sim::report::{tsv, write_results, RunReport};
 use rayon::prelude::*;
 
+pub mod explain;
 pub mod json;
 
 /// One cell of a sweep: a labeled workload DAG under a labeled accelerator.

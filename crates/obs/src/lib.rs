@@ -18,7 +18,10 @@
 //!    phase trace in `cello-sim`).
 //! 3. **Metrics** ([`metrics`]): named saturating counters, gauges, and
 //!    fixed-bucket latency histograms (p50/p95/p99) behind a global-or-
-//!    injected [`metrics::Registry`].
+//!    injected [`metrics::Registry`], with Prometheus text exposition
+//!    ([`metrics::RegistrySnapshot::to_prometheus_text`]) and
+//!    epoch-bucketed sliding windows ([`mod@window`]) for live rates and
+//!    p95-over-last-60s style readouts.
 //!
 //! [`chrome::chrome_trace`] renders any span forest as Chrome trace-event
 //! JSON (`"ph": "X"` complete events) loadable in Perfetto or
@@ -34,11 +37,13 @@ pub mod log;
 pub mod metrics;
 pub mod recorder;
 pub mod span;
+pub mod window;
 
 pub use log::Level;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
 pub use recorder::FlightRecorder;
 pub use span::{ArgValue, SpanNode, SpanRecorder};
+pub use window::{WindowCounter, WindowHistogram, WindowedCounter, WindowedHistogram};
 
 use std::sync::{Mutex, MutexGuard, PoisonError};
 

@@ -289,6 +289,107 @@ pub struct RegistrySnapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
+/// A registry name coerced into the Prometheus metric-name charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every invalid character becomes `_`,
+/// including a leading digit; an empty name becomes `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Exposition-format escaping for HELP text and label values: `\` → `\\`,
+/// newline → `\n`, and (for label values) `"` → `\"`. Without this, a
+/// metric name containing a newline would split a comment line in two and
+/// corrupt the scrape.
+fn prom_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '"' => out.push_str("\\\""),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+impl RegistrySnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// counters as `<name>_total` (the suffix is not doubled when the
+    /// registry name already carries it), gauges verbatim, histograms as
+    /// cumulative `_bucket{le="..."}` series plus `_sum`/`_count`. Names
+    /// are sanitized into the exposition charset; each family gets `# HELP`
+    /// (the original registry name, escaped) and `# TYPE` comments.
+    pub fn to_prometheus_text(&self) -> String {
+        self.to_prometheus_text_with_windows(&BTreeMap::new())
+    }
+
+    /// [`to_prometheus_text`](Self::to_prometheus_text) plus live windowed
+    /// histograms, rendered as `summary` families with
+    /// `quantile="0.5|0.95|0.99"` labels (a windowed distribution is not
+    /// monotone, so it must not masquerade as a histogram family).
+    pub fn to_prometheus_text_with_windows(
+        &self,
+        windows: &BTreeMap<String, HistogramSnapshot>,
+    ) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let base = prom_name(name);
+            let full = if base.ends_with("_total") {
+                base
+            } else {
+                format!("{base}_total")
+            };
+            out.push_str(&format!("# HELP {full} counter {}\n", prom_escape(name)));
+            out.push_str(&format!("# TYPE {full} counter\n{full} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            out.push_str(&format!("# HELP {n} gauge {}\n", prom_escape(name)));
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            out.push_str(&format!("# HELP {n} histogram {}\n", prom_escape(name)));
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cumulative = 0u64;
+            for k in 0..BUCKETS - 1 {
+                if h.counts[k] == 0 {
+                    continue;
+                }
+                cumulative = cumulative.saturating_add(h.counts[k]);
+                out.push_str(&format!(
+                    "{n}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    upper_bound(k)
+                ));
+            }
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+        }
+        for (name, h) in windows {
+            let n = prom_name(name);
+            out.push_str(&format!(
+                "# HELP {n} windowed summary {}\n",
+                prom_escape(name)
+            ));
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            for (q, p) in [("0.5", 50.0), ("0.95", 95.0), ("0.99", 99.0)] {
+                out.push_str(&format!("{n}{{quantile=\"{q}\"}} {}\n", h.percentile(p)));
+            }
+            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
+}
+
 static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
 
 /// The process-wide registry. Daemon code records here so one `metrics`
@@ -371,6 +472,66 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, both);
+    }
+
+    #[test]
+    fn prometheus_text_follows_conventions() {
+        let r = Registry::new();
+        r.counter("requests_total").add(9);
+        r.counter("search_tier0_kept").add(4);
+        r.gauge("in_flight").set(2);
+        r.histogram("tune_us").record(3);
+        r.histogram("tune_us").record(1000);
+        let text = r.snapshot().to_prometheus_text();
+        // `_total` appended exactly once.
+        assert!(text.contains("requests_total 9\n"));
+        assert!(!text.contains("requests_total_total"));
+        assert!(text.contains("search_tier0_kept_total 4\n"));
+        assert!(text.contains("in_flight 2\n"));
+        // Cumulative buckets: the 1000-bucket line counts the 3 as well.
+        assert!(text.contains("tune_us_bucket{le=\"3\"} 1\n"));
+        assert!(text.contains("tune_us_bucket{le=\"1023\"} 2\n"));
+        assert!(text.contains("tune_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("tune_us_sum 1003\n"));
+        assert!(text.contains("tune_us_count 2\n"));
+        assert!(text.contains("# TYPE tune_us histogram\n"));
+    }
+
+    #[test]
+    fn prometheus_text_sanitizes_and_escapes_adversarial_names() {
+        let r = Registry::new();
+        r.counter("9bad-name.with spaces\nand\\newline").inc();
+        let text = r.snapshot().to_prometheus_text();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                // The escaped original name must not have smuggled in a raw
+                // newline (lines() would have split it) or a bare backslash.
+                assert!(rest.contains("\\n") && rest.contains("\\\\"), "{rest:?}");
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let name = line.split(['{', ' ']).next().unwrap();
+            assert!(!name.is_empty());
+            let mut chars = name.chars();
+            let first = chars.next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_' || first == ':');
+            assert!(chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'));
+        }
+    }
+
+    #[test]
+    fn prometheus_windows_render_as_summaries() {
+        let snap = RegistrySnapshot::default();
+        let mut h = HistogramSnapshot::empty();
+        h.record(10);
+        h.record(400);
+        let windows = BTreeMap::from([("request_us_window".to_string(), h)]);
+        let text = snap.to_prometheus_text_with_windows(&windows);
+        assert!(text.contains("# TYPE request_us_window summary\n"));
+        assert!(text.contains("request_us_window{quantile=\"0.95\"} "));
+        assert!(text.contains("request_us_window_count 2\n"));
     }
 
     #[test]

@@ -1,0 +1,565 @@
+//! Funnel forensics: per-tier attribution of where every candidate died.
+//!
+//! The three-tier funnel ([`crate::tuner`]) discards candidates at three
+//! lossy stages — the tier-0 symbolic prune, schedule-key deduplication,
+//! and the surrogate keep-fraction cut — and only the survivors reach the
+//! exact simulator. The plain [`SearchOutcome`]
+//! reports aggregate counts; this module answers the forensic questions a
+//! regression hunt actually asks:
+//!
+//! 1. **Does the accounting close?** Every proposed candidate must die in
+//!    exactly one tier or be promoted:
+//!    `candidates_seen = tier0_pruned + dedup_merged +
+//!    surrogate_dropped + promoted`
+//!    ([`FunnelAudit::accounts_exactly`]). A gap means a tier is
+//!    silently eating (or double-counting) candidates.
+//! 2. **Is tier 0 ranking sanely?** The sketch scalar is cross-checked
+//!    against exact sim cycles on a sampled survivor subset via Spearman
+//!    rank correlation ([`crate::surrogate::spearman`]).
+//! 3. **Did the prune cost us the winner?** A deterministic sample of the
+//!    *pruned* assignments is re-scored through the exact simulator; any
+//!    sampled candidate whose cost strictly beats the reported winner is
+//!    counted as `survivor_loss`. On exhaustively-coverable spaces the
+//!    check is total: `sim_optimum_survived` evaluates the whole space and
+//!    flags whether the funnel's winner matches the true sim optimum —
+//!    the same property the `tier0_never_discards_the_sim_optimum`
+//!    proptest pins.
+//!
+//! The audit is a *wrapper*: [`Tuner::tune_audited`] replays the exact
+//! `tune` flow (same seeds, same ordering, same memo cache) while
+//! collecting the per-tier ledger, so the returned outcome is identical to
+//! an unaudited run — the forensics cost extra sim evaluations only for
+//! the sampled cross-checks, all after the outcome is fixed.
+
+use crate::cost::{rank, Evaluated};
+use crate::strategy::{SplitMix64, Strategy};
+use crate::surrogate::spearman;
+use crate::tier0::{Tier0Model, Tier0Prune};
+use crate::tuner::{SearchOutcome, Tier, Tuner, TIER0_SWEEP_SEED};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::HashSet;
+
+/// Knobs for the audit's sampled cross-checks. All sampling is seeded and
+/// deterministic: the same tune audited twice yields the same ledger.
+#[derive(Clone, Debug)]
+pub struct AuditConfig {
+    /// How many *pruned* assignments to re-score exactly for the
+    /// survivor-loss check.
+    pub pruned_samples: usize,
+    /// How many tier-0 survivors to cross-check (sketch scalar vs exact
+    /// sim cycles, Spearman).
+    pub rank_samples: usize,
+    /// When the space's exhaustive size is at most this, the audit
+    /// sim-evaluates *everything* and sets
+    /// [`FunnelAudit::sim_optimum_survived`]; larger spaces leave it
+    /// `None` (the sampled survivor-loss check still runs).
+    pub exhaustive_cap: u64,
+    /// Seed for the pruned-assignment reservoir sample.
+    pub seed: u64,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        Self {
+            pruned_samples: 16,
+            rank_samples: 24,
+            exhaustive_cap: 512,
+            seed: 0xA0D1,
+        }
+    }
+}
+
+/// The per-tier ledger of one audited tune: where every candidate died.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FunnelAudit {
+    /// Strategy label (matches the outcome's).
+    pub strategy: String,
+    /// Assignments the strategy proposed (the funnel's mouth).
+    pub candidates_seen: u64,
+    /// Assignments tier 0 sketched (0 when the strategy has no tier-0
+    /// stage).
+    pub tier0_swept: u64,
+    /// Sketch-Pareto survivors tier 0 promoted.
+    pub tier0_kept: u64,
+    /// Died in tier 0: sketched, symbolically dominated (or cap-evicted),
+    /// never built.
+    pub tier0_pruned: u64,
+    /// Died by deduplication: distinct pick vectors that collapsed to an
+    /// already-scored canonical schedule.
+    pub dedup_merged: u64,
+    /// Distinct schedules the surrogate ranked (the keep-fraction cut's
+    /// input; 0 for single-tier strategies).
+    pub surrogate_ranked: u64,
+    /// Died at the surrogate cut: ranked below the keep fraction.
+    pub surrogate_dropped: u64,
+    /// Promoted to the exact simulator (distinct schedules).
+    pub promoted: u64,
+    /// Spearman rank correlation between the tier-0 sketch scalar and
+    /// exact sim cycles over the sampled survivors (`None` without a
+    /// tier-0 stage or with fewer than two samples).
+    pub sketch_sim_spearman: Option<f64>,
+    /// Survivors in the rank cross-check sample.
+    pub rank_checked: u64,
+    /// Pruned assignments re-scored exactly for the survivor-loss check.
+    pub pruned_sampled: u64,
+    /// Sampled pruned assignments whose exact cost strictly beats the
+    /// reported winner — every one is a candidate the funnel lost.
+    pub survivor_loss: u64,
+    /// On exhaustively-coverable spaces (see
+    /// [`AuditConfig::exhaustive_cap`]): did the funnel's winner match the
+    /// sim optimum over the *whole* space? `None` when the space was too
+    /// large to cover.
+    pub sim_optimum_survived: Option<bool>,
+}
+
+impl FunnelAudit {
+    /// The funnel-conservation identity: every proposed candidate died in
+    /// exactly one tier or was promoted.
+    pub fn accounts_exactly(&self) -> bool {
+        self.candidates_seen == self.tier_sum()
+    }
+
+    /// `tier0_pruned + dedup_merged + surrogate_dropped + promoted`.
+    pub fn tier_sum(&self) -> u64 {
+        self.tier0_pruned + self.dedup_merged + self.surrogate_dropped + self.promoted
+    }
+}
+
+/// Cost-only strict order (no schedule-key tiebreak): `Less` means `a`
+/// genuinely beats `b` on the rank objectives, not merely on key order.
+fn cost_rank(a: &Evaluated, b: &Evaluated) -> Ordering {
+    a.cost
+        .cycles
+        .cmp(&b.cost.cycles)
+        .then(a.cost.dram_bytes.cmp(&b.cost.dram_bytes))
+        .then(a.cost.noc_hop_bytes.cmp(&b.cost.noc_hop_bytes))
+        .then(a.cost.energy_pj.total_cmp(&b.cost.energy_pj))
+}
+
+impl<'a> Tuner<'a> {
+    /// [`Tuner::tune`] with funnel forensics: identical outcome (same
+    /// traversal, same seeds, same memo cache), plus the per-tier
+    /// [`FunnelAudit`] ledger. The audit's extra exact evaluations (rank
+    /// cross-check, pruned-sample re-scores, exhaustive coverage) run
+    /// *after* the outcome is assembled, so they never perturb it.
+    pub fn tune_audited(
+        &self,
+        strategy: &Strategy,
+        cfg: &AuditConfig,
+    ) -> (SearchOutcome, FunnelAudit) {
+        // Flatten nested prefilters exactly like `tune_seeded`.
+        let (keep_frac, base) = match strategy {
+            Strategy::Prefiltered { keep_frac, inner } => {
+                let mut b: &Strategy = inner;
+                while let Strategy::Prefiltered { inner, .. } = b {
+                    b = inner;
+                }
+                (Some(*keep_frac), b)
+            }
+            other => (None, other),
+        };
+        let prefiltered = matches!(keep_frac, Some(f) if f < 1.0);
+
+        let hits_before = self.cache.hits();
+        let evals_before = self.cache.evaluations();
+        let surr_before = self.cache.surrogate_evaluations();
+        let mut seen: u64 = 0;
+
+        // Stage 1+2: the traversal, scored through the surrogate when a
+        // real prefilter follows, exactly otherwise — mirroring
+        // `tune_seeded` / `tune_prefiltered` step for step.
+        let tier = if prefiltered {
+            Tier::Surrogate
+        } else {
+            Tier::Exact
+        };
+        let mut scored: Vec<Evaluated> = Vec::new();
+        scored
+            .extend(self.batch_with(vec![self.space.assemble(&self.space.default_picks())], tier));
+        seen += 1;
+
+        // A tier-0 inner stage runs inline (instead of through `traverse`)
+        // so the audit keeps the model and the prune result for its
+        // cross-checks; counters and ordering match `traverse` exactly.
+        let tier0: Option<(Tier0Model, Tier0Prune)> = match *base {
+            Strategy::Tier0 { budget, keep } => {
+                let model = Tier0Model::new(self.dag, self.accel, &self.space);
+                let pruned = model.prune(&self.space, budget, keep, TIER0_SWEEP_SEED);
+                seen += pruned.swept;
+                let registry = cello_obs::metrics::global();
+                registry
+                    .counter("search_tier0_kept")
+                    .add(pruned.kept.len() as u64);
+                registry
+                    .counter("search_tier0_pruned")
+                    .add(pruned.swept - pruned.kept.len() as u64);
+                let batch: Vec<_> = pruned.kept.iter().map(|p| self.space.assemble(p)).collect();
+                scored.extend(self.batch_with(batch, tier));
+                Some((model, pruned))
+            }
+            _ => {
+                self.traverse(base, tier, &[], &mut seen, &mut scored);
+                None
+            }
+        };
+        let (tier0_swept, tier0_kept) = tier0
+            .as_ref()
+            .map_or((0, 0), |(_, p)| (p.swept, p.kept.len() as u64));
+        let tier0_pruned = tier0_swept - tier0_kept;
+        let scored_len = scored.len() as u64;
+
+        // Dedup by canonical schedule key — the second lossy stage.
+        let mut keys = HashSet::new();
+        let mut uniq: Vec<Evaluated> = scored.into_iter().filter(|e| keys.insert(e.key)).collect();
+        let dedup_merged = scored_len - uniq.len() as u64;
+        let surrogate_ranked = if prefiltered { uniq.len() as u64 } else { 0 };
+
+        // The keep-fraction cut (prefiltered) or a full promotion.
+        let (outcome, promoted, surrogate_dropped) = if prefiltered {
+            let keep_frac = keep_frac.expect("prefiltered implies a fraction");
+            uniq.sort_by(rank);
+            let keep =
+                ((keep_frac.max(0.0) * uniq.len() as f64).ceil() as usize).clamp(1, uniq.len());
+            let registry = cello_obs::metrics::global();
+            registry.counter("search_prefilter_kept").add(keep as u64);
+            registry
+                .counter("search_prefilter_dropped")
+                .add((uniq.len() - keep) as u64);
+            let dropped = (uniq.len() - keep) as u64;
+            let baseline = self
+                .eval_batch(vec![self.space.assemble(&self.space.default_picks())])
+                .pop()
+                .expect("baseline evaluates");
+            let survivors: Vec<_> = uniq[..keep].iter().map(|e| e.candidate.clone()).collect();
+            let mut all = vec![baseline.clone()];
+            all.extend(self.eval_batch(survivors));
+            let surrogate_scored = self.cache.surrogate_evaluations() - surr_before;
+            let outcome = self.outcome(
+                strategy.label(),
+                baseline,
+                &all,
+                seen,
+                evals_before,
+                hits_before,
+                surrogate_scored,
+            );
+            (outcome, keep as u64, dropped)
+        } else {
+            // Direct (or keep-everything) run: every distinct schedule was
+            // already exactly scored; the baseline is `scored[0]`.
+            let baseline = uniq.first().expect("baseline scored first").clone();
+            let all = uniq.clone();
+            let outcome = self.outcome(
+                strategy.label(),
+                baseline,
+                &all,
+                seen,
+                evals_before,
+                hits_before,
+                0,
+            );
+            (outcome, uniq.len() as u64, 0)
+        };
+
+        // ---- Forensics (outcome is fixed; everything below is read-only
+        // with respect to the reported result). ----
+
+        // Tier-0 rank cross-check: sketch scalar vs exact sim cycles over
+        // the first `rank_samples` survivors (admission order, so the
+        // sample is deterministic).
+        let (sketch_sim_spearman, rank_checked) = match &tier0 {
+            Some((model, pruned)) if !pruned.kept.is_empty() => {
+                let sample: Vec<&Vec<usize>> =
+                    pruned.kept.iter().take(cfg.rank_samples.max(2)).collect();
+                let sketch: Vec<u64> = sample.iter().map(|p| model.sketch(p).scalar()).collect();
+                let sims = self.eval_batch(sample.iter().map(|p| self.space.assemble(p)).collect());
+                let cycles: Vec<u64> = sims.iter().map(|e| e.cost.cycles).collect();
+                let rho = (sketch.len() >= 2).then(|| spearman(&sketch, &cycles));
+                (rho, sample.len() as u64)
+            }
+            _ => (None, 0),
+        };
+
+        // Survivor-loss check: deterministically re-generate the tier-0
+        // sweep stream, reservoir-sample the *pruned* assignments, and
+        // re-score them exactly. Anything that strictly beats the winner
+        // is a candidate the funnel lost.
+        let (pruned_sampled, survivor_loss) = match &tier0 {
+            Some((_, pruned)) if cfg.pruned_samples > 0 => {
+                let sample = self.sample_pruned(pruned, cfg.pruned_samples, cfg.seed);
+                let evals =
+                    self.eval_batch(sample.iter().map(|p| self.space.assemble(p)).collect());
+                let losses = evals
+                    .iter()
+                    .filter(|e| cost_rank(e, &outcome.best_cycles) == Ordering::Less)
+                    .count() as u64;
+                (sample.len() as u64, losses)
+            }
+            _ => (0, 0),
+        };
+
+        // Total coverage on small spaces: does the funnel's winner match
+        // the sim optimum over the whole space?
+        let total = self.space.exhaustive_size();
+        let sim_optimum_survived = (total <= cfg.exhaustive_cap).then(|| {
+            let all: Vec<_> = (0..total)
+                .map(|i| self.space.assemble(&self.space.index_to_picks(i)))
+                .collect();
+            let evals = self.eval_batch(all);
+            let optimum = evals.iter().min_by(|a, b| rank(a, b)).expect("non-empty");
+            cost_rank(optimum, &outcome.best_cycles) != Ordering::Less
+        });
+
+        let audit = FunnelAudit {
+            strategy: outcome.strategy.clone(),
+            candidates_seen: outcome.candidates_seen,
+            tier0_swept,
+            tier0_kept,
+            tier0_pruned,
+            dedup_merged,
+            surrogate_ranked,
+            surrogate_dropped,
+            promoted,
+            sketch_sim_spearman,
+            rank_checked,
+            pruned_sampled,
+            survivor_loss,
+            sim_optimum_survived,
+        };
+        let registry = cello_obs::metrics::global();
+        registry.counter("search_audit_runs").inc();
+        registry
+            .counter("search_audit_tier0_pruned")
+            .add(tier0_pruned);
+        registry
+            .counter("search_audit_dedup_merged")
+            .add(dedup_merged);
+        registry
+            .counter("search_audit_surrogate_dropped")
+            .add(surrogate_dropped);
+        registry.counter("search_audit_promoted").add(promoted);
+        registry
+            .counter("search_audit_survivor_loss")
+            .add(survivor_loss);
+        (outcome, audit)
+    }
+
+    /// Reservoir-samples up to `k` assignments the tier-0 sweep *pruned*,
+    /// by replaying the exact sweep stream (`prune` is deterministic: the
+    /// exhaustive odometer when the space fits the budget, the seeded
+    /// SplitMix64 stream otherwise) and skipping the kept set.
+    fn sample_pruned(&self, pruned: &Tier0Prune, k: usize, seed: u64) -> Vec<Vec<usize>> {
+        let kept: HashSet<&Vec<usize>> = pruned.kept.iter().collect();
+        let radices: Vec<usize> = self
+            .space
+            .decisions
+            .iter()
+            .map(|d| d.choices.len())
+            .collect();
+        let mut picks = vec![0usize; radices.len()];
+        let mut reservoir: Vec<Vec<usize>> = Vec::with_capacity(k);
+        let mut offered = 0u64;
+        let mut res_rng = SplitMix64::new(seed);
+        let mut offer = |picks: &Vec<usize>, reservoir: &mut Vec<Vec<usize>>| {
+            offered += 1;
+            if reservoir.len() < k {
+                reservoir.push(picks.clone());
+            } else {
+                let j = res_rng.below(offered) as usize;
+                if j < k {
+                    reservoir[j] = picks.clone();
+                }
+            }
+        };
+        let total = self.space.exhaustive_size();
+        if total <= pruned.swept {
+            for _ in 0..total {
+                if !kept.contains(&picks) {
+                    offer(&picks, &mut reservoir);
+                }
+                for (p, &radix) in picks.iter_mut().zip(&radices) {
+                    *p += 1;
+                    if *p < radix {
+                        break;
+                    }
+                    *p = 0;
+                }
+            }
+        } else {
+            let mut rng = SplitMix64::new(TIER0_SWEEP_SEED);
+            for _ in 0..pruned.swept {
+                for (p, &radix) in picks.iter_mut().zip(&radices) {
+                    *p = rng.below(radix as u64) as usize;
+                }
+                if !kept.contains(&picks) {
+                    offer(&picks, &mut reservoir);
+                }
+            }
+        }
+        reservoir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SpaceConfig;
+    use cello_core::accel::CelloConfig;
+    use cello_workloads::cg::{build_cg_dag, CgParams};
+
+    fn cg(iters: u32) -> cello_graph::dag::TensorDag {
+        build_cg_dag(&CgParams {
+            m: 20_000,
+            occupancy: 4.0,
+            a_payload_words: 2 * 80_000 + 20_001,
+            n: 16,
+            nprime: 16,
+            iterations: iters,
+            a_occupancy: None,
+        })
+    }
+
+    fn small_cfg() -> SpaceConfig {
+        SpaceConfig {
+            max_cut_points: 2,
+            max_steer_tensors: 2,
+            max_loop_order_nodes: 1,
+            pipeline_words_choices: vec![65_536, 16_384],
+            rf_words_choices: vec![16_384],
+            node_choices: vec![1],
+            max_chord_bias_tensors: 0,
+            chord_bias_magnitudes: vec![1],
+            repartition_profiles: Vec::new(),
+            transfer_menu: Vec::new(),
+            overbook_menu: Vec::new(),
+        }
+    }
+
+    /// The funnel-conservation identity closes on every strategy shape:
+    /// full three-tier, two-tier, and direct.
+    #[test]
+    fn accounting_closes_on_every_strategy_shape() {
+        let dag = cg(2);
+        let accel = CelloConfig::paper();
+        for strategy in [
+            Strategy::prefiltered(
+                0.25,
+                Strategy::Tier0 {
+                    budget: 256,
+                    keep: 16,
+                },
+            ),
+            Strategy::prefiltered(0.25, Strategy::Beam { width: 3 }),
+            Strategy::Tier0 {
+                budget: 256,
+                keep: 16,
+            },
+            Strategy::Beam { width: 3 },
+            Strategy::Exhaustive,
+        ] {
+            let tuner = Tuner::new(&dag, &accel, small_cfg());
+            let (out, audit) = tuner.tune_audited(&strategy, &AuditConfig::default());
+            assert!(
+                audit.accounts_exactly(),
+                "{}: seen {} != {} (= {} pruned + {} dedup + {} dropped + {} promoted)",
+                audit.strategy,
+                audit.candidates_seen,
+                audit.tier_sum(),
+                audit.tier0_pruned,
+                audit.dedup_merged,
+                audit.surrogate_dropped,
+                audit.promoted,
+            );
+            assert_eq!(audit.candidates_seen, out.candidates_seen);
+        }
+    }
+
+    /// The audit is a wrapper, not a different search: the audited outcome
+    /// matches the unaudited one key for key.
+    #[test]
+    fn audited_outcome_matches_unaudited() {
+        let dag = cg(2);
+        let accel = CelloConfig::paper();
+        let strategy = Strategy::prefiltered(
+            0.25,
+            Strategy::Tier0 {
+                budget: 256,
+                keep: 16,
+            },
+        );
+        let plain = Tuner::new(&dag, &accel, small_cfg()).tune(&strategy);
+        let tuner = Tuner::new(&dag, &accel, small_cfg());
+        let (audited, _) = tuner.tune_audited(&strategy, &AuditConfig::default());
+        assert_eq!(plain.best_cycles.key, audited.best_cycles.key);
+        assert_eq!(plain.best_traffic.key, audited.best_traffic.key);
+        assert_eq!(plain.candidates_seen, audited.candidates_seen);
+        assert_eq!(plain.surrogate_scored, audited.surrogate_scored);
+        assert_eq!(
+            plain.pareto.iter().map(|e| e.key).collect::<Vec<_>>(),
+            audited.pareto.iter().map(|e| e.key).collect::<Vec<_>>(),
+        );
+    }
+
+    /// With budget and keep cap covering the whole space the tier-0 prune
+    /// is sound (the `tier0_never_discards_the_sim_optimum` property), and
+    /// the audit's total-coverage flag must agree: the sim optimum
+    /// survived, and no sampled pruned candidate beats the winner.
+    #[test]
+    fn coverage_flag_agrees_with_tier0_soundness() {
+        let dag = cg(2);
+        let accel = CelloConfig::paper();
+        let tuner = Tuner::new(&dag, &accel, small_cfg());
+        let budget = tuner.space().exhaustive_size();
+        let strategy = Strategy::Tier0 {
+            budget,
+            keep: usize::MAX >> 1,
+        };
+        let cfg = AuditConfig {
+            exhaustive_cap: budget,
+            ..AuditConfig::default()
+        };
+        let (out, audit) = tuner.tune_audited(&strategy, &cfg);
+        assert_eq!(audit.tier0_swept, budget, "full sweep");
+        assert_eq!(
+            audit.sim_optimum_survived,
+            Some(true),
+            "sound prune ⇒ the sim optimum survived every tier"
+        );
+        assert_eq!(
+            audit.survivor_loss, 0,
+            "no sampled pruned candidate may beat the winner of a sound prune"
+        );
+        // Cross-check agreement with exhaustive search, the long way.
+        let ex = Tuner::new(&dag, &accel, small_cfg()).tune(&Strategy::Exhaustive);
+        assert_eq!(out.best_cycles.cost, ex.best_cycles.cost);
+    }
+
+    /// The rank cross-check runs and is deterministic; the ledger fields
+    /// that describe it are consistent with each other.
+    #[test]
+    fn rank_cross_check_is_deterministic() {
+        let dag = cg(2);
+        let accel = CelloConfig::paper();
+        let strategy = Strategy::prefiltered(
+            0.25,
+            Strategy::Tier0 {
+                budget: 256,
+                keep: 16,
+            },
+        );
+        let run = || {
+            let tuner = Tuner::new(&dag, &accel, small_cfg());
+            let (_, audit) = tuner.tune_audited(&strategy, &AuditConfig::default());
+            audit
+        };
+        let a = run();
+        let b = run();
+        assert!(a.rank_checked >= 2, "enough survivors to correlate");
+        assert_eq!(a.sketch_sim_spearman, b.sketch_sim_spearman);
+        assert_eq!(a.survivor_loss, b.survivor_loss);
+        assert_eq!(a.pruned_sampled, b.pruned_sampled);
+        let rho = a.sketch_sim_spearman.expect("tier-0 ran");
+        assert!((-1.0..=1.0).contains(&rho), "rho in range: {rho}");
+    }
+}

@@ -47,7 +47,11 @@
 //!   (rayon) through `cello_sim::evaluate`'s cheap traffic+roofline path,
 //!   or analytically prefiltered first under `Strategy::Prefiltered`
 //!   (both concrete tiers memoized in one shared lock-striped cache keyed
-//!   by interned 128-bit schedule keys).
+//!   by interned 128-bit schedule keys);
+//! - [`audit`]: funnel forensics — [`Tuner::tune_audited`] replays a tune
+//!   while ledgering where every candidate died (tier-0 prune, schedule
+//!   dedup, surrogate cut), cross-checks tier-0 sketch rank against exact
+//!   sim rank, and samples the pruned set for survivor loss.
 //!
 //! Every strategy is deterministic: parallel evaluation preserves order,
 //! ranking ties break on the canonical schedule key, and the random strategy
@@ -84,6 +88,7 @@
 //! assert!(funnel.best_cycles.cost.cycles <= funnel.baseline.cost.cycles);
 //! ```
 
+pub mod audit;
 pub mod cache;
 pub mod candidate;
 pub mod cost;
@@ -94,6 +99,7 @@ pub mod surrogate;
 pub mod tier0;
 pub mod tuner;
 
+pub use audit::{AuditConfig, FunnelAudit};
 pub use cache::EvalCache;
 pub use candidate::Candidate;
 pub use cost::{pareto_front, Evaluated};

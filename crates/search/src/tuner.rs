@@ -33,7 +33,7 @@ use std::collections::{HashMap, HashSet};
 /// Fixed (not configurable) for the same reason `Strategy::Exhaustive` has
 /// no seed: the tier-0 sweep is part of the strategy's identity, and two
 /// runs of the same strategy must visit the same candidates.
-const TIER0_SWEEP_SEED: u64 = 0x7E40;
+pub(crate) const TIER0_SWEEP_SEED: u64 = 0x7E40;
 
 /// What one `tune` run found.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -85,10 +85,10 @@ impl SearchOutcome {
 /// Ties a DAG + accelerator to a derived [`SearchSpace`] and a shared memo
 /// cache, and runs strategies over it.
 pub struct Tuner<'a> {
-    dag: &'a TensorDag,
-    accel: &'a CelloConfig,
-    space: SearchSpace,
-    cache: EvalCache,
+    pub(crate) dag: &'a TensorDag,
+    pub(crate) accel: &'a CelloConfig,
+    pub(crate) space: SearchSpace,
+    pub(crate) cache: EvalCache,
 }
 
 impl<'a> Tuner<'a> {
@@ -109,7 +109,7 @@ impl<'a> Tuner<'a> {
 
     /// Scores a batch of candidates in parallel through `tier`, memoized in
     /// that tier's table. Results align with the input order.
-    fn batch_with(&self, candidates: Vec<Candidate>, tier: Tier) -> Vec<Evaluated> {
+    pub(crate) fn batch_with(&self, candidates: Vec<Candidate>, tier: Tier) -> Vec<Evaluated> {
         // Build every schedule (cheap, parallel) and intern its canonical
         // key — a 128-bit FNV streamed straight off the canonical text, so
         // no per-candidate `String` is ever allocated on this path.
@@ -170,7 +170,7 @@ impl<'a> Tuner<'a> {
     }
 
     /// Exact-tier batch scoring.
-    fn eval_batch(&self, candidates: Vec<Candidate>) -> Vec<Evaluated> {
+    pub(crate) fn eval_batch(&self, candidates: Vec<Candidate>) -> Vec<Evaluated> {
         self.batch_with(candidates, Tier::Exact)
     }
 
@@ -182,7 +182,7 @@ impl<'a> Tuner<'a> {
     /// narrow warm-started beam still walks the cached winners' paths.
     /// Exhaustive, random, and tier-0 traversals ignore seeds — the caller
     /// evaluates the full seed assignments up front instead.
-    fn traverse(
+    pub(crate) fn traverse(
         &self,
         strategy: &Strategy,
         tier: Tier,
@@ -437,7 +437,7 @@ impl<'a> Tuner<'a> {
 
     /// Assembles the report over an exactly-evaluated comparison set.
     #[allow(clippy::too_many_arguments)]
-    fn outcome(
+    pub(crate) fn outcome(
         &self,
         strategy: String,
         baseline: Evaluated,
@@ -497,7 +497,7 @@ impl<'a> Tuner<'a> {
 
 /// Which scoring tier a batch goes through.
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum Tier {
+pub(crate) enum Tier {
     /// `cello_sim::evaluate` — exact, expensive.
     Exact,
     /// [`crate::surrogate::surrogate_cost`] — analytic, cheap.

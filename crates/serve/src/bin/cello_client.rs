@@ -10,7 +10,11 @@
 //!   `             [--mtx data/pde_512.mtx] [--n 16] [--iterations 2]`
 //!   `             [--nodes 1,4] [--strategy beam4] [--sram-mb 4]`
 //!   `             [--per-phase-sram] [--widened] [--dot schedule.dot]`
-//!   `cello_client --stats | --metrics | --trace | --shutdown`
+//!   `cello_client --stats | --metrics | --metrics-prom | --trace | --shutdown`
+//!
+//! `--metrics-prom` prints the daemon's registry in the Prometheus text
+//! exposition format (raw, scrape-ready), including the live
+//! `request_us_window` summary (p50/p95/p99 over the last 60 s).
 
 use cello_bench::json::Json;
 use cello_serve::protocol::{compact, Request, Response};
@@ -29,6 +33,7 @@ enum Op {
     Compile,
     Stats,
     Metrics,
+    MetricsProm,
     Trace,
     Shutdown,
 }
@@ -78,6 +83,7 @@ fn parse_args() -> Args {
             }
             "--stats" => args.op = Op::Stats,
             "--metrics" => args.op = Op::Metrics,
+            "--metrics-prom" => args.op = Op::MetricsProm,
             "--trace" => args.op = Op::Trace,
             "--shutdown" => args.op = Op::Shutdown,
             other => {
@@ -157,6 +163,7 @@ fn main() {
     let line = match args.op {
         Op::Stats => r#"{"op": "stats"}"#.to_string(),
         Op::Metrics => r#"{"op": "metrics"}"#.to_string(),
+        Op::MetricsProm => r#"{"op": "metrics-prom"}"#.to_string(),
         Op::Trace => r#"{"op": "trace"}"#.to_string(),
         Op::Shutdown => r#"{"op": "shutdown"}"#.to_string(),
         Op::Compile => args.request.to_line(),
@@ -172,6 +179,17 @@ fn main() {
     match args.op {
         Op::Stats | Op::Metrics | Op::Trace | Op::Shutdown => {
             println!("{}", doc.render().trim_end());
+        }
+        Op::MetricsProm => {
+            // Print the exposition text raw (scrape-ready), not the JSON
+            // envelope it shipped in.
+            match doc.get("text").and_then(Json::as_str) {
+                Some(text) => print!("{text}"),
+                None => {
+                    eprintln!("cello_client: response has no text member: {raw}");
+                    std::process::exit(1);
+                }
+            }
         }
         Op::Compile => match Response::from_json(&doc) {
             Ok(resp) => {

@@ -7,7 +7,8 @@
 //! a warm boot serves hits straight from disk).
 //!
 //! Usage: `cargo run --release --bin cello_serve --
-//!   [--addr 127.0.0.1:7070] [--cache-dir serve-cache] [--workers N]`
+//!   [--addr 127.0.0.1:7070] [--cache-dir serve-cache] [--workers N]
+//!   [--flight-depth 128]`
 //!
 //! Stop it with a `{"op": "shutdown"}` frame (`cello_client --shutdown`).
 
@@ -19,6 +20,7 @@ struct Args {
     addr: String,
     cache_dir: std::path::PathBuf,
     workers: usize,
+    flight_depth: usize,
 }
 
 fn parse_args() -> Args {
@@ -26,6 +28,7 @@ fn parse_args() -> Args {
         addr: "127.0.0.1:7070".into(),
         cache_dir: "serve-cache".into(),
         workers: rayon::current_num_threads().min(8),
+        flight_depth: cello_serve::DEFAULT_FLIGHT_DEPTH,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -44,10 +47,20 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 })
             }
+            "--flight-depth" => {
+                args.flight_depth = value("--flight-depth")
+                    .parse()
+                    .ok()
+                    .filter(|&d: &usize| d >= 1)
+                    .unwrap_or_else(|| {
+                        cello_obs::error!("serve", "--flight-depth needs a positive integer");
+                        std::process::exit(2);
+                    })
+            }
             other => {
                 cello_obs::error!(
                     "serve",
-                    "unknown argument {other:?}; usage: cello_serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N]"
+                    "unknown argument {other:?}; usage: cello_serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N] [--flight-depth N]"
                 );
                 std::process::exit(2);
             }
@@ -65,7 +78,7 @@ fn main() {
     // counters (exact/surrogate evals, prefilter tallies) show up in the
     // same `metrics` snapshot as the serve-layer ones.
     let registry = cello_obs::metrics::global();
-    let service = match Service::open_with_registry(&args.cache_dir, registry) {
+    let service = match Service::open_with_options(&args.cache_dir, registry, args.flight_depth) {
         Ok(service) => Arc::new(service),
         Err(e) => {
             cello_obs::error!("serve", "cello_serve: {e}");

@@ -37,5 +37,5 @@ pub use coalesce::Coalescer;
 pub use error::ServeError;
 pub use protocol::{CacheTag, Frame, Request, Response};
 pub use server::serve;
-pub use service::Service;
+pub use service::{Service, DEFAULT_FLIGHT_DEPTH};
 pub use store::{ScheduleStore, StoredOutcome};

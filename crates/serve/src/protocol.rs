@@ -69,6 +69,13 @@ pub enum Frame {
         /// Echoed request id.
         id: u64,
     },
+    /// Report the registry snapshot rendered as Prometheus text exposition
+    /// (plus live windowed summaries), shipped as the `text` member of the
+    /// response object.
+    MetricsProm {
+        /// Echoed request id.
+        id: u64,
+    },
     /// Ship the flight recorder's recent per-request span trees as Chrome
     /// trace JSON.
     Trace {
@@ -257,12 +264,13 @@ pub fn parse_frame(line: &str) -> Result<Frame, ServeError> {
     match op.as_str() {
         "stats" => return Ok(Frame::Stats { id }),
         "metrics" => return Ok(Frame::Metrics { id }),
+        "metrics-prom" => return Ok(Frame::MetricsProm { id }),
         "trace" => return Ok(Frame::Trace { id }),
         "shutdown" => return Ok(Frame::Shutdown { id }),
         "compile" => {}
         other => {
             return Err(ServeError::BadParam(format!(
-                "op must be compile|stats|metrics|trace|shutdown, got {other:?}"
+                "op must be compile|stats|metrics|metrics-prom|trace|shutdown, got {other:?}"
             )))
         }
     }
@@ -862,6 +870,10 @@ mod tests {
         assert_eq!(
             parse_frame(r#"{"op": "metrics", "id": 3}"#).unwrap(),
             Frame::Metrics { id: 3 }
+        );
+        assert_eq!(
+            parse_frame(r#"{"op": "metrics-prom", "id": 5}"#).unwrap(),
+            Frame::MetricsProm { id: 5 }
         );
         assert_eq!(
             parse_frame(r#"{"op": "trace"}"#).unwrap(),

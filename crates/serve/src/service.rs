@@ -29,6 +29,7 @@ use cello_core::score::binding::Schedule;
 use cello_graph::dag::TensorDag;
 use cello_graph::dot::to_dot_annotated;
 use cello_obs::metrics::{Counter, Histogram, Registry};
+use cello_obs::window::WindowedHistogram;
 use cello_obs::{FlightRecorder, SpanRecorder};
 use cello_search::fingerprint::{fingerprint, Fingerprint};
 use cello_search::{SpaceConfig, Strategy, Tuner};
@@ -42,8 +43,13 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// How many finished request span trees the flight recorder retains for
-/// `trace` requests.
-const FLIGHT_CAPACITY: usize = 128;
+/// `trace` requests (`cello_serve --flight-depth` overrides).
+pub const DEFAULT_FLIGHT_DEPTH: usize = 128;
+
+/// The live `request_us` window: 60 one-second buckets, so `metrics-prom`
+/// reports p95-over-the-last-60s instead of p95-since-boot.
+const REQUEST_WINDOW_BUCKETS: usize = 60;
+const REQUEST_WINDOW_BUCKET_SECS: u64 = 1;
 
 /// The service's registry-backed instruments (all saturating, poison-proof
 /// by construction). Handles are resolved once at `open` so the request
@@ -60,6 +66,9 @@ struct Instruments {
     compiles: Arc<Counter>,
     tune_us: Arc<Histogram>,
     request_us: Arc<Histogram>,
+    /// Sliding 60-second window over request latencies (feeds the
+    /// `request_us_window` summary in `metrics-prom`).
+    request_us_window: WindowedHistogram,
 }
 
 impl Instruments {
@@ -75,6 +84,10 @@ impl Instruments {
             compiles: registry.counter("compiles_total"),
             tune_us: registry.histogram("tune_us"),
             request_us: registry.histogram("request_us"),
+            request_us_window: WindowedHistogram::new(
+                REQUEST_WINDOW_BUCKETS,
+                REQUEST_WINDOW_BUCKET_SECS,
+            ),
             registry,
         }
     }
@@ -111,11 +124,25 @@ impl Service {
         cache_dir: &Path,
         registry: Arc<Registry>,
     ) -> Result<Self, ServeError> {
+        Self::open_with_options(cache_dir, registry, DEFAULT_FLIGHT_DEPTH)
+    }
+
+    /// [`open_with_registry`](Self::open_with_registry) with an explicit
+    /// flight-recorder ring depth (`cello_serve --flight-depth`). The
+    /// configured depth is published as the `flight_depth` gauge so a
+    /// metrics scrape can tell how much trace history a daemon keeps.
+    pub fn open_with_options(
+        cache_dir: &Path,
+        registry: Arc<Registry>,
+        flight_depth: usize,
+    ) -> Result<Self, ServeError> {
+        let flight_depth = flight_depth.max(1);
+        registry.gauge("flight_depth").set(flight_depth as i64);
         Ok(Self {
             store: ScheduleStore::open(cache_dir)?,
             coalescer: Coalescer::new(),
             obs: Instruments::new(registry),
-            flights: FlightRecorder::new(FLIGHT_CAPACITY),
+            flights: FlightRecorder::new(flight_depth),
         })
     }
 
@@ -150,6 +177,7 @@ impl Service {
             }
             Ok(Frame::Stats { id }) => (self.stats_line(id), false),
             Ok(Frame::Metrics { id }) => (self.metrics_line(id), false),
+            Ok(Frame::MetricsProm { id }) => (self.metrics_prom_line(id), false),
             Ok(Frame::Trace { id }) => (self.trace_line(id), false),
             Ok(Frame::Shutdown { id }) => (
                 compact(&Json::Obj(vec![
@@ -202,9 +230,9 @@ impl Service {
             Ok(resp) => flight.arg("cache", resp.cache.as_str()),
             Err(e) => flight.arg("error", e.kind()),
         }
-        self.obs
-            .request_us
-            .record(started.elapsed().as_micros() as u64);
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        self.obs.request_us.record(elapsed_us);
+        self.obs.request_us_window.record(elapsed_us);
         self.flights.push(flight.finish());
         result
     }
@@ -373,10 +401,9 @@ impl Service {
         ]))
     }
 
-    /// The `metrics` op: the full registry snapshot — counters, gauges, and
-    /// histogram summaries (count/mean/min/max/p50/p95/p99).
-    fn metrics_line(&self, id: u64) -> String {
-        // Point-in-time gauges refresh at snapshot time.
+    /// Point-in-time gauges refresh at snapshot time (shared by the
+    /// `metrics` and `metrics-prom` ops).
+    fn refresh_gauges(&self) {
         self.obs
             .registry
             .gauge("in_flight")
@@ -389,6 +416,12 @@ impl Service {
             .registry
             .gauge("flight_spans")
             .set(self.flights.len() as i64);
+    }
+
+    /// The `metrics` op: the full registry snapshot — counters, gauges, and
+    /// histogram summaries (count/mean/min/max/p50/p95/p99).
+    fn metrics_line(&self, id: u64) -> String {
+        self.refresh_gauges();
         let snap = self.obs.registry.snapshot();
         let counters = Json::Obj(
             snap.counters
@@ -429,6 +462,28 @@ impl Service {
             ("counters".into(), counters),
             ("gauges".into(), gauges),
             ("histograms".into(), histograms),
+        ]))
+    }
+
+    /// The `metrics-prom` op: the registry rendered in the Prometheus text
+    /// exposition format, plus the live `request_us_window` summary
+    /// (quantiles over the last 60 s, not since boot). Exposition text is
+    /// multi-line, so it ships as the escaped `text` member of a one-line
+    /// JSON response; `cello_client --metrics-prom` unwraps and prints it
+    /// raw, scrape-ready.
+    fn metrics_prom_line(&self, id: u64) -> String {
+        self.refresh_gauges();
+        let snap = self.obs.registry.snapshot();
+        let windows = std::collections::BTreeMap::from([(
+            "request_us_window".to_string(),
+            self.obs.request_us_window.snapshot(),
+        )]);
+        let text = snap.to_prometheus_text_with_windows(&windows);
+        compact(&Json::Obj(vec![
+            ("id".into(), Json::int(id)),
+            ("status".into(), Json::Str("ok".into())),
+            ("op".into(), Json::Str("metrics-prom".into())),
+            ("text".into(), Json::Str(text)),
         ]))
     }
 
@@ -739,6 +794,64 @@ mod tests {
             t.contains("\"tune\""),
             "leader flight records the tune stage"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_prom_scrape_is_parseable_and_monotone() {
+        let dir = tmpdir("prom");
+        let service = Service::open(&dir).unwrap();
+        let (_, _) = service.handle_line(&tiny_request(1).to_line());
+
+        let scrape = |id: u64| {
+            let (line, shutdown) =
+                service.handle_line(&format!(r#"{{"op": "metrics-prom", "id": {id}}}"#));
+            assert!(!shutdown);
+            let doc = Json::parse(&line).expect("metrics-prom is valid JSON");
+            doc.get("text")
+                .and_then(Json::as_str)
+                .expect("text member present")
+                .to_string()
+        };
+        let first = scrape(1);
+        assert!(first.contains("# TYPE requests_total counter\n"), "{first}");
+        assert!(first.contains("requests_total 1\n"));
+        assert!(first.contains("# TYPE request_us histogram\n"));
+        assert!(first.contains("request_us_bucket{le=\"+Inf\"} 1\n"));
+        assert!(
+            first.contains("request_us_window{quantile=\"0.95\"} "),
+            "live windowed p95 exposed: {first}"
+        );
+        assert!(first.contains("request_us_window_count 1\n"));
+        assert!(first.contains("flight_depth 128\n"), "default depth gauge");
+        // Every non-comment line is `name[{labels}] value`.
+        for line in first.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (metric, value) = line.rsplit_once(' ').expect(line);
+            assert!(!metric.is_empty());
+            value.parse::<f64>().expect(line);
+        }
+
+        let (_, _) = service.handle_line(&tiny_request(2).to_line());
+        let second = scrape(2);
+        assert!(
+            second.contains("requests_total 2\n"),
+            "requests_total monotone across scrapes: {second}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flight_depth_is_configurable_and_published() {
+        let dir = tmpdir("depth");
+        let service = Service::open_with_options(&dir, Arc::new(Registry::new()), 2).unwrap();
+        for id in 0..5 {
+            let _ = service.handle(&tiny_request(id));
+        }
+        assert_eq!(service.flights().len(), 2, "ring truncates to the depth");
+        assert_eq!(service.registry().gauge("flight_depth").get(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

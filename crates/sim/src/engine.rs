@@ -60,6 +60,7 @@ pub fn run_schedule(
     let mut phase_stats: Vec<cello_mem::stats::AccessStats> =
         Vec::with_capacity(plan.phases.len() + 1);
     let mut phase_noc_hop_words: Vec<u64> = Vec::with_capacity(plan.phases.len());
+    let mut phase_total_cycles: Vec<u64> = Vec::with_capacity(plan.phases.len() + 1);
     let mut total_cycles: u64 = 0;
     let mut total_noc_hop_words: u64 = 0;
     let mut prev_stats = backend.stats();
@@ -127,6 +128,7 @@ pub fn run_schedule(
         phase_dram_bytes.push(phase_dram);
         phase_noc_hop_words.push(phase.noc_hop_words);
         total_noc_hop_words += phase.noc_hop_words;
+        phase_total_cycles.push(timing.cycles);
         total_cycles += timing.cycles;
     }
 
@@ -140,6 +142,7 @@ pub fn run_schedule(
         phase_cycles.push((0, mem));
         phase_dram_bytes.push(drain);
         phase_stats.push(final_stats.delta_since(&prev_stats));
+        phase_total_cycles.push(mem);
         total_cycles += mem;
     }
 
@@ -176,6 +179,7 @@ pub fn run_schedule(
         phase_dram_bytes,
         phase_stats,
         phase_noc_hop_words,
+        phase_total_cycles,
     }
 }
 

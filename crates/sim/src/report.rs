@@ -57,6 +57,12 @@ pub struct RunReport {
     /// `phase_cycles.len() > phase_noc_hop_words.len()` is exactly the
     /// "a drain phase exists" predicate trace builders key off.
     pub phase_noc_hop_words: Vec<u64>,
+    /// Per-phase **total** cycles as the overlap ledger charged them,
+    /// aligned with `phase_cycles` including the drain entry, summing
+    /// exactly to `cycles`. Under overlap this is *not* derivable from
+    /// `phase_cycles` (the ledger folds NoC time and hidden prefetch into
+    /// the charge); `cello_explain` decomposes regressions from it.
+    pub phase_total_cycles: Vec<u64>,
 }
 
 impl RunReport {
@@ -152,6 +158,7 @@ mod tests {
             phase_dram_bytes: vec![],
             phase_stats: vec![],
             phase_noc_hop_words: vec![],
+            phase_total_cycles: vec![],
         }
     }
 

@@ -33,7 +33,7 @@ use serde::{Deserialize, Serialize};
 
 /// Row-block granularity for occupancy statistics: aim for ~64 blocks so the
 /// histogram resolves structure without micro-blocking tiny matrices.
-const OCCUPANCY_BLOCK_TARGET: usize = 64;
+pub(crate) const OCCUPANCY_BLOCK_TARGET: usize = 64;
 
 /// Shape parameters of a CG problem (Table VI/VII).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
